@@ -1,0 +1,138 @@
+//! Box arrays: a domain chopped into boxes, distributed over ranks.
+
+use crate::box_t::IntBox;
+
+/// A disjoint decomposition of a domain box into boxes of bounded size,
+/// with a round-robin rank mapping (AMReX `BoxArray` + `DistributionMapping`).
+#[derive(Debug, Clone)]
+pub struct BoxArray {
+    /// The covered domain.
+    pub domain: IntBox,
+    /// The boxes, in creation order.
+    pub boxes: Vec<IntBox>,
+    /// Owning rank per box.
+    pub owner: Vec<usize>,
+    /// Ranks in the distribution.
+    pub ranks: usize,
+}
+
+impl BoxArray {
+    /// Chop `domain` into boxes of at most `max_size × max_size` cells and
+    /// distribute round-robin over `ranks`.
+    pub fn chop(domain: IntBox, max_size: i64, ranks: usize) -> Self {
+        assert!(max_size >= 1 && ranks >= 1);
+        let mut boxes = Vec::new();
+        let mut j = domain.lo[1];
+        while j <= domain.hi[1] {
+            let jhi = (j + max_size - 1).min(domain.hi[1]);
+            let mut i = domain.lo[0];
+            while i <= domain.hi[0] {
+                let ihi = (i + max_size - 1).min(domain.hi[0]);
+                boxes.push(IntBox::new([i, j], [ihi, jhi]));
+                i = ihi + 1;
+            }
+            j = jhi + 1;
+        }
+        let owner = (0..boxes.len()).map(|b| b % ranks).collect();
+        BoxArray { domain, boxes, owner, ranks }
+    }
+
+    /// Number of boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True when the array holds no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Which box owns a cell (domain cells only).
+    pub fn box_of(&self, i: i64, j: i64) -> Option<usize> {
+        self.boxes.iter().position(|b| b.contains(i, j))
+    }
+
+    /// All pairs `(b, n, overlap)` where box `n`'s valid region intersects
+    /// box `b` grown by `ghost` cells — the ghost-exchange communication
+    /// pattern (periodic wrap handled by the caller through shifts).
+    pub fn ghost_pairs(&self, ghost: i64) -> Vec<(usize, usize, IntBox)> {
+        let mut out = Vec::new();
+        for (b, bx) in self.boxes.iter().enumerate() {
+            let grown = bx.grow(ghost);
+            for (n, nb) in self.boxes.iter().enumerate() {
+                if n == b {
+                    continue;
+                }
+                if let Some(ov) = grown.intersect(nb) {
+                    out.push((b, n, ov));
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes each rank sends during one ghost exchange (8-byte cells,
+    /// `ncomp` components), for the α–β comm charge.
+    pub fn ghost_bytes_per_rank(&self, ghost: i64, ncomp: usize) -> u64 {
+        let mut total = 0u64;
+        for (b, n, ov) in self.ghost_pairs(ghost) {
+            if self.owner[b] != self.owner[n] {
+                total += ov.num_cells() as u64 * 8 * ncomp as u64;
+            }
+        }
+        total / self.ranks.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chop_covers_domain_exactly_once() {
+        let domain = IntBox::domain(20, 12);
+        let ba = BoxArray::chop(domain, 8, 3);
+        // 3 x 2 boxes.
+        assert_eq!(ba.len(), 6);
+        let total: i64 = ba.boxes.iter().map(|b| b.num_cells()).sum();
+        assert_eq!(total, domain.num_cells());
+        // Disjoint.
+        for (i, a) in ba.boxes.iter().enumerate() {
+            for b in &ba.boxes[i + 1..] {
+                assert!(a.intersect(b).is_none(), "{a} overlaps {b}");
+            }
+        }
+        // Every cell belongs to exactly one box.
+        assert!(domain.cells().all(|(i, j)| ba.box_of(i, j).is_some()));
+    }
+
+    #[test]
+    fn round_robin_balances_ownership() {
+        let ba = BoxArray::chop(IntBox::domain(32, 32), 8, 4);
+        assert_eq!(ba.len(), 16);
+        for r in 0..4 {
+            let count = ba.owner.iter().filter(|&&o| o == r).count();
+            assert_eq!(count, 4, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn ghost_pairs_are_symmetric_neighbors() {
+        let ba = BoxArray::chop(IntBox::domain(16, 8), 8, 2);
+        let pairs = ba.ghost_pairs(1);
+        // Two boxes side by side: each sees the other once.
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().any(|&(b, n, _)| (b, n) == (0, 1)));
+        assert!(pairs.iter().any(|&(b, n, _)| (b, n) == (1, 0)));
+        // The overlap is one ghost column wide.
+        assert_eq!(pairs[0].2.num_cells(), 8);
+    }
+
+    #[test]
+    fn ghost_bytes_ignore_same_rank_copies() {
+        let one_rank = BoxArray::chop(IntBox::domain(16, 16), 8, 1);
+        assert_eq!(one_rank.ghost_bytes_per_rank(1, 1), 0);
+        let four_ranks = BoxArray::chop(IntBox::domain(16, 16), 8, 4);
+        assert!(four_ranks.ghost_bytes_per_rank(1, 1) > 0);
+    }
+}

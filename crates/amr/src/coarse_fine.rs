@@ -1,0 +1,134 @@
+//! Coarse–fine transfer operators (refinement ratio 2).
+
+use crate::box_t::IntBox;
+use std::collections::HashMap;
+
+/// A flat cell map over one box (helper for level transfer tests and the
+/// Pele mini-app's refined patches).
+#[derive(Debug, Clone)]
+pub struct Patch {
+    /// Covered region.
+    pub bx: IntBox,
+    /// Row-major values.
+    pub data: Vec<f64>,
+}
+
+impl Patch {
+    /// Zeroed patch.
+    pub fn new(bx: IntBox) -> Self {
+        Patch { bx, data: vec![0.0; bx.num_cells() as usize] }
+    }
+
+    /// Build from a function.
+    pub fn from_fn(bx: IntBox, f: impl Fn(i64, i64) -> f64) -> Self {
+        let mut p = Patch::new(bx);
+        for (i, j) in bx.cells() {
+            let idx = p.idx(i, j);
+            p.data[idx] = f(i, j);
+        }
+        p
+    }
+
+    fn idx(&self, i: i64, j: i64) -> usize {
+        debug_assert!(self.bx.contains(i, j));
+        let s = self.bx.size();
+        ((j - self.bx.lo[1]) * s[0] + (i - self.bx.lo[0])) as usize
+    }
+
+    /// Cell value.
+    pub fn get(&self, i: i64, j: i64) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Set a cell value.
+    pub fn set(&mut self, i: i64, j: i64, v: f64) {
+        let idx = self.idx(i, j);
+        self.data[idx] = v;
+    }
+
+    /// Sum over the patch (conservation bookkeeping).
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+/// Conservative restriction: each coarse cell becomes the average of its
+/// 2×2 fine children (so coarse_total = fine_total / 4 in cell sums, i.e.
+/// integrals match when the fine cell area is 1/4).
+pub fn restrict_average(fine: &Patch) -> Patch {
+    let coarse_bx = fine.bx.coarsen();
+    let mut out = Patch::new(coarse_bx);
+    let mut counts: HashMap<(i64, i64), u32> = HashMap::new();
+    for (i, j) in fine.bx.cells() {
+        let ci = i.div_euclid(2);
+        let cj = j.div_euclid(2);
+        let idx = out.idx(ci, cj);
+        out.data[idx] += fine.get(i, j);
+        *counts.entry((ci, cj)).or_insert(0) += 1;
+    }
+    for (i, j) in coarse_bx.cells() {
+        let c = counts.get(&(i, j)).copied().unwrap_or(1) as f64;
+        let idx = out.idx(i, j);
+        out.data[idx] /= c;
+    }
+    out
+}
+
+/// Piecewise-constant prolongation: every fine child inherits its coarse
+/// parent's value.
+pub fn prolong_constant(coarse: &Patch) -> Patch {
+    let fine_bx = coarse.bx.refine();
+    Patch::from_fn(fine_bx, |i, j| coarse.get(i.div_euclid(2), j.div_euclid(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restrict_of_prolong_is_identity() {
+        let coarse = Patch::from_fn(IntBox::new([0, 0], [7, 7]), |i, j| (i * 10 + j) as f64);
+        let fine = prolong_constant(&coarse);
+        assert_eq!(fine.bx.num_cells(), 4 * coarse.bx.num_cells());
+        let back = restrict_average(&fine);
+        assert_eq!(back.bx, coarse.bx);
+        for (i, j) in coarse.bx.cells() {
+            assert_eq!(back.get(i, j), coarse.get(i, j), "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn restriction_conserves_the_integral() {
+        // Fine cells have 1/4 the area: integral = Σ fine · (h/2)² must
+        // equal Σ coarse · h² after averaging.
+        let fine = Patch::from_fn(IntBox::new([0, 0], [15, 15]), |i, j| {
+            ((i * 31 + j * 17) % 23) as f64
+        });
+        let coarse = restrict_average(&fine);
+        let fine_integral = fine.total() * 0.25;
+        let coarse_integral = coarse.total();
+        assert!(
+            (fine_integral - coarse_integral).abs() < 1e-9,
+            "{fine_integral} vs {coarse_integral}"
+        );
+    }
+
+    #[test]
+    fn prolong_preserves_constants() {
+        let coarse = Patch::from_fn(IntBox::new([2, 2], [5, 5]), |_, _| 7.5);
+        let fine = prolong_constant(&coarse);
+        assert!(fine.data.iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn negative_index_patches_transfer_correctly() {
+        let coarse = Patch::from_fn(IntBox::new([-4, -2], [-1, 1]), |i, j| (i + 10 * j) as f64);
+        let fine = prolong_constant(&coarse);
+        assert_eq!(fine.bx, IntBox::new([-8, -4], [-1, 3]));
+        assert_eq!(fine.get(-8, -4), coarse.get(-4, -2));
+        let back = restrict_average(&fine);
+        for (i, j) in coarse.bx.cells() {
+            assert_eq!(back.get(i, j), coarse.get(i, j));
+        }
+    }
+}

@@ -1,0 +1,709 @@
+//! E3SM-MMF (§3.5) — latency-sensitive column physics.
+//!
+//! The Multiscale Modeling Framework runs a cloud-resolving model inside
+//! every climate column. Strong scaling to 1,000–2,000× realtime leaves
+//! each GPU with little work, so "E3SM-MMF is highly sensitive to latency,
+//! and particularly allocations, deallocations, and kernel launches." The
+//! paper lists four mitigation strategies, all implemented here as real,
+//! composable configuration knobs over the `exa-hal` runtime:
+//!
+//! 1. **Kernel fusion** — merge small kernels (fewer launches);
+//! 2. **Kernel fission** — split register-spilling kernels ("when register
+//!    spillage was observed, kernels could be fissioned ... larger kernel
+//!    launch overheads, but significantly lower kernel runtimes");
+//! 3. **Asynchronous same-stream launching** — overlap launch latency with
+//!    execution;
+//! 4. **Pool allocator** — YAKL's "transparent pool allocator ... so that
+//!    frequent allocation and deallocation patterns are non-blocking and
+//!    very cheap".
+
+use crate::calibration::e3sm as cal;
+use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
+use exa_hal::{ApiSurface, Device, DType, KernelProfile, LaunchConfig, PoolAllocator, SimTime, Stream};
+use exa_machine::{GpuArch, MachineModel};
+
+/// Configuration knobs of the §3.5 optimization campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct E3smConfig {
+    /// Merge small physics kernels into larger ones.
+    pub fuse_kernels: bool,
+    /// Split kernels whose register footprint spills.
+    pub fission_spilling: bool,
+    /// Launch asynchronously in one stream (vs blocking launches).
+    pub async_launch: bool,
+    /// Use the pool allocator for per-step scratch.
+    pub pool_allocator: bool,
+}
+
+impl E3smConfig {
+    /// The unoptimized starting point.
+    pub fn naive() -> Self {
+        E3smConfig {
+            fuse_kernels: false,
+            fission_spilling: false,
+            async_launch: false,
+            pool_allocator: false,
+        }
+    }
+
+    /// Everything on — the shipped configuration.
+    pub fn optimized() -> Self {
+        E3smConfig {
+            fuse_kernels: true,
+            fission_spilling: true,
+            async_launch: true,
+            pool_allocator: true,
+        }
+    }
+}
+
+/// Per-column-step physics pipeline description.
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    flops: f64,
+    bytes: f64,
+    regs: u32,
+}
+
+fn physics_pipeline() -> Vec<KernelSpec> {
+    // 24 small kernels; two are register monsters (microphysics, radiation).
+    (0..cal::KERNELS_PER_STEP)
+        .map(|k| {
+            let heavy = k == 7 || k == 15;
+            KernelSpec {
+                flops: if heavy { 6.0e6 } else { 4.0e5 },
+                bytes: if heavy { 2.0e6 } else { 3.0e5 },
+                regs: if heavy { 8192 } else { 48 },
+            }
+        })
+        .collect()
+}
+
+/// Simulate one column-physics timestep under a configuration; returns the
+/// host-observed wall time for `columns` columns on one device.
+pub fn step_time(device_arch: GpuArch, columns: usize, cfg: E3smConfig) -> SimTime {
+    let gpu = match device_arch {
+        GpuArch::Volta => exa_machine::GpuModel::v100(),
+        GpuArch::Vega20 => exa_machine::GpuModel::mi60(),
+        GpuArch::Cdna1 => exa_machine::GpuModel::mi100(),
+        GpuArch::Cdna2 => exa_machine::GpuModel::mi250x_gcd(),
+    };
+    let api = if device_arch == GpuArch::Volta { ApiSurface::Cuda } else { ApiSurface::Hip };
+    let device = Device::new(gpu, 0);
+    let mut stream = Stream::new(device.clone(), api).expect("api supports arch");
+    stream.set_sync_launch(!cfg.async_launch);
+
+    let mut pool = if cfg.pool_allocator {
+        Some(PoolAllocator::new(device, 1 << 28, &mut stream).expect("arena fits"))
+    } else {
+        None
+    };
+
+    let mut pipeline = physics_pipeline();
+    if cfg.fission_spilling {
+        // Split each register monster into four spill-free kernels.
+        pipeline = pipeline
+            .into_iter()
+            .flat_map(|k| {
+                if k.regs > 256 {
+                    let quarter = KernelSpec { flops: k.flops / 4.0, bytes: k.bytes / 4.0, regs: 200 };
+                    vec![quarter.clone(), quarter.clone(), quarter.clone(), quarter]
+                } else {
+                    vec![k]
+                }
+            })
+            .collect();
+    }
+    if cfg.fuse_kernels {
+        // Merge runs of small kernels (< 1e6 flops) pairwise-greedily into
+        // chunks of four.
+        let mut fused = Vec::new();
+        let mut acc: Option<KernelSpec> = None;
+        let mut count = 0;
+        for k in pipeline {
+            if k.flops < 1.0e6 {
+                match acc.as_mut() {
+                    Some(a) => {
+                        a.flops += k.flops;
+                        a.bytes += k.bytes;
+                        a.regs = a.regs.max(k.regs) + 8; // fusion costs registers
+                        count += 1;
+                        if count == 4 {
+                            fused.push(acc.take().expect("present"));
+                            count = 0;
+                        }
+                    }
+                    None => {
+                        acc = Some(k);
+                        count = 1;
+                    }
+                }
+            } else {
+                fused.push(k);
+            }
+        }
+        if let Some(a) = acc {
+            fused.push(a);
+        }
+        pipeline = fused;
+    }
+
+    // One step: allocate scratch, run the pipeline per column batch, free.
+    for k in &pipeline {
+        // Per-kernel scratch allocation — the pattern YAKL's pool exists for.
+        let scratch_bytes = 1 << 16;
+        let block = match pool.as_mut() {
+            Some(p) => Some(p.alloc(&mut stream, scratch_bytes).expect("pool sized for step")),
+            None => {
+                // Runtime allocation latency.
+                stream.charge_host(stream.device().model.alloc_latency);
+                None
+            }
+        };
+        let profile = KernelProfile::new("physics", LaunchConfig::cover(columns as u64 * 64, 128))
+            .flops(k.flops * columns as f64, DType::F64)
+            .bytes(k.bytes * columns as f64 * 0.7, k.bytes * columns as f64 * 0.3)
+            .regs(k.regs)
+            .compute_eff(0.55)
+            .mem_eff(0.6);
+        stream.launch_modeled(&profile);
+        if let (Some(p), Some(b)) = (pool.as_mut(), block) {
+            p.free(&mut stream, b).expect("block is live");
+        } else {
+            stream.charge_host(stream.device().model.alloc_latency);
+        }
+    }
+    stream.synchronize()
+}
+
+/// The E3SM-MMF application.
+#[derive(Debug, Clone, Default)]
+pub struct E3sm;
+
+impl E3sm {
+    /// Simulated-time throughput (column-steps per second) for one GPU.
+    pub fn throughput(arch: GpuArch, cfg: E3smConfig) -> f64 {
+        let t = step_time(arch, cal::COLUMNS_PER_GPU, cfg);
+        cal::COLUMNS_PER_GPU as f64 / t.secs()
+    }
+}
+
+impl Application for E3sm {
+    fn name(&self) -> &'static str {
+        "E3SM"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "3.5"
+    }
+
+    fn motifs(&self) -> Vec<Motif> {
+        vec![
+            Motif::PerformancePortability,
+            Motif::KernelFusionFission,
+            Motif::AlgorithmicOptimizations,
+        ]
+    }
+
+    fn challenge_problem(&self) -> String {
+        format!(
+            "MMF cloud-resolving physics at {} columns/GPU, 1000-2000x realtime target",
+            cal::COLUMNS_PER_GPU
+        )
+    }
+
+    fn fom(&self) -> FigureOfMerit {
+        FigureOfMerit::throughput("column throughput", "column-steps/s/GPU")
+    }
+
+    fn run(&self, machine: &MachineModel) -> FomMeasurement {
+        let arch = machine.node.gpu().arch;
+        let fom = Self::throughput(arch, E3smConfig::optimized());
+        FomMeasurement::new(
+            machine.name.clone(),
+            format!("{} columns, optimized pipeline", cal::COLUMNS_PER_GPU),
+            fom,
+            SimTime::from_secs(cal::COLUMNS_PER_GPU as f64 / fom),
+        )
+    }
+
+    fn paper_speedup(&self) -> Option<f64> {
+        None // E3SM is not in Table 2; its §3.5 story is latency management.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_knob_helps_on_frontier_hardware() {
+        let arch = GpuArch::Cdna2;
+        let base = step_time(arch, cal::COLUMNS_PER_GPU, E3smConfig::naive());
+        for (name, cfg) in [
+            ("fusion", E3smConfig { fuse_kernels: true, ..E3smConfig::naive() }),
+            ("fission", E3smConfig { fission_spilling: true, ..E3smConfig::naive() }),
+            ("async", E3smConfig { async_launch: true, ..E3smConfig::naive() }),
+            ("pool", E3smConfig { pool_allocator: true, ..E3smConfig::naive() }),
+        ] {
+            let t = step_time(arch, cal::COLUMNS_PER_GPU, cfg);
+            assert!(t < base, "{name} should help: {t} !< {base}");
+        }
+    }
+
+    #[test]
+    fn combined_optimizations_give_a_large_win() {
+        let arch = GpuArch::Cdna2;
+        let naive = step_time(arch, cal::COLUMNS_PER_GPU, E3smConfig::naive());
+        let opt = step_time(arch, cal::COLUMNS_PER_GPU, E3smConfig::optimized());
+        let speedup = naive / opt;
+        assert!(speedup > 1.5, "latency work should compound: {speedup}");
+    }
+
+    #[test]
+    fn fission_trades_launches_for_runtime() {
+        // §3.5: fission means more launches but lower kernel runtimes; on a
+        // spilling kernel the trade is worth it.
+        let arch = GpuArch::Cdna2;
+        let spilling = E3smConfig::naive();
+        let fissioned = E3smConfig { fission_spilling: true, ..spilling };
+        let t_spill = step_time(arch, cal::COLUMNS_PER_GPU, spilling);
+        let t_fission = step_time(arch, cal::COLUMNS_PER_GPU, fissioned);
+        assert!(t_fission < t_spill);
+    }
+
+    #[test]
+    fn latency_matters_more_at_low_column_counts() {
+        // Strong scaling shrinks per-GPU work and amplifies the benefit.
+        let arch = GpuArch::Cdna2;
+        // Isolate the latency knobs (async launch + pool allocator); the
+        // fusion/fission knobs change kernel shapes, not latency exposure.
+        let latency_only = E3smConfig {
+            async_launch: true,
+            pool_allocator: true,
+            ..E3smConfig::naive()
+        };
+        let gain_small =
+            step_time(arch, 64, E3smConfig::naive()) / step_time(arch, 64, latency_only);
+        let gain_large =
+            step_time(arch, 8192, E3smConfig::naive()) / step_time(arch, 8192, latency_only);
+        assert!(
+            gain_small > gain_large,
+            "latency optimizations matter most when strong-scaled: {gain_small} vs {gain_large}"
+        );
+    }
+
+    #[test]
+    fn throughput_is_positive_on_all_gpu_archs() {
+        for arch in [GpuArch::Volta, GpuArch::Vega20, GpuArch::Cdna1, GpuArch::Cdna2] {
+            assert!(E3sm::throughput(arch, E3smConfig::optimized()) > 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kokkos ↔ YAKL interoperation (§3.5).
+// ---------------------------------------------------------------------------
+//
+// "Kokkos and YAKL codes exist in separate and self-contained CMake
+// libraries with an interoperation layer provided by YAKL that allows an
+// intermediate representation of multi-dimensional array objects."
+//
+// Two independent "portability libraries" below own multi-dimensional
+// arrays with *different* default layouts; [`ArrayIR`] is the intermediate
+// representation that lets one library adopt the other's data — zero-copy
+// when the layouts agree, with an explicit (counted) transpose when not.
+
+/// Memory layout of a 2-D array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Column-major (Kokkos `LayoutLeft`, the Fortran convention).
+    Left,
+    /// Row-major (YAKL's C-style default).
+    Right,
+}
+
+/// The intermediate representation: data plus complete layout metadata.
+#[derive(Debug, Clone)]
+pub struct ArrayIR {
+    /// Flat data.
+    pub data: Vec<f64>,
+    /// (rows, cols).
+    pub shape: (usize, usize),
+    /// Layout of `data`.
+    pub layout: Layout,
+}
+
+impl ArrayIR {
+    /// Element accessor honouring the layout.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (r, c) = self.shape;
+        assert!(i < r && j < c);
+        match self.layout {
+            Layout::Left => self.data[i + j * r],
+            Layout::Right => self.data[i * c + j],
+        }
+    }
+
+    /// Convert to the requested layout. Returns `(array, copied)`:
+    /// `copied` is false when the IR was already in the right layout
+    /// (zero-copy adoption — the §3.5 payoff).
+    pub fn into_layout(self, want: Layout) -> (ArrayIR, bool) {
+        if self.layout == want {
+            return (self, false);
+        }
+        let (r, c) = self.shape;
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                let v = self.get(i, j);
+                match want {
+                    Layout::Left => out[i + j * r] = v,
+                    Layout::Right => out[i * c + j] = v,
+                }
+            }
+        }
+        (ArrayIR { data: out, shape: self.shape, layout: want }, true)
+    }
+}
+
+/// The "Kokkos side": column-major views.
+pub mod kokkos_side {
+    use super::{ArrayIR, Layout};
+
+    /// A LayoutLeft 2-D view.
+    pub struct View2D {
+        /// Column-major data.
+        pub data: Vec<f64>,
+        /// (rows, cols).
+        pub shape: (usize, usize),
+    }
+
+    impl View2D {
+        /// Build from an element function.
+        pub fn from_fn(r: usize, c: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+            let mut data = vec![0.0; r * c];
+            for j in 0..c {
+                for i in 0..r {
+                    data[i + j * r] = f(i, j);
+                }
+            }
+            View2D { data, shape: (r, c) }
+        }
+
+        /// Export through the IR.
+        pub fn to_ir(&self) -> ArrayIR {
+            ArrayIR { data: self.data.clone(), shape: self.shape, layout: Layout::Left }
+        }
+
+        /// Adopt an IR (converting layout only if needed).
+        pub fn from_ir(ir: ArrayIR) -> (Self, bool) {
+            let (ir, copied) = ir.into_layout(Layout::Left);
+            (View2D { data: ir.data, shape: ir.shape }, copied)
+        }
+    }
+}
+
+/// The "YAKL side": row-major arrays.
+pub mod yakl_side {
+    use super::{ArrayIR, Layout};
+
+    /// A C-layout 2-D array.
+    pub struct Array2D {
+        /// Row-major data.
+        pub data: Vec<f64>,
+        /// (rows, cols).
+        pub shape: (usize, usize),
+    }
+
+    impl Array2D {
+        /// Build from an element function.
+        pub fn from_fn(r: usize, c: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+            let mut data = vec![0.0; r * c];
+            for i in 0..r {
+                for j in 0..c {
+                    data[i * c + j] = f(i, j);
+                }
+            }
+            Array2D { data, shape: (r, c) }
+        }
+
+        /// Export through the IR.
+        pub fn to_ir(&self) -> ArrayIR {
+            ArrayIR { data: self.data.clone(), shape: self.shape, layout: Layout::Right }
+        }
+
+        /// Adopt an IR (converting layout only if needed).
+        pub fn from_ir(ir: ArrayIR) -> (Self, bool) {
+            let (ir, copied) = ir.into_layout(Layout::Right);
+            (Array2D { data: ir.data, shape: ir.shape }, copied)
+        }
+    }
+}
+
+#[cfg(test)]
+mod interop_tests {
+    use super::kokkos_side::View2D;
+    use super::yakl_side::Array2D;
+
+    #[test]
+    fn cross_library_round_trip_preserves_elements() {
+        let kokkos = View2D::from_fn(5, 7, |i, j| (10 * i + j) as f64);
+        // Kokkos microphysics output handed to YAKL dynamics (§3.5).
+        let (yakl, copied) = Array2D::from_ir(kokkos.to_ir());
+        assert!(copied, "Left -> Right needs one transpose");
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(yakl.data[i * 7 + j], (10 * i + j) as f64);
+            }
+        }
+        // And back.
+        let (kokkos2, copied2) = View2D::from_ir(yakl.to_ir());
+        assert!(copied2);
+        assert_eq!(kokkos2.data, kokkos.data);
+    }
+
+    #[test]
+    fn same_layout_adoption_is_zero_copy() {
+        let a = Array2D::from_fn(4, 4, |i, j| (i * j) as f64);
+        let (b, copied) = Array2D::from_ir(a.to_ir());
+        assert!(!copied, "matching layouts must not copy");
+        assert_eq!(b.data, a.data);
+    }
+
+    #[test]
+    fn ir_accessor_is_layout_agnostic() {
+        let left = View2D::from_fn(3, 2, |i, j| (i + 10 * j) as f64).to_ir();
+        let right = Array2D::from_fn(3, 2, |i, j| (i + 10 * j) as f64).to_ir();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(left.get(i, j), right.get(i, j));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WENO reconstruction — the new Cloud Resolving Model's arithmetic-intensity
+// play (§3.5).
+// ---------------------------------------------------------------------------
+//
+// "part of the ECP funding for E3SM-MMF was devoted to writing a new Cloud
+// Resolving Model, which increases arithmetic intensity via higher-order
+// interpolation and Weighted Essentially Non-Oscillatory (WENO) limiting.
+// This improvement in arithmetic intensity is better suited to GPUs."
+//
+// Below: a real WENO5 reconstruction (Jiang–Shu weights), the low-order
+// upwind alternative, and the kernel profiles showing why the higher-order
+// scheme maps better onto flop-rich accelerators.
+
+/// First-order upwind face reconstruction: `u_{i+1/2} = u_i`.
+pub fn upwind_faces(u: &[f64]) -> Vec<f64> {
+    u.to_vec()
+}
+
+/// Fifth-order WENO (Jiang–Shu) left-biased face values `u_{i+1/2}` on a
+/// periodic grid.
+pub fn weno5_faces(u: &[f64]) -> Vec<f64> {
+    let n = u.len();
+    assert!(n >= 5, "WENO5 needs at least five cells");
+    let at = |i: isize| -> f64 { u[i.rem_euclid(n as isize) as usize] };
+    let eps = 1e-6;
+    (0..n as isize)
+        .map(|i| {
+            let (um2, um1, u0, up1, up2) = (at(i - 2), at(i - 1), at(i), at(i + 1), at(i + 2));
+            // Candidate stencils.
+            let p0 = (2.0 * um2 - 7.0 * um1 + 11.0 * u0) / 6.0;
+            let p1 = (-um1 + 5.0 * u0 + 2.0 * up1) / 6.0;
+            let p2 = (2.0 * u0 + 5.0 * up1 - up2) / 6.0;
+            // Smoothness indicators.
+            let b0 = 13.0 / 12.0 * (um2 - 2.0 * um1 + u0).powi(2)
+                + 0.25 * (um2 - 4.0 * um1 + 3.0 * u0).powi(2);
+            let b1 = 13.0 / 12.0 * (um1 - 2.0 * u0 + up1).powi(2) + 0.25 * (um1 - up1).powi(2);
+            let b2 = 13.0 / 12.0 * (u0 - 2.0 * up1 + up2).powi(2)
+                + 0.25 * (3.0 * u0 - 4.0 * up1 + up2).powi(2);
+            // Nonlinear weights.
+            let a0 = 0.1 / (eps + b0).powi(2);
+            let a1 = 0.6 / (eps + b1).powi(2);
+            let a2 = 0.3 / (eps + b2).powi(2);
+            let asum = a0 + a1 + a2;
+            (a0 * p0 + a1 * p1 + a2 * p2) / asum
+        })
+        .collect()
+}
+
+/// One periodic advection step `u_t + u_x = 0` at CFL `c` using the given
+/// face reconstruction.
+pub fn advect(u: &[f64], c: f64, faces: impl Fn(&[f64]) -> Vec<f64>) -> Vec<f64> {
+    let n = u.len();
+    let f = faces(u);
+    (0..n)
+        .map(|i| {
+            let fl = f[(i + n - 1) % n];
+            let fr = f[i];
+            u[i] - c * (fr - fl)
+        })
+        .collect()
+}
+
+/// Kernel profiles for the two reconstructions at `cells` cells: WENO5 does
+/// ~12x the flops per byte of the upwind pass — the §3.5 intensity claim.
+pub fn reconstruction_profiles(cells: u64) -> (KernelProfile, KernelProfile) {
+    let upwind = KernelProfile::new("upwind", LaunchConfig::cover(cells, 128))
+        .flops(cells as f64 * 4.0, DType::F64)
+        .bytes(cells as f64 * 16.0, cells as f64 * 8.0)
+        .mem_eff(0.7);
+    let weno = KernelProfile::new("weno5", LaunchConfig::cover(cells, 128))
+        .flops(cells as f64 * 60.0, DType::F64)
+        .bytes(cells as f64 * 16.0, cells as f64 * 8.0)
+        .regs(72)
+        .compute_eff(0.6)
+        .mem_eff(0.7);
+    (upwind, weno)
+}
+
+#[cfg(test)]
+mod weno_tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect()
+    }
+
+    fn step_fn(n: usize) -> Vec<f64> {
+        (0..n).map(|i| if i < n / 2 { 1.0 } else { 0.0 }).collect()
+    }
+
+    #[test]
+    fn weno5_is_high_order_on_smooth_data() {
+        // The Jiang-Shu coefficients reconstruct the right-face point value
+        // from *cell averages*; feed exact averages and compare against the
+        // exact face value. Error must fall ~2^5 when n doubles.
+        let err = |n: usize| -> f64 {
+            let h = 1.0 / n as f64;
+            let avg: Vec<f64> = (0..n)
+                .map(|i| {
+                    let a = i as f64 * h;
+                    ((2.0 * PI * a).cos() - (2.0 * PI * (a + h)).cos()) / (2.0 * PI * h)
+                })
+                .collect();
+            let f = weno5_faces(&avg);
+            (0..n)
+                .map(|i| {
+                    let exact = (2.0 * PI * ((i + 1) as f64 * h)).sin();
+                    (f[i] - exact).abs()
+                })
+                .fold(0.0, f64::max)
+        };
+        let e64 = err(64);
+        let e128 = err(128);
+        let order = (e64 / e128).log2();
+        assert!(order > 2.5, "WENO5 should converge at high order, got {order:.2}");
+    }
+
+    #[test]
+    fn weno5_does_not_overshoot_a_step() {
+        let u = step_fn(64);
+        let f = weno5_faces(&u);
+        let (lo, hi) = (-0.05, 1.05);
+        assert!(
+            f.iter().all(|&v| v > lo && v < hi),
+            "ENO property: no large over/undershoot, got {:?}",
+            f.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
+    }
+
+    #[test]
+    fn advection_transports_the_profile() {
+        let n = 128;
+        let u0 = sine(n);
+        let mut u = u0.clone();
+        let c = 0.4;
+        let steps = (n as f64 / c) as usize; // one full revolution
+        for _ in 0..steps {
+            u = advect(&u, c, weno5_faces);
+        }
+        // After a full period the profile returns (with some diffusion).
+        let corr: f64 = u.iter().zip(&u0).map(|(a, b)| a * b).sum::<f64>()
+            / u0.iter().map(|b| b * b).sum::<f64>();
+        assert!(corr > 0.9, "profile should survive one revolution: corr {corr}");
+    }
+
+    #[test]
+    fn weno_raises_arithmetic_intensity() {
+        let (upwind, weno) = reconstruction_profiles(1 << 20);
+        assert!(
+            weno.arithmetic_intensity() > 10.0 * upwind.arithmetic_intensity(),
+            "WENO5 must be much more flop-rich: {} vs {}",
+            weno.arithmetic_intensity(),
+            upwind.arithmetic_intensity()
+        );
+        // And the GPU prefers it: per-cell time grows far less than the
+        // flop count does (the machine was bandwidth-starved before).
+        let gpu = exa_machine::GpuModel::mi250x_gcd();
+        let t_up = gpu.kernel_time(&upwind);
+        let t_weno = gpu.kernel_time(&weno);
+        let flop_ratio = weno.flops / upwind.flops; // 15x
+        let time_ratio = t_weno / t_up;
+        assert!(
+            time_ratio < flop_ratio / 3.0,
+            "GPU absorbs the extra flops: time x{time_ratio:.1} for flops x{flop_ratio:.1}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The throughput target: 1,000–2,000x realtime (§3.5).
+// ---------------------------------------------------------------------------
+
+/// Simulated-time-per-wall-time ratio for an MMF configuration: each column
+/// step advances `step_seconds` of model time; the GPU sustains
+/// `throughput` column-steps/s over `columns` columns.
+pub fn realtime_ratio(arch: GpuArch, cfg: E3smConfig, columns: usize, step_seconds: f64) -> f64 {
+    let t_wall = step_time(arch, columns, cfg);
+    step_seconds / t_wall.secs()
+}
+
+#[cfg(test)]
+mod throughput_tests {
+    use super::*;
+
+    /// §3.5: "a throughput target of 1,000-2,000x realtime". With the full
+    /// latency optimizations and a production model step (~180 s of model
+    /// time per physics step), the strong-scaled configuration clears 1000x;
+    /// the naive configuration does not.
+    #[test]
+    fn optimized_pipeline_reaches_the_realtime_target() {
+        let step_seconds = 180.0;
+        let optimized =
+            realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), cal::COLUMNS_PER_GPU, step_seconds);
+        let naive =
+            realtime_ratio(GpuArch::Cdna2, E3smConfig::naive(), cal::COLUMNS_PER_GPU, step_seconds);
+        assert!(
+            optimized >= 1000.0,
+            "the latency work exists to hit 1000-2000x realtime: {optimized:.0}x"
+        );
+        assert!(naive < optimized);
+    }
+
+    #[test]
+    fn strong_scaling_hits_the_latency_wall() {
+        // §3.5: strong scaling "decreases the per-node workload available to
+        // GPU accelerators", making the model "highly sensitive to latency".
+        // Below ~512 columns/GPU the step time is pure launch overhead: the
+        // realtime multiple *saturates* instead of growing — the wall the
+        // four mitigation strategies push back.
+        let r2048 = realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), 2048, 180.0);
+        let r512 = realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), 512, 180.0);
+        let r32 = realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), 32, 180.0);
+        assert!(r512 > r2048, "halving work below 2048 columns still helps: {r512} vs {r2048}");
+        assert!(
+            (r32 / r512 - 1.0).abs() < 0.05,
+            "below the wall, 16x less work buys nothing: {r32} vs {r512}"
+        );
+        // The naive pipeline is deep inside the wall much earlier.
+        let naive512 = realtime_ratio(GpuArch::Cdna2, E3smConfig::naive(), 512, 180.0);
+        assert!(r512 / naive512 > 2.0, "the optimizations move the wall");
+    }
+}

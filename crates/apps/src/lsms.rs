@@ -1,0 +1,406 @@
+//! LSMS (§3.2) — locally self-consistent multiple scattering.
+//!
+//! LSMS achieves linear scaling by giving every atom a Local Interaction
+//! Zone (LIZ): the KKR τ-matrix of each atom couples only the LIZ's atoms,
+//! yielding one dense non-Hermitian complex matrix per atom whose
+//! **top-left block** of the inverse is needed. The port's two stories:
+//!
+//! 1. *Solver swap*: "we replaced the block inversion algorithm by the LU
+//!    factorization routines available in rocSOLVER ... While both
+//!    approaches have O(N³) scaling ... and the zblock_lu algorithm has a
+//!    slightly lower total floating point operation count, we observe
+//!    better performance for the direct solution."
+//! 2. *Kernel rearrangement*: profiling found "integer index and address
+//!    calculations that interfered with the floating point operations";
+//!    rearranging them "achieved significantly improved performance".
+//!
+//! Outcome: "≈7.5x on Frontier MI250X GPUs compared to Summit's V100".
+
+use crate::calibration::lsms as cal;
+use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
+use exa_hal::{DType, KernelProfile, LaunchConfig, SimTime, Stream};
+use exa_linalg::block_inv::{block_lu_flops, block_lu_inverse_block};
+use exa_linalg::device::DeviceBlas;
+use exa_linalg::{C64, Matrix};
+use exa_machine::{GpuArch, MachineModel};
+
+/// Angular-momentum channels per atom ((lmax+1)² with lmax = 3).
+pub const BLOCK: usize = 16;
+
+/// τ-matrix solver choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TauSolver {
+    /// Historical LSMS block-inversion (`zblock_lu`).
+    ZBlockLu,
+    /// Direct rocSOLVER-style `zgetrf`/`zgetrs` (the Frontier path).
+    RocsolverLu,
+}
+
+/// Index-calculation layout in the matrix-assembly kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexOrdering {
+    /// Original layout: integer address arithmetic interleaved with the
+    /// floating-point stream, stalling the MI250X FP pipes.
+    Interleaved,
+    /// Rearranged layout (§3.2): indices precomputed, FP stream clean.
+    Rearranged,
+}
+
+impl IndexOrdering {
+    /// Achieved fraction of peak for the structure-constant / KKR-assembly
+    /// kernels.
+    pub fn assembly_eff(self) -> f64 {
+        match self {
+            IndexOrdering::Interleaved => 0.30,
+            IndexOrdering::Rearranged => 0.70,
+        }
+    }
+}
+
+/// Build the KKR matrix `M = I − t·G(E)` for one atom's LIZ of `liz_atoms`
+/// atoms on an FePt-like lattice. Deterministic, really computed.
+pub fn build_kkr_matrix(liz_atoms: usize, energy_im: f64, seed: u64) -> Matrix<C64> {
+    assert!(liz_atoms >= 1);
+    let n = liz_atoms * BLOCK;
+    // Atom positions: an fcc-ish shell ordering, deterministic.
+    let pos: Vec<[f64; 3]> = (0..liz_atoms)
+        .map(|a| {
+            let k = a as f64 + (seed % 7) as f64 * 0.01;
+            [
+                (k * 1.3).sin() * (1.0 + a as f64 * 0.5),
+                (k * 2.1).cos() * (1.0 + a as f64 * 0.4),
+                (k * 0.7).sin() * (0.5 + a as f64 * 0.6),
+            ]
+        })
+        .collect();
+    // Scattering t-matrix per channel (FePt: alternate two species).
+    let t_chan = |atom: usize, l: usize| -> C64 {
+        let species = atom % 2;
+        let base = if species == 0 { 0.35 } else { 0.22 };
+        C64::new(base / (1.0 + l as f64 * 0.3), -0.05 * energy_im)
+    };
+    let mut m = Matrix::<C64>::identity(n);
+    for aj in 0..liz_atoms {
+        for ai in 0..liz_atoms {
+            if ai == aj {
+                continue;
+            }
+            let dx = pos[ai][0] - pos[aj][0];
+            let dy = pos[ai][1] - pos[aj][1];
+            let dz = pos[ai][2] - pos[aj][2];
+            let r = (dx * dx + dy * dy + dz * dz).sqrt().max(0.5);
+            // Free-space structure constant character: e^{ikr}/r with decay.
+            let g0 = C64::cis(1.1 * r).scale((-0.4 * r).exp() / r);
+            for lj in 0..BLOCK {
+                for li in 0..BLOCK {
+                    let phase = C64::cis(0.13 * (li as f64 - lj as f64));
+                    let g = g0 * phase.scale(1.0 / (1.0 + (li + lj) as f64 * 0.08));
+                    let t = t_chan(ai, li);
+                    m[(ai * BLOCK + li, aj * BLOCK + lj)] = -(t * g);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Solve for the τ₀₀ block on a device, by either algorithm. Returns the
+/// block and the device time consumed.
+pub fn solve_tau00(
+    stream: &mut Stream,
+    lib: &DeviceBlas,
+    kkr: &Matrix<C64>,
+    solver: TauSolver,
+) -> (Matrix<C64>, SimTime) {
+    let n = kkr.rows();
+    let start = stream.device_time();
+    let tau = match solver {
+        TauSolver::RocsolverLu => {
+            let f = lib.zgetrf(stream, kkr).expect("KKR matrix is nonsingular");
+            let mut rhs = Matrix::<C64>::zeros(n, BLOCK);
+            for i in 0..BLOCK {
+                rhs[(i, i)] = C64::ONE;
+            }
+            lib.zgetrs(stream, &f, &mut rhs);
+            rhs.block(0, 0, BLOCK, BLOCK)
+        }
+        TauSolver::ZBlockLu => {
+            // The bespoke block-elimination pipeline: many small kernels.
+            // Real math via exa-linalg; cost charged as the sequence of
+            // small factor/solve/update launches the real code issues.
+            let nblk = n / BLOCK;
+            for step in (1..nblk).rev() {
+                let k0 = step * BLOCK;
+                let small = KernelProfile::new(
+                    "zblock_step",
+                    LaunchConfig::cover((BLOCK * BLOCK) as u64, 128),
+                )
+                .flops(
+                    exa_linalg::lu::getrf_flops::<C64>(BLOCK)
+                        + exa_linalg::lu::getrs_flops::<C64>(BLOCK, k0)
+                        + (k0 * k0 * BLOCK) as f64 * 8.0,
+                    DType::C64,
+                )
+                .bytes((k0 * k0 * 16) as f64 * 2.0, (k0 * k0 * 16) as f64)
+                .regs(128)
+                .compute_eff(0.40);
+                stream.launch_modeled(&small);
+            }
+            block_lu_inverse_block(kkr, BLOCK).expect("KKR matrix is nonsingular")
+        }
+    };
+    (tau, stream.device_time() - start)
+}
+
+/// Charge the matrix-assembly kernels (structure constants + KKR assembly)
+/// for one atom's LIZ.
+pub fn charge_assembly(stream: &mut Stream, liz_atoms: usize, ordering: IndexOrdering) -> SimTime {
+    let n = (liz_atoms * BLOCK) as u64;
+    let p = KernelProfile::new("kkr_assembly", LaunchConfig::cover(n * n, 256))
+        .flops((n * n) as f64 * 800.0, DType::C64)
+        .bytes((n * n * 16) as f64 * 0.5, (n * n * 16) as f64)
+        .regs(96)
+        .compute_eff(ordering.assembly_eff());
+    stream.launch_modeled(&p)
+}
+
+/// The LSMS application.
+#[derive(Debug, Clone)]
+pub struct Lsms {
+    /// Atoms in each atom's local interaction zone.
+    pub liz_atoms: usize,
+}
+
+impl Default for Lsms {
+    fn default() -> Self {
+        // Production FePt LIZ sizes give matrices of order a few thousand.
+        Lsms { liz_atoms: 135 }
+    }
+}
+
+impl Lsms {
+    fn eff(arch: GpuArch) -> f64 {
+        match arch {
+            GpuArch::Volta => cal::SUMMIT_EFF,
+            GpuArch::Vega20 => cal::FRONTIER_EFF * 0.55,
+            GpuArch::Cdna1 => cal::FRONTIER_EFF * 0.78,
+            GpuArch::Cdna2 => cal::FRONTIER_EFF,
+        }
+    }
+
+    /// Per-GPU atom throughput (atoms/s), cost-model path. Summit keeps the
+    /// legacy zblock_lu algorithm (with its kernel-shape penalty); AMD
+    /// machines use the rocSOLVER LU route.
+    pub fn atoms_per_second_per_gpu(&self, machine: &MachineModel) -> f64 {
+        let gpu = machine.node.gpu();
+        let n = self.liz_atoms * BLOCK;
+        // Both routes extract one BLOCK-wide block of the inverse: the
+        // legacy algorithm by block elimination, the Frontier route by one
+        // getrf plus a BLOCK-column getrs — "slightly" more flops (§3.2).
+        let lu_route_flops = exa_linalg::lu::getrf_flops::<C64>(n)
+            + exa_linalg::lu::getrs_flops::<C64>(n, BLOCK);
+        let (flops, penalty) = match gpu.arch {
+            GpuArch::Volta => (block_lu_flops::<C64>(n, BLOCK), cal::ZBLOCK_KERNEL_PENALTY),
+            _ => (lu_route_flops, 1.0),
+        };
+        let rate = gpu.peak_f64_matrix * Self::eff(gpu.arch) / penalty;
+        rate / flops
+    }
+}
+
+impl Application for Lsms {
+    fn name(&self) -> &'static str {
+        "LSMS"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "3.2"
+    }
+
+    fn motifs(&self) -> Vec<Motif> {
+        vec![Motif::LibraryTuning, Motif::AlgorithmicOptimizations]
+    }
+
+    fn challenge_problem(&self) -> String {
+        format!(
+            "FePt first-principles DFT, {}-atom LIZ τ-matrix solves (order {}) per GPU",
+            self.liz_atoms,
+            self.liz_atoms * BLOCK
+        )
+    }
+
+    fn fom(&self) -> FigureOfMerit {
+        FigureOfMerit::throughput("atom rate", "atoms/s/GPU")
+    }
+
+    fn run(&self, machine: &MachineModel) -> FomMeasurement {
+        let rate = self.atoms_per_second_per_gpu(machine);
+        FomMeasurement::new(
+            machine.name.clone(),
+            format!("LIZ {}, 1 GPU", self.liz_atoms),
+            rate,
+            SimTime::from_secs(1.0 / rate),
+        )
+    }
+
+    fn paper_speedup(&self) -> Option<f64> {
+        Some(7.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_hal::{ApiSurface, Device};
+    use exa_linalg::block_inv::full_lu_flops;
+    use exa_machine::GpuModel;
+
+    fn hip_stream() -> Stream {
+        Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip).unwrap()
+    }
+
+    #[test]
+    fn kkr_matrix_is_diagonally_dominant_enough_to_solve() {
+        let m = build_kkr_matrix(6, 0.1, 1);
+        assert_eq!(m.rows(), 6 * BLOCK);
+        assert!(exa_linalg::lu::getrf(&m).is_ok());
+    }
+
+    #[test]
+    fn both_solvers_agree_on_tau00() {
+        let kkr = build_kkr_matrix(5, 0.05, 3);
+        let lib = DeviceBlas::default();
+        let mut s1 = hip_stream();
+        let (tau_lu, _) = solve_tau00(&mut s1, &lib, &kkr, TauSolver::RocsolverLu);
+        let mut s2 = hip_stream();
+        let (tau_blk, _) = solve_tau00(&mut s2, &lib, &kkr, TauSolver::ZBlockLu);
+        assert!(
+            tau_lu.max_abs_diff(&tau_blk) < 1e-8,
+            "solver disagreement: {}",
+            tau_lu.max_abs_diff(&tau_blk)
+        );
+    }
+
+    #[test]
+    fn rocsolver_route_is_faster_despite_more_flops() {
+        // The paper's §3.2 observation, end to end on the device model.
+        let kkr = build_kkr_matrix(8, 0.05, 5);
+        let lib = DeviceBlas::default();
+        let mut s1 = hip_stream();
+        let (_, t_lu) = solve_tau00(&mut s1, &lib, &kkr, TauSolver::RocsolverLu);
+        let mut s2 = hip_stream();
+        let (_, t_blk) = solve_tau00(&mut s2, &lib, &kkr, TauSolver::ZBlockLu);
+        let n = kkr.rows();
+        let lu_route = exa_linalg::lu::getrf_flops::<C64>(n)
+            + exa_linalg::lu::getrs_flops::<C64>(n, BLOCK);
+        assert!(
+            block_lu_flops::<C64>(n, BLOCK) < lu_route.min(full_lu_flops::<C64>(n)),
+            "zblock must have fewer flops"
+        );
+        assert!(t_lu < t_blk, "but LU must be faster: {t_lu} vs {t_blk}");
+    }
+
+    #[test]
+    fn index_rearrangement_speeds_up_assembly() {
+        let mut s1 = hip_stream();
+        let t_naive = charge_assembly(&mut s1, 64, IndexOrdering::Interleaved);
+        let mut s2 = hip_stream();
+        let t_fixed = charge_assembly(&mut s2, 64, IndexOrdering::Rearranged);
+        let r = t_naive / t_fixed;
+        assert!(r > 1.8, "rearrangement should be a big win, got {r}");
+    }
+
+    #[test]
+    fn table2_speedup_near_7_5x() {
+        let app = Lsms::default();
+        let s = app.measure_speedup();
+        let paper = app.paper_speedup().unwrap();
+        assert!((s - paper).abs() / paper < 0.15, "LSMS speedup {s} vs paper {paper}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Energy-contour integration — the self-consistency loop around the
+// τ-matrix solves (the "first principles ... density functional theory"
+// outer structure of §3.2).
+// ---------------------------------------------------------------------------
+
+/// Integrate the τ₀₀ trace over a semicircular complex-energy contour —
+/// the KKR route to the integrated density of states. Each contour point is
+/// one full KKR assembly + solve, so the per-GPU work of the production
+/// code is `points × solve`, exactly what the §3.2 port accelerates.
+///
+/// Returns (integrated DOS estimate, per-point trace values).
+pub fn contour_integration(
+    stream: &mut Stream,
+    lib: &DeviceBlas,
+    liz_atoms: usize,
+    points: usize,
+    solver: TauSolver,
+    seed: u64,
+) -> (f64, Vec<C64>) {
+    assert!(points >= 2);
+    let mut traces = Vec::with_capacity(points);
+    // Semicircle in the upper half plane: e(θ) with Im e > 0.
+    for p in 0..points {
+        let theta = std::f64::consts::PI * (p as f64 + 0.5) / points as f64;
+        let im = 0.4 * theta.sin() + 0.05;
+        let kkr = build_kkr_matrix(liz_atoms, im, seed);
+        let (tau, _) = solve_tau00(stream, lib, &kkr, solver);
+        let trace: C64 = (0..BLOCK).map(|i| tau[(i, i)]).sum();
+        traces.push(trace);
+    }
+    // DOS ∝ -Im Tr τ / π, trapezoid over the contour parameter.
+    let dos: f64 = traces.iter().map(|t| -t.im / std::f64::consts::PI).sum::<f64>()
+        / points as f64;
+    (dos, traces)
+}
+
+#[cfg(test)]
+mod contour_tests {
+    use super::*;
+    use exa_hal::{ApiSurface, Device};
+    use exa_machine::GpuModel;
+
+    fn hip_stream() -> Stream {
+        Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip).unwrap()
+    }
+
+    #[test]
+    fn contour_is_deterministic_and_finite() {
+        let lib = DeviceBlas::default();
+        let mut s1 = hip_stream();
+        let (d1, tr1) = contour_integration(&mut s1, &lib, 4, 6, TauSolver::RocsolverLu, 3);
+        let mut s2 = hip_stream();
+        let (d2, tr2) = contour_integration(&mut s2, &lib, 4, 6, TauSolver::RocsolverLu, 3);
+        assert_eq!(tr1.len(), 6);
+        assert!(d1.is_finite());
+        assert_eq!(d1, d2);
+        for (a, b) in tr1.iter().zip(&tr2) {
+            assert_eq!(a.re, b.re);
+        }
+    }
+
+    #[test]
+    fn both_solvers_integrate_to_the_same_dos() {
+        let lib = DeviceBlas::default();
+        let mut s1 = hip_stream();
+        let (d_lu, _) = contour_integration(&mut s1, &lib, 4, 4, TauSolver::RocsolverLu, 7);
+        let mut s2 = hip_stream();
+        let (d_blk, _) = contour_integration(&mut s2, &lib, 4, 4, TauSolver::ZBlockLu, 7);
+        assert!((d_lu - d_blk).abs() < 1e-8 * d_lu.abs().max(1.0), "{d_lu} vs {d_blk}");
+    }
+
+    #[test]
+    fn per_point_cost_makes_the_solver_choice_matter() {
+        // The contour multiplies the solver advantage by the point count.
+        let lib = DeviceBlas::default();
+        let mut s1 = hip_stream();
+        contour_integration(&mut s1, &lib, 6, 8, TauSolver::RocsolverLu, 1);
+        let t_lu = s1.device_time();
+        let mut s2 = hip_stream();
+        contour_integration(&mut s2, &lib, 6, 8, TauSolver::ZBlockLu, 1);
+        let t_blk = s2.device_time();
+        assert!(t_lu < t_blk, "{t_lu} !< {t_blk}");
+    }
+}

@@ -1,0 +1,1067 @@
+//! Pele (§3.8) — adaptive mesh refinement reactive flow.
+//!
+//! The Combustion-Pele project builds two solvers on AMReX block-structured
+//! AMR: PeleC (fully compressible) and PeleLM(eX) (low Mach). Their shared
+//! performance story, reproduced here end to end:
+//!
+//! * **Chemistry dominates.** "all the cells in the box are assembled into
+//!   a large chemical system and solved at once with CVODE. In PeleC, a
+//!   matrix-free GMRES approach is used within the CVODE non-linear solve
+//!   ... In PeleLM(eX), batched linear algebra from the MAGMA library is
+//!   employed". Both linear-solver routes are implemented, for real, on a
+//!   miniature stiff ignition mechanism, and verified against each other.
+//! * **AMR with ghost exchange.** A two-level block-structured mesh with
+//!   refinement on temperature gradients; the "asynchronous ghost cell
+//!   exchange" of March 2021 is a measurable knob.
+//! * **Kernel fusion** for small boxes, and the UVM-removal knob.
+//! * **Figure 2**: the time-per-cell-per-timestep history across Cori,
+//!   Theta, Eagle, Summit, and Frontier, at one node and 4,096 nodes, with
+//!   a cumulative ~75× improvement.
+
+use crate::calibration::pele as cal;
+use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
+use exa_linalg::lu::getrf;
+use exa_linalg::Matrix;
+use exa_machine::{CpuWork, GpuArch, MachineModel, SimTime};
+use serde::Serialize;
+
+// ---------------------------------------------------------------------------
+// Chemistry: a 3-species stiff ignition mechanism, A -> B -> C.
+// ---------------------------------------------------------------------------
+
+/// Number of unknowns per cell: three mass fractions plus temperature.
+pub const NSPEC: usize = 4;
+
+/// Arrhenius mechanism parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Mechanism {
+    /// Pre-exponential factors of the two reactions.
+    pub a: [f64; 2],
+    /// Activation temperatures.
+    pub ea: [f64; 2],
+    /// Heat release of each reaction (temperature units).
+    pub q: [f64; 2],
+}
+
+impl Mechanism {
+    /// A stiff two-step ignition mechanism.
+    pub fn ignition() -> Self {
+        Mechanism { a: [4.0e8, 9.0e6], ea: [15.0, 9.0], q: [1.8, 0.9] }
+    }
+
+    fn rates(&self, u: &[f64; NSPEC]) -> [f64; 2] {
+        let t = u[3].max(0.05);
+        [
+            self.a[0] * (-self.ea[0] / t).exp() * u[0].max(0.0),
+            self.a[1] * (-self.ea[1] / t).exp() * u[1].max(0.0),
+        ]
+    }
+
+    /// Right-hand side `du/dt` of the cell ODE.
+    pub fn rhs(&self, u: &[f64; NSPEC]) -> [f64; NSPEC] {
+        let [r1, r2] = self.rates(u);
+        [-r1, r1 - r2, r2, self.q[0] * r1 + self.q[1] * r2]
+    }
+
+    /// Analytic Jacobian `∂f/∂u`.
+    pub fn jacobian(&self, u: &[f64; NSPEC]) -> Matrix<f64> {
+        let t = u[3].max(0.05);
+        let k1 = self.a[0] * (-self.ea[0] / t).exp();
+        let k2 = self.a[1] * (-self.ea[1] / t).exp();
+        let ya = u[0].max(0.0);
+        let yb = u[1].max(0.0);
+        let dk1_dt = k1 * self.ea[0] / (t * t);
+        let dk2_dt = k2 * self.ea[1] / (t * t);
+        let mut j = Matrix::zeros(NSPEC, NSPEC);
+        // Row 0: d(-k1 ya).
+        j[(0, 0)] = -k1;
+        j[(0, 3)] = -dk1_dt * ya;
+        // Row 1: d(k1 ya - k2 yb).
+        j[(1, 0)] = k1;
+        j[(1, 1)] = -k2;
+        j[(1, 3)] = dk1_dt * ya - dk2_dt * yb;
+        // Row 2: d(k2 yb).
+        j[(2, 1)] = k2;
+        j[(2, 3)] = dk2_dt * yb;
+        // Row 3: d(q1 k1 ya + q2 k2 yb).
+        j[(3, 0)] = self.q[0] * k1;
+        j[(3, 1)] = self.q[1] * k2;
+        j[(3, 3)] = self.q[0] * dk1_dt * ya + self.q[1] * dk2_dt * yb;
+        j
+    }
+}
+
+/// Linear solver inside the Newton iteration — the PeleC vs PeleLM(eX)
+/// split of §3.8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChemLinearSolver {
+    /// Batched dense LU (the MAGMA route, PeleLM(eX)).
+    BatchedLu,
+    /// Matrix-free GMRES (the memory-lean PeleC route).
+    MatrixFreeGmres,
+}
+
+/// One backward-Euler (BDF1) step of the cell ODE with a globalized
+/// (backtracking) Newton iteration. Ignition transients can defeat a naive
+/// Newton loop, so the step falls back to two half-steps when the iteration
+/// stalls — the same step-size control CVODE applies.
+/// Returns the new state and the Newton iteration count of the last level.
+pub fn bdf1_step(
+    mech: &Mechanism,
+    u0: &[f64; NSPEC],
+    dt: f64,
+    solver: ChemLinearSolver,
+) -> ([f64; NSPEC], usize) {
+    bdf1_step_inner(mech, u0, dt, solver, 0)
+}
+
+fn residual(mech: &Mechanism, u0: &[f64; NSPEC], u: &[f64; NSPEC], dt: f64) -> ([f64; NSPEC], f64) {
+    let f = mech.rhs(u);
+    let mut r = [0.0; NSPEC];
+    let mut rnorm = 0.0;
+    for i in 0..NSPEC {
+        r[i] = u[i] - u0[i] - dt * f[i];
+        rnorm += r[i] * r[i];
+    }
+    (r, rnorm.sqrt())
+}
+
+fn bdf1_step_inner(
+    mech: &Mechanism,
+    u0: &[f64; NSPEC],
+    dt: f64,
+    solver: ChemLinearSolver,
+    depth: usize,
+) -> ([f64; NSPEC], usize) {
+    let mut u = *u0;
+    for newton in 1..=50 {
+        let f = mech.rhs(&u);
+        let (r, rnorm) = residual(mech, u0, &u, dt);
+        if rnorm < 1e-13 {
+            return (u, newton);
+        }
+        // Stalled: bisect the step (CVODE-style step-size control).
+        if newton == 50 {
+            if depth >= 24 {
+                return (u, newton);
+            }
+            let (half, _) = bdf1_step_inner(mech, u0, dt / 2.0, solver, depth + 1);
+            return bdf1_step_inner(mech, &half, dt / 2.0, solver, depth + 1);
+        }
+        // Newton matrix M = I - dt J.
+        let delta: [f64; NSPEC] = match solver {
+            ChemLinearSolver::BatchedLu => {
+                let j = mech.jacobian(&u);
+                let mut m = Matrix::<f64>::identity(NSPEC);
+                for col in 0..NSPEC {
+                    for row in 0..NSPEC {
+                        m[(row, col)] -= dt * j[(row, col)];
+                    }
+                }
+                let f = getrf(&m).expect("Newton matrix nonsingular");
+                let sol = f.solve_vec(&r);
+                [sol[0], sol[1], sol[2], sol[3]]
+            }
+            ChemLinearSolver::MatrixFreeGmres => {
+                // J·v by finite differences of the residual map.
+                let apply = |v: &[f64]| -> Vec<f64> {
+                    let eps = 1e-7;
+                    let mut up = u;
+                    for i in 0..NSPEC {
+                        up[i] += eps * v[i];
+                    }
+                    let fp = mech.rhs(&up);
+                    (0..NSPEC).map(|i| v[i] - dt * (fp[i] - f[i]) / eps).collect()
+                };
+                let sol = gmres(&apply, &r, 30, 1e-12);
+                [sol[0], sol[1], sol[2], sol[3]]
+            }
+        };
+        // Backtracking line search: accept the largest step that reduces
+        // the residual norm.
+        let mut lambda = 1.0;
+        let mut accepted = false;
+        for _ in 0..24 {
+            let mut trial = u;
+            for i in 0..NSPEC {
+                trial[i] -= lambda * delta[i];
+            }
+            let (_, trial_norm) = residual(mech, u0, &trial, dt);
+            if trial_norm < rnorm {
+                u = trial;
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            // No descent direction: bisect the step.
+            if depth >= 24 {
+                return (u, newton);
+            }
+            let (half, _) = bdf1_step_inner(mech, u0, dt / 2.0, solver, depth + 1);
+            return bdf1_step_inner(mech, &half, dt / 2.0, solver, depth + 1);
+        }
+    }
+    (u, 50)
+}
+
+/// Restarted-free GMRES (full Arnoldi up to `m` iterations) for a
+/// matrix-free operator. Returns the approximate solution of `A x = b`.
+pub fn gmres(apply: &dyn Fn(&[f64]) -> Vec<f64>, b: &[f64], m: usize, tol: f64) -> Vec<f64> {
+    let n = b.len();
+    let bnorm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if bnorm < tol {
+        return vec![0.0; n];
+    }
+    // Arnoldi basis.
+    let mut v: Vec<Vec<f64>> = vec![b.iter().map(|x| x / bnorm).collect()];
+    let mut h = vec![vec![0.0f64; 0]; 0]; // h[j][i] = H(i, j), column j
+    // Givens rotations applied to H and the rhs of the least-squares.
+    let mut cs: Vec<f64> = Vec::new();
+    let mut sn: Vec<f64> = Vec::new();
+    let mut g = vec![bnorm];
+
+    for j in 0..m.min(n * 4) {
+        let mut w = apply(&v[j]);
+        let mut hj = vec![0.0; j + 2];
+        for (i, vi) in v.iter().enumerate() {
+            let dot: f64 = w.iter().zip(vi).map(|(a, b)| a * b).sum();
+            hj[i] = dot;
+            for (wk, vk) in w.iter_mut().zip(vi) {
+                *wk -= dot * vk;
+            }
+        }
+        let wnorm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        hj[j + 1] = wnorm;
+        // Apply existing rotations to the new column.
+        for i in 0..j {
+            let t = cs[i] * hj[i] + sn[i] * hj[i + 1];
+            hj[i + 1] = -sn[i] * hj[i] + cs[i] * hj[i + 1];
+            hj[i] = t;
+        }
+        // New rotation to annihilate hj[j+1].
+        let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
+        let (c, s) = if denom == 0.0 { (1.0, 0.0) } else { (hj[j] / denom, hj[j + 1] / denom) };
+        cs.push(c);
+        sn.push(s);
+        hj[j] = c * hj[j] + s * hj[j + 1];
+        hj[j + 1] = 0.0;
+        g.push(-s * g[j]);
+        g[j] *= c;
+        h.push(hj);
+
+        let res = g[j + 1].abs();
+        if res < tol || wnorm < 1e-14 {
+            break;
+        }
+        v.push(w.iter().map(|x| x / wnorm).collect());
+    }
+
+    // Back-substitute the triangular H y = g.
+    let k = h.len();
+    let mut y = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut acc = g[i];
+        for jj in i + 1..k {
+            acc -= h[jj][i] * y[jj];
+        }
+        y[i] = acc / h[i][i];
+    }
+    // x = V y.
+    let mut x = vec![0.0; n];
+    for (jj, yj) in y.iter().enumerate() {
+        for (xi, vi) in x.iter_mut().zip(&v[jj]) {
+            *xi += yj * vi;
+        }
+    }
+    x
+}
+
+// ---------------------------------------------------------------------------
+// AMR reactive-flow mini-solver.
+// ---------------------------------------------------------------------------
+
+/// A two-level block-structured AMR reactive-flow field (2-D).
+pub struct AmrFlow {
+    /// Base grid edge.
+    pub n: usize,
+    /// Mass fractions and temperature, base level (row-major n×n).
+    pub state: Vec<[f64; NSPEC]>,
+    /// Mechanism.
+    pub mech: Mechanism,
+    /// Thermal diffusivity of the explicit diffusion step.
+    pub kappa: f64,
+    /// Embedded-boundary mask: `true` cells are solid and skipped.
+    pub eb_mask: Vec<bool>,
+    /// Refinement flags from the last regrid.
+    pub refined: Vec<bool>,
+}
+
+impl AmrFlow {
+    /// A hot-spot ignition problem: cold fuel everywhere, a hot kernel in
+    /// the centre, an embedded solid disc in one corner.
+    pub fn hot_spot(n: usize) -> Self {
+        let mut state = vec![[1.0, 0.0, 0.0, 0.12]; n * n];
+        let c = n as f64 / 2.0;
+        for i in 0..n {
+            for j in 0..n {
+                let dx = i as f64 - c;
+                let dy = j as f64 - c;
+                let r2 = (dx * dx + dy * dy) / (n as f64 * 0.08).powi(2);
+                if r2 < 1.0 {
+                    state[i * n + j][3] = 0.12 + 1.1 * (1.0 - r2);
+                }
+            }
+        }
+        let eb_mask = (0..n * n)
+            .map(|idx| {
+                let (i, j) = (idx / n, idx % n);
+                let dx = i as f64 - n as f64 * 0.1;
+                let dy = j as f64 - n as f64 * 0.1;
+                (dx * dx + dy * dy).sqrt() < n as f64 * 0.07
+            })
+            .collect();
+        AmrFlow { n, state, mech: Mechanism::ignition(), kappa: 0.18, eb_mask, refined: vec![false; n * n] }
+    }
+
+    /// Regrid: flag cells whose temperature gradient exceeds `tol`.
+    pub fn regrid(&mut self, tol: f64) -> usize {
+        let n = self.n;
+        let mut count = 0;
+        for i in 0..n {
+            for j in 0..n {
+                let here = self.state[i * n + j][3];
+                let mut grad: f64 = 0.0;
+                if i + 1 < n {
+                    grad = grad.max((self.state[(i + 1) * n + j][3] - here).abs());
+                }
+                if j + 1 < n {
+                    grad = grad.max((self.state[i * n + j + 1][3] - here).abs());
+                }
+                let flag = grad > tol && !self.eb_mask[i * n + j];
+                self.refined[i * n + j] = flag;
+                count += flag as usize;
+            }
+        }
+        count
+    }
+
+    /// One operator-split step: explicit diffusion of temperature, then the
+    /// stiff chemistry per cell (refined cells integrate with 2 substeps —
+    /// the AMR subcycling).
+    pub fn step(&mut self, dt: f64, solver: ChemLinearSolver) {
+        let n = self.n;
+        // Temperature diffusion (5-point), species advection omitted.
+        let kappa = self.kappa;
+        assert!(kappa * dt < 0.25, "explicit diffusion stability limit");
+        let old: Vec<f64> = self.state.iter().map(|u| u[3]).collect();
+        for i in 0..n {
+            for j in 0..n {
+                if self.eb_mask[i * n + j] {
+                    continue;
+                }
+                let c = old[i * n + j];
+                let mut lap = -4.0 * c;
+                lap += if i > 0 { old[(i - 1) * n + j] } else { c };
+                lap += if i + 1 < n { old[(i + 1) * n + j] } else { c };
+                lap += if j > 0 { old[i * n + j - 1] } else { c };
+                lap += if j + 1 < n { old[i * n + j + 1] } else { c };
+                self.state[i * n + j][3] += dt * kappa * lap;
+            }
+        }
+        // Chemistry.
+        for idx in 0..n * n {
+            if self.eb_mask[idx] {
+                continue;
+            }
+            let substeps = if self.refined[idx] { 2 } else { 1 };
+            let sub_dt = dt / substeps as f64;
+            let mut u = self.state[idx];
+            for _ in 0..substeps {
+                u = bdf1_step(&self.mech, &u, sub_dt, solver).0;
+            }
+            self.state[idx] = u;
+        }
+    }
+
+    /// Total mass of A+B+C over fluid cells (conserved by chemistry).
+    pub fn total_mass(&self) -> f64 {
+        self.state
+            .iter()
+            .zip(&self.eb_mask)
+            .filter(|(_, &solid)| !solid)
+            .map(|(u, _)| u[0] + u[1] + u[2])
+            .sum()
+    }
+
+    /// Peak temperature.
+    pub fn max_temp(&self) -> f64 {
+        self.state
+            .iter()
+            .zip(&self.eb_mask)
+            .filter(|(_, &solid)| !solid)
+            .map(|(u, _)| u[3])
+            .fold(0.0, f64::max)
+    }
+
+    /// Count of burned cells (product-dominated).
+    pub fn burned_cells(&self) -> usize {
+        self.state
+            .iter()
+            .zip(&self.eb_mask)
+            .filter(|(u, &solid)| !solid && u[2] > 0.5)
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 cost model.
+// ---------------------------------------------------------------------------
+
+/// PeleC code states along the project timeline (Figure 2's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CodeState {
+    /// Sep 2018: hybrid C++/Fortran many-core baseline.
+    Baseline2018,
+    /// 2020: first full GPU port (AMReX abstraction, UVM-assisted).
+    GpuPort2020,
+    /// 2021: CVODE batched chemistry (MAGMA / matrix-free GMRES).
+    Cvode2021,
+    /// 2022: fused kernels, UVM removed, chemistry kernels refactored.
+    Fused2022,
+    /// 2023: asynchronous ghost exchange + Frontier tuning.
+    Async2023,
+}
+
+impl CodeState {
+    /// Timeline order of all states.
+    pub fn timeline() -> &'static [CodeState] {
+        &[
+            CodeState::Baseline2018,
+            CodeState::GpuPort2020,
+            CodeState::Cvode2021,
+            CodeState::Fused2022,
+            CodeState::Async2023,
+        ]
+    }
+
+    /// Cumulative software gain over the 2018 baseline for GPU machines
+    /// (CPU machines only benefit from the single-language rewrite).
+    fn software_gain(self) -> f64 {
+        let g = cal::STATE_GAINS;
+        match self {
+            CodeState::Baseline2018 => 1.0,
+            CodeState::GpuPort2020 => g[0],
+            CodeState::Cvode2021 => g[0] * g[1],
+            CodeState::Fused2022 => g[0] * g[1] * g[2],
+            CodeState::Async2023 => g[0] * g[1] * g[2] * g[3],
+        }
+    }
+
+    /// Does the state include the async ghost exchange (which only shows up
+    /// at scale)?
+    fn has_async_ghost(self) -> bool {
+        matches!(self, CodeState::Async2023)
+    }
+}
+
+/// FLOPs per cell per timestep of the PMF challenge problem (chemistry
+/// dominated — the unrolled drm19 mechanism).
+pub const FLOPS_PER_CELL_STEP: f64 = 2.0e5;
+
+/// Bytes per cell per timestep.
+pub const BYTES_PER_CELL_STEP: f64 = 3.0e3;
+
+/// Time per cell per timestep on one node of `machine` at `state`.
+pub fn time_per_cell_step(machine: &MachineModel, state: CodeState) -> SimTime {
+    let node = &machine.node;
+    if node.has_gpus() && state != CodeState::Baseline2018 {
+        let gpu = node.gpu();
+        // Port-state efficiency of the chemistry kernels on each arch; the
+        // later code states multiply it through `software_gain` (normalised
+        // to the port state, since the port *is* STATE_GAINS[0]).
+        let eff = match gpu.arch {
+            GpuArch::Volta => cal::SUMMIT_EFF,
+            GpuArch::Vega20 => cal::FRONTIER_EFF * 0.6,
+            GpuArch::Cdna1 => cal::FRONTIER_EFF * 0.8,
+            GpuArch::Cdna2 => cal::FRONTIER_EFF,
+        };
+        let sw = state.software_gain() / cal::STATE_GAINS[0];
+        let rate = gpu.peak_f64 * eff * node.gpus_per_node as f64 * sw;
+        let t_flops = FLOPS_PER_CELL_STEP / rate;
+        let t_bytes =
+            BYTES_PER_CELL_STEP / (gpu.mem_bw * 0.6 * node.gpus_per_node as f64);
+        SimTime::from_secs(t_flops.max(t_bytes))
+    } else {
+        // CPU path: the 2018 baseline everywhere, plus the "2x faster on
+        // CPUs" single-language rewrite for later states (§3.8).
+        let rewrite = if state == CodeState::Baseline2018 { 1.0 } else { 2.0 };
+        let w = CpuWork::new("pelec cell", FLOPS_PER_CELL_STEP, BYTES_PER_CELL_STEP)
+            .compute_eff((cal::CPU_BASELINE_EFF * rewrite).min(1.0))
+            .mem_eff(0.5);
+        node.cpu.work_time(&w)
+    }
+}
+
+/// Time per cell per timestep at `nodes` nodes: adds the amortized ghost
+/// exchange, asynchronous (overlapped) or not.
+pub fn time_per_cell_step_at_scale(
+    machine: &MachineModel,
+    state: CodeState,
+    nodes: u32,
+) -> SimTime {
+    let single = time_per_cell_step(machine, state);
+    if nodes <= 1 {
+        return single;
+    }
+    // Ghost exchange per step, amortized per cell: a fixed fraction of the
+    // step that synchronous exchange exposes and async hides.
+    let exposed = if state.has_async_ghost() { 0.08 } else { 0.45 };
+    let comm_growth = (nodes as f64).log2() / 12.0; // mild contention growth
+    single * (1.0 + exposed * (1.0 + comm_growth))
+}
+
+/// Weak-scaling efficiency from 1 to `nodes` nodes at a code state.
+pub fn weak_scaling_efficiency(machine: &MachineModel, state: CodeState, nodes: u32) -> f64 {
+    time_per_cell_step(machine, state) / time_per_cell_step_at_scale(machine, state, nodes)
+}
+
+// ---------------------------------------------------------------------------
+
+/// The Pele application.
+#[derive(Debug, Clone, Default)]
+pub struct Pele;
+
+impl Application for Pele {
+    fn name(&self) -> &'static str {
+        "Pele"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "3.8"
+    }
+
+    fn motifs(&self) -> Vec<Motif> {
+        vec![
+            Motif::PerformancePortability,
+            Motif::KernelFusionFission,
+            Motif::AlgorithmicOptimizations,
+        ]
+    }
+
+    fn challenge_problem(&self) -> String {
+        "PMF flame with drm19-class chemistry: cells/s per node at the 2023 code state".into()
+    }
+
+    fn fom(&self) -> FigureOfMerit {
+        FigureOfMerit::time("time per cell per timestep", "s/cell/step")
+    }
+
+    fn run(&self, machine: &MachineModel) -> FomMeasurement {
+        let state =
+            if machine.node.has_gpus() { CodeState::Async2023 } else { CodeState::Baseline2018 };
+        let t = time_per_cell_step(machine, state);
+        FomMeasurement::new(machine.name.clone(), format!("{state:?}, 1 node"), t.secs(), t)
+    }
+
+    fn paper_speedup(&self) -> Option<f64> {
+        Some(4.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmres_solves_a_dense_system() {
+        let n = 12;
+        let mut a = Matrix::<f64>::seeded_random(n, n, 4);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 5.0).collect();
+        let b = a.matvec(&x_true);
+        let apply = |v: &[f64]| a.matvec(v);
+        let x = gmres(&apply, &b, 50, 1e-12);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn both_chemistry_solvers_agree() {
+        // §3.8: GMRES (PeleC) and batched LU (PeleLM) are routes to the
+        // same Newton update.
+        let mech = Mechanism::ignition();
+        let u0 = [0.9, 0.1, 0.0, 0.9];
+        let dt = 1e-4;
+        let (lu, _) = bdf1_step(&mech, &u0, dt, ChemLinearSolver::BatchedLu);
+        let (gm, _) = bdf1_step(&mech, &u0, dt, ChemLinearSolver::MatrixFreeGmres);
+        for i in 0..NSPEC {
+            assert!((lu[i] - gm[i]).abs() < 1e-8, "component {i}: {} vs {}", lu[i], gm[i]);
+        }
+    }
+
+    #[test]
+    fn chemistry_conserves_mass_and_releases_heat() {
+        let mech = Mechanism::ignition();
+        let mut u = [1.0, 0.0, 0.0, 1.0];
+        for _ in 0..200 {
+            u = bdf1_step(&mech, &u, 5e-5, ChemLinearSolver::BatchedLu).0;
+        }
+        let mass = u[0] + u[1] + u[2];
+        assert!((mass - 1.0).abs() < 1e-8, "mass drifted: {mass}");
+        assert!(u[2] > 0.5, "fuel should burn: yC = {}", u[2]);
+        assert!(u[3] > 1.5, "temperature should rise: {}", u[3]);
+    }
+
+    #[test]
+    fn implicit_step_is_stable_where_explicit_would_blow_up() {
+        let mech = Mechanism::ignition();
+        let hot = [1.0, 0.0, 0.0, 2.0];
+        // Explicit Euler with this dt at this temperature diverges.
+        let dt = 5e-3;
+        let f = mech.rhs(&hot);
+        let explicit_ya = hot[0] + dt * f[0];
+        assert!(explicit_ya < 0.0, "dt chosen to break explicit Euler");
+        // BDF1 stays in [0, 1].
+        let (u, _) = bdf1_step(&mech, &hot, dt, ChemLinearSolver::BatchedLu);
+        assert!(u[0] >= -1e-9 && u[0] <= 1.0 + 1e-9, "yA = {}", u[0]);
+        assert!(u.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn flame_ignites_and_spreads_on_the_amr_grid() {
+        let mut flow = AmrFlow::hot_spot(24);
+        let mass0 = flow.total_mass();
+        flow.regrid(0.05);
+        let burned0 = flow.burned_cells();
+        for _ in 0..30 {
+            flow.step(2e-3, ChemLinearSolver::BatchedLu);
+            flow.regrid(0.05);
+        }
+        assert!((flow.total_mass() - mass0).abs() < 1e-6 * mass0, "mass conservation");
+        assert!(flow.burned_cells() > burned0, "flame must consume fuel");
+        assert!(flow.max_temp() > 1.0, "heat release");
+    }
+
+    #[test]
+    fn regrid_tracks_the_flame_front_not_the_eb() {
+        let mut flow = AmrFlow::hot_spot(32);
+        let flagged = flow.regrid(0.05);
+        assert!(flagged > 0, "the hot-spot edge must be refined");
+        // No refined cells inside the embedded boundary.
+        for idx in 0..flow.state.len() {
+            assert!(!(flow.refined[idx] && flow.eb_mask[idx]));
+        }
+        // Flags concentrate near the kernel edge, not everywhere.
+        assert!(flagged < flow.state.len() / 2);
+    }
+
+    #[test]
+    fn figure2_timeline_improves_monotonically_on_summit() {
+        let summit = MachineModel::summit();
+        let mut last = f64::INFINITY;
+        for &state in CodeState::timeline() {
+            let t = time_per_cell_step(&summit, state).secs();
+            assert!(t <= last, "{state:?} regressed: {t} vs {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn figure2_cumulative_gain_is_about_75x() {
+        // §3.8: "a 75x speedup of the code was achieved over the length of
+        // the project due to both software and hardware improvements" —
+        // from the Cori 2018 baseline to the Frontier 2023 state.
+        let start = time_per_cell_step(&MachineModel::cori(), CodeState::Baseline2018);
+        let end = time_per_cell_step(&MachineModel::frontier(), CodeState::Async2023);
+        let gain = start / end;
+        assert!(gain > 50.0 && gain < 110.0, "project gain {gain} (target ~75x)");
+    }
+
+    #[test]
+    fn async_ghost_exchange_restores_weak_scaling() {
+        let frontier = MachineModel::frontier();
+        let sync_eff = weak_scaling_efficiency(&frontier, CodeState::Fused2022, 4096);
+        let async_eff = weak_scaling_efficiency(&frontier, CodeState::Async2023, 4096);
+        assert!(async_eff > 0.80, "§3.8: ≥80% weak scaling to 4096 nodes: {async_eff}");
+        assert!(sync_eff < async_eff);
+    }
+
+    #[test]
+    fn table2_speedup_near_4_2x() {
+        let app = Pele;
+        let s = app.measure_speedup();
+        let paper = app.paper_speedup().unwrap();
+        assert!((s - paper).abs() / paper < 0.2, "Pele speedup {s} vs paper {paper}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UVM ablation (§3.8).
+// ---------------------------------------------------------------------------
+
+/// Time the per-step chemistry data movement for `cells` cells, either
+/// through UVM page migration (the seamless incremental-port path) or
+/// through explicit copies (the tuned path). §3.8: "removing the use of
+/// UVM was ultimately necessary for obtaining better performance on the
+/// Frontier AMD platform" — this function is that claim, measurable.
+pub fn chemistry_data_time(cells: usize, steps: usize, uvm: bool) -> SimTime {
+    use exa_hal::{ApiSurface, Device, DeviceBuffer, ManagedBuffer, Stream};
+    let device = Device::new(exa_machine::GpuModel::mi250x_gcd(), 0);
+    let mut stream = Stream::new(device.clone(), ApiSurface::Hip).expect("hip on cdna2");
+    let n = cells * NSPEC;
+    if uvm {
+        let mut state = ManagedBuffer::<f64>::new(&device, n).expect("fits");
+        for _ in 0..steps {
+            // Host-side advection touches the state, then the device
+            // chemistry touches it, then the host reads it back: the
+            // page-fault ping-pong of the incremental port.
+            state.access_host(&mut stream, 0, n);
+            state.access_device(&mut stream, 0, n);
+            state.access_host(&mut stream, 0, n);
+        }
+    } else {
+        let mut dev = DeviceBuffer::<f64>::zeroed(&device, n).expect("fits");
+        let host = vec![0.0f64; n];
+        let mut back = vec![0.0f64; n];
+        for _ in 0..steps {
+            stream.upload(&host, &mut dev).expect("sizes match");
+            stream.download(&dev, &mut back).expect("sizes match");
+        }
+    }
+    stream.synchronize()
+}
+
+#[cfg(test)]
+mod uvm_tests {
+    use super::*;
+
+    #[test]
+    fn removing_uvm_is_a_win() {
+        let cells = 64 * 64;
+        let t_uvm = chemistry_data_time(cells, 4, true);
+        let t_explicit = chemistry_data_time(cells, 4, false);
+        assert!(
+            t_explicit < t_uvm,
+            "explicit copies must beat page faulting: {t_explicit} !< {t_uvm}"
+        );
+    }
+
+    #[test]
+    fn uvm_overhead_grows_with_steps() {
+        let cells = 64 * 64;
+        let t2 = chemistry_data_time(cells, 2, true);
+        let t8 = chemistry_data_time(cells, 8, true);
+        // Ping-pong never amortises: cost stays ~linear in steps.
+        let r = t8 / t2;
+        assert!(r > 3.0, "UVM thrash should scale with steps: {r}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed diffusion on the AMReX substrate (`exa-amr`).
+// ---------------------------------------------------------------------------
+
+/// One explicit diffusion step of a [`exa_amr::MultiFab`] temperature field
+/// using box-local stencils over ghost cells — the AMReX access pattern the
+/// asynchronous ghost exchange of §3.8 serves. Returns the step's wall time
+/// on the communicator.
+pub fn multifab_diffusion_step(
+    field: &mut exa_amr::MultiFab,
+    comm: &mut exa_mpi::Comm,
+    kappa_dt: f64,
+    policy: exa_amr::GhostPolicy,
+    interior_work: SimTime,
+) -> SimTime {
+    assert!(kappa_dt < 0.25, "explicit stability limit");
+    let t = field.fill_boundary(comm, policy, interior_work);
+    let lap = field.laplacian();
+    for (bi, bx) in field.ba.boxes.clone().iter().enumerate() {
+        for (i, j) in bx.cells() {
+            let v = field.get_local(bi, i, j) + kappa_dt * lap.get_local(bi, i, j);
+            field.set(i, j, v);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod amr_tests {
+    use super::*;
+    use exa_amr::{BoxArray, GhostPolicy, IntBox, MultiFab};
+    use exa_machine::MachineModel;
+    use exa_mpi::{Comm, Network};
+
+    fn global_diffusion_step(u: &mut Vec<f64>, n: usize, kappa_dt: f64) {
+        let old = u.clone();
+        let at = |i: isize, j: isize| -> f64 {
+            let m = n as isize;
+            old[(i.rem_euclid(m) as usize) * n + j.rem_euclid(m) as usize]
+        };
+        for i in 0..n as isize {
+            for j in 0..n as isize {
+                let lap = at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1)
+                    - 4.0 * at(i, j);
+                u[i as usize * n + j as usize] += kappa_dt * lap;
+            }
+        }
+    }
+
+    #[test]
+    fn multifab_diffusion_matches_the_global_array() {
+        let n = 16i64;
+        let init = |i: i64, j: i64| ((i * 7 + j * 3) % 11) as f64;
+        let ba = BoxArray::chop(IntBox::domain(n, n), 8, 4);
+        let mut field = MultiFab::new(ba, 1);
+        field.fill(init);
+        let mut comm = Comm::new(4, Network::from_machine(&MachineModel::frontier()));
+
+        let mut global: Vec<f64> =
+            (0..n).flat_map(|i| (0..n).map(move |j| init(i, j))).collect();
+
+        for _ in 0..5 {
+            multifab_diffusion_step(
+                &mut field,
+                &mut comm,
+                0.2,
+                GhostPolicy::Synchronous,
+                SimTime::ZERO,
+            );
+            global_diffusion_step(&mut global, n as usize, 0.2);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let a = field.get(i, j);
+                let b = global[(i * n + j) as usize];
+                assert!((a - b).abs() < 1e-12, "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn async_ghost_exchange_saves_time_at_box_scale() {
+        let run = |policy: GhostPolicy| -> SimTime {
+            let ba = BoxArray::chop(IntBox::domain(64, 64), 8, 16);
+            let mut field = MultiFab::new(ba, 1);
+            field.fill(|i, j| (i + j) as f64);
+            let mut comm = Comm::new(16, Network::from_machine(&MachineModel::frontier()));
+            let work = SimTime::from_micros(300.0);
+            for _ in 0..4 {
+                multifab_diffusion_step(&mut field, &mut comm, 0.2, policy, work);
+            }
+            comm.elapsed()
+        };
+        let t_sync = run(GhostPolicy::Synchronous);
+        let t_async = run(GhostPolicy::Overlapped);
+        assert!(t_async < t_sync, "{t_async} !< {t_sync}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PelePhysics-style chemistry code generation (§3.8).
+// ---------------------------------------------------------------------------
+//
+// "Both applications share a library called PelePhysics which contains a
+// code generator to emit code for thermo-chemistry routines" ... "the
+// unrolled chemistry computation routines can contain upwards of 200k lines
+// of code in a single file, with a single GPU kernel (such as the
+// calculation of a chemical Jacobian) spanning 140k lines of code on its
+// own. These large kernels have been found to use upwards of 18k registers."
+
+/// A generic reaction mechanism: `reactions[r] = (reactant, product, A, Ea, q)`
+/// for first-order steps `reactant -> product`.
+#[derive(Debug, Clone)]
+pub struct GeneralMechanism {
+    /// Species count (temperature is appended as the last unknown).
+    pub nspecies: usize,
+    /// Reactions as (reactant index, product index, prefactor, activation T, heat).
+    pub reactions: Vec<(usize, usize, f64, f64, f64)>,
+}
+
+impl GeneralMechanism {
+    /// A chain mechanism `S0 -> S1 -> ... -> S_{n-1}` with varied rates.
+    pub fn chain(nspecies: usize) -> Self {
+        assert!(nspecies >= 2);
+        let reactions = (0..nspecies - 1)
+            .map(|r| (r, r + 1, 1.0e6 * (1.0 + r as f64), 6.0 + 0.7 * r as f64, 0.4))
+            .collect();
+        GeneralMechanism { nspecies, reactions }
+    }
+
+    /// Interpreted right-hand side (the oracle).
+    pub fn rhs_interpreted(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), self.nspecies + 1);
+        let t = u[self.nspecies].max(0.05);
+        let mut out = vec![0.0; self.nspecies + 1];
+        for &(re, pr, a, ea, q) in &self.reactions {
+            let rate = a * (-ea / t).exp() * u[re].max(0.0);
+            out[re] -= rate;
+            out[pr] += rate;
+            out[self.nspecies] += q * rate;
+        }
+        out
+    }
+
+    /// "Compile" the mechanism: fully unroll every reaction into a flat op
+    /// list (the PelePhysics strategy), returning the compiled evaluator.
+    pub fn compile(&self) -> CompiledMechanism {
+        let mut ops = Vec::with_capacity(self.reactions.len());
+        for &(re, pr, a, ea, q) in &self.reactions {
+            ops.push(UnrolledOp { src: re, dst: pr, prefactor: a, activation: ea, heat: q });
+        }
+        CompiledMechanism { nspecies: self.nspecies, ops }
+    }
+
+    /// Emit the unrolled source text the generator would write — one block
+    /// of straight-line code per reaction, exactly why production
+    /// mechanisms reach 10⁵ lines.
+    pub fn emit_source(&self) -> String {
+        let mut src = String::new();
+        use std::fmt::Write;
+        writeln!(src, "// auto-generated by PelePhysics-mini: do not edit").expect("write");
+        writeln!(src, "fn production_rates(u: &[f64], out: &mut [f64]) {{").expect("write");
+        writeln!(src, "    let t = u[{}].max(0.05);", self.nspecies).expect("write");
+        for (r, &(re, pr, a, ea, q)) in self.reactions.iter().enumerate() {
+            writeln!(src, "    // reaction {r}: S{re} -> S{pr}").expect("write");
+            writeln!(src, "    let k{r} = {a:e} * (-{ea:e} / t).exp();").expect("write");
+            writeln!(src, "    let w{r} = k{r} * u[{re}].max(0.0);").expect("write");
+            writeln!(src, "    out[{re}] -= w{r};").expect("write");
+            writeln!(src, "    out[{pr}] += w{r};").expect("write");
+            writeln!(src, "    out[{}] += {q:e} * w{r};", self.nspecies).expect("write");
+        }
+        writeln!(src, "}}").expect("write");
+        src
+    }
+
+    /// Register-pressure estimate of the unrolled kernel: every reaction's
+    /// rate lives in a register in the fully-unrolled form.
+    pub fn unrolled_registers(&self) -> u32 {
+        (16 + 2 * self.reactions.len()) as u32
+    }
+}
+
+/// One unrolled reaction step.
+#[derive(Debug, Clone, Copy)]
+pub struct UnrolledOp {
+    src: usize,
+    dst: usize,
+    prefactor: f64,
+    activation: f64,
+    heat: f64,
+}
+
+/// The compiled (op-list) evaluator.
+#[derive(Debug, Clone)]
+pub struct CompiledMechanism {
+    /// Species count.
+    pub nspecies: usize,
+    ops: Vec<UnrolledOp>,
+}
+
+impl CompiledMechanism {
+    /// Evaluate the right-hand side through the flat op list.
+    pub fn rhs(&self, u: &[f64]) -> Vec<f64> {
+        let t = u[self.nspecies].max(0.05);
+        let mut out = vec![0.0; self.nspecies + 1];
+        for op in &self.ops {
+            let rate = op.prefactor * (-op.activation / t).exp() * u[op.src].max(0.0);
+            out[op.src] -= rate;
+            out[op.dst] += rate;
+            out[self.nspecies] += op.heat * rate;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod codegen_tests {
+    use super::*;
+
+    #[test]
+    fn compiled_mechanism_matches_interpreter() {
+        let mech = GeneralMechanism::chain(12);
+        let compiled = mech.compile();
+        let u: Vec<f64> = (0..13).map(|i| 0.05 + 0.07 * i as f64).collect();
+        let a = mech.rhs_interpreted(&u);
+        let b = compiled.rhs(&u);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y, "compiled evaluator must be exact");
+        }
+    }
+
+    #[test]
+    fn rhs_conserves_species_mass() {
+        let mech = GeneralMechanism::chain(8);
+        let u: Vec<f64> = (0..9).map(|i| 0.1 + 0.05 * i as f64).collect();
+        let dudt = mech.rhs_interpreted(&u);
+        let mass_rate: f64 = dudt[..8].iter().sum();
+        assert!(mass_rate.abs() < 1e-12, "species source terms must cancel: {mass_rate}");
+        assert!(dudt[8] >= 0.0, "exothermic chain heats up");
+    }
+
+    #[test]
+    fn emitted_source_scales_like_the_paper_says() {
+        // Our 6-line-per-reaction emitter on a drm19-scale mechanism
+        // (~84 reactions forward+reverse ≈ 168 steps) is hundreds of lines;
+        // production emitters (Jacobian + thermo + QSS) multiply that by
+        // ~1000x — the "200k lines in a single file" of §3.8.
+        let small = GeneralMechanism::chain(8);
+        let src = small.emit_source();
+        assert_eq!(src.lines().count(), 4 + 6 * small.reactions.len());
+        assert!(src.contains("auto-generated"));
+        // Register pressure grows linearly with the unroll.
+        let big = GeneralMechanism::chain(2000);
+        assert!(
+            big.unrolled_registers() > 4000,
+            "fully-unrolled large mechanisms must spill-level register use"
+        );
+        let gpu = exa_machine::GpuModel::mi250x_gcd();
+        let profile = exa_machine::KernelProfile::new(
+            "generated_jacobian",
+            exa_machine::LaunchConfig::new(1 << 12, 128),
+        )
+        .flops(1e10, exa_machine::DType::F64)
+        .regs(big.unrolled_registers());
+        let (_, spilled) = gpu.occupancy(&profile);
+        assert!(spilled, "the generated monster kernel must spill, as §3.8 reports");
+    }
+
+    #[test]
+    fn generated_code_round_trips_through_bdf() {
+        // The compiled chain mechanism integrates stably with the same BDF
+        // machinery used for the hand-written 3-species model.
+        let mech = GeneralMechanism::chain(4);
+        let compiled = mech.compile();
+        let mut u = vec![1.0, 0.0, 0.0, 0.0, 1.2];
+        let dt = 1e-5;
+        // Simple implicit-ish update: backward Euler fixed point on the
+        // compiled rhs.
+        for _ in 0..2000 {
+            let mut guess = u.clone();
+            for _ in 0..50 {
+                let f = compiled.rhs(&guess);
+                let mut next = u.clone();
+                for i in 0..next.len() {
+                    next[i] = u[i] + dt * f[i];
+                }
+                if next
+                    .iter()
+                    .zip(&guess)
+                    .all(|(a, b)| (a - b).abs() < 1e-14)
+                {
+                    guess = next;
+                    break;
+                }
+                guess = next;
+            }
+            u = guess;
+        }
+        let mass: f64 = u[..4].iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        assert!(u[3] > 0.1, "the chain end product accumulates: {}", u[3]);
+    }
+}

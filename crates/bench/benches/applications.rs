@@ -1,0 +1,202 @@
+//! Criterion benchmarks of the mini-apps' real numerics, doubling as
+//! ablation measurements for the design choices DESIGN.md §5 calls out:
+//! the LAMMPS tuple preprocessor and dual-CG fusion, the Pele chemistry
+//! solver split, COAST tile sizes, and the CoMet GEMM-vs-naive counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_apps::coast::{floyd_warshall_blocked, floyd_warshall_ref, INF};
+use exa_apps::comet::{ccc_tables_gemm, ccc_tables_naive};
+use exa_apps::lammps::{
+    build_tuples, cg_solve, cg_solve_dual, torsion_dense, torsion_naive, AtomSystem, CsrMatrix,
+};
+use exa_apps::e3sm::{advect, upwind_faces, weno5_faces};
+use exa_apps::exasky::PmSolver;
+use exa_apps::gamess::{EigenSolver, ScfProblem};
+use exa_apps::lammps::MdRun;
+use exa_apps::pele::{bdf1_step, chemistry_data_time, ChemLinearSolver, Mechanism};
+use exa_linalg::device::DeviceBlas;
+use std::hint::black_box;
+
+fn bench_gamess_scf(c: &mut Criterion) {
+    use exa_hal::{ApiSurface, Device, Stream};
+    use exa_machine::GpuModel;
+    let prob = ScfProblem::synthetic(10, 3, 17);
+    let lib = DeviceBlas::default();
+    let mut g = c.benchmark_group("gamess/scf");
+    g.sample_size(10);
+    for (name, solver) in [("jacobi", EigenSolver::Jacobi), ("syevd", EigenSolver::DivideConquer)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s =
+                    Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip).unwrap();
+                black_box(prob.solve(&mut s, &lib, solver, 1e-9, 100))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_e3sm_weno(c: &mut Criterion) {
+    let u: Vec<f64> = (0..4096)
+        .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 4096.0).sin())
+        .collect();
+    let mut g = c.benchmark_group("e3sm/reconstruction");
+    g.bench_function("upwind", |b| b.iter(|| black_box(advect(&u, 0.4, upwind_faces))));
+    g.bench_function("weno5", |b| b.iter(|| black_box(advect(&u, 0.4, weno5_faces))));
+    g.finish();
+}
+
+fn bench_lammps_md(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lammps/md");
+    g.sample_size(10);
+    g.bench_function("verlet_step_27_atoms", |b| {
+        let mut md = MdRun::new(3, 7);
+        b.iter(|| {
+            md.step(1e-3);
+            black_box(md.total_energy())
+        })
+    });
+    g.finish();
+}
+
+fn bench_exasky_pm(c: &mut Criterion) {
+    let pm = PmSolver::new(16);
+    let particles: Vec<[f64; 3]> = (0..512)
+        .map(|i| {
+            let t = i as f64 * 0.0137;
+            [(t.sin() + 1.0) / 2.0 % 1.0, (t.cos() + 1.0) / 2.0 % 1.0, (2.0 * t).fract().abs()]
+        })
+        .collect();
+    let mut g = c.benchmark_group("exasky/pm");
+    g.sample_size(10);
+    g.bench_function("deposit_poisson_force_16cubed", |b| {
+        b.iter(|| {
+            let rho = pm.deposit(&particles);
+            let phi = pm.poisson(&rho);
+            black_box(pm.force(&phi))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pele_uvm_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pele/uvm_sim");
+    g.sample_size(10);
+    g.bench_function("uvm_path", |b| b.iter(|| black_box(chemistry_data_time(4096, 4, true))));
+    g.bench_function("explicit_path", |b| b.iter(|| black_box(chemistry_data_time(4096, 4, false))));
+    g.finish();
+}
+
+fn bench_lammps_torsion(c: &mut Criterion) {
+    let sys = AtomSystem::crystal(6, 13);
+    let neigh = sys.neighbor_list(1.4);
+    let bond = sys.bond_list(&neigh, 1.25);
+    let mut g = c.benchmark_group("lammps/torsion");
+    g.bench_function("algorithm1_naive", |b| {
+        b.iter(|| black_box(torsion_naive(&sys, &neigh, &bond, 1.3)))
+    });
+    g.bench_function("preprocess_then_dense", |b| {
+        b.iter(|| {
+            let tuples = build_tuples(&sys, &neigh, &bond, 1.3);
+            black_box(torsion_dense(&sys, &tuples))
+        })
+    });
+    let tuples = build_tuples(&sys, &neigh, &bond, 1.3);
+    g.bench_function("dense_only_reused_list", |b| {
+        b.iter(|| black_box(torsion_dense(&sys, &tuples)))
+    });
+    g.finish();
+}
+
+fn bench_lammps_qeq(c: &mut Criterion) {
+    let sys = AtomSystem::crystal(8, 21);
+    let neigh = sys.neighbor_list(1.4);
+    let h = CsrMatrix::qeq_matrix(&sys, &neigh, 2.0);
+    let b1: Vec<f64> = (0..h.n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let b2: Vec<f64> = (0..h.n).map(|i| (i as f64 * 0.11).cos()).collect();
+    let mut g = c.benchmark_group("lammps/qeq");
+    g.bench_function("separate_cg", |b| {
+        b.iter(|| {
+            black_box(cg_solve(&h, &b1, 1e-10, 500));
+            black_box(cg_solve(&h, &b2, 1e-10, 500));
+        })
+    });
+    g.bench_function("fused_dual_cg", |b| {
+        b.iter(|| black_box(cg_solve_dual(&h, &b1, &b2, 1e-10, 500)))
+    });
+    g.finish();
+}
+
+fn bench_pele_chemistry(c: &mut Criterion) {
+    let mech = Mechanism::ignition();
+    let u0 = [0.9, 0.1, 0.0, 0.9];
+    let mut g = c.benchmark_group("pele/chemistry");
+    g.bench_function("bdf1_batched_lu", |b| {
+        b.iter(|| black_box(bdf1_step(&mech, &u0, 1e-4, ChemLinearSolver::BatchedLu)))
+    });
+    g.bench_function("bdf1_matrix_free_gmres", |b| {
+        b.iter(|| black_box(bdf1_step(&mech, &u0, 1e-4, ChemLinearSolver::MatrixFreeGmres)))
+    });
+    g.finish();
+}
+
+fn bench_coast_tilings(c: &mut Criterion) {
+    let n = 128;
+    let dist: Vec<f32> = (0..n * n)
+        .map(|idx| {
+            let (i, j) = (idx / n, idx % n);
+            if i == j {
+                0.0
+            } else if (i + 1) % n == j || (i * 7 + 3) % n == j {
+                1.0 + ((i * j) % 10) as f32 / 10.0
+            } else {
+                INF
+            }
+        })
+        .collect();
+    let mut g = c.benchmark_group("coast/floyd_warshall");
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut d = dist.clone();
+            floyd_warshall_ref(&mut d, n);
+            black_box(d)
+        })
+    });
+    for tile in [8usize, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("blocked", tile), &tile, |b, &tile| {
+            b.iter(|| {
+                let mut d = dist.clone();
+                floyd_warshall_blocked(&mut d, n, tile);
+                black_box(d)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_comet_counting(c: &mut Criterion) {
+    let vectors: Vec<Vec<u8>> = (0..32u64)
+        .map(|i| (0..256u64).map(|k| (((i + 1) * (k + 3) * 2654435761) >> 7 & 1) as u8).collect())
+        .collect();
+    let mut g = c.benchmark_group("comet/ccc");
+    g.bench_function("naive_counting", |b| b.iter(|| black_box(ccc_tables_naive(&vectors))));
+    g.bench_function("int8_gemm_formulation", |b| {
+        b.iter(|| black_box(ccc_tables_gemm(&vectors)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lammps_torsion,
+    bench_lammps_qeq,
+    bench_lammps_md,
+    bench_pele_chemistry,
+    bench_pele_uvm_ablation,
+    bench_coast_tilings,
+    bench_comet_counting,
+    bench_gamess_scf,
+    bench_e3sm_weno,
+    bench_exasky_pm
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks for the substrate crates: real wall-clock
+//! performance of the numerics that every mini-app is built on (GEMM, LU,
+//! eigensolvers, FFTs, and the SHOC programs on both API surfaces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_fft::{fft, fft3d, C64};
+use exa_hal::{ApiSurface, Device, Stream};
+use exa_linalg::block_inv::{block_lu_inverse_block, lu_inverse_block};
+use exa_linalg::eigen::{jacobi_eigen, tridiag_eigen};
+use exa_linalg::gemm::{gemm_f16_acc32, matmul};
+use exa_linalg::lu::getrf;
+use exa_linalg::Matrix;
+use exa_machine::GpuModel;
+use exa_shoc::{all_benchmarks, Scale};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg/gemm");
+    for n in [64usize, 128, 256] {
+        let a = Matrix::<f64>::seeded_random(n, n, 1);
+        let b = Matrix::<f64>::seeded_random(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("f64", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul(&a, &b)))
+        });
+        let af = Matrix::<f32>::seeded_random(n, n, 1);
+        let bf = Matrix::<f32>::seeded_random(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("f16_acc32", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_f16_acc32(&af, &bf)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu_and_block_inverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg/solvers");
+    for n in [64usize, 128] {
+        let mut a = Matrix::<exa_linalg::C64>::seeded_random(n, n, 7);
+        for i in 0..n {
+            a[(i, i)] += exa_linalg::C64::from_re(n as f64);
+        }
+        g.bench_with_input(BenchmarkId::new("zgetrf", n), &n, |bench, _| {
+            bench.iter(|| black_box(getrf(&a).unwrap()))
+        });
+        // The LSMS §3.2 pair: block inversion vs full-LU block extraction.
+        g.bench_with_input(BenchmarkId::new("zblock_lu_16", n), &n, |bench, _| {
+            bench.iter(|| black_box(block_lu_inverse_block(&a, 16).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("lu_inverse_block_16", n), &n, |bench, _| {
+            bench.iter(|| black_box(lu_inverse_block(&a, 16).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg/eigen");
+    let n = 48;
+    let r = Matrix::<f64>::seeded_random(n, n, 3);
+    let mut a = Matrix::<f64>::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            a[(i, j)] = 0.5 * (r[(i, j)] + r[(j, i)]);
+        }
+    }
+    g.bench_function("jacobi_48", |bench| bench.iter(|| black_box(jacobi_eigen(&a, 1e-12, 40))));
+    g.bench_function("tridiag_48", |bench| bench.iter(|| black_box(tridiag_eigen(&a, 60))));
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [1024usize, 4096] {
+        let base: Vec<C64> =
+            (0..n).map(|i| C64::new((i % 17) as f64 - 8.0, (i % 5) as f64)).collect();
+        g.bench_with_input(BenchmarkId::new("fft1d", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut x = base.clone();
+                fft(&mut x);
+                black_box(x)
+            })
+        });
+    }
+    let n3 = 32;
+    let cube: Vec<C64> = (0..n3 * n3 * n3).map(|i| C64::from_re((i % 11) as f64)).collect();
+    g.bench_function("fft3d_32", |bench| {
+        bench.iter(|| {
+            let mut x = cube.clone();
+            fft3d(&mut x, n3, n3, n3);
+            black_box(x)
+        })
+    });
+    g.finish();
+}
+
+fn bench_shoc_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shoc");
+    g.sample_size(10);
+    for bench in all_benchmarks() {
+        let name = bench.name();
+        g.bench_function(BenchmarkId::new("cuda_v100", name), |b| {
+            b.iter(|| {
+                let d = Device::new(GpuModel::v100(), 0);
+                let mut s = Stream::new(d, ApiSurface::Cuda).unwrap();
+                black_box(bench.run(&mut s, Scale::Test).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_lu_and_block_inverse,
+    bench_eigen,
+    bench_fft,
+    bench_shoc_suite
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! §5 — generate the early-access quick-start guide from the structured
+//! lessons registry (the paper's "distilled into new sections in the user
+//! guide" pipeline).
+//!
+//! Run with `cargo run -p exa-bench --bin user_guide`.
+
+use exa_bench::write_json;
+use exa_core::{lessons, render_user_guide};
+
+fn main() {
+    print!("{}", render_user_guide());
+    write_json("user_guide_lessons", &lessons());
+}

@@ -1,0 +1,53 @@
+//! # exa-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index), plus criterion microbenchmarks in `benches/`. Every binary
+//! prints the paper's rows/series next to the measured values and writes a
+//! machine-readable JSON record under `target/experiments/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where experiment JSON records land.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir
+}
+
+/// Serialize an experiment record to `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable record");
+    fs::write(&path, json).expect("can write experiment record");
+    println!("\n[wrote {}]", path.display());
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    let bar = "=".repeat(title.len() + 8);
+    println!("\n{bar}\n=== {title} ===\n{bar}");
+}
+
+/// Format a paper-vs-measured comparison cell.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    let err = (measured - paper).abs() / paper * 100.0;
+    format!("{measured:>8.2} vs paper {paper:>6.2}  ({err:>5.1}% off)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_exists_after_call() {
+        assert!(experiments_dir().is_dir());
+    }
+
+    #[test]
+    fn vs_paper_formats_error() {
+        let s = vs_paper(5.0, 4.0);
+        assert!(s.contains("25.0% off"), "{s}");
+    }
+}

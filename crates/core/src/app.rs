@@ -1,0 +1,84 @@
+//! The application contract.
+
+use crate::fom::{FigureOfMerit, FomMeasurement};
+use crate::motif::Motif;
+use exa_machine::MachineModel;
+
+/// An application under readiness assessment.
+///
+/// Each of the ten mini-apps in `exa-apps` implements this trait: it names
+/// its paper section, declares which Table 1 motifs its port exercised,
+/// defines a challenge problem and FOM, and can run that challenge problem
+/// on any machine model.
+pub trait Application {
+    /// Application name as it appears in the paper.
+    fn name(&self) -> &'static str;
+
+    /// Paper section describing the application (e.g. "3.2").
+    fn paper_section(&self) -> &'static str;
+
+    /// The Table 1 motifs this application's port exercised.
+    fn motifs(&self) -> Vec<Motif>;
+
+    /// Human-readable challenge-problem description.
+    fn challenge_problem(&self) -> String;
+
+    /// The project-specific figure of merit.
+    fn fom(&self) -> FigureOfMerit;
+
+    /// Run the challenge problem on `machine` with the application's
+    /// current (fully optimized) code state and return the measurement.
+    fn run(&self, machine: &MachineModel) -> FomMeasurement;
+
+    /// The Summit→Frontier speed-up reported in Table 2, if the application
+    /// appears there (LAMMPS and E3SM are discussed but not tabulated).
+    fn paper_speedup(&self) -> Option<f64>;
+
+    /// Measured Summit→Frontier speed-up under this application's FOM.
+    fn measure_speedup(&self) -> f64 {
+        let summit = self.run(&MachineModel::summit());
+        let frontier = self.run(&MachineModel::frontier());
+        self.fom().speedup(summit.value, frontier.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_machine::SimTime;
+
+    /// A toy app whose FOM is proportional to machine GPU FP64 peak.
+    struct ToyApp;
+
+    impl Application for ToyApp {
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+        fn paper_section(&self) -> &'static str {
+            "0.0"
+        }
+        fn motifs(&self) -> Vec<Motif> {
+            vec![Motif::CudaHipPorting]
+        }
+        fn challenge_problem(&self) -> String {
+            "saturate one device with FMAs".into()
+        }
+        fn fom(&self) -> FigureOfMerit {
+            FigureOfMerit::throughput("flops", "FLOP/s")
+        }
+        fn run(&self, machine: &MachineModel) -> FomMeasurement {
+            let per_gpu = machine.node.gpu().peak_f64;
+            FomMeasurement::new(machine.name.clone(), "1 GPU", per_gpu, SimTime::from_secs(1.0))
+        }
+        fn paper_speedup(&self) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn default_speedup_uses_summit_and_frontier() {
+        let s = ToyApp.measure_speedup();
+        // MI250X GCD / V100 FP64 = 23.95 / 7.8 ≈ 3.07.
+        assert!(s > 2.9 && s < 3.2, "speedup {s}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # exa-core — the application-readiness framework
+//!
+//! This crate encodes the paper's *primary contribution*: not any single
+//! code, but the Center of Excellence's quantitative methodology for getting
+//! applications ready for an exascale machine (§6):
+//!
+//! > "Application teams were expected to provide a well-posed challenge
+//! > problem and figure of merit (FOM) on Summit and an acceleration plan
+//! > for Frontier. The teams then produced mid-project reports ... and a
+//! > final report detailing challenge problem results. This quantitative
+//! > approach permitted early detection of software bugs and performance
+//! > regressions, and enabled continuous assessment of applications against
+//! > their stated speed-up targets."
+//!
+//! The pieces:
+//!
+//! * [`motif::Motif`] — the porting-motif taxonomy of Table 1;
+//! * [`fom`] — figures of merit, measurements, and speed-up targets;
+//! * [`app::Application`] — the contract every mini-app implements: a
+//!   challenge problem, an FOM, and a `run(machine)` entry point;
+//! * [`campaign`] — porting campaigns over the early-access timeline with
+//!   stage-by-stage measurements and readiness reports.
+
+pub mod app;
+pub mod campaign;
+pub mod fom;
+pub mod lessons;
+pub mod motif;
+
+pub use app::Application;
+pub use campaign::{CampaignStage, PortingCampaign, ReadinessReport};
+pub use fom::{FigureOfMerit, FomMeasurement, SpeedupTarget};
+pub use lessons::{lessons, render_user_guide, IssueClass, Lesson, Topic};
+pub use motif::Motif;

@@ -1,0 +1,71 @@
+//! The porting-motif taxonomy of Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A porting motif — one row of the paper's Table 1 ("Application Porting
+/// Motifs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Motif {
+    /// Converting CUDA codebases to HIP (hipify, thin abstraction layers).
+    CudaHipPorting,
+    /// Leaning on vendor libraries tuned for the application's sizes.
+    LibraryTuning,
+    /// Abstraction frameworks (Kokkos, RAJA, YAKL, AMReX) and OpenMP offload.
+    PerformancePortability,
+    /// Merging small kernels / splitting register-heavy ones.
+    KernelFusionFission,
+    /// Changing the algorithm itself (solvers, preprocessing, precision).
+    AlgorithmicOptimizations,
+}
+
+impl Motif {
+    /// All motifs in Table 1 row order.
+    pub fn all() -> &'static [Motif] {
+        &[
+            Motif::CudaHipPorting,
+            Motif::LibraryTuning,
+            Motif::PerformancePortability,
+            Motif::KernelFusionFission,
+            Motif::AlgorithmicOptimizations,
+        ]
+    }
+
+    /// The row label used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Motif::CudaHipPorting => "CUDA/HIP Porting",
+            Motif::LibraryTuning => "Library Tuning",
+            Motif::PerformancePortability => "Performance Portability",
+            Motif::KernelFusionFission => "Kernel Fusion/Fission",
+            Motif::AlgorithmicOptimizations => "Algorithmic Optimizations",
+        }
+    }
+}
+
+impl fmt::Display for Motif {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_motifs_in_table_order() {
+        let all = Motif::all();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].label(), "CUDA/HIP Porting");
+        assert_eq!(all[4].label(), "Algorithmic Optimizations");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Motif::all().iter().map(|m| m.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

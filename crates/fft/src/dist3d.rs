@@ -1,0 +1,253 @@
+//! Distributed 3-D FFT with Slab and Pencil decompositions (GESTS §3.3).
+//!
+//! §3.3: "Two variations of the PSDNS algorithm were developed: a *Slabs*
+//! 1D- and a *Pencils* 2D-domain decomposition. The *Slabs* version is more
+//! efficient because it requires one fewer MPI communication cycle during
+//! both the forward and inverse FFT transforms than the *Pencils* version.
+//! However, for an N³ problem, the *Slabs* version is limited to N MPI
+//! ranks, while the *Pencils* version has a greater upper limit of N² MPI
+//! ranks."
+//!
+//! The math is performed once on the global array (numerically identical to
+//! a local [`crate::fft3d::fft3d`]); *time* is charged per the chosen
+//! decomposition: local FFT stages on each rank's device plus the transpose
+//! all-to-alls on the communicator.
+
+use crate::fft1d::fft_flops;
+use crate::fft3d::{fft3d, ifft3d};
+use exa_linalg::C64;
+use exa_machine::{DType, GpuModel, KernelProfile, LaunchConfig, SimTime};
+use exa_mpi::Comm;
+
+/// Domain decomposition of the N³ grid over ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decomp {
+    /// 1-D decomposition into x-planes: ≤ N ranks, one transpose per
+    /// transform direction.
+    Slabs,
+    /// 2-D decomposition into pencils: ≤ N² ranks, two transposes.
+    Pencils,
+}
+
+impl Decomp {
+    /// Transposes per (forward or inverse) transform.
+    pub fn transposes(self) -> usize {
+        match self {
+            Decomp::Slabs => 1,
+            Decomp::Pencils => 2,
+        }
+    }
+
+    /// Maximum usable MPI ranks for an `n³` grid.
+    pub fn max_ranks(self, n: usize) -> usize {
+        match self {
+            Decomp::Slabs => n,
+            Decomp::Pencils => n * n,
+        }
+    }
+}
+
+/// A distributed 3-D FFT plan.
+#[derive(Debug, Clone)]
+pub struct DistFft3d {
+    /// Grid size per dimension (N for an N³ problem).
+    pub n: usize,
+    /// Decomposition.
+    pub decomp: Decomp,
+    /// Fraction of GPU memory bandwidth an FFT stage achieves (strided
+    /// passes keep this below STREAM).
+    pub mem_eff: f64,
+    /// Fraction of compute peak FFT butterflies achieve.
+    pub compute_eff: f64,
+}
+
+impl DistFft3d {
+    /// Plan for an `n³` grid.
+    pub fn new(n: usize, decomp: Decomp) -> Self {
+        assert!(n >= 2);
+        DistFft3d { n, decomp, mem_eff: 0.70, compute_eff: 0.18 }
+    }
+
+    /// Validate a rank count against the decomposition limit.
+    pub fn supports_ranks(&self, ranks: usize) -> bool {
+        ranks >= 1 && ranks <= self.decomp.max_ranks(self.n)
+    }
+
+    /// Total complex elements.
+    pub fn total_points(&self) -> u64 {
+        (self.n as u64).pow(3)
+    }
+
+    /// FLOPs of one full 3-D transform (three 1-D passes over every line).
+    pub fn transform_flops(&self) -> f64 {
+        // n² lines per axis, three axes.
+        3.0 * (self.n * self.n) as f64 * fft_flops(self.n)
+    }
+
+    /// Kernel profile of one rank's local compute for a full transform.
+    fn local_profile(&self, ranks: usize) -> KernelProfile {
+        let local_points = (self.total_points() as f64 / ranks as f64).max(1.0);
+        let flops = self.transform_flops() / ranks as f64;
+        // Three passes read+write the local data each.
+        let bytes = 3.0 * 2.0 * local_points * 16.0;
+        KernelProfile::new(
+            "fft3d_local",
+            LaunchConfig::cover(local_points as u64, 256),
+        )
+        .flops(flops, DType::C64)
+        .bytes(bytes, bytes / 2.0)
+        .regs(64)
+        .compute_eff(self.compute_eff)
+        .mem_eff(self.mem_eff)
+    }
+
+    /// Bytes each rank pair exchanges in one transpose: the rank's local
+    /// volume (`total/ranks`) is repartitioned across its transpose group.
+    fn transpose_bytes_per_pair(&self, ranks: usize, group: usize) -> u64 {
+        let local_bytes = self.total_points() * 16 / ranks.max(1) as u64;
+        (local_bytes / group.max(1) as u64).max(1)
+    }
+
+    /// Charge one forward (or inverse — same cost) transform on `comm`,
+    /// with local stages executing on `gpu`. Returns the elapsed span.
+    pub fn charge_transform(&self, comm: &mut Comm, gpu: &GpuModel) -> SimTime {
+        let ranks = comm.size();
+        assert!(
+            self.supports_ranks(ranks),
+            "{:?} supports at most {} ranks for N={} (got {ranks})",
+            self.decomp,
+            self.decomp.max_ranks(self.n),
+            self.n
+        );
+        let start = comm.elapsed();
+        let local = gpu.kernel_time(&self.local_profile(ranks)) + gpu.launch_latency;
+        match self.decomp {
+            Decomp::Slabs => {
+                // 2-D FFT stage (2/3 of work), global transpose, 1-D stage.
+                comm.advance_all(local * (2.0 / 3.0));
+                comm.alltoall(self.transpose_bytes_per_pair(ranks, ranks));
+                comm.advance_all(local * (1.0 / 3.0));
+            }
+            Decomp::Pencils => {
+                // Three 1-D stages with two transposes inside √p-sized
+                // row/column groups.
+                let group = (ranks as f64).sqrt().round().max(1.0) as usize;
+                let group = group.min(ranks);
+                comm.advance_all(local * (1.0 / 3.0));
+                comm.alltoall_grouped(group, self.transpose_bytes_per_pair(ranks, group));
+                comm.advance_all(local * (1.0 / 3.0));
+                comm.alltoall_grouped(group, self.transpose_bytes_per_pair(ranks, group));
+                comm.advance_all(local * (1.0 / 3.0));
+            }
+        }
+        comm.elapsed() - start
+    }
+
+    /// Data-carrying forward transform: computes the true 3-D FFT of the
+    /// global array *and* charges the decomposition's cost.
+    pub fn forward(&self, comm: &mut Comm, gpu: &GpuModel, data: &mut [C64]) -> SimTime {
+        assert_eq!(data.len() as u64, self.total_points());
+        fft3d(data, self.n, self.n, self.n);
+        self.charge_transform(comm, gpu)
+    }
+
+    /// Data-carrying inverse transform.
+    pub fn inverse(&self, comm: &mut Comm, gpu: &GpuModel, data: &mut [C64]) -> SimTime {
+        assert_eq!(data.len() as u64, self.total_points());
+        ifft3d(data, self.n, self.n, self.n);
+        self.charge_transform(comm, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_machine::MachineModel;
+    use exa_mpi::Network;
+
+    fn comm(p: usize) -> Comm {
+        Comm::new(p, Network::from_machine(&MachineModel::frontier()))
+    }
+
+    fn gpu() -> GpuModel {
+        GpuModel::mi250x_gcd()
+    }
+
+    #[test]
+    fn rank_limits_match_paper() {
+        let n = 64;
+        assert_eq!(Decomp::Slabs.max_ranks(n), 64);
+        assert_eq!(Decomp::Pencils.max_ranks(n), 4096);
+        assert_eq!(Decomp::Slabs.transposes(), 1);
+        assert_eq!(Decomp::Pencils.transposes(), 2);
+        let plan = DistFft3d::new(n, Decomp::Slabs);
+        assert!(plan.supports_ranks(64));
+        assert!(!plan.supports_ranks(65));
+    }
+
+    #[test]
+    fn data_path_matches_local_fft_and_round_trips() {
+        let n = 8;
+        let plan = DistFft3d::new(n, Decomp::Pencils);
+        let mut c = comm(4);
+        let g = gpu();
+        let orig: Vec<C64> =
+            (0..n * n * n).map(|i| C64::new((i % 13) as f64 - 6.0, (i % 7) as f64)).collect();
+        let mut x = orig.clone();
+        plan.forward(&mut c, &g, &mut x);
+
+        let mut reference = orig.clone();
+        fft3d(&mut reference, n, n, n);
+        let err = x.iter().zip(&reference).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-10);
+
+        plan.inverse(&mut c, &g, &mut x);
+        let err = x.iter().zip(&orig).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn slabs_beat_pencils_at_equal_ranks() {
+        // §3.3: slabs do one fewer communication cycle, so at a rank count
+        // both support, slabs are faster.
+        let n = 256;
+        let p = 64;
+        let slabs = DistFft3d::new(n, Decomp::Slabs);
+        let pencils = DistFft3d::new(n, Decomp::Pencils);
+        let mut c1 = comm(p);
+        let mut c2 = comm(p);
+        let t_slab = slabs.charge_transform(&mut c1, &gpu());
+        let t_pencil = pencils.charge_transform(&mut c2, &gpu());
+        assert!(t_slab < t_pencil, "slabs {t_slab} !< pencils {t_pencil}");
+    }
+
+    #[test]
+    fn pencils_scale_past_the_slab_limit() {
+        // Past N ranks only pencils work — and more ranks still help
+        // (at production grid sizes where bandwidth, not latency, rules).
+        let n = 1024;
+        let pencils = DistFft3d::new(n, Decomp::Pencils);
+        let mut small = comm(256);
+        let mut large = comm(16384);
+        let t_small = pencils.charge_transform(&mut small, &gpu());
+        let t_large = pencils.charge_transform(&mut large, &gpu());
+        assert!(t_large < t_small, "scaling out should still win: {t_large} vs {t_small}");
+        assert!(!DistFft3d::new(n, Decomp::Slabs).supports_ranks(16384));
+    }
+
+    #[test]
+    #[should_panic(expected = "supports at most")]
+    fn overdecomposition_panics() {
+        let plan = DistFft3d::new(16, Decomp::Slabs);
+        let mut c = comm(32);
+        plan.charge_transform(&mut c, &gpu());
+    }
+
+    #[test]
+    fn transform_flops_match_closed_form() {
+        let plan = DistFft3d::new(64, Decomp::Slabs);
+        // 3 n² lines · 5 n log2 n = 15 n³ log2 n.
+        let expect = 15.0 * 64f64.powi(3) * 6.0;
+        assert!((plan.transform_flops() - expect).abs() / expect < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! One-dimensional complex FFTs.
+//!
+//! Powers of two use an iterative, in-place radix-2 Cooley–Tukey transform;
+//! other lengths fall back to Bluestein's chirp-z algorithm (which reduces
+//! any length to a power-of-two cyclic convolution).
+
+use exa_linalg::C64;
+use std::f64::consts::PI;
+
+/// Forward DFT, in place: `X[k] = Σ x[j]·e^{-2πi jk/n}`.
+pub fn fft(data: &mut [C64]) {
+    transform(data, false);
+}
+
+/// Inverse DFT, in place, normalised by `1/n` so `ifft(fft(x)) = x`.
+pub fn ifft(data: &mut [C64]) {
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+/// Dispatch on length.
+fn transform(data: &mut [C64], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(data, inverse);
+    } else {
+        bluestein(data, inverse);
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey (requires `n` a power of two).
+fn fft_pow2(data: &mut [C64], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = C64::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = C64::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: any-length DFT via a power-of-two convolution.
+fn bluestein(data: &mut [C64], inverse: bool) {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w[j] = e^{sign·πi j²/n}. Use j² mod 2n to stay accurate.
+    let chirp: Vec<C64> = (0..n)
+        .map(|j| {
+            let jj = (j * j) % (2 * n);
+            C64::cis(sign * PI * jj as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![C64::ZERO; m];
+    let mut b = vec![C64::ZERO; m];
+    for j in 0..n {
+        a[j] = data[j] * chirp[j];
+        b[j] = chirp[j].conj();
+    }
+    for j in 1..n {
+        b[m - j] = chirp[j].conj();
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = *x * *y;
+    }
+    fft_pow2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    for k in 0..n {
+        data[k] = a[k].scale(scale) * chirp[k];
+    }
+}
+
+/// Reference O(n²) DFT, the oracle for property tests.
+pub fn dft_naive(input: &[C64], inverse: bool) -> Vec<C64> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![C64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (j, &x) in input.iter().enumerate() {
+            let ang = sign * 2.0 * PI * (j * k % n) as f64 / n as f64;
+            *o += x * C64::cis(ang);
+        }
+        if inverse {
+            *o = o.scale(1.0 / n as f64);
+        }
+    }
+    out
+}
+
+/// FLOPs of one complex FFT of length `n` (the standard `5 n log₂ n`).
+pub fn fft_flops(n: usize) -> f64 {
+    let n = n as f64;
+    5.0 * n * n.log2().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let re = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let im = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                C64::new(re, im)
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn round_trip_pow2_and_general() {
+        for n in [1, 2, 4, 8, 64, 256, 3, 5, 12, 100, 243] {
+            let orig = signal(n, n as u64);
+            let mut x = orig.clone();
+            fft(&mut x);
+            ifft(&mut x);
+            assert!(max_err(&x, &orig) < 1e-10, "n = {n}: {}", max_err(&x, &orig));
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2, 4, 16, 3, 7, 24, 30] {
+            let x = signal(n, 1000 + n as u64);
+            let mut fast = x.clone();
+            fft(&mut fast);
+            let slow = dft_naive(&x, false);
+            assert!(max_err(&fast, &slow) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut x = vec![C64::ZERO; 32];
+        x[0] = C64::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!((*z - C64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 64;
+        let f = 5;
+        let mut x: Vec<C64> =
+            (0..n).map(|j| C64::cis(2.0 * PI * (f * j) as f64 / n as f64)).collect();
+        fft(&mut x);
+        for (k, z) in x.iter().enumerate() {
+            if k == f {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        for n in [16, 48, 128] {
+            let x = signal(n, 7 + n as u64);
+            let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let mut freq = x.clone();
+            fft(&mut freq);
+            let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a = signal(n, 1);
+        let b = signal(n, 2);
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let mut fs = sum.clone();
+        fft(&mut fs);
+        let combined: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fs, &combined) < 1e-10);
+    }
+
+    #[test]
+    fn flops_formula_sane() {
+        assert!((fft_flops(1024) - 5.0 * 1024.0 * 10.0).abs() < 1.0);
+        assert!(fft_flops(1) > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Real-to-complex transforms.
+//!
+//! Turbulence fields are real-valued; production PSDNS codes (GESTS
+//! included) use real-to-complex FFTs to halve the spectral storage and
+//! work. `rfft` packs a real signal of even length `n` into an `n/2`-point
+//! complex transform and untangles the spectrum, returning the `n/2 + 1`
+//! non-redundant bins; `irfft` inverts it exactly.
+
+use crate::fft1d::{fft, ifft};
+use exa_linalg::C64;
+use std::f64::consts::PI;
+
+/// Forward real FFT: `n` real samples (n even) → `n/2 + 1` complex bins.
+///
+/// Bin `k` equals the full complex DFT's bin `k`; bins above `n/2` are the
+/// conjugate mirror and are not stored.
+pub fn rfft(input: &[f64]) -> Vec<C64> {
+    let n = input.len();
+    assert!(n >= 2 && n % 2 == 0, "rfft needs an even length, got {n}");
+    let half = n / 2;
+    // Pack even/odd samples into a half-length complex signal.
+    let mut z: Vec<C64> = (0..half).map(|m| C64::new(input[2 * m], input[2 * m + 1])).collect();
+    fft(&mut z);
+    // Untangle: X[k] = E[k] + e^{-2πik/n} O[k], with
+    //   E[k] = (Z[k] + conj(Z[half-k]))/2, O[k] = (Z[k] - conj(Z[half-k]))/(2i).
+    let mut out = Vec::with_capacity(half + 1);
+    for k in 0..=half {
+        let zk = if k == half { z[0] } else { z[k] };
+        let zmk = if k == 0 { z[0] } else { z[half - k] };
+        let e = (zk + zmk.conj()).scale(0.5);
+        let o = ((zk - zmk.conj()) * C64::new(0.0, -0.5)).scale(1.0);
+        let tw = C64::cis(-2.0 * PI * k as f64 / n as f64);
+        out.push(e + tw * o);
+    }
+    out
+}
+
+/// Inverse real FFT: `n/2 + 1` bins → `n` real samples.
+pub fn irfft(spectrum: &[C64], n: usize) -> Vec<f64> {
+    assert!(n >= 2 && n % 2 == 0, "irfft needs an even length, got {n}");
+    assert_eq!(spectrum.len(), n / 2 + 1, "spectrum must hold n/2 + 1 bins");
+    // Rebuild the full Hermitian spectrum and use the complex inverse.
+    let mut full = Vec::with_capacity(n);
+    full.extend_from_slice(spectrum);
+    for k in n / 2 + 1..n {
+        full.push(spectrum[n - k].conj());
+    }
+    ifft(&mut full);
+    full.into_iter().map(|z| z.re).collect()
+}
+
+/// Energy of a real signal computed from its packed spectrum (Parseval for
+/// the half-spectrum: interior bins count twice).
+pub fn spectral_energy(spectrum: &[C64], n: usize) -> f64 {
+    let half = n / 2;
+    let mut e = spectrum[0].norm_sqr() + spectrum[half].norm_sqr();
+    for z in &spectrum[1..half] {
+        e += 2.0 * z.norm_sqr();
+    }
+    e / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::dft_naive;
+
+    fn real_signal(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rfft_matches_full_complex_dft() {
+        for n in [2usize, 4, 8, 16, 64, 100] {
+            let x = real_signal(n, n as u64);
+            let packed = rfft(&x);
+            let full = dft_naive(&x.iter().map(|&r| C64::from_re(r)).collect::<Vec<_>>(), false);
+            for k in 0..=n / 2 {
+                assert!(
+                    (packed[k] - full[k]).abs() < 1e-9 * n as f64,
+                    "n={n} bin {k}: {} vs {}",
+                    packed[k],
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        for n in [4usize, 16, 128, 250] {
+            let x = real_signal(n, 7 + n as u64);
+            let back = irfft(&rfft(&x), n);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let x = real_signal(32, 3);
+        let sp = rfft(&x);
+        assert!(sp[0].im.abs() < 1e-12, "DC bin must be real");
+        assert!(sp[16].im.abs() < 1e-12, "Nyquist bin must be real");
+        let mean: f64 = x.iter().sum::<f64>();
+        assert!((sp[0].re - mean).abs() < 1e-10, "DC bin is the sum");
+    }
+
+    #[test]
+    fn parseval_for_the_half_spectrum() {
+        let n = 64;
+        let x = real_signal(n, 11);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy = spectral_energy(&rfft(&x), n);
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn pure_cosine_lands_in_one_bin() {
+        let n = 64;
+        let f = 5;
+        let x: Vec<f64> =
+            (0..n).map(|j| (2.0 * PI * (f * j) as f64 / n as f64).cos()).collect();
+        let sp = rfft(&x);
+        for (k, z) in sp.iter().enumerate() {
+            if k == f {
+                assert!((z.re - n as f64 / 2.0).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_lengths_rejected() {
+        rfft(&[1.0, 2.0, 3.0]);
+    }
+}

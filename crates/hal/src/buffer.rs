@@ -1,0 +1,142 @@
+//! Typed device buffers.
+//!
+//! A [`DeviceBuffer`] owns host memory that *stands in* for HBM: kernels
+//! mutate it directly (real math), while the device's memory accounting and
+//! all transfer costs are tracked as if it lived on the GPU.
+
+use crate::device::Device;
+use crate::error::{HalError, Result};
+use std::sync::Arc;
+
+/// A typed allocation on a simulated device.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    device: Arc<Device>,
+    bytes: u64,
+}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    /// Allocate `len` zero-initialised elements on `device`.
+    ///
+    /// This is the *untimed* allocation primitive; go through
+    /// [`crate::stream::Stream::alloc`] (or the pool allocator) to charge
+    /// allocation latency as real programs would.
+    pub fn zeroed(device: &Arc<Device>, len: usize) -> Result<Self> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        device.reserve(bytes)?;
+        Ok(DeviceBuffer { data: vec![T::default(); len], device: Arc::clone(device), bytes })
+    }
+
+    /// Allocate and fill from a host slice (still untimed; see
+    /// [`crate::stream::Stream::upload`] for the costed path).
+    pub fn from_host(device: &Arc<Device>, host: &[T]) -> Result<Self> {
+        let mut b = Self::zeroed(device, host.len())?;
+        b.data.copy_from_slice(host);
+        Ok(b)
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Allocation size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The owning device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Immutable view of the (simulated) device memory.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the (simulated) device memory — what a kernel body
+    /// writes through.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Check that `other` lives on the same device, as the real runtimes do
+    /// for non-peer operations.
+    pub fn same_device<U>(&self, other: &DeviceBuffer<U>) -> Result<()> {
+        if Arc::ptr_eq(&self.device, &other.device) {
+            Ok(())
+        } else {
+            Err(HalError::DeviceMismatch { expected: self.device.id, found: other.device.id })
+        }
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.device.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_machine::GpuModel;
+
+    #[test]
+    fn alloc_and_drop_balance_accounting() {
+        let d = Device::new(GpuModel::v100(), 0);
+        {
+            let b = DeviceBuffer::<f64>::zeroed(&d, 1024).unwrap();
+            assert_eq!(b.len(), 1024);
+            assert_eq!(b.bytes(), 8192);
+            assert_eq!(d.mem_used(), 8192);
+        }
+        assert_eq!(d.mem_used(), 0);
+    }
+
+    #[test]
+    fn from_host_copies_contents() {
+        let d = Device::new(GpuModel::v100(), 0);
+        let host = [1.0f32, 2.0, 3.0];
+        let b = DeviceBuffer::from_host(&d, &host).unwrap();
+        assert_eq!(b.as_slice(), &host);
+    }
+
+    #[test]
+    fn kernel_style_mutation() {
+        let d = Device::new(GpuModel::mi250x_gcd(), 0);
+        let mut b = DeviceBuffer::<u64>::zeroed(&d, 100).unwrap();
+        for (i, x) in b.as_mut_slice().iter_mut().enumerate() {
+            *x = i as u64 * 2;
+        }
+        assert_eq!(b.as_slice()[50], 100);
+    }
+
+    #[test]
+    fn device_mismatch_detected() {
+        let d0 = Device::new(GpuModel::v100(), 0);
+        let d1 = Device::new(GpuModel::v100(), 1);
+        let a = DeviceBuffer::<f64>::zeroed(&d0, 8).unwrap();
+        let b = DeviceBuffer::<f64>::zeroed(&d1, 8).unwrap();
+        assert!(a.same_device(&b).is_err());
+        let c = DeviceBuffer::<f32>::zeroed(&d0, 8).unwrap();
+        assert!(a.same_device(&c).is_ok());
+    }
+
+    #[test]
+    fn oversized_alloc_fails_cleanly() {
+        let d = Device::new(GpuModel::v100(), 0); // 16 GiB
+        let err = DeviceBuffer::<f64>::zeroed(&d, 3 << 30).unwrap_err(); // 24 GiB
+        assert!(matches!(err, HalError::OutOfMemory { .. }));
+        assert_eq!(d.mem_used(), 0);
+    }
+}

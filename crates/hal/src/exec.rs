@@ -1,0 +1,121 @@
+//! Data-parallel host execution of kernel bodies.
+//!
+//! The simulated GPU kernels in this repository perform their real math on
+//! the host. For large arrays we use rayon so tests and benches stay fast;
+//! below a threshold the sequential path avoids fork/join overhead. The
+//! helpers guarantee identical results either way (all closures are pure
+//! per-element maps or associative reductions).
+
+use rayon::prelude::*;
+
+/// Below this many elements a sequential loop beats rayon's overhead.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Elementwise in-place transform: `data[i] = f(i, data[i])`.
+pub fn par_map_inplace<T, F>(data: &mut [T], f: F)
+where
+    T: Send + Copy,
+    F: Fn(usize, T) -> T + Sync,
+{
+    if data.len() < PAR_THRESHOLD {
+        for (i, x) in data.iter_mut().enumerate() {
+            *x = f(i, *x);
+        }
+    } else {
+        data.par_iter_mut().enumerate().for_each(|(i, x)| *x = f(i, *x));
+    }
+}
+
+/// Parallel fill from an index function: `out[i] = f(i)`.
+pub fn par_fill<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if out.len() < PAR_THRESHOLD {
+        for (i, x) in out.iter_mut().enumerate() {
+            *x = f(i);
+        }
+    } else {
+        out.par_iter_mut().enumerate().for_each(|(i, x)| *x = f(i));
+    }
+}
+
+/// Parallel associative reduction over an index range.
+pub fn par_reduce<T, F, R>(n: usize, identity: T, f: F, reduce: R) -> T
+where
+    T: Send + Sync + Copy,
+    F: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync + Send,
+{
+    if n < PAR_THRESHOLD {
+        (0..n).fold(identity, |acc, i| reduce(acc, f(i)))
+    } else {
+        (0..n)
+            .into_par_iter()
+            .fold(|| identity, |acc, i| reduce(acc, f(i)))
+            .reduce(|| identity, &reduce)
+    }
+}
+
+/// Run `f(chunk_index, chunk)` over disjoint mutable chunks in parallel —
+/// the shape of a "one thread block per tile" kernel.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if data.len() < PAR_THRESHOLD {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+    } else {
+        data.par_chunks_mut(chunk).enumerate().for_each(|(i, c)| f(i, c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_inplace_small_and_large_agree() {
+        let n = PAR_THRESHOLD * 2;
+        let mut big: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut small: Vec<f64> = big[..100].to_vec();
+        par_map_inplace(&mut big, |i, x| x * 2.0 + i as f64);
+        par_map_inplace(&mut small, |i, x| x * 2.0 + i as f64);
+        assert_eq!(&big[..100], &small[..]);
+        assert_eq!(big[n - 1], (n - 1) as f64 * 3.0);
+    }
+
+    #[test]
+    fn fill_matches_index_function() {
+        let mut v = vec![0u64; PAR_THRESHOLD * 2];
+        par_fill(&mut v, |i| (i * i) as u64);
+        assert_eq!(v[123], 123 * 123);
+        assert_eq!(v[PAR_THRESHOLD + 7], ((PAR_THRESHOLD + 7) * (PAR_THRESHOLD + 7)) as u64);
+    }
+
+    #[test]
+    fn reduce_sums_correctly_both_paths() {
+        let small = par_reduce(100, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(small, 4950);
+        let n = PAR_THRESHOLD * 2;
+        let big = par_reduce(n, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(big, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let n = PAR_THRESHOLD * 2 + 17;
+        let mut v = vec![0u32; n];
+        par_chunks_mut(&mut v, 1000, |_, c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+}

@@ -1,0 +1,385 @@
+//! Streams, events, and the virtual-time execution engine.
+//!
+//! A [`Stream`] is an in-order device queue with **two** clocks:
+//!
+//! * the *host* clock — time the submitting CPU thread has spent in API
+//!   calls (launch latency, call overheads, blocking waits);
+//! * the *device* clock — time the GPU's queue has consumed executing
+//!   kernels and DMA transfers.
+//!
+//! An asynchronous launch costs the host only the submission latency, and
+//! the kernel starts at `max(host-after-submit, device-ready)` — which is
+//! exactly the mechanism behind E3SM's §3.5 strategy of "launching all
+//! kernels asynchronously in the same stream so that larger kernel runtimes
+//! overlap launch overheads for later kernel launches". A synchronous launch
+//! (or an explicit [`Stream::synchronize`]) joins the host clock to the
+//! device clock.
+
+use crate::api::ApiSurface;
+use crate::buffer::DeviceBuffer;
+use crate::device::Device;
+use crate::error::{HalError, Result};
+use exa_machine::{Clock, KernelProfile, SimTime};
+use std::sync::Arc;
+
+/// A recorded point on a stream's device timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event(pub SimTime);
+
+impl Event {
+    /// Device-time span between two events (CUDA's `eventElapsedTime`).
+    pub fn elapsed_since(&self, earlier: &Event) -> SimTime {
+        self.0 - earlier.0
+    }
+}
+
+/// Cumulative statistics for a stream, used by benchmark reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Host→device bytes copied.
+    pub bytes_h2d: u64,
+    /// Device→host bytes copied.
+    pub bytes_d2h: u64,
+    /// Device→device bytes copied.
+    pub bytes_d2d: u64,
+    /// Total device busy time (kernels + DMA).
+    pub device_busy: SimTime,
+}
+
+/// An in-order execution stream on a simulated device.
+#[derive(Debug)]
+pub struct Stream {
+    device: Arc<Device>,
+    api: ApiSurface,
+    host: Clock,
+    gpu: Clock,
+    sync_launch: bool,
+    stats: StreamStats,
+}
+
+impl Stream {
+    /// Create a stream on `device` using API surface `api`.
+    ///
+    /// Returns [`HalError::UnsupportedFeature`] when the surface cannot drive
+    /// the device's architecture (CUDA on AMD hardware) — the error an
+    /// unported application hits on day one of an early-access system.
+    pub fn new(device: Arc<Device>, api: ApiSurface) -> Result<Self> {
+        if !api.supports_arch(device.model.arch) {
+            return Err(HalError::UnsupportedFeature {
+                api,
+                feature: crate::api::Feature::CoreRuntime,
+            });
+        }
+        Ok(Stream {
+            device,
+            api,
+            host: Clock::new(),
+            gpu: Clock::new(),
+            sync_launch: false,
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// Device this stream executes on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// API surface the stream was created under.
+    pub fn api(&self) -> ApiSurface {
+        self.api
+    }
+
+    /// Force every launch to block the host until the kernel completes
+    /// (useful to quantify what async launching buys — see the E3SM bench).
+    pub fn set_sync_launch(&mut self, sync: bool) {
+        self.sync_launch = sync;
+    }
+
+    /// Host-side clock (CPU time spent in the runtime).
+    pub fn host_time(&self) -> SimTime {
+        self.host.now()
+    }
+
+    /// Device-side clock (queue completion time).
+    pub fn device_time(&self) -> SimTime {
+        self.gpu.now()
+    }
+
+    /// Stream statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Block the host until all queued device work completes; returns the
+    /// joined time.
+    pub fn synchronize(&mut self) -> SimTime {
+        self.host.advance(self.api.call_overhead());
+        let t = self.host.now().max(self.gpu.now());
+        self.host.sync_to(t);
+        self.gpu.sync_to(t);
+        t
+    }
+
+    /// Record an event at the stream's current device time.
+    pub fn record_event(&mut self) -> Event {
+        self.host.advance(self.api.call_overhead());
+        Event(self.gpu.now())
+    }
+
+    /// Make subsequent work on *this* stream wait for `event` (recorded on
+    /// any stream of the same device).
+    pub fn wait_event(&mut self, event: &Event) {
+        self.host.advance(self.api.call_overhead());
+        self.gpu.sync_to(event.0);
+    }
+
+    /// Charge an arbitrary host-side cost (driver work, allocation, etc.).
+    pub fn charge_host(&mut self, dt: SimTime) {
+        self.host.advance(dt);
+    }
+
+    fn enqueue_device_work(&mut self, submit_cost: SimTime, work: SimTime) -> SimTime {
+        // Host spends the submission cost, then the device starts the work
+        // as soon as both the submission has landed and the queue is free.
+        self.host.advance(self.api.call_overhead() + submit_cost);
+        let start = self.host.now().max(self.gpu.now());
+        self.gpu.sync_to(start);
+        self.gpu.advance(work);
+        self.stats.device_busy += work;
+        if self.sync_launch {
+            let t = self.gpu.now();
+            self.host.sync_to(t);
+        }
+        self.gpu.now()
+    }
+
+    /// Launch a kernel: execute `body` eagerly (the real math) and charge the
+    /// modelled duration. Returns the device-time at which the kernel
+    /// completes.
+    pub fn launch<F: FnOnce()>(&mut self, profile: &KernelProfile, body: F) -> SimTime {
+        body();
+        self.launch_modeled(profile)
+    }
+
+    /// Charge a kernel launch without executing a body — used when running
+    /// at paper scale (e.g. a 32,768³ GESTS grid) where only the cost model
+    /// is evaluated.
+    pub fn launch_modeled(&mut self, profile: &KernelProfile) -> SimTime {
+        let work = self.device.model.kernel_time(profile);
+        self.stats.kernels += 1;
+        self.enqueue_device_work(self.device.model.launch_latency, work)
+    }
+
+    /// Allocate a zeroed device buffer, charging the runtime's allocation
+    /// latency (what the §3.5 pool allocator avoids).
+    pub fn alloc<T: Copy + Default>(&mut self, len: usize) -> Result<DeviceBuffer<T>> {
+        self.host.advance(self.api.call_overhead() + self.device.model.alloc_latency);
+        DeviceBuffer::zeroed(&self.device, len)
+    }
+
+    /// Copy host → device (stream-ordered DMA).
+    pub fn upload<T: Copy>(&mut self, src: &[T], dst: &mut DeviceBuffer<T>) -> Result<SimTime> {
+        if src.len() != dst.len() {
+            return Err(HalError::SizeMismatch { dst: dst.len(), src: src.len() });
+        }
+        dst.as_mut_slice().copy_from_slice(src);
+        let bytes = dst.bytes();
+        self.stats.bytes_h2d += bytes;
+        let t = self.device.host_link.transfer_time(bytes);
+        Ok(self.enqueue_device_work(SimTime::ZERO, t))
+    }
+
+    /// Copy device → host (stream-ordered DMA). Blocks the host, as the
+    /// synchronous `Memcpy` of both runtimes does.
+    pub fn download<T: Copy>(&mut self, src: &DeviceBuffer<T>, dst: &mut [T]) -> Result<SimTime> {
+        if src.len() != dst.len() {
+            return Err(HalError::SizeMismatch { dst: dst.len(), src: src.len() });
+        }
+        dst.copy_from_slice(src.as_slice());
+        let bytes = src.bytes();
+        self.stats.bytes_d2h += bytes;
+        let t = self.device.host_link.transfer_time(bytes);
+        let done = self.enqueue_device_work(SimTime::ZERO, t);
+        self.host.sync_to(done);
+        Ok(done)
+    }
+
+    /// Copy device → device within the node (peer link).
+    pub fn copy_peer<T: Copy>(
+        &mut self,
+        src: &DeviceBuffer<T>,
+        dst: &mut DeviceBuffer<T>,
+    ) -> Result<SimTime> {
+        if src.len() != dst.len() {
+            return Err(HalError::SizeMismatch { dst: dst.len(), src: src.len() });
+        }
+        dst.as_mut_slice().copy_from_slice(src.as_slice());
+        let bytes = src.bytes();
+        self.stats.bytes_d2d += bytes;
+        let t = self.device.peer_link.transfer_time(bytes);
+        Ok(self.enqueue_device_work(SimTime::ZERO, t))
+    }
+
+    /// Charge a transfer of raw `bytes` host→device without data movement
+    /// (modeled mode, for paper-scale estimates).
+    pub fn upload_modeled(&mut self, bytes: u64) -> SimTime {
+        self.stats.bytes_h2d += bytes;
+        let t = self.device.host_link.transfer_time(bytes);
+        self.enqueue_device_work(SimTime::ZERO, t)
+    }
+
+    /// Charge a transfer of raw `bytes` device→host without data movement.
+    pub fn download_modeled(&mut self, bytes: u64) -> SimTime {
+        self.stats.bytes_d2h += bytes;
+        let t = self.device.host_link.transfer_time(bytes);
+        let done = self.enqueue_device_work(SimTime::ZERO, t);
+        self.host.sync_to(done);
+        done
+    }
+
+    /// Reset both clocks and statistics (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.host.reset();
+        self.gpu.reset();
+        self.stats = StreamStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_machine::{DType, GpuModel, LaunchConfig};
+
+    fn stream(api: ApiSurface) -> Stream {
+        let d = Device::new(GpuModel::v100(), 0);
+        Stream::new(d, api).unwrap()
+    }
+
+    fn flops_kernel(flops: f64) -> KernelProfile {
+        KernelProfile::new("k", LaunchConfig::new(1 << 14, 256)).flops(flops, DType::F64)
+    }
+
+    #[test]
+    fn cuda_on_amd_is_rejected() {
+        let d = Device::new(GpuModel::mi250x_gcd(), 0);
+        assert!(Stream::new(Arc::clone(&d), ApiSurface::Cuda).is_err());
+        assert!(Stream::new(d, ApiSurface::Hip).is_ok());
+    }
+
+    #[test]
+    fn kernel_body_really_executes() {
+        let mut s = stream(ApiSurface::Cuda);
+        let mut hit = false;
+        s.launch(&flops_kernel(1e9), || hit = true);
+        assert!(hit);
+        assert_eq!(s.stats().kernels, 1);
+    }
+
+    #[test]
+    fn async_launches_overlap_submission_with_execution() {
+        // Ten large kernels: async total ≈ submit + 10 * kernel;
+        // sync total ≈ 10 * (submit + kernel). With launch latency 4 µs and
+        // kernel ~ 150 µs the difference is ~9 * 4 µs.
+        let k = flops_kernel(1e9);
+        let mut a = stream(ApiSurface::Cuda);
+        for _ in 0..10 {
+            a.launch_modeled(&k);
+        }
+        let t_async = a.synchronize();
+
+        let mut b = stream(ApiSurface::Cuda);
+        b.set_sync_launch(true);
+        for _ in 0..10 {
+            b.launch_modeled(&k);
+        }
+        let t_sync = b.synchronize();
+
+        assert!(t_sync > t_async);
+        let saved = t_sync - t_async;
+        // Should have hidden ~9 launch latencies.
+        assert!(saved.micros() > 9.0 * 4.0 * 0.8, "saved {saved}");
+    }
+
+    #[test]
+    fn hip_costs_marginally_more_than_cuda_per_call() {
+        let k = flops_kernel(1e8);
+        let mut c = stream(ApiSurface::Cuda);
+        let mut h = stream(ApiSurface::Hip);
+        for _ in 0..100 {
+            c.launch_modeled(&k);
+            h.launch_modeled(&k);
+        }
+        let tc = c.synchronize();
+        let th = h.synchronize();
+        assert!(th >= tc);
+        // Figure 1 territory: well under 1% apart.
+        assert!(th / tc < 1.01, "HIP/CUDA = {}", th / tc);
+    }
+
+    #[test]
+    fn upload_download_round_trip() {
+        let mut s = stream(ApiSurface::Cuda);
+        let src: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut buf = s.alloc::<f64>(1000).unwrap();
+        s.upload(&src, &mut buf).unwrap();
+        let mut back = vec![0.0; 1000];
+        s.download(&buf, &mut back).unwrap();
+        assert_eq!(src, back);
+        let st = s.stats();
+        assert_eq!(st.bytes_h2d, 8000);
+        assert_eq!(st.bytes_d2h, 8000);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut s = stream(ApiSurface::Cuda);
+        let mut buf = s.alloc::<f64>(10).unwrap();
+        assert!(matches!(
+            s.upload(&[0.0; 5], &mut buf),
+            Err(HalError::SizeMismatch { dst: 10, src: 5 })
+        ));
+    }
+
+    #[test]
+    fn events_measure_device_time() {
+        let mut s = stream(ApiSurface::Cuda);
+        let e0 = s.record_event();
+        s.launch_modeled(&flops_kernel(7.8e9)); // ~1 ms on V100 at 85% eff
+        let e1 = s.record_event();
+        let dt = e1.elapsed_since(&e0);
+        assert!(dt.millis() > 0.5 && dt.millis() < 3.0, "dt {dt}");
+    }
+
+    #[test]
+    fn wait_event_orders_across_streams() {
+        let d = Device::new(GpuModel::v100(), 0);
+        let mut s1 = Stream::new(Arc::clone(&d), ApiSurface::Cuda).unwrap();
+        let mut s2 = Stream::new(d, ApiSurface::Cuda).unwrap();
+        s1.launch_modeled(&flops_kernel(1e10));
+        let e = s1.record_event();
+        s2.wait_event(&e);
+        s2.launch_modeled(&flops_kernel(1e6));
+        assert!(s2.device_time() > e.0);
+    }
+
+    #[test]
+    fn download_blocks_host() {
+        let mut s = stream(ApiSurface::Cuda);
+        let buf = DeviceBuffer::<f64>::from_host(s.device(), &vec![1.0; 1 << 20]).unwrap();
+        let mut out = vec![0.0; 1 << 20];
+        s.download(&buf, &mut out).unwrap();
+        assert_eq!(s.host_time(), s.device_time());
+    }
+
+    #[test]
+    fn modeled_transfers_charge_link_time() {
+        let mut s = stream(ApiSurface::Cuda);
+        // 1 GiB over NVLink2 (50 GB/s) ≈ 21.5 ms.
+        s.upload_modeled(1 << 30);
+        let t = s.synchronize();
+        assert!(t.millis() > 18.0 && t.millis() < 25.0, "t {t}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Kernel tracing and profiling — the simulator's `rocprof`.
+//!
+//! §3.2: "By employing kernel profiling we were able to identify
+//! bottlenecks in the first implementation of these kernels"; §3.10.2:
+//! "Initial profiling on AMD Instinct GPUs found a few key bottlenecks".
+//! The COE workflow starts from a profile, so the simulator provides one:
+//! a [`Tracer`] records every kernel launch with its modelled duration and
+//! roofline classification, and renders hotspot tables and a roofline
+//! report.
+
+use crate::stream::Stream;
+use exa_machine::{EffCurve, GpuModel, KernelProfile, SimTime};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What limits a kernel on a given device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Bound {
+    /// Arithmetic-pipe limited.
+    Compute,
+    /// HBM-bandwidth limited.
+    Memory,
+    /// Launch-latency limited (runtime shorter than the launch cost).
+    Latency,
+}
+
+/// One recorded launch.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceEvent {
+    /// Kernel name.
+    pub name: String,
+    /// Device time at which the kernel started.
+    pub start: SimTime,
+    /// Modelled duration.
+    pub duration: SimTime,
+    /// FLOPs in the launch.
+    pub flops: f64,
+    /// Bytes moved.
+    pub bytes: f64,
+    /// Achieved occupancy.
+    pub occupancy: f64,
+    /// Whether the register allocator would spill.
+    pub spilled: bool,
+    /// Roofline classification.
+    pub bound: Bound,
+}
+
+/// Aggregated per-kernel statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Number of launches.
+    pub calls: u64,
+    /// Total device time.
+    pub total_time: SimTime,
+    /// Share of the traced device time, in [0, 1].
+    pub time_share: f64,
+    /// Mean achieved GFLOP/s.
+    pub gflops: f64,
+    /// Mean occupancy.
+    pub occupancy: f64,
+    /// Dominant bound.
+    pub bound: Bound,
+    /// Any launch spilled registers.
+    pub spills: bool,
+}
+
+/// A kernel-launch recorder bound to one device model.
+#[derive(Debug)]
+pub struct Tracer {
+    gpu: GpuModel,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// New tracer for a device model.
+    pub fn new(gpu: GpuModel) -> Self {
+        Tracer { gpu, events: Vec::new() }
+    }
+
+    /// Classify a profile on this tracer's device.
+    pub fn classify(&self, k: &KernelProfile) -> Bound {
+        let (occ, _) = self.gpu.occupancy(k);
+        let peak = self.gpu.peak_flops(k.dtype, k.uses_matrix_units);
+        let t_c = k.flops / (peak * k.compute_eff * EffCurve::COMPUTE.at(occ));
+        let t_m = k.total_bytes() / (self.gpu.mem_bw * k.mem_eff * EffCurve::MEMORY.at(occ));
+        let body = t_c.max(t_m);
+        if body < self.gpu.launch_latency.secs() {
+            Bound::Latency
+        } else if t_c >= t_m {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        }
+    }
+
+    /// Launch a kernel through a stream while recording it.
+    pub fn launch_traced<F: FnOnce()>(
+        &mut self,
+        stream: &mut Stream,
+        profile: &KernelProfile,
+        body: F,
+    ) -> SimTime {
+        let start = stream.device_time();
+        let end = stream.launch(profile, body);
+        self.record(profile, start, end - start);
+        end
+    }
+
+    /// Cost-only traced launch.
+    pub fn launch_traced_modeled(&mut self, stream: &mut Stream, profile: &KernelProfile) -> SimTime {
+        let start = stream.device_time();
+        let end = stream.launch_modeled(profile);
+        self.record(profile, start, end - start);
+        end
+    }
+
+    fn record(&mut self, profile: &KernelProfile, start: SimTime, duration: SimTime) {
+        let (occupancy, spilled) = self.gpu.occupancy(profile);
+        self.events.push(TraceEvent {
+            name: profile.name.clone(),
+            start,
+            duration,
+            flops: profile.flops,
+            bytes: profile.total_bytes(),
+            occupancy,
+            spilled,
+            bound: self.classify(profile),
+        });
+    }
+
+    /// All recorded events in launch order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Aggregate statistics, hottest kernel first.
+    pub fn hotspots(&self) -> Vec<KernelStats> {
+        let mut agg: HashMap<&str, (u64, SimTime, f64, f64, f64, bool, Bound)> = HashMap::new();
+        let total: SimTime = self.events.iter().map(|e| e.duration).sum();
+        for e in &self.events {
+            let entry = agg.entry(&e.name).or_insert((
+                0,
+                SimTime::ZERO,
+                0.0,
+                0.0,
+                0.0,
+                false,
+                e.bound,
+            ));
+            entry.0 += 1;
+            entry.1 += e.duration;
+            entry.2 += e.flops;
+            entry.3 += e.bytes;
+            entry.4 += e.occupancy;
+            entry.5 |= e.spilled;
+        }
+        let mut out: Vec<KernelStats> = agg
+            .into_iter()
+            .map(|(name, (calls, time, flops, _bytes, occ_sum, spills, bound))| KernelStats {
+                name: name.to_string(),
+                calls,
+                total_time: time,
+                time_share: if total.is_zero() { 0.0 } else { time / total },
+                gflops: if time.is_zero() { 0.0 } else { flops / time.secs() / 1e9 },
+                occupancy: occ_sum / calls as f64,
+                bound,
+                spills,
+            })
+            .collect();
+        out.sort_by(|a, b| b.total_time.cmp(&a.total_time));
+        out
+    }
+
+    /// Render the hotspot table the way a profiler summary prints.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        use fmt::Write;
+        writeln!(
+            s,
+            "{:<24} {:>6} {:>12} {:>7} {:>10} {:>6} {:>8} {:>6}",
+            "kernel", "calls", "time", "share", "GFLOP/s", "occ", "bound", "spill"
+        )
+        .expect("write to String");
+        for k in self.hotspots() {
+            writeln!(
+                s,
+                "{:<24} {:>6} {:>12} {:>6.1}% {:>10.1} {:>6.2} {:>8} {:>6}",
+                k.name,
+                k.calls,
+                format!("{}", k.total_time),
+                k.time_share * 100.0,
+                k.gflops,
+                k.occupancy,
+                format!("{:?}", k.bound),
+                if k.spills { "YES" } else { "-" }
+            )
+            .expect("write to String");
+        }
+        s
+    }
+
+    /// Clear recorded events.
+    pub fn reset(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ApiSurface;
+    use crate::device::Device;
+    use exa_machine::{DType, LaunchConfig};
+
+    fn setup() -> (Tracer, Stream) {
+        let gpu = GpuModel::mi250x_gcd();
+        let device = Device::new(gpu.clone(), 0);
+        (Tracer::new(gpu), Stream::new(device, ApiSurface::Hip).unwrap())
+    }
+
+    fn big() -> LaunchConfig {
+        LaunchConfig::new(1 << 16, 256)
+    }
+
+    #[test]
+    fn classification_matches_roofline_intuition() {
+        let (t, _) = setup();
+        let compute = KernelProfile::new("gemm", big()).flops(1e13, DType::F64).bytes(1e9, 1e9);
+        let memory = KernelProfile::new("triad", big()).flops(1e9, DType::F64).bytes(1e12, 1e11);
+        let tiny = KernelProfile::new("empty", LaunchConfig::new(1, 64)).flops(64.0, DType::F32);
+        assert_eq!(t.classify(&compute), Bound::Compute);
+        assert_eq!(t.classify(&memory), Bound::Memory);
+        assert_eq!(t.classify(&tiny), Bound::Latency);
+    }
+
+    #[test]
+    fn hotspots_rank_by_time_and_shares_sum_to_one() {
+        let (mut tracer, mut stream) = setup();
+        let hot = KernelProfile::new("hot", big()).flops(1e12, DType::F64);
+        let cold = KernelProfile::new("cold", big()).flops(1e9, DType::F64);
+        for _ in 0..3 {
+            tracer.launch_traced_modeled(&mut stream, &hot);
+        }
+        tracer.launch_traced_modeled(&mut stream, &cold);
+        let stats = tracer.hotspots();
+        assert_eq!(stats[0].name, "hot");
+        assert_eq!(stats[0].calls, 3);
+        let share_sum: f64 = stats.iter().map(|k| k.time_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+        assert!(stats[0].time_share > 0.99);
+    }
+
+    #[test]
+    fn traced_launch_still_runs_the_body() {
+        let (mut tracer, mut stream) = setup();
+        let k = KernelProfile::new("body", big()).flops(1e9, DType::F64);
+        let mut hit = false;
+        tracer.launch_traced(&mut stream, &k, || hit = true);
+        assert!(hit);
+        assert_eq!(tracer.events().len(), 1);
+        assert!(tracer.events()[0].duration.secs() > 0.0);
+    }
+
+    #[test]
+    fn spills_are_flagged_in_the_report() {
+        let (mut tracer, mut stream) = setup();
+        let monster = KernelProfile::new("jacobian", big()).flops(1e11, DType::F64).regs(18_000);
+        tracer.launch_traced_modeled(&mut stream, &monster);
+        let report = tracer.report();
+        assert!(report.contains("jacobian"));
+        assert!(report.contains("YES"), "spill column must flag the 18k-register kernel:\n{report}");
+    }
+
+    #[test]
+    fn reset_clears_events() {
+        let (mut tracer, mut stream) = setup();
+        tracer.launch_traced_modeled(&mut stream, &KernelProfile::new("k", big()).flops(1e9, DType::F32));
+        tracer.reset();
+        assert!(tracer.events().is_empty());
+        assert!(tracer.hotspots().is_empty());
+    }
+}

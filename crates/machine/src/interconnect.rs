@@ -1,0 +1,142 @@
+//! Interconnect (inter-node network) models.
+//!
+//! The simulated MPI layer (`exa-mpi`) prices messages and collectives with
+//! the classic α–β (latency–bandwidth) model on top of these parameters.
+//! Three fabrics appear in the paper: dual-rail EDR InfiniBand (Summit),
+//! HPE Slingshot 10 with 100 GbE NICs (Spock/Birch), and Slingshot 11 with
+//! 200 GbE NICs (Crusher/Frontier). The Cray Aries fabrics of Cori/Theta and
+//! Eagle's EDR IB cover the Figure 2 machines.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// α–β model of one network fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterconnectModel {
+    /// Fabric name.
+    pub name: String,
+    /// Software+switch latency per message (α).
+    pub alpha: SimTime,
+    /// Per-NIC injection bandwidth, bytes/s.
+    pub nic_bandwidth: f64,
+    /// Extra per-message latency when staging through host memory instead of
+    /// using GPU-aware (GPUDirect / GPU-NIC) paths.
+    pub host_staging_penalty: SimTime,
+    /// Effective bisection-bandwidth derating for global traffic patterns
+    /// (all-to-all); 1.0 = full bisection.
+    pub bisection_factor: f64,
+}
+
+impl InterconnectModel {
+    /// Summit's dual-rail EDR InfiniBand.
+    pub fn ib_edr_dual() -> Self {
+        InterconnectModel {
+            name: "EDR InfiniBand (dual rail)".into(),
+            alpha: SimTime::from_micros(1.5),
+            nic_bandwidth: 12.5e9,
+            host_staging_penalty: SimTime::from_micros(8.0),
+            bisection_factor: 0.5,
+        }
+    }
+
+    /// HPE Slingshot 10 (100 GbE interface) — Spock and Birch (§4).
+    pub fn slingshot10() -> Self {
+        InterconnectModel {
+            name: "HPE Slingshot 10 (100 GbE)".into(),
+            alpha: SimTime::from_micros(2.0),
+            nic_bandwidth: 12.5e9,
+            host_staging_penalty: SimTime::from_micros(8.0),
+            bisection_factor: 0.6,
+        }
+    }
+
+    /// HPE Slingshot 11 (200 GbE interface) — Crusher and Frontier (§4).
+    pub fn slingshot11() -> Self {
+        InterconnectModel {
+            name: "HPE Slingshot 11 (200 GbE)".into(),
+            alpha: SimTime::from_micros(1.7),
+            nic_bandwidth: 25.0e9,
+            host_staging_penalty: SimTime::from_micros(8.0),
+            bisection_factor: 0.65,
+        }
+    }
+
+    /// Cray Aries (Cori, Theta).
+    pub fn aries() -> Self {
+        InterconnectModel {
+            name: "Cray Aries".into(),
+            alpha: SimTime::from_micros(1.3),
+            nic_bandwidth: 10.0e9,
+            host_staging_penalty: SimTime::ZERO, // CPU machines: nothing to stage
+            bisection_factor: 0.45,
+        }
+    }
+
+    /// Single-rail EDR InfiniBand (Eagle).
+    pub fn ib_edr() -> Self {
+        InterconnectModel {
+            name: "EDR InfiniBand".into(),
+            alpha: SimTime::from_micros(1.5),
+            nic_bandwidth: 12.5e9,
+            host_staging_penalty: SimTime::ZERO,
+            bisection_factor: 0.5,
+        }
+    }
+
+    /// Point-to-point message time for `bytes` over `nics` rails, optionally
+    /// staged through the host.
+    pub fn p2p_time(&self, bytes: u64, nics: u32, gpu_aware: bool) -> SimTime {
+        let bw = self.nic_bandwidth * nics.max(1) as f64;
+        let mut t = self.alpha + SimTime::from_secs(bytes as f64 / bw);
+        if !gpu_aware {
+            // Host staging: extra latency plus the payload crossing host
+            // memory once more at (approximately) NIC rate.
+            t += self.host_staging_penalty + SimTime::from_secs(bytes as f64 / bw);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slingshot11_outruns_slingshot10() {
+        let s10 = InterconnectModel::slingshot10();
+        let s11 = InterconnectModel::slingshot11();
+        let t10 = s10.p2p_time(1 << 24, 1, true);
+        let t11 = s11.p2p_time(1 << 24, 1, true);
+        assert!(t11 < t10);
+    }
+
+    #[test]
+    fn gpu_aware_beats_host_staging() {
+        let net = InterconnectModel::slingshot11();
+        let aware = net.p2p_time(1 << 20, 4, true);
+        let staged = net.p2p_time(1 << 20, 4, false);
+        assert!(staged > aware);
+        // Roughly 2x bandwidth cost on large messages.
+        let big_aware = net.p2p_time(1 << 30, 4, true);
+        let big_staged = net.p2p_time(1 << 30, 4, false);
+        let r = big_staged / big_aware;
+        assert!(r > 1.8 && r < 2.2, "r {r}");
+    }
+
+    #[test]
+    fn latency_floor_for_small_messages() {
+        let net = InterconnectModel::ib_edr_dual();
+        let t = net.p2p_time(8, 2, true);
+        assert!(t >= net.alpha);
+        assert!(t.micros() < 2.0);
+    }
+
+    #[test]
+    fn multiple_nics_scale_bandwidth() {
+        let net = InterconnectModel::slingshot11();
+        let one = net.p2p_time(1 << 30, 1, true);
+        let four = net.p2p_time(1 << 30, 4, true);
+        let r = one / four;
+        assert!(r > 3.5 && r < 4.1, "r {r}");
+    }
+}

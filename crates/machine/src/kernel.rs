@@ -1,0 +1,294 @@
+//! Kernel descriptors and launch configurations.
+//!
+//! A [`KernelProfile`] is the simulator's analogue of a compiled GPU kernel:
+//! it declares the kernel's resource footprint (FLOPs by data type, bytes
+//! moved, registers per thread, LDS/shared memory per block) and its
+//! behavioural character (control-flow divergence, wavefront-width tuning).
+//! The cost model in [`crate::gpu::GpuModel::kernel_time`] turns a profile
+//! plus a launch configuration into simulated execution time.
+//!
+//! The fields map one-to-one onto the effects the paper discusses:
+//! `regs_per_thread` drives the occupancy/fission trade-off of E3SM (§3.5)
+//! and the register-spill story of LAMMPS (§3.10.3); `active_lane_frac`
+//! models the ReaxFF torsion divergence of Algorithm 1 (§3.10.2);
+//! `tuned_wavefront` models the ExaSky gravity kernel that was tuned for
+//! 32-wide warps and regressed on 64-wide wavefronts (§3.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric data types that the machine models publish peak rates for.
+///
+/// CoMet (§3.6) is the paper's showcase for reduced precision: it computes on
+/// FP32, FP16, and Int8 to "solve much larger problems than would be
+/// otherwise possible". Complex types map onto the corresponding real peak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// IEEE double precision.
+    F64,
+    /// IEEE single precision.
+    F32,
+    /// IEEE half precision.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// 8-bit integer (TOPS on tensor/matrix units).
+    I8,
+    /// Double-precision complex (numerics run on the F64 pipes).
+    C64,
+    /// Single-precision complex (numerics run on the F32 pipes).
+    C32,
+}
+
+impl DType {
+    /// Storage size of one element in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            DType::F64 => 8,
+            DType::F32 => 4,
+            DType::F16 | DType::BF16 => 2,
+            DType::I8 => 1,
+            DType::C64 => 16,
+            DType::C32 => 8,
+        }
+    }
+
+    /// The real scalar type whose peak rate governs this type's arithmetic.
+    pub fn compute_class(self) -> DType {
+        match self {
+            DType::C64 => DType::F64,
+            DType::C32 => DType::F32,
+            other => other,
+        }
+    }
+}
+
+/// Grid/block launch geometry (flattened to 1-D; the cost model only cares
+/// about totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks (work groups).
+    pub grid_blocks: u64,
+    /// Threads per block (work-group size).
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// Convenience constructor.
+    pub fn new(grid_blocks: u64, threads_per_block: u32) -> Self {
+        assert!(threads_per_block > 0, "block size must be positive");
+        assert!(grid_blocks > 0, "grid must contain at least one block");
+        LaunchConfig { grid_blocks, threads_per_block }
+    }
+
+    /// A launch sized so `total_threads` are covered by blocks of `tpb`.
+    pub fn cover(total_threads: u64, tpb: u32) -> Self {
+        let blocks = total_threads.div_ceil(tpb as u64).max(1);
+        LaunchConfig::new(blocks, tpb)
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks * self.threads_per_block as u64
+    }
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig { grid_blocks: 1024, threads_per_block: 256 }
+    }
+}
+
+/// Resource and behaviour profile of a GPU kernel.
+///
+/// Construct with [`KernelProfile::new`] and refine with the builder methods.
+/// Defaults describe a well-behaved streaming kernel: 32 registers/thread,
+/// no LDS, no divergence, 85 % of compute peak and 80 % of STREAM-style
+/// bandwidth achievable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Human-readable kernel name (shows up in traces and reports).
+    pub name: String,
+    /// Launch geometry.
+    pub launch: LaunchConfig,
+    /// Floating-point (or integer) operations performed by the whole launch.
+    pub flops: f64,
+    /// Data type governing the peak rate.
+    pub dtype: DType,
+    /// Whether the kernel runs on matrix/tensor units (MFMA / tensor cores).
+    pub uses_matrix_units: bool,
+    /// Bytes read from device memory (post-cache, i.e. compulsory traffic).
+    pub bytes_read: f64,
+    /// Bytes written to device memory.
+    pub bytes_written: f64,
+    /// Architectural registers consumed per thread. Values above the file
+    /// capacity trigger spill traffic (see [`crate::gpu::GpuModel`]).
+    pub regs_per_thread: u32,
+    /// LDS / shared memory per block in bytes.
+    pub lds_per_block: u32,
+    /// Mean fraction of lanes active inside a wavefront (divergence), in
+    /// (0, 1]. ReaxFF torsion kernels pre-optimization sit near 0.1.
+    pub active_lane_frac: f64,
+    /// If the kernel's tiling was hand-tuned for a specific wavefront width,
+    /// running on hardware with a *wider* wavefront idles the excess lanes.
+    pub tuned_wavefront: Option<u32>,
+    /// Fraction of the device's compute peak this kernel's inner loop can
+    /// reach at full occupancy.
+    pub compute_eff: f64,
+    /// Fraction of the device's memory bandwidth reachable by this kernel's
+    /// access pattern.
+    pub mem_eff: f64,
+}
+
+impl KernelProfile {
+    /// A new profile with library defaults; customise with builder methods.
+    pub fn new(name: impl Into<String>, launch: LaunchConfig) -> Self {
+        KernelProfile {
+            name: name.into(),
+            launch,
+            flops: 0.0,
+            dtype: DType::F64,
+            uses_matrix_units: false,
+            bytes_read: 0.0,
+            bytes_written: 0.0,
+            regs_per_thread: 32,
+            lds_per_block: 0,
+            active_lane_frac: 1.0,
+            tuned_wavefront: None,
+            compute_eff: 0.85,
+            mem_eff: 0.80,
+        }
+    }
+
+    /// Set total floating-point work and its data type.
+    pub fn flops(mut self, flops: f64, dtype: DType) -> Self {
+        debug_assert!(flops >= 0.0 && flops.is_finite());
+        self.flops = flops;
+        self.dtype = dtype;
+        self
+    }
+
+    /// Mark the kernel as using matrix/tensor units (GEMM cores).
+    pub fn matrix_units(mut self, yes: bool) -> Self {
+        self.uses_matrix_units = yes;
+        self
+    }
+
+    /// Set device-memory traffic.
+    pub fn bytes(mut self, read: f64, written: f64) -> Self {
+        debug_assert!(read >= 0.0 && written >= 0.0);
+        self.bytes_read = read;
+        self.bytes_written = written;
+        self
+    }
+
+    /// Set register pressure per thread.
+    pub fn regs(mut self, regs_per_thread: u32) -> Self {
+        self.regs_per_thread = regs_per_thread.max(1);
+        self
+    }
+
+    /// Set LDS/shared-memory usage per block.
+    pub fn lds(mut self, bytes_per_block: u32) -> Self {
+        self.lds_per_block = bytes_per_block;
+        self
+    }
+
+    /// Set control-flow divergence as the mean active-lane fraction.
+    pub fn divergence(mut self, active_lane_frac: f64) -> Self {
+        assert!(
+            active_lane_frac > 0.0 && active_lane_frac <= 1.0,
+            "active lane fraction must be in (0, 1]"
+        );
+        self.active_lane_frac = active_lane_frac;
+        self
+    }
+
+    /// Declare that the kernel's tiling assumes a particular wavefront width.
+    pub fn tuned_for_wavefront(mut self, width: u32) -> Self {
+        self.tuned_wavefront = Some(width);
+        self
+    }
+
+    /// Override the achievable fraction of compute peak.
+    pub fn compute_eff(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0);
+        self.compute_eff = eff;
+        self
+    }
+
+    /// Override the achievable fraction of memory bandwidth.
+    pub fn mem_eff(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0);
+        self.mem_eff = eff;
+        self
+    }
+
+    /// Total device-memory traffic.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity in FLOP/byte (infinite for pure-compute kernels).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F64.bytes(), 8);
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::BF16.bytes(), 2);
+        assert_eq!(DType::I8.bytes(), 1);
+        assert_eq!(DType::C64.bytes(), 16);
+        assert_eq!(DType::C32.bytes(), 8);
+    }
+
+    #[test]
+    fn complex_maps_to_real_compute_class() {
+        assert_eq!(DType::C64.compute_class(), DType::F64);
+        assert_eq!(DType::C32.compute_class(), DType::F32);
+        assert_eq!(DType::F16.compute_class(), DType::F16);
+    }
+
+    #[test]
+    fn launch_cover_rounds_up() {
+        let lc = LaunchConfig::cover(1000, 256);
+        assert_eq!(lc.grid_blocks, 4);
+        assert_eq!(lc.total_threads(), 1024);
+        let exact = LaunchConfig::cover(512, 256);
+        assert_eq!(exact.grid_blocks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        LaunchConfig::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let k = KernelProfile::new("triad", LaunchConfig::default())
+            .flops(2e9, DType::F64)
+            .bytes(16e9, 8e9);
+        assert!((k.arithmetic_intensity() - 2e9 / 24e9).abs() < 1e-12);
+        let pure = KernelProfile::new("flops", LaunchConfig::default()).flops(1e9, DType::F32);
+        assert!(pure.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "active lane fraction")]
+    fn divergence_must_be_positive() {
+        let _ = KernelProfile::new("bad", LaunchConfig::default()).divergence(0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Node models: CPUs + GPUs + the links between them.
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point data link (host↔device, device↔device, or node↔NIC),
+/// modelled as latency + bytes/bandwidth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Sustained bandwidth, bytes/s (one direction).
+    pub bandwidth: f64,
+    /// Per-transfer latency (driver + DMA setup).
+    pub latency: SimTime,
+}
+
+impl LinkModel {
+    /// New link.
+    pub fn new(bandwidth: f64, latency: SimTime) -> Self {
+        assert!(bandwidth > 0.0);
+        LinkModel { bandwidth, latency }
+    }
+
+    /// Time to move `bytes` over the link.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.latency + SimTime::from_secs(bytes as f64 / self.bandwidth)
+    }
+
+    /// NVLink 2.0 as on Summit (CPU↔GPU, 50 GB/s per direction).
+    pub fn nvlink2() -> Self {
+        LinkModel::new(50.0e9, SimTime::from_micros(5.0))
+    }
+
+    /// Infinity Fabric CPU↔GCD as on Frontier (36 GB/s per direction).
+    pub fn infinity_fabric_host() -> Self {
+        LinkModel::new(36.0e9, SimTime::from_micros(5.0))
+    }
+
+    /// xGMI GCD↔GCD peer link on Frontier (50 GB/s).
+    pub fn xgmi_peer() -> Self {
+        LinkModel::new(50.0e9, SimTime::from_micros(3.0))
+    }
+
+    /// PCIe gen3 x16 (Poplar/Tulip host link).
+    pub fn pcie3() -> Self {
+        LinkModel::new(13.0e9, SimTime::from_micros(8.0))
+    }
+
+    /// PCIe gen4 x16 (Spock/Birch host link).
+    pub fn pcie4() -> Self {
+        LinkModel::new(26.0e9, SimTime::from_micros(6.0))
+    }
+}
+
+/// One compute node: a CPU complex, zero or more identical GPUs, and the
+/// links that join them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeModel {
+    /// Descriptive name.
+    pub name: String,
+    /// CPU complex (all sockets).
+    pub cpu: CpuModel,
+    /// GPU device model, if the node has accelerators.
+    pub gpu: Option<GpuModel>,
+    /// Number of *schedulable* GPU devices (GCDs on Frontier).
+    pub gpus_per_node: u32,
+    /// Host↔device link (per device).
+    pub host_link: LinkModel,
+    /// Device↔device peer link.
+    pub peer_link: LinkModel,
+    /// Number of network interface controllers.
+    pub nics: u32,
+}
+
+impl NodeModel {
+    /// OLCF Summit node: 2 Power9 + 6 V100, NVLink.
+    pub fn summit() -> Self {
+        NodeModel {
+            name: "Summit node (6x V100)".into(),
+            cpu: CpuModel::power9_2s(),
+            gpu: Some(GpuModel::v100()),
+            gpus_per_node: 6,
+            host_link: LinkModel::nvlink2(),
+            peer_link: LinkModel::nvlink2(),
+            nics: 2,
+        }
+    }
+
+    /// OLCF Frontier node: 1 Trento + 4 MI250X = 8 GCDs, Infinity Fabric.
+    pub fn frontier() -> Self {
+        NodeModel {
+            name: "Frontier node (4x MI250X = 8 GCDs)".into(),
+            cpu: CpuModel::epyc_trento(),
+            gpu: Some(GpuModel::mi250x_gcd()),
+            gpus_per_node: 8,
+            host_link: LinkModel::infinity_fabric_host(),
+            peer_link: LinkModel::xgmi_peer(),
+            nics: 4,
+        }
+    }
+
+    /// First-generation early-access node (Poplar/Tulip): Naples + 4 MI60.
+    pub fn poplar() -> Self {
+        NodeModel {
+            name: "Poplar/Tulip node (4x MI60)".into(),
+            cpu: CpuModel::epyc_naples(),
+            gpu: Some(GpuModel::mi60()),
+            gpus_per_node: 4,
+            host_link: LinkModel::pcie3(),
+            peer_link: LinkModel::pcie3(),
+            nics: 1,
+        }
+    }
+
+    /// Second-generation early-access node (Spock/Birch): Rome + 4 MI100.
+    pub fn spock() -> Self {
+        NodeModel {
+            name: "Spock/Birch node (4x MI100)".into(),
+            cpu: CpuModel::epyc_rome(),
+            gpu: Some(GpuModel::mi100()),
+            gpus_per_node: 4,
+            host_link: LinkModel::pcie4(),
+            peer_link: LinkModel::pcie4(),
+            nics: 1,
+        }
+    }
+
+    /// Crusher node — identical to the Frontier node architecture (§4).
+    pub fn crusher() -> Self {
+        let mut n = Self::frontier();
+        n.name = "Crusher node (4x MI250X = 8 GCDs)".into();
+        n
+    }
+
+    /// NERSC Cori KNL node (CPU only).
+    pub fn cori() -> Self {
+        NodeModel {
+            name: "Cori node (KNL 68c)".into(),
+            cpu: CpuModel::knl_7250(),
+            gpu: None,
+            gpus_per_node: 0,
+            host_link: LinkModel::pcie3(),
+            peer_link: LinkModel::pcie3(),
+            nics: 1,
+        }
+    }
+
+    /// ANL Theta KNL node (CPU only).
+    pub fn theta() -> Self {
+        NodeModel {
+            name: "Theta node (KNL 64c)".into(),
+            cpu: CpuModel::knl_7230(),
+            gpu: None,
+            gpus_per_node: 0,
+            host_link: LinkModel::pcie3(),
+            peer_link: LinkModel::pcie3(),
+            nics: 1,
+        }
+    }
+
+    /// NREL Eagle Skylake node (CPU only).
+    pub fn eagle() -> Self {
+        NodeModel {
+            name: "Eagle node (2x Skylake 18c)".into(),
+            cpu: CpuModel::skylake_2x6154(),
+            gpu: None,
+            gpus_per_node: 0,
+            host_link: LinkModel::pcie3(),
+            peer_link: LinkModel::pcie3(),
+            nics: 1,
+        }
+    }
+
+    /// Whether this node has GPU accelerators.
+    pub fn has_gpus(&self) -> bool {
+        self.gpus_per_node > 0 && self.gpu.is_some()
+    }
+
+    /// Reference to the GPU model; panics for CPU-only nodes.
+    pub fn gpu(&self) -> &GpuModel {
+        self.gpu.as_ref().expect("node has no GPUs")
+    }
+
+    /// Aggregate FP64 peak of the node (CPU + all GPUs).
+    pub fn node_peak_f64(&self) -> f64 {
+        let gpu = self
+            .gpu
+            .as_ref()
+            .map(|g| g.peak_f64 * self.gpus_per_node as f64)
+            .unwrap_or(0.0);
+        self.cpu.peak_f64 + gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_transfer_time() {
+        let l = LinkModel::new(10.0e9, SimTime::from_micros(2.0));
+        let t = l.transfer_time(10_000_000_000);
+        assert!((t.secs() - 1.000002).abs() < 1e-9);
+        // Latency dominates tiny messages.
+        let t0 = l.transfer_time(8);
+        assert!(t0.micros() > 1.9 && t0.micros() < 2.1);
+    }
+
+    #[test]
+    fn frontier_node_vs_summit_node_flops() {
+        let s = NodeModel::summit();
+        let f = NodeModel::frontier();
+        let ratio = f.node_peak_f64() / s.node_peak_f64();
+        // 8 * 23.95 / (6 * 7.8 + 1) ≈ 4.0 — the paper's "4-8x apps" substrate.
+        assert!(ratio > 3.5 && ratio < 4.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn crusher_is_frontier_node_architecture() {
+        let c = NodeModel::crusher();
+        let f = NodeModel::frontier();
+        assert_eq!(c.gpus_per_node, f.gpus_per_node);
+        assert_eq!(c.gpu().peak_f64, f.gpu().peak_f64);
+    }
+
+    #[test]
+    fn cpu_only_nodes_have_no_gpu() {
+        for n in [NodeModel::cori(), NodeModel::theta(), NodeModel::eagle()] {
+            assert!(!n.has_gpus());
+            assert_eq!(n.node_peak_f64(), n.cpu.peak_f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no GPUs")]
+    fn gpu_accessor_panics_on_cpu_node() {
+        let _ = NodeModel::cori().gpu();
+    }
+}

@@ -1,0 +1,416 @@
+//! Communicators: per-rank virtual clocks plus data-carrying collectives.
+
+use crate::collectives as coll;
+use crate::network::Network;
+use exa_machine::{Clock, SimTime};
+
+/// Aggregate communication statistics for a communicator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Total payload bytes across all operations (logical, per-rank sums).
+    pub bytes: u64,
+    /// Collective operations executed.
+    pub collectives: u64,
+}
+
+/// A simulated communicator over `size` ranks.
+///
+/// Every rank owns a virtual clock. Local compute is charged with
+/// [`Comm::advance`]; communication operations synchronise and advance the
+/// clocks of the ranks involved using the α–β formulas in
+/// [`crate::collectives`]. Data-carrying variants also perform the real data
+/// movement on host memory, so numerical code built on top (the distributed
+/// FFT, the APSP solver, QEq CG) is exactly testable.
+#[derive(Debug)]
+pub struct Comm {
+    net: Network,
+    clocks: Vec<Clock>,
+    stats: CommStats,
+}
+
+impl Comm {
+    /// A communicator of `size` ranks over `net`.
+    pub fn new(size: usize, net: Network) -> Self {
+        assert!(size >= 1, "communicator needs at least one rank");
+        Comm { net, clocks: vec![Clock::new(); size], stats: CommStats::default() }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The network view.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Current virtual time of `rank`.
+    pub fn now(&self, rank: usize) -> SimTime {
+        self.clocks[rank].now()
+    }
+
+    /// Latest clock across ranks — the job's wall time.
+    pub fn elapsed(&self) -> SimTime {
+        self.clocks.iter().map(|c| c.now()).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Charge local (compute) time to one rank.
+    pub fn advance(&mut self, rank: usize, dt: SimTime) {
+        self.clocks[rank].advance(dt);
+    }
+
+    /// Charge the same local time to every rank (perfectly balanced phase).
+    pub fn advance_all(&mut self, dt: SimTime) {
+        for c in &mut self.clocks {
+            c.advance(dt);
+        }
+    }
+
+    fn sync_all(&mut self) -> SimTime {
+        let t = self.elapsed();
+        for c in &mut self.clocks {
+            c.sync_to(t);
+        }
+        t
+    }
+
+    fn collective(&mut self, cost: SimTime, bytes: u64) -> SimTime {
+        let t = self.sync_all() + cost;
+        for c in &mut self.clocks {
+            c.sync_to(t);
+        }
+        self.stats.collectives += 1;
+        self.stats.bytes += bytes;
+        t
+    }
+
+    /// Point-to-point message of `bytes` from `src` to `dst`.
+    pub fn send(&mut self, src: usize, dst: usize, bytes: u64) -> SimTime {
+        assert!(src != dst, "self-sends are local copies, not messages");
+        let start = self.clocks[src].now().max(self.clocks[dst].now());
+        let done = start + self.net.p2p(bytes);
+        self.clocks[src].sync_to(done);
+        self.clocks[dst].sync_to(done);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        done
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&mut self) -> SimTime {
+        let cost = coll::barrier_time(&self.net, self.size());
+        self.collective(cost, 0)
+    }
+
+    /// Cost-only allreduce of `bytes` per rank.
+    pub fn allreduce(&mut self, bytes: u64) -> SimTime {
+        let cost = coll::allreduce_time(&self.net, self.size(), bytes);
+        self.collective(cost, bytes)
+    }
+
+    /// Cost-only broadcast.
+    pub fn bcast(&mut self, bytes: u64) -> SimTime {
+        let cost = coll::bcast_time(&self.net, self.size(), bytes);
+        self.collective(cost, bytes)
+    }
+
+    /// Cost-only allgather (`bytes` contributed per rank).
+    pub fn allgather(&mut self, bytes: u64) -> SimTime {
+        let cost = coll::allgather_time(&self.net, self.size(), bytes);
+        self.collective(cost, bytes * self.size() as u64)
+    }
+
+    /// Cost-only all-to-all (`bytes_per_pair` between every rank pair).
+    pub fn alltoall(&mut self, bytes_per_pair: u64) -> SimTime {
+        let p = self.size();
+        let cost = coll::alltoall_time(&self.net, p, bytes_per_pair);
+        self.collective(cost, bytes_per_pair * (p as u64) * (p as u64 - 1))
+    }
+
+    /// Cost-only gather of `bytes` per rank to a root.
+    pub fn gather(&mut self, bytes: u64) -> SimTime {
+        let cost = coll::gather_time(&self.net, self.size(), bytes);
+        self.collective(cost, bytes * self.size() as u64)
+    }
+
+    /// Cost-only scatter of `bytes` per rank from a root.
+    pub fn scatter(&mut self, bytes: u64) -> SimTime {
+        let cost = coll::scatter_time(&self.net, self.size(), bytes);
+        self.collective(cost, bytes * self.size() as u64)
+    }
+
+    /// Cost-only reduce of `bytes` per rank to a root.
+    pub fn reduce(&mut self, bytes: u64) -> SimTime {
+        let cost = coll::reduce_time(&self.net, self.size(), bytes);
+        self.collective(cost, bytes)
+    }
+
+    /// Cost-only exclusive scan of `bytes` per rank.
+    pub fn scan(&mut self, bytes: u64) -> SimTime {
+        let cost = coll::scan_time(&self.net, self.size(), bytes);
+        self.collective(cost, bytes)
+    }
+
+    /// Data-carrying broadcast: copy `root`'s vector to every rank, charging
+    /// the binomial-tree cost.
+    pub fn bcast_data<T: Clone>(&mut self, root: usize, per_rank: &mut [Vec<T>]) {
+        assert_eq!(per_rank.len(), self.size());
+        assert!(root < self.size());
+        let payload = per_rank[root].clone();
+        let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
+        for (r, v) in per_rank.iter_mut().enumerate() {
+            if r != root {
+                *v = payload.clone();
+            }
+        }
+        self.bcast(bytes);
+    }
+
+    /// Data-carrying exclusive scan (sum) over per-rank scalars: rank r ends
+    /// with the sum of ranks 0..r.
+    pub fn exscan_sum_f64(&mut self, values: &mut [f64]) {
+        assert_eq!(values.len(), self.size());
+        let mut acc = 0.0;
+        for v in values.iter_mut() {
+            let mine = *v;
+            *v = acc;
+            acc += mine;
+        }
+        self.scan(8);
+    }
+
+    /// Broadcast happening concurrently inside disjoint groups of `group`
+    /// ranks (row/column communicators of a 2-D process grid).
+    pub fn bcast_grouped(&mut self, group: usize, bytes: u64) -> SimTime {
+        assert!(group >= 1 && group <= self.size());
+        let cost = coll::bcast_time(&self.net, group, bytes);
+        let groups = (self.size() / group.max(1)) as u64;
+        self.collective(cost, bytes * groups)
+    }
+
+    /// All-to-all happening concurrently inside disjoint groups of
+    /// `group` ranks (the row/column communicators of a 2-D pencil
+    /// decomposition, §3.3). All groups proceed in parallel, so the charge
+    /// is one group's cost.
+    pub fn alltoall_grouped(&mut self, group: usize, bytes_per_pair: u64) -> SimTime {
+        assert!(group >= 1 && group <= self.size());
+        let cost = coll::alltoall_time(&self.net, group, bytes_per_pair);
+        let groups = (self.size() / group.max(1)) as u64;
+        self.collective(cost, bytes_per_pair * group as u64 * (group as u64 - 1) * groups)
+    }
+
+    /// Nearest-neighbour halo exchange performed by every rank at once.
+    pub fn halo_exchange(&mut self, neighbors: usize, bytes: u64) -> SimTime {
+        let cost = coll::halo_time(&self.net, neighbors, bytes);
+        self.collective(cost, bytes as u64 * neighbors as u64 * self.size() as u64)
+    }
+
+    // ---- data-carrying collectives --------------------------------------
+
+    /// Elementwise sum-allreduce across per-rank vectors (all must share a
+    /// length). After the call every rank holds the sum. Charges the α–β
+    /// allreduce cost for the payload.
+    pub fn allreduce_sum_f64(&mut self, per_rank: &mut [Vec<f64>]) {
+        assert_eq!(per_rank.len(), self.size());
+        let n = per_rank[0].len();
+        assert!(per_rank.iter().all(|v| v.len() == n), "ragged allreduce");
+        let mut acc = vec![0.0f64; n];
+        for v in per_rank.iter() {
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += *x;
+            }
+        }
+        for v in per_rank.iter_mut() {
+            v.copy_from_slice(&acc);
+        }
+        self.allreduce((n * 8) as u64);
+    }
+
+    /// Data all-to-all: `send[i][j]` is what rank `i` sends to rank `j`;
+    /// returns `recv` with `recv[j][i] = send[i][j]`. Charges the cost for
+    /// the *largest* pairwise payload (the straggler pair sets the pace).
+    pub fn alltoallv_data<T: Clone>(&mut self, send: Vec<Vec<Vec<T>>>) -> Vec<Vec<Vec<T>>> {
+        let p = self.size();
+        assert_eq!(send.len(), p);
+        for row in &send {
+            assert_eq!(row.len(), p, "each rank must address every rank");
+        }
+        let elem = std::mem::size_of::<T>() as u64;
+        let max_pair = send
+            .iter()
+            .flat_map(|row| row.iter().map(|v| v.len() as u64 * elem))
+            .max()
+            .unwrap_or(0);
+        // recv[j][i] = send[i][j]
+        let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+        let mut columns: Vec<Vec<Vec<T>>> = send.into_iter().map(|row| row).collect();
+        for j in 0..p {
+            for row in columns.iter_mut() {
+                recv[j].push(std::mem::take(&mut row[j]));
+            }
+        }
+        let p_u = self.size();
+        let cost = coll::alltoall_time(&self.net, p_u, max_pair);
+        self.collective(cost, max_pair * p_u as u64 * (p_u as u64 - 1));
+        recv
+    }
+
+    /// Reset all clocks and statistics (between experiment repetitions).
+    pub fn reset(&mut self) {
+        for c in &mut self.clocks {
+            c.reset();
+        }
+        self.stats = CommStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_machine::MachineModel;
+
+    fn comm(p: usize) -> Comm {
+        Comm::new(p, Network::from_machine(&MachineModel::frontier()))
+    }
+
+    #[test]
+    fn p2p_advances_both_endpoints() {
+        let mut c = comm(4);
+        c.advance(0, SimTime::from_micros(100.0));
+        let done = c.send(0, 2, 1 << 20);
+        assert_eq!(c.now(0), done);
+        assert_eq!(c.now(2), done);
+        assert_eq!(c.now(1), SimTime::ZERO);
+        assert_eq!(c.stats().messages, 1);
+    }
+
+    #[test]
+    fn collectives_synchronise_stragglers() {
+        let mut c = comm(8);
+        c.advance(3, SimTime::from_millis(5.0)); // straggler
+        c.allreduce(1 << 10);
+        let t = c.now(0);
+        assert!(t > SimTime::from_millis(5.0));
+        for r in 0..8 {
+            assert_eq!(c.now(r), t, "rank {r} out of sync");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_produces_global_sum_everywhere() {
+        let mut c = comm(4);
+        let mut data: Vec<Vec<f64>> =
+            (0..4).map(|r| vec![r as f64, 10.0 * r as f64]).collect();
+        c.allreduce_sum_f64(&mut data);
+        for v in &data {
+            assert_eq!(v, &vec![6.0, 60.0]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose_and_conserves_data() {
+        let mut c = comm(3);
+        // send[i][j] = vec of tagged values i*10 + j
+        let send: Vec<Vec<Vec<u32>>> = (0..3)
+            .map(|i| (0..3).map(|j| vec![(i * 10 + j) as u32; i + j + 1]).collect())
+            .collect();
+        let total_in: usize = send.iter().flatten().map(|v| v.len()).sum();
+        let recv = c.alltoallv_data(send);
+        let total_out: usize = recv.iter().flatten().map(|v| v.len()).sum();
+        assert_eq!(total_in, total_out);
+        for (j, row) in recv.iter().enumerate() {
+            for (i, v) in row.iter().enumerate() {
+                assert!(v.iter().all(|&x| x == (i * 10 + j) as u32));
+                assert_eq!(v.len(), i + j + 1);
+            }
+        }
+        assert_eq!(c.stats().collectives, 1);
+    }
+
+    #[test]
+    fn grouped_alltoall_cheaper_than_global() {
+        let mut a = comm(64);
+        let mut b = comm(64);
+        a.alltoall(1 << 16);
+        b.alltoall_grouped(8, 1 << 16);
+        assert!(b.elapsed() < a.elapsed());
+    }
+
+    #[test]
+    fn gpu_aware_comm_is_faster() {
+        let net = Network::from_machine(&MachineModel::frontier());
+        let mut aware = Comm::new(16, net.clone().with_gpu_aware(true));
+        let mut staged = Comm::new(16, net.with_gpu_aware(false));
+        aware.alltoall(1 << 20);
+        staged.alltoall(1 << 20);
+        assert!(staged.elapsed() > aware.elapsed() * 1.5);
+    }
+
+    #[test]
+    fn barrier_is_latency_only() {
+        let mut c = comm(1024);
+        c.barrier();
+        let t = c.elapsed();
+        assert!(t.micros() < 100.0, "barrier should be microseconds, got {t}");
+        assert_eq!(c.stats().bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-sends")]
+    fn self_send_rejected() {
+        comm(2).send(1, 1, 8);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = comm(4);
+        c.allreduce(1 << 20);
+        c.reset();
+        assert_eq!(c.elapsed(), SimTime::ZERO);
+        assert_eq!(c.stats().collectives, 0);
+    }
+
+    #[test]
+    fn gather_scatter_reduce_scan_cost_sanely() {
+        let mut c = comm(64);
+        let t_gather = c.gather(1 << 16);
+        c.reset();
+        let t_bcast = c.bcast(1 << 16);
+        c.reset();
+        let t_scan = c.scan(1 << 16);
+        c.reset();
+        let t_reduce = c.reduce(1 << 16);
+        // Gather moves (p-1)n through the root: costlier than a tree bcast.
+        assert!(t_gather > t_bcast);
+        assert!(t_scan > SimTime::ZERO && t_reduce > SimTime::ZERO);
+        c.reset();
+        assert!(c.scatter(1 << 16) == t_gather);
+    }
+
+    #[test]
+    fn bcast_data_replicates_the_root() {
+        let mut c = comm(4);
+        let mut data: Vec<Vec<u32>> = vec![vec![], vec![7, 8, 9], vec![1], vec![]];
+        c.bcast_data(1, &mut data);
+        for v in &data {
+            assert_eq!(v, &vec![7, 8, 9]);
+        }
+        assert_eq!(c.stats().collectives, 1);
+    }
+
+    #[test]
+    fn exscan_is_exclusive_prefix_sum() {
+        let mut c = comm(5);
+        let mut vals = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        c.exscan_sum_f64(&mut vals);
+        assert_eq!(vals, vec![0.0, 1.0, 3.0, 6.0, 10.0]);
+    }
+}

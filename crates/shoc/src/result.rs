@@ -1,0 +1,67 @@
+//! Benchmark trait and result types.
+
+use exa_hal::{Result, SimTime, Stream};
+use serde::{Deserialize, Serialize};
+
+/// Problem scale: `Test` keeps CI fast; `Full` approximates the real SHOC
+/// problem sizes for the Figure 1 binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small arrays for unit tests.
+    Test,
+    /// SHOC-like sizes for benchmark reporting.
+    Full,
+}
+
+impl Scale {
+    /// Base element count for 1-D benchmarks.
+    pub fn n(self) -> usize {
+        match self {
+            Scale::Test => 1 << 12,
+            Scale::Full => 1 << 22,
+        }
+    }
+
+    /// Matrix/grid edge for 2-D benchmarks.
+    pub fn edge(self) -> usize {
+        match self {
+            Scale::Test => 64,
+            Scale::Full => 1024,
+        }
+    }
+}
+
+/// Outcome of one benchmark run on one API surface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// End-to-end time including host↔device transfers (the "with data
+    /// transfer costs" series of Figure 1).
+    pub time_total: SimTime,
+    /// Device kernel time only (the "without" series).
+    pub time_kernel: SimTime,
+    /// Whether the computed answer matched the host oracle.
+    pub verified: bool,
+}
+
+/// A SHOC-style benchmark program.
+pub trait ShocBenchmark: Sync {
+    /// Program name as it appears on the Figure 1 x-axis.
+    fn name(&self) -> &'static str;
+
+    /// Representative CUDA-dialect source, fed to `hipify` to reproduce the
+    /// §2.1 conversion study.
+    fn cuda_source(&self) -> &'static str;
+
+    /// Run on a stream (whose API surface decides CUDA vs HIP costs).
+    fn run(&self, stream: &mut Stream, scale: Scale) -> Result<BenchResult>;
+}
+
+/// Helper: assemble a [`BenchResult`] from a stream whose clocks started at
+/// zero; `kernel_busy` should be the device-busy time attributable to
+/// kernels (not DMA).
+pub fn finish(name: &str, stream: &mut Stream, kernel_time: SimTime, verified: bool) -> BenchResult {
+    let total = stream.synchronize();
+    BenchResult { name: name.to_string(), time_total: total, time_kernel: kernel_time, verified }
+}

@@ -1,0 +1,38 @@
+//! ExaSky/HACC-style cosmology box (§3.4).
+//!
+//! Runs the real PM N-body loop (CIC deposit → spectral Poisson →
+//! kick–drift–kick) from a cold, jittered lattice and watches gravitational
+//! instability grow structure, then prices the production weak-scaling run.
+//!
+//! Run with `cargo run --release --example cosmology_box`.
+
+use exaready::apps::exasky::{ExaSky, PmNbody};
+use exaready::core::Application;
+use exaready::machine::MachineModel;
+
+fn main() {
+    let mut sim = PmNbody::cold_lattice(16, 16, 0.3, 2026);
+    sim.g = 30.0;
+    println!("PM N-body: {} particles on a 16^3 mesh\n", sim.pos.len());
+    println!("{:>5} {:>14} {:>14}", "step", "density var", "net |p|");
+    for step in 0..=24 {
+        if step % 4 == 0 {
+            let m = sim.momentum();
+            let pmag = (m[0] * m[0] + m[1] * m[1] + m[2] * m[2]).sqrt();
+            println!("{:>5} {:>14.6} {:>14.2e}", step, sim.density_variance(), pmag);
+        }
+        sim.step(0.02);
+    }
+    println!("\n(growing variance = gravitational collapse; |p| ~ 0 = momentum conservation)");
+
+    let app = ExaSky::default();
+    let summit = app.run(&MachineModel::summit());
+    let frontier = app.run(&MachineModel::frontier());
+    println!("\nproduction weak-scaling FOM (cost model):");
+    println!("  Summit  : {:.3e} particle-steps/s", summit.value);
+    println!("  Frontier: {:.3e} particle-steps/s", frontier.value);
+    println!(
+        "  speed-up: {:.2}x  [paper: 4.2x against the 4x target]",
+        frontier.value / summit.value
+    );
+}

@@ -1,0 +1,67 @@
+//! Pele-style AMR reactive flow (§3.8).
+//!
+//! Ignites a hot spot on a two-level AMR grid with an embedded boundary,
+//! integrates the stiff chemistry with both of the paper's linear-solver
+//! routes (matrix-free GMRES à la PeleC, batched dense LU à la PeleLM), and
+//! renders the flame as ASCII frames.
+//!
+//! Run with `cargo run --release --example flame_ignition`.
+
+use exaready::apps::pele::{AmrFlow, ChemLinearSolver};
+
+fn render(flow: &AmrFlow) {
+    let n = flow.n;
+    for i in 0..n {
+        let mut line = String::with_capacity(n);
+        for j in 0..n {
+            let idx = i * n + j;
+            let ch = if flow.eb_mask[idx] {
+                '#' // embedded boundary (solid)
+            } else {
+                let u = &flow.state[idx];
+                if u[2] > 0.5 {
+                    '*' // burned (product-rich)
+                } else if u[3] > 0.6 {
+                    '+' // hot
+                } else if flow.refined[idx] {
+                    ':' // AMR-refined front
+                } else {
+                    '.'
+                }
+            };
+            line.push(ch);
+        }
+        println!("{line}");
+    }
+}
+
+fn main() {
+    let mut flow = AmrFlow::hot_spot(28);
+    flow.kappa = 1.2; // conductive front propagation on the coarse demo grid
+    let mass0 = flow.total_mass();
+    println!("legend: '#' solid (EB)  '*' burned  '+' hot  ':' refined  '.' fresh fuel\n");
+
+    for frame in 0..4 {
+        let flagged = flow.regrid(0.05);
+        println!(
+            "--- frame {frame}: Tmax = {:.2}, burned cells = {}, refined cells = {flagged} ---",
+            flow.max_temp(),
+            flow.burned_cells()
+        );
+        render(&flow);
+        println!();
+        // Alternate the two chemistry solver routes — they agree (§3.8).
+        let solver = if frame % 2 == 0 {
+            ChemLinearSolver::BatchedLu
+        } else {
+            ChemLinearSolver::MatrixFreeGmres
+        };
+        for _ in 0..12 {
+            flow.step(2e-2, solver);
+        }
+    }
+
+    let drift = (flow.total_mass() - mass0).abs() / mass0;
+    println!("species mass conservation over the run: relative drift {drift:.2e}");
+    assert!(drift < 1e-8, "chemistry must conserve mass");
+}
