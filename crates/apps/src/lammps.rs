@@ -23,7 +23,7 @@
 
 use crate::calibration::lammps as cal;
 use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
-use exa_hal::{DType, KernelProfile, LaunchConfig, SimTime};
+use exa_hal::{DType, GraphCapture, KernelProfile, LaunchConfig, SimTime};
 use exa_core::Motif::*;
 use exa_machine::{GpuArch, MachineModel};
 
@@ -251,34 +251,44 @@ pub fn torsion_kernel_time(
 ) -> SimTime {
     let regs = if spill_fixed { 168 } else { 4096 };
     let flops_per_tuple = 550.0;
+    // The per-timestep torsion sequence is fixed, so both strategies are
+    // captured as kernel graphs and charged one replay each — the launch
+    // arithmetic (`Σ kernel_time + N·launch_latency`) lives in
+    // [`exa_hal::KernelGraph::total_time`] now.
+    let mut cap = GraphCapture::new();
     if preprocessed {
         // Preprocessor: cheap cutoff checks over candidate chains.
         let candidates = atoms * 64;
-        let pre = KernelProfile::new("torsion_pre", LaunchConfig::cover(candidates, 256))
-            .flops(candidates as f64 * 12.0, DType::F64)
-            .bytes(candidates as f64 * 12.0, tuples as f64 * 16.0)
-            .regs(48)
-            .divergence(0.5)
-            .mem_eff(0.6);
+        cap.kernel(
+            KernelProfile::new("torsion_pre", LaunchConfig::cover(candidates, 256))
+                .flops(candidates as f64 * 12.0, DType::F64)
+                .bytes(candidates as f64 * 12.0, tuples as f64 * 16.0)
+                .regs(48)
+                .divergence(0.5)
+                .mem_eff(0.6),
+        );
         // Dense evaluation over the tuple list.
-        let dense = KernelProfile::new("torsion_dense", LaunchConfig::cover(tuples.max(1), 256))
-            .flops(tuples as f64 * flops_per_tuple, DType::F64)
-            .bytes(tuples as f64 * 48.0, tuples as f64 * 8.0)
-            .regs(regs)
-            .divergence(cal::TORSION_LANES_DENSE)
-            .mem_eff(0.6);
-        gpu.kernel_time(&pre) + gpu.kernel_time(&dense) + gpu.launch_latency * 2.0
+        cap.kernel(
+            KernelProfile::new("torsion_dense", LaunchConfig::cover(tuples.max(1), 256))
+                .flops(tuples as f64 * flops_per_tuple, DType::F64)
+                .bytes(tuples as f64 * 48.0, tuples as f64 * 8.0)
+                .regs(regs)
+                .divergence(cal::TORSION_LANES_DENSE)
+                .mem_eff(0.6),
+        );
     } else {
         // Algorithm 1: every candidate walks the full control flow, with
         // only the surviving lanes doing the expensive math.
-        let k = KernelProfile::new("torsion_naive", LaunchConfig::cover(atoms, 256))
-            .flops(tuples as f64 * flops_per_tuple, DType::F64)
-            .bytes(atoms as f64 * 640.0, tuples as f64 * 24.0)
-            .regs(regs)
-            .divergence(cal::TORSION_LANES_NAIVE)
-            .mem_eff(0.5);
-        gpu.kernel_time(&k) + gpu.launch_latency
+        cap.kernel(
+            KernelProfile::new("torsion_naive", LaunchConfig::cover(atoms, 256))
+                .flops(tuples as f64 * flops_per_tuple, DType::F64)
+                .bytes(atoms as f64 * 640.0, tuples as f64 * 24.0)
+                .regs(regs)
+                .divergence(cal::TORSION_LANES_NAIVE)
+                .mem_eff(0.5),
+        );
     }
+    cap.end().total_time(gpu)
 }
 
 // ---------------------------------------------------------------------------

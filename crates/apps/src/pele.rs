@@ -736,9 +736,79 @@ pub fn chemistry_data_time(cells: usize, steps: usize, uvm: bool) -> SimTime {
     stream.synchronize()
 }
 
+/// The modeled kernels of one chemistry substep. A CVODE-style integrator
+/// is a parade of small per-cell kernels — rate evaluation, Jacobian
+/// assembly, LU factor/solve, state update, error norm, temperature fix-up,
+/// copy-back — each touching a slice of the state and each shorter than a
+/// kernel-launch latency. This is precisely the launch-bound regime the
+/// §3.8 fusion work (and hipGraph replay) targets.
+fn chemistry_kernels(cells: usize) -> Vec<exa_hal::KernelProfile> {
+    use exa_hal::{DType, KernelProfile, LaunchConfig};
+    let c = cells as f64;
+    let launch = LaunchConfig::cover(cells as u64, 256);
+    ["rates", "jac", "lu", "solve", "update", "errnorm", "tempfix", "copyback"]
+        .iter()
+        .map(|name| {
+            KernelProfile::new(format!("chem_{name}"), launch)
+                .flops(c * 50.0, DType::F64)
+                .bytes(c * 8.0, c * 8.0)
+                .regs(96)
+                .mem_eff(0.6)
+        })
+        .collect()
+}
+
+/// Time `steps` chemistry substeps on the tuned explicit-copy path, either
+/// launch-by-launch (`graphed = false`: upload, kernel, blocking download
+/// per step — every step pays a kernel-launch submission and a host sync)
+/// or as a captured kernel graph replayed once per step (`graphed = true`:
+/// the fixed upload→RHS→download sequence is recorded through
+/// [`exa_hal::Stream::begin_capture`] and each step is one graph
+/// submission, so the per-step launch charge collapses and the host stops
+/// gating the device).
+pub fn chemistry_step_time(cells: usize, steps: usize, graphed: bool) -> SimTime {
+    use exa_hal::{ApiSurface, Device, Stream};
+    let device = Device::new(exa_machine::GpuModel::mi250x_gcd(), 0);
+    let mut stream = Stream::new(device, ApiSurface::Hip).expect("hip on cdna2");
+    let bytes = (cells * NSPEC * std::mem::size_of::<f64>()) as u64;
+    let kernels = chemistry_kernels(cells);
+    if graphed {
+        stream.begin_capture();
+        stream.upload_modeled(bytes);
+        for k in &kernels {
+            stream.launch_modeled(k);
+        }
+        stream.download_modeled(bytes);
+        let graph = stream.end_capture();
+        for _ in 0..steps {
+            stream.replay(&graph);
+        }
+    } else {
+        for _ in 0..steps {
+            stream.upload_modeled(bytes);
+            for k in &kernels {
+                stream.launch_modeled(k);
+            }
+            stream.download_modeled(bytes);
+        }
+    }
+    stream.synchronize()
+}
+
 #[cfg(test)]
 mod uvm_tests {
     use super::*;
+
+    #[test]
+    fn graphed_chemistry_beats_per_call_launching() {
+        let cells = 4096;
+        let eager = chemistry_step_time(cells, 16, false);
+        let graphed = chemistry_step_time(cells, 16, true);
+        assert!(
+            graphed < eager,
+            "replaying the captured step must beat per-call launches: {graphed} !< {eager}"
+        );
+    }
 
     #[test]
     fn removing_uvm_is_a_win() {

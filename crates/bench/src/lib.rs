@@ -24,6 +24,15 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     println!("\n[wrote {}]", path.display());
 }
 
+/// Serialize a headline record to `<repo root>/<name>.json`. Used for the
+/// top-level `BENCH_*.json` artifacts that acceptance gates read.
+pub fn write_root_json<T: Serialize>(name: &str, value: &T) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable record");
+    fs::write(&path, json).expect("can write root record");
+    println!("\n[wrote {}]", path.display());
+}
+
 /// Print a section header.
 pub fn header(title: &str) {
     let bar = "=".repeat(title.len() + 8);

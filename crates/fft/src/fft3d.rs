@@ -5,7 +5,7 @@
 
 use crate::fft1d::{fft, ifft};
 use exa_linalg::C64;
-use rayon::prelude::*;
+use exa_hal::exec;
 
 /// Forward 3-D FFT over an `n0 × n1 × n2` array.
 pub fn fft3d(data: &mut [C64], n0: usize, n1: usize, n2: usize) {
@@ -28,10 +28,10 @@ fn transform3d(data: &mut [C64], n0: usize, n1: usize, n2: usize, inverse: bool)
     };
 
     // Axis 2 (contiguous lines).
-    data.par_chunks_mut(n2).for_each(|line| apply(line));
+    exec::par_chunks_mut(data, n2, |_, line| apply(line));
 
     // Axis 1: lines stride n2 within each i0-plane.
-    data.par_chunks_mut(n1 * n2).for_each(|plane| {
+    exec::par_chunks_mut(data, n1 * n2, |_, plane| {
         let mut line = vec![C64::ZERO; n1];
         for i2 in 0..n2 {
             for i1 in 0..n1 {
@@ -50,17 +50,17 @@ fn transform3d(data: &mut [C64], n0: usize, n1: usize, n2: usize, inverse: bool)
     let plane_stride = n1 * n2;
     let mut scratch: Vec<C64> = vec![C64::ZERO; n0 * n1 * n2];
     // scratch[(i1 * n2 + i2) * n0 + i0] = data[i0 * plane + i1 * n2 + i2]
-    scratch.par_chunks_mut(n0).enumerate().for_each(|(p, line)| {
+    exec::par_chunks_mut(&mut scratch, n0, |p, line| {
         // p = i1 * n2 + i2
         for (i0, v) in line.iter_mut().enumerate() {
             *v = data[i0 * plane_stride + p];
         }
         apply(line);
     });
-    data.par_iter_mut().enumerate().for_each(|(idx, v)| {
+    exec::par_map_inplace(data, |idx, _| {
         let i0 = idx / plane_stride;
         let p = idx % plane_stride;
-        *v = scratch[p * n0 + i0];
+        scratch[p * n0 + i0]
     });
 }
 

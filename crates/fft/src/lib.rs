@@ -8,7 +8,7 @@
 //! * [`fft1d`] — iterative radix-2 Cooley–Tukey for powers of two and a
 //!   Bluestein chirp-z fallback for general lengths, with inverse and
 //!   real-input helpers;
-//! * [`mod@fft3d`] — in-memory 3-D transforms, rayon-parallel over lines;
+//! * [`mod@fft3d`] — in-memory 3-D transforms, thread-parallel over lines;
 //! * [`dist3d`] — the distributed 3-D FFT at the heart of the GESTS PSDNS
 //!   solver, with both domain decompositions the paper compares: **Slabs**
 //!   (1-D decomposition, one transpose per transform, at most N ranks) and

@@ -1,15 +1,112 @@
 //! Data-parallel host execution of kernel bodies.
 //!
 //! The simulated GPU kernels in this repository perform their real math on
-//! the host. For large arrays we use rayon so tests and benches stay fast;
-//! below a threshold the sequential path avoids fork/join overhead. The
-//! helpers guarantee identical results either way (all closures are pure
-//! per-element maps or associative reductions).
+//! the host. For large arrays the helpers fan work out over scoped OS
+//! threads (`std::thread::scope` — no external dependencies, the build is
+//! fully offline); below a threshold the sequential path avoids fork/join
+//! overhead. The helpers guarantee identical results either way (all
+//! closures are pure per-element maps or associative reductions).
+//!
+//! Tuning knobs:
+//! * [`PAR_THRESHOLD`] — compile-time default for the sequential cutoff;
+//!   override per process with the `EXA_PAR_THRESHOLD` env var (bench sweeps).
+//! * `EXA_NUM_THREADS` — cap the worker count (defaults to the machine).
+//! * The `*_with_min_len` variants bound task granularity, the equivalent of
+//!   rayon's `with_min_len`: no worker receives fewer than `min_len` items,
+//!   which caps fork/join overhead for cheap per-element closures.
 
-use rayon::prelude::*;
+use std::ops::Range;
+use std::sync::OnceLock;
 
-/// Below this many elements a sequential loop beats rayon's overhead.
+/// Below this many elements a sequential loop beats fork/join overhead.
 pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Default minimum number of elements a single worker must receive; the
+/// `*_with_min_len` variants override it.
+pub const DEFAULT_MIN_LEN: usize = 1 << 12;
+
+/// The active sequential cutoff: `EXA_PAR_THRESHOLD` if set, else
+/// [`PAR_THRESHOLD`]. Read once per process.
+pub fn par_threshold() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("EXA_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(PAR_THRESHOLD)
+    })
+}
+
+/// Worker count: `EXA_NUM_THREADS` if set, else available parallelism.
+pub fn num_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("EXA_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+/// The deterministic block decomposition [`par_scatter_blocks`] uses for a
+/// given `(n, min_len)` — public so multi-phase algorithms (histogram →
+/// offsets → scatter, the radix-sort shape) can precompute per-block state
+/// that lines up exactly with the scatter's blocks. Returns a single
+/// `0..n` block when `n` is below [`par_threshold`], matching the scatter's
+/// serial fallback.
+pub fn block_ranges(n: usize, min_len: usize) -> Vec<Range<usize>> {
+    if n < par_threshold() {
+        return vec![0..n];
+    }
+    blocks(n, min_len)
+}
+
+/// Split `0..n` into per-worker ranges of at least `min_len` items each.
+fn blocks(n: usize, min_len: usize) -> Vec<Range<usize>> {
+    let min_len = min_len.max(1);
+    let workers = num_threads().min(n / min_len).max(1);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Fan `data` out over workers as disjoint contiguous subslices;
+/// `f(base_index, subslice)` runs once per worker, the tail on the caller.
+fn par_split_mut<T, F>(data: &mut [T], min_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let ranges = blocks(data.len(), min_len);
+    if ranges.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        let mut base = 0;
+        let last = ranges.len() - 1;
+        for r in &ranges[..last] {
+            let (head, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let b = base;
+            base += head.len();
+            s.spawn(move || f(b, head));
+        }
+        f(base, rest);
+    });
+}
 
 /// Elementwise in-place transform: `data[i] = f(i, data[i])`.
 pub fn par_map_inplace<T, F>(data: &mut [T], f: F)
@@ -17,13 +114,26 @@ where
     T: Send + Copy,
     F: Fn(usize, T) -> T + Sync,
 {
-    if data.len() < PAR_THRESHOLD {
+    par_map_inplace_with_min_len(data, DEFAULT_MIN_LEN, f);
+}
+
+/// [`par_map_inplace`] with an explicit minimum per-worker task length.
+pub fn par_map_inplace_with_min_len<T, F>(data: &mut [T], min_len: usize, f: F)
+where
+    T: Send + Copy,
+    F: Fn(usize, T) -> T + Sync,
+{
+    if data.len() < par_threshold() {
         for (i, x) in data.iter_mut().enumerate() {
             *x = f(i, *x);
         }
-    } else {
-        data.par_iter_mut().enumerate().for_each(|(i, x)| *x = f(i, *x));
+        return;
     }
+    par_split_mut(data, min_len, |base, chunk| {
+        for (k, x) in chunk.iter_mut().enumerate() {
+            *x = f(base + k, *x);
+        }
+    });
 }
 
 /// Parallel fill from an index function: `out[i] = f(i)`.
@@ -32,13 +142,17 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if out.len() < PAR_THRESHOLD {
+    if out.len() < par_threshold() {
         for (i, x) in out.iter_mut().enumerate() {
             *x = f(i);
         }
-    } else {
-        out.par_iter_mut().enumerate().for_each(|(i, x)| *x = f(i));
+        return;
     }
+    par_split_mut(out, DEFAULT_MIN_LEN, |base, chunk| {
+        for (k, x) in chunk.iter_mut().enumerate() {
+            *x = f(base + k);
+        }
+    });
 }
 
 /// Parallel associative reduction over an index range.
@@ -48,14 +162,35 @@ where
     F: Fn(usize) -> T + Sync,
     R: Fn(T, T) -> T + Sync + Send,
 {
-    if n < PAR_THRESHOLD {
-        (0..n).fold(identity, |acc, i| reduce(acc, f(i)))
-    } else {
-        (0..n)
-            .into_par_iter()
-            .fold(|| identity, |acc, i| reduce(acc, f(i)))
-            .reduce(|| identity, &reduce)
+    par_reduce_with_min_len(n, DEFAULT_MIN_LEN, identity, f, reduce)
+}
+
+/// [`par_reduce`] with an explicit minimum per-worker task length.
+pub fn par_reduce_with_min_len<T, F, R>(n: usize, min_len: usize, identity: T, f: F, reduce: R) -> T
+where
+    T: Send + Sync + Copy,
+    F: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync + Send,
+{
+    if n < par_threshold() {
+        return (0..n).fold(identity, |acc, i| reduce(acc, f(i)));
     }
+    let ranges = blocks(n, min_len);
+    if ranges.len() <= 1 {
+        return (0..n).fold(identity, |acc, i| reduce(acc, f(i)));
+    }
+    let partials: Vec<T> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                let reduce = &reduce;
+                s.spawn(move || r.fold(identity, |acc, i| reduce(acc, f(i))))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("exec worker panicked")).collect()
+    });
+    partials.into_iter().fold(identity, |acc, p| reduce(acc, p))
 }
 
 /// Run `f(chunk_index, chunk)` over disjoint mutable chunks in parallel —
@@ -66,13 +201,127 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk > 0, "chunk size must be positive");
-    if data.len() < PAR_THRESHOLD {
+    if data.len() < par_threshold() {
         for (i, c) in data.chunks_mut(chunk).enumerate() {
             f(i, c);
         }
-    } else {
-        data.par_chunks_mut(chunk).enumerate().for_each(|(i, c)| f(i, c));
+        return;
     }
+    let nchunks = data.len().div_ceil(chunk);
+    let ranges = blocks(nchunks, 1);
+    if ranges.len() <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        let last = ranges.len() - 1;
+        for (w, r) in ranges.iter().enumerate() {
+            let elems = (r.len() * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            rest = tail;
+            let c0 = r.start;
+            if w < last {
+                s.spawn(move || {
+                    for (k, c) in head.chunks_mut(chunk).enumerate() {
+                        f(c0 + k, c);
+                    }
+                });
+            } else {
+                for (k, c) in head.chunks_mut(chunk).enumerate() {
+                    f(c0 + k, c);
+                }
+            }
+        }
+    });
+}
+
+/// Parallel map into a fresh `Vec`: `out[i] = f(i)`. Meant for coarse-grained
+/// batched work (each item a whole matrix factorization, say), so it
+/// parallelizes for any `n > 1` instead of gating on [`par_threshold`].
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let ranges = blocks(n, 1);
+    if ranges.len() <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let parts: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                s.spawn(move || r.map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("exec worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Block-parallel scatter. The source index range `0..n` is split into
+/// blocks; for each block, `f(block_index, index_range, emit)` runs once and
+/// may call `emit(pos, value)` to write `dst[pos] = value`.
+///
+/// This is the stable-radix-sort scatter shape: each block walks its source
+/// slice in order and emits to destination cursors it owns. The caller must
+/// guarantee that concurrent blocks emit to **disjoint** destination
+/// positions (e.g. a permutation partitioned by block); positions are
+/// bounds-checked, disjointness is the caller's contract.
+pub fn par_scatter_blocks<T, F>(dst: &mut [T], n: usize, min_len: usize, f: F)
+where
+    T: Send + Sync,
+    F: Fn(usize, Range<usize>, &mut dyn FnMut(usize, T)) + Sync,
+{
+    let len = dst.len();
+    if n < par_threshold() {
+        let mut emit = |pos: usize, val: T| {
+            assert!(pos < len, "scatter position {pos} out of bounds ({len})");
+            dst[pos] = val;
+        };
+        f(0, 0..n, &mut emit);
+        return;
+    }
+    let ranges = blocks(n, min_len);
+    if ranges.len() <= 1 {
+        let mut emit = |pos: usize, val: T| {
+            assert!(pos < len, "scatter position {pos} out of bounds ({len})");
+            dst[pos] = val;
+        };
+        f(0, 0..n, &mut emit);
+        return;
+    }
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T: Send> Send for SendPtr<T> {}
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    let ptr = SendPtr(dst.as_mut_ptr());
+    std::thread::scope(|s| {
+        let f = &f;
+        let ptr = &ptr;
+        for (bi, r) in ranges.into_iter().enumerate() {
+            s.spawn(move || {
+                let mut emit = |pos: usize, val: T| {
+                    assert!(pos < len, "scatter position {pos} out of bounds ({len})");
+                    // SAFETY: pos is in bounds (checked above) and the caller
+                    // guarantees concurrent blocks emit disjoint positions.
+                    unsafe { ptr.0.add(pos).write(val) };
+                };
+                f(bi, r, &mut emit);
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -117,5 +366,64 @@ mod tests {
             }
         });
         assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunk_indices_match_sequential_order() {
+        let n = PAR_THRESHOLD * 3 + 5;
+        let mut v = vec![0usize; n];
+        par_chunks_mut(&mut v, 64, |ci, c| {
+            for x in c.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 64);
+        }
+    }
+
+    #[test]
+    fn min_len_variants_agree_with_defaults() {
+        let n = PAR_THRESHOLD * 2;
+        let mut a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut b = a.clone();
+        par_map_inplace(&mut a, |i, x| x + i as f64);
+        par_map_inplace_with_min_len(&mut b, 1 << 16, |i, x| x + i as f64);
+        assert_eq!(a, b);
+        let r1 = par_reduce(n, 0u64, |i| i as u64, |x, y| x + y);
+        let r2 = par_reduce_with_min_len(n, 1, 0u64, |i| i as u64, |x, y| x + y);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map(PAR_THRESHOLD + 3, |i| i * 2);
+        assert_eq!(v.len(), PAR_THRESHOLD + 3);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+        assert!(par_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn scatter_blocks_permute_correctly() {
+        // Reverse permutation via scatter, large enough to go parallel.
+        let n = PAR_THRESHOLD * 2;
+        let src: Vec<u64> = (0..n as u64).collect();
+        let mut dst = vec![0u64; n];
+        par_scatter_blocks(&mut dst, n, 1 << 10, |_b, range, emit| {
+            for i in range {
+                emit(n - 1 - i, src[i]);
+            }
+        });
+        for i in 0..n {
+            assert_eq!(dst[i], (n - 1 - i) as u64);
+        }
+    }
+
+    #[test]
+    fn threshold_and_threads_are_positive() {
+        assert!(par_threshold() > 0);
+        assert!(num_threads() > 0);
     }
 }

@@ -19,12 +19,16 @@
 //!   unstructured target-data regions, `target update to/from`, and
 //!   `use_device_ptr`, encoding the §2.2 best practices;
 //! * [`pool`] — a YAKL-style device pool allocator (E3SM §3.5) with real
-//!   free-list bookkeeping and modelled allocation latencies.
+//!   free-list bookkeeping and modelled allocation latencies;
+//! * [`graph`] — a hipGraph/CUDA-Graphs kernel-graph engine: capture a
+//!   stream's launch sequence, optimize it with kernel **fusion** and
+//!   **fission** passes, and replay the whole graph for one launch charge.
 //!
 //! ## Execution model
 //!
 //! Kernels execute **eagerly and deterministically** on the host (optionally
-//! data-parallel via rayon), while their *simulated* duration comes from the
+//! data-parallel via the scoped-thread [`exec`] helpers), while their
+//! *simulated* duration comes from the
 //! [`exa_machine`] roofline model. Streams therefore carry a virtual clock:
 //! "asynchronous" execution means clock bookkeeping, not host threads, so
 //! every run is reproducible.
@@ -34,6 +38,7 @@ pub mod buffer;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod graph;
 pub mod hipify;
 pub mod offload;
 pub mod pool;
@@ -45,6 +50,9 @@ pub use api::{ApiSurface, Feature};
 pub use buffer::DeviceBuffer;
 pub use device::Device;
 pub use error::{HalError, Result};
+pub use graph::{
+    ElementwiseFn, FusionPolicy, GraphCapture, GraphOp, GraphStats, KernelGraph, KernelNode,
+};
 pub use hipify::{hipify_source, ConversionReport};
 pub use offload::TargetData;
 pub use pool::PoolAllocator;

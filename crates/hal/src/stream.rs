@@ -14,12 +14,18 @@
 //! overlap launch overheads for later kernel launches". A synchronous launch
 //! (or an explicit [`Stream::synchronize`]) joins the host clock to the
 //! device clock.
+//!
+//! Streams can also **capture** their modeled operations into a
+//! [`KernelGraph`] ([`Stream::begin_capture`] / [`Stream::end_capture`]) and
+//! later [`Stream::replay`] the graph for the cost of a single submission —
+//! the hipGraph / CUDA Graphs path; see [`crate::graph`].
 
 use crate::api::ApiSurface;
 use crate::buffer::DeviceBuffer;
 use crate::device::Device;
 use crate::error::{HalError, Result};
-use exa_machine::{Clock, KernelProfile, SimTime};
+use crate::graph::{GraphCapture, GraphOp, KernelGraph};
+use exa_machine::{graph_node_dispatch, Clock, KernelProfile, SimTime};
 use std::sync::Arc;
 
 /// A recorded point on a stream's device timeline.
@@ -44,6 +50,12 @@ pub struct StreamStats {
     pub bytes_d2h: u64,
     /// Device→device bytes copied.
     pub bytes_d2d: u64,
+    /// Kernel-graph replays submitted ([`Stream::replay`]).
+    pub graph_replays: u64,
+    /// Kernel nodes executed inside graph replays (not counted in
+    /// [`StreamStats::kernels`] — a replay charges one submission, however
+    /// many nodes it runs).
+    pub graph_kernels: u64,
     /// Total device busy time (kernels + DMA).
     pub device_busy: SimTime,
 }
@@ -57,6 +69,7 @@ pub struct Stream {
     gpu: Clock,
     sync_launch: bool,
     stats: StreamStats,
+    capture: Option<GraphCapture>,
 }
 
 impl Stream {
@@ -79,6 +92,7 @@ impl Stream {
             gpu: Clock::new(),
             sync_launch: false,
             stats: StreamStats::default(),
+            capture: None,
         })
     }
 
@@ -158,7 +172,8 @@ impl Stream {
 
     /// Launch a kernel: execute `body` eagerly (the real math) and charge the
     /// modelled duration. Returns the device-time at which the kernel
-    /// completes.
+    /// completes. During capture the body still runs once (the data reaches
+    /// its post-step state) while the launch is recorded instead of charged.
     pub fn launch<F: FnOnce()>(&mut self, profile: &KernelProfile, body: F) -> SimTime {
         body();
         self.launch_modeled(profile)
@@ -166,16 +181,31 @@ impl Stream {
 
     /// Charge a kernel launch without executing a body — used when running
     /// at paper scale (e.g. a 32,768³ GESTS grid) where only the cost model
-    /// is evaluated.
+    /// is evaluated. During capture, records the launch into the graph
+    /// instead (as non-fusable: the engine cannot prove it pure).
     pub fn launch_modeled(&mut self, profile: &KernelProfile) -> SimTime {
+        if self.capture.is_some() {
+            self.host.advance(self.api.call_overhead());
+            self.capture.as_mut().expect("checked").kernel(profile.clone());
+            return self.gpu.now();
+        }
         let work = self.device.model.kernel_time(profile);
         self.stats.kernels += 1;
         self.enqueue_device_work(self.device.model.launch_latency, work)
     }
 
     /// Allocate a zeroed device buffer, charging the runtime's allocation
-    /// latency (what the §3.5 pool allocator avoids).
+    /// latency (what the §3.5 pool allocator avoids). During capture the
+    /// allocation is recorded into the graph's memory plan instead.
     pub fn alloc<T: Copy + Default>(&mut self, len: usize) -> Result<DeviceBuffer<T>> {
+        if self.capture.is_some() {
+            self.host.advance(self.api.call_overhead());
+            self.capture
+                .as_mut()
+                .expect("checked")
+                .alloc((len * std::mem::size_of::<T>()) as u64);
+            return DeviceBuffer::zeroed(&self.device, len);
+        }
         self.host.advance(self.api.call_overhead() + self.device.model.alloc_latency);
         DeviceBuffer::zeroed(&self.device, len)
     }
@@ -187,6 +217,11 @@ impl Stream {
         }
         dst.as_mut_slice().copy_from_slice(src);
         let bytes = dst.bytes();
+        if self.capture.is_some() {
+            self.host.advance(self.api.call_overhead());
+            self.capture.as_mut().expect("checked").upload(bytes);
+            return Ok(self.gpu.now());
+        }
         self.stats.bytes_h2d += bytes;
         let t = self.device.host_link.transfer_time(bytes);
         Ok(self.enqueue_device_work(SimTime::ZERO, t))
@@ -200,6 +235,11 @@ impl Stream {
         }
         dst.copy_from_slice(src.as_slice());
         let bytes = src.bytes();
+        if self.capture.is_some() {
+            self.host.advance(self.api.call_overhead());
+            self.capture.as_mut().expect("checked").download(bytes);
+            return Ok(self.gpu.now());
+        }
         self.stats.bytes_d2h += bytes;
         let t = self.device.host_link.transfer_time(bytes);
         let done = self.enqueue_device_work(SimTime::ZERO, t);
@@ -224,15 +264,28 @@ impl Stream {
     }
 
     /// Charge a transfer of raw `bytes` host→device without data movement
-    /// (modeled mode, for paper-scale estimates).
+    /// (modeled mode, for paper-scale estimates). Recorded, not charged,
+    /// during capture.
     pub fn upload_modeled(&mut self, bytes: u64) -> SimTime {
+        if self.capture.is_some() {
+            self.host.advance(self.api.call_overhead());
+            self.capture.as_mut().expect("checked").upload(bytes);
+            return self.gpu.now();
+        }
         self.stats.bytes_h2d += bytes;
         let t = self.device.host_link.transfer_time(bytes);
         self.enqueue_device_work(SimTime::ZERO, t)
     }
 
     /// Charge a transfer of raw `bytes` device→host without data movement.
+    /// Recorded, not charged, during capture (a graphed download does not
+    /// block the host — the ordering lives in the graph).
     pub fn download_modeled(&mut self, bytes: u64) -> SimTime {
+        if self.capture.is_some() {
+            self.host.advance(self.api.call_overhead());
+            self.capture.as_mut().expect("checked").download(bytes);
+            return self.gpu.now();
+        }
         self.stats.bytes_d2h += bytes;
         let t = self.device.host_link.transfer_time(bytes);
         let done = self.enqueue_device_work(SimTime::ZERO, t);
@@ -240,11 +293,105 @@ impl Stream {
         done
     }
 
+    // -----------------------------------------------------------------------
+    // Kernel graphs (hipGraph / CUDA Graphs).
+    // -----------------------------------------------------------------------
+
+    /// Start recording this stream's modeled operations into a graph.
+    /// Subsequent `launch_modeled` / `upload_modeled` / `download_modeled` /
+    /// `alloc` calls are captured instead of charged, until
+    /// [`Stream::end_capture`].
+    pub fn begin_capture(&mut self) {
+        assert!(self.capture.is_none(), "graph capture already in progress");
+        self.host.advance(self.api.call_overhead());
+        self.capture = Some(GraphCapture::new());
+    }
+
+    /// Whether the stream is currently capturing.
+    pub fn is_capturing(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Finish recording and return the captured graph.
+    pub fn end_capture(&mut self) -> KernelGraph {
+        self.host.advance(self.api.call_overhead());
+        self.capture.take().expect("end_capture without begin_capture").end()
+    }
+
+    /// Replay a captured graph: the host pays **one** submission (API call +
+    /// one launch latency) for the whole graph, and the device runs every
+    /// node back to back, each costing only its work plus a small queue
+    /// dispatch. Compare with N × `launch_modeled`, which pays the full
+    /// launch latency per kernel.
+    pub fn replay(&mut self, graph: &KernelGraph) -> SimTime {
+        assert!(self.capture.is_none(), "cannot replay while capturing");
+        let latency = self.device.model.launch_latency;
+        let mut work = SimTime::ZERO;
+        let mut kernels = 0u64;
+        for op in graph.ops() {
+            work += graph_node_dispatch(latency);
+            match op {
+                GraphOp::Kernel(n) => {
+                    work += self.device.model.kernel_time(&n.profile);
+                    kernels += 1;
+                }
+                GraphOp::Upload { bytes } => {
+                    work += self.device.host_link.transfer_time(*bytes);
+                    self.stats.bytes_h2d += *bytes;
+                }
+                GraphOp::Download { bytes } => {
+                    work += self.device.host_link.transfer_time(*bytes);
+                    self.stats.bytes_d2h += *bytes;
+                }
+                // The graph's memory plan is pre-instantiated (pooled):
+                // only the node dispatch above is charged.
+                GraphOp::Alloc { .. } => {}
+            }
+        }
+        self.stats.graph_replays += 1;
+        self.stats.graph_kernels += kernels;
+        self.enqueue_device_work(latency, work)
+    }
+
+    /// Replay a graph *and* run its elementwise kernels' real host compute
+    /// over `data`, fused: each node makes a single cache-resident pass,
+    /// however many captured kernels it merges.
+    pub fn replay_on(&mut self, graph: &KernelGraph, data: &mut [f64]) -> SimTime {
+        graph.execute_fused(data);
+        self.replay(graph)
+    }
+
+    /// The pre-graph comparator: launch every node of `graph` individually
+    /// (full launch latency each; one full memory sweep over `data` per
+    /// elementwise stage). Bit-identical results to [`Stream::replay_on`],
+    /// at eager-launch cost.
+    pub fn launch_eager(&mut self, graph: &KernelGraph, data: &mut [f64]) -> SimTime {
+        assert!(self.capture.is_none(), "cannot launch while capturing");
+        let mut t = self.gpu.now();
+        for op in graph.ops() {
+            match op {
+                GraphOp::Kernel(n) => {
+                    n.execute_eager(data);
+                    t = self.launch_modeled(&n.profile);
+                }
+                GraphOp::Upload { bytes } => t = self.upload_modeled(*bytes),
+                GraphOp::Download { bytes } => t = self.download_modeled(*bytes),
+                GraphOp::Alloc { .. } => {
+                    self.host
+                        .advance(self.api.call_overhead() + self.device.model.alloc_latency);
+                }
+            }
+        }
+        t
+    }
+
     /// Reset both clocks and statistics (between benchmark repetitions).
+    /// Abandons any capture in progress.
     pub fn reset(&mut self) {
         self.host.reset();
         self.gpu.reset();
         self.stats = StreamStats::default();
+        self.capture = None;
     }
 }
 
@@ -372,6 +519,72 @@ mod tests {
         let mut out = vec![0.0; 1 << 20];
         s.download(&buf, &mut out).unwrap();
         assert_eq!(s.host_time(), s.device_time());
+    }
+
+    #[test]
+    fn capture_records_instead_of_charging() {
+        let mut s = stream(ApiSurface::Cuda);
+        let k = flops_kernel(1e9);
+        s.begin_capture();
+        assert!(s.is_capturing());
+        s.launch_modeled(&k);
+        s.upload_modeled(1 << 20);
+        s.download_modeled(1 << 20);
+        let _buf = s.alloc::<f64>(256).unwrap();
+        let g = s.end_capture();
+        assert!(!s.is_capturing());
+        // Nothing was charged to the device, and no stats accumulated.
+        assert!(s.device_time().is_zero());
+        assert_eq!(s.stats().kernels, 0);
+        assert_eq!(s.stats().bytes_h2d, 0);
+        let gs = g.stats();
+        assert_eq!(gs.kernels, 1);
+        assert_eq!(gs.transfers, 2);
+        assert_eq!(gs.allocs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_capture without begin_capture")]
+    fn end_capture_requires_begin() {
+        let mut s = stream(ApiSurface::Cuda);
+        let _ = s.end_capture();
+    }
+
+    #[test]
+    fn replay_charges_one_launch_for_many_kernels() {
+        let k = flops_kernel(1e6); // small kernels: latency-dominated
+        let mut graphed = stream(ApiSurface::Cuda);
+        graphed.begin_capture();
+        for _ in 0..16 {
+            graphed.launch_modeled(&k);
+        }
+        let g = graphed.end_capture();
+        graphed.replay(&g);
+        let t_graph = graphed.synchronize();
+        assert_eq!(graphed.stats().graph_replays, 1);
+        assert_eq!(graphed.stats().graph_kernels, 16);
+        assert_eq!(graphed.stats().kernels, 0);
+
+        let mut eager = stream(ApiSurface::Cuda);
+        for _ in 0..16 {
+            eager.launch_modeled(&k);
+        }
+        let t_eager = eager.synchronize();
+        assert!(t_graph < t_eager, "graph {t_graph} !< eager {t_eager}");
+    }
+
+    #[test]
+    fn replayed_downloads_count_bytes_every_replay() {
+        let mut s = stream(ApiSurface::Cuda);
+        s.begin_capture();
+        s.upload_modeled(1000);
+        s.download_modeled(500);
+        let g = s.end_capture();
+        for _ in 0..3 {
+            s.replay(&g);
+        }
+        assert_eq!(s.stats().bytes_h2d, 3000);
+        assert_eq!(s.stats().bytes_d2h, 1500);
     }
 
     #[test]

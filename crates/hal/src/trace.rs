@@ -8,6 +8,7 @@
 //! roofline classification, and renders hotspot tables and a roofline
 //! report.
 
+use crate::graph::KernelGraph;
 use crate::stream::Stream;
 use exa_machine::{EffCurve, GpuModel, KernelProfile, SimTime};
 use serde::Serialize;
@@ -114,6 +115,23 @@ impl Tracer {
         let start = stream.device_time();
         let end = stream.launch_modeled(profile);
         self.record(profile, start, end - start);
+        end
+    }
+
+    /// Replay a kernel graph through a stream while recording one event per
+    /// kernel node — so fused and fissioned kernels show up in the hotspot
+    /// table under their graph names ("a+b", "monster[0/4]"). Node start
+    /// times attribute the replay's device span to nodes in launch order
+    /// (queue-dispatch charges are folded into the span, as `rocprof` would
+    /// show them).
+    pub fn replay_traced(&mut self, stream: &mut Stream, graph: &KernelGraph) -> SimTime {
+        let mut start = stream.device_time();
+        let end = stream.replay(graph);
+        for node in graph.kernels() {
+            let dur = self.gpu.kernel_time(&node.profile);
+            self.record(&node.profile, start, dur);
+            start = start + dur;
+        }
         end
     }
 
@@ -272,6 +290,22 @@ mod tests {
         let report = tracer.report();
         assert!(report.contains("jacobian"));
         assert!(report.contains("YES"), "spill column must flag the 18k-register kernel:\n{report}");
+    }
+
+    #[test]
+    fn replay_traced_names_fused_nodes() {
+        use crate::graph::{FusionPolicy, GraphCapture};
+        let (mut tracer, mut stream) = setup();
+        let mut cap = GraphCapture::new();
+        cap.kernel_fusable(KernelProfile::new("a", big()).flops(1e9, DType::F64).bytes(1e9, 1e9));
+        cap.kernel_fusable(KernelProfile::new("b", big()).flops(1e9, DType::F64).bytes(1e9, 1e9));
+        let mut g = cap.end();
+        g.fuse_elementwise(&FusionPolicy::default());
+        tracer.replay_traced(&mut stream, &g);
+        let stats = tracer.hotspots();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "a+b");
+        assert_eq!(stream.stats().graph_replays, 1);
     }
 
     #[test]

@@ -5,18 +5,18 @@
 //! thousands of small per-cell chemistry systems are factored and solved as
 //! one batch. GAMESS's fragment method (§3.1) similarly runs many
 //! independent fragment-level GEMMs. These helpers run the whole batch in
-//! parallel with rayon.
+//! parallel through the exa-hal exec layer.
 
 use crate::gemm::matmul;
 use crate::lu::{getrf, LuFactors, Singular};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use exa_hal::exec;
 
 /// Multiply matched pairs: `out[i] = a[i] * b[i]`.
 pub fn batched_matmul<S: Scalar>(a: &[Matrix<S>], b: &[Matrix<S>]) -> Vec<Matrix<S>> {
     assert_eq!(a.len(), b.len(), "batch length mismatch");
-    a.par_iter().zip(b.par_iter()).map(|(x, y)| matmul(x, y)).collect()
+    exec::par_map(a.len(), |i| matmul(&a[i], &b[i]))
 }
 
 /// Factor every matrix in the batch; any singular member fails the batch
@@ -25,7 +25,7 @@ pub fn batched_getrf<S: Scalar>(
     batch: &[Matrix<S>],
 ) -> Result<Vec<LuFactors<S>>, (usize, Singular)> {
     let results: Vec<Result<LuFactors<S>, Singular>> =
-        batch.par_iter().map(getrf).collect();
+        exec::par_map(batch.len(), |i| getrf(&batch[i]));
     let mut out = Vec::with_capacity(results.len());
     for (i, r) in results.into_iter().enumerate() {
         match r {
@@ -39,7 +39,7 @@ pub fn batched_getrf<S: Scalar>(
 /// Solve matched systems in place: `a[i] · x = rhs[i]`.
 pub fn batched_getrs<S: Scalar>(factors: &[LuFactors<S>], rhs: &mut [Matrix<S>]) {
     assert_eq!(factors.len(), rhs.len(), "batch length mismatch");
-    factors.par_iter().zip(rhs.par_iter_mut()).for_each(|(f, b)| f.getrs(b));
+    exec::par_chunks_mut(rhs, 1, |i, b| factors[i].getrs(&mut b[0]));
 }
 
 #[cfg(test)]

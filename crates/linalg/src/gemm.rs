@@ -8,7 +8,7 @@
 
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
-use rayon::prelude::*;
+use exa_hal::exec;
 
 /// Cache block in the k dimension.
 const KBLOCK: usize = 64;
@@ -34,10 +34,7 @@ pub fn gemm<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut 
     let c_cols = c.as_mut_slice();
 
     // Each panel of JPANEL columns of C is independent.
-    c_cols
-        .par_chunks_mut(m * JPANEL)
-        .enumerate()
-        .for_each(|(panel, c_panel)| {
+    exec::par_chunks_mut(c_cols, m * JPANEL, |panel, c_panel| {
             let j0 = panel * JPANEL;
             let ncols = c_panel.len() / m;
             // Scale C by beta once.
@@ -167,7 +164,7 @@ pub fn gemm_f16_acc32(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
     let bh: Vec<f32> = b.as_slice().iter().map(|&x| f16_round(x)).collect();
     let mut c = Matrix::zeros(m, n);
     let c_slice = c.as_mut_slice();
-    c_slice.par_chunks_mut(m).enumerate().for_each(|(j, c_col)| {
+    exec::par_chunks_mut(c_slice, m, |j, c_col| {
         for kk in 0..k {
             let bkj = bh[kk + j * k];
             let a_col = &ah[kk * m..kk * m + m];
@@ -185,7 +182,7 @@ pub fn gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     let mut c = vec![0i32; m * n];
-    c.par_chunks_mut(m).enumerate().for_each(|(j, c_col)| {
+    exec::par_chunks_mut(&mut c, m, |j, c_col| {
         for kk in 0..k {
             let bkj = b[kk + j * k] as i32;
             let a_col = &a[kk * m..kk * m + m];

@@ -8,7 +8,7 @@
 //!
 //! * complex arithmetic ([`complex`]),
 //! * column-major dense matrices ([`matrix`]),
-//! * blocked, rayon-parallel GEMM, including the reduced-precision paths
+//! * blocked, thread-parallel GEMM, including the reduced-precision paths
 //!   CoMet computes with ([`gemm`]),
 //! * LU factorisation with partial pivoting and triangular solves ([`lu`]),
 //! * the `zblock_lu` block-inversion algorithm LSMS historically used, for

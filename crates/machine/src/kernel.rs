@@ -16,6 +16,10 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Extra registers a fused kernel needs on top of the max of its parts:
+/// live ranges of the stitched stages overlap at the seam.
+pub const FUSION_REG_OVERHEAD: u32 = 8;
+
 /// Numeric data types that the machine models publish peak rates for.
 ///
 /// CoMet (§3.6) is the paper's showcase for reduced precision: it computes on
@@ -223,6 +227,63 @@ impl KernelProfile {
         self
     }
 
+    /// Merge this kernel with the one launched immediately after it into a
+    /// single fused kernel (E3SM §3.5 kernel fusion, the graph engine's
+    /// fusion pass).
+    ///
+    /// The fused kernel performs both kernels' arithmetic but makes **one**
+    /// memory sweep: intermediate values stay in registers/cache instead of
+    /// round-tripping through HBM, so traffic is the *max* of the parts, not
+    /// the sum. The price is register pressure — live ranges of neighbouring
+    /// stages overlap, costing [`FUSION_REG_OVERHEAD`] extra registers — and
+    /// the worst divergence/efficiency of either part.
+    pub fn fuse(&self, other: &KernelProfile) -> KernelProfile {
+        KernelProfile {
+            name: format!("{}+{}", self.name, other.name),
+            launch: LaunchConfig::new(
+                self.launch.grid_blocks.max(other.launch.grid_blocks),
+                self.launch.threads_per_block.max(other.launch.threads_per_block),
+            ),
+            flops: self.flops + other.flops,
+            dtype: self.dtype,
+            uses_matrix_units: self.uses_matrix_units || other.uses_matrix_units,
+            bytes_read: self.bytes_read.max(other.bytes_read),
+            bytes_written: self.bytes_written.max(other.bytes_written),
+            regs_per_thread: self.regs_per_thread.max(other.regs_per_thread)
+                + FUSION_REG_OVERHEAD,
+            lds_per_block: self.lds_per_block.max(other.lds_per_block),
+            active_lane_frac: self.active_lane_frac.min(other.active_lane_frac),
+            tuned_wavefront: self.tuned_wavefront.or(other.tuned_wavefront),
+            compute_eff: self.compute_eff.min(other.compute_eff),
+            mem_eff: self.mem_eff.min(other.mem_eff),
+        }
+    }
+
+    /// Split the kernel into `parts` sub-kernels of `regs_per_part` registers
+    /// each (E3SM §3.5 kernel fission: "when register spillage was observed,
+    /// kernels could be fissioned ... larger kernel launch overheads, but
+    /// significantly lower kernel runtimes").
+    ///
+    /// This is *loop* fission: each part sweeps the **same iteration space**
+    /// (full grid) but computes a fraction of the body, so work and traffic
+    /// divide while the launch geometry stays put. Register pressure drops
+    /// to the caller-chosen per-part footprint (the point of the exercise —
+    /// each part holds fewer live values).
+    pub fn fission(&self, parts: u32, regs_per_part: u32) -> Vec<KernelProfile> {
+        assert!(parts >= 1, "fission needs at least one part");
+        (0..parts)
+            .map(|p| {
+                let mut k = self.clone();
+                k.name = format!("{}[{}/{}]", self.name, p, parts);
+                k.flops = self.flops / parts as f64;
+                k.bytes_read = self.bytes_read / parts as f64;
+                k.bytes_written = self.bytes_written / parts as f64;
+                k.regs_per_thread = regs_per_part.max(1);
+                k
+            })
+            .collect()
+    }
+
     /// Total device-memory traffic.
     pub fn total_bytes(&self) -> f64 {
         self.bytes_read + self.bytes_written
@@ -290,5 +351,48 @@ mod tests {
     #[should_panic(expected = "active lane fraction")]
     fn divergence_must_be_positive() {
         let _ = KernelProfile::new("bad", LaunchConfig::default()).divergence(0.0);
+    }
+
+    #[test]
+    fn fuse_sums_flops_but_sweeps_memory_once() {
+        let a = KernelProfile::new("a", LaunchConfig::new(64, 128))
+            .flops(1e6, DType::F64)
+            .bytes(8e6, 4e6)
+            .regs(40)
+            .divergence(0.9);
+        let b = KernelProfile::new("b", LaunchConfig::new(32, 256))
+            .flops(2e6, DType::F64)
+            .bytes(6e6, 8e6)
+            .regs(56)
+            .mem_eff(0.5);
+        let f = a.fuse(&b);
+        assert_eq!(f.name, "a+b");
+        assert_eq!(f.flops, 3e6);
+        // One sweep: traffic is the max of the parts, not the sum.
+        assert_eq!(f.bytes_read, 8e6);
+        assert_eq!(f.bytes_written, 8e6);
+        assert_eq!(f.regs_per_thread, 56 + FUSION_REG_OVERHEAD);
+        assert_eq!(f.launch.grid_blocks, 64);
+        assert_eq!(f.launch.threads_per_block, 256);
+        assert_eq!(f.active_lane_frac, 0.9);
+        assert_eq!(f.mem_eff, 0.5);
+    }
+
+    #[test]
+    fn fission_conserves_work_and_drops_registers() {
+        let k = KernelProfile::new("monster", LaunchConfig::new(1024, 256))
+            .flops(8e9, DType::F64)
+            .bytes(4e9, 2e9)
+            .regs(8192);
+        let parts = k.fission(4, 200);
+        assert_eq!(parts.len(), 4);
+        let total_flops: f64 = parts.iter().map(|p| p.flops).sum();
+        assert!((total_flops - 8e9).abs() < 1.0);
+        for p in &parts {
+            assert_eq!(p.regs_per_thread, 200);
+            // Loop fission: the iteration space is untouched.
+            assert_eq!(p.launch.grid_blocks, 1024);
+        }
+        assert_eq!(parts[0].name, "monster[0/4]");
     }
 }

@@ -427,13 +427,30 @@ impl ShocBenchmark for Scan {
         let e0 = s.record_event();
         let (inp, out) = (&input, &mut output);
         s.launch(&profile, || {
+            // Work-efficient blocked scan, the real SHOC shape: per-block
+            // partial sums, an exclusive scan of the block sums, then a
+            // parallel downsweep seeded with each block's offset.
+            const CHUNK: usize = 1 << 15;
             let src = inp.as_slice();
             let dst = out.as_mut_slice();
+            let nchunks = n.div_ceil(CHUNK).max(1);
+            let sums: Vec<u64> = exec::par_map(nchunks, |c| {
+                src[c * CHUNK..((c + 1) * CHUNK).min(n)].iter().sum()
+            });
+            let mut offsets = vec![0u64; nchunks];
             let mut acc = 0u64;
-            for i in 0..n {
-                dst[i] = acc;
-                acc += src[i];
+            for (o, s) in offsets.iter_mut().zip(&sums) {
+                *o = acc;
+                acc += s;
             }
+            exec::par_chunks_mut(dst, CHUNK, |c, chunk| {
+                let base = c * CHUNK;
+                let mut acc = offsets[c];
+                for (k, d) in chunk.iter_mut().enumerate() {
+                    *d = acc;
+                    acc += src[base + k];
+                }
+            });
         });
         let e1 = s.record_event();
         let mut res = vec![0u64; n];
@@ -476,22 +493,42 @@ impl ShocBenchmark for Sort {
         for pass in 0..4u32 {
             let keys_mut = &mut keys;
             s.launch(&profile, || {
+                // Parallel stable counting sort on the current byte — the
+                // GPU radix shape: per-block histograms, an exclusive scan
+                // over (digit, block), then each block scatters its slice in
+                // order through its own cursors. `block_ranges` guarantees
+                // the histogram blocks line up with the scatter's blocks.
                 let shift = pass * 8;
                 let data = keys_mut.as_mut_slice();
-                // Counting sort on the current byte (stable).
-                let mut counts = [0usize; 257];
-                for &k in data.iter() {
-                    counts[((k >> shift) & 0xFF) as usize + 1] += 1;
-                }
-                for b in 1..257 {
-                    counts[b] += counts[b - 1];
+                let digit = |k: u32| ((k >> shift) & 0xFF) as usize;
+                let ranges = exec::block_ranges(n, exec::DEFAULT_MIN_LEN);
+                let data_ref: &[u32] = data;
+                let hists: Vec<[usize; 256]> = exec::par_map(ranges.len(), |b| {
+                    let mut h = [0usize; 256];
+                    for &k in &data_ref[ranges[b].clone()] {
+                        h[digit(k)] += 1;
+                    }
+                    h
+                });
+                // Digit-major running total: keys with equal digits keep
+                // block order (stability), blocks own disjoint cursor spans.
+                let mut cursors = vec![[0usize; 256]; ranges.len()];
+                let mut total = 0usize;
+                for d in 0..256 {
+                    for (b, h) in hists.iter().enumerate() {
+                        cursors[b][d] = total;
+                        total += h[d];
+                    }
                 }
                 let mut tmp = vec![0u32; data.len()];
-                for &k in data.iter() {
-                    let b = ((k >> shift) & 0xFF) as usize;
-                    tmp[counts[b]] = k;
-                    counts[b] += 1;
-                }
+                exec::par_scatter_blocks(&mut tmp, n, exec::DEFAULT_MIN_LEN, |b, range, emit| {
+                    let mut cur = cursors[b];
+                    for &k in &data_ref[range] {
+                        let d = digit(k);
+                        emit(cur[d], k);
+                        cur[d] += 1;
+                    }
+                });
                 data.copy_from_slice(&tmp);
             });
         }
@@ -582,9 +619,15 @@ impl ShocBenchmark for Stencil2D {
             .lds(16 * 1024)
             .mem_eff(0.7);
 
+        // One row per parallel chunk — the "one thread block per tile"
+        // shape; identical accumulation order to the serial sweep, so the
+        // result is bit-identical run to run.
         let step = |src: &[f32]| -> Vec<f32> {
             let mut dst = src.to_vec();
-            for i in 1..m - 1 {
+            exec::par_chunks_mut(&mut dst, m, |i, row| {
+                if i == 0 || i >= m - 1 {
+                    return;
+                }
                 for j in 1..m - 1 {
                     let mut acc = 0.0f32;
                     for di in 0..3 {
@@ -592,9 +635,9 @@ impl ShocBenchmark for Stencil2D {
                             acc += src[(i + di - 1) * m + (j + dj - 1)];
                         }
                     }
-                    dst[i * m + j] = acc / 9.0;
+                    row[j] = acc / 9.0;
                 }
-            }
+            });
             dst
         };
 
@@ -732,6 +775,20 @@ mod tests {
             assert!(r.verified, "{} failed verification", b.name());
             assert!(r.time_total > exa_hal::SimTime::ZERO, "{} charged no time", b.name());
             assert!(r.time_kernel <= r.time_total, "{} kernel > total", b.name());
+        }
+    }
+
+    #[test]
+    fn data_parallel_kernels_verify_at_full_scale() {
+        // Scale::Full puts Scan/Sort (2²² elements) and Stencil2D (1024²
+        // grid) over the exec parallel threshold, so the blocked scan, the
+        // histogram + block-scatter radix passes, and the row-parallel
+        // stencil all take their multi-threaded paths — and must still
+        // match their serial host oracles.
+        for b in [&Scan as &dyn ShocBenchmark, &Sort, &Stencil2D] {
+            let mut s = cuda_stream();
+            let r = b.run(&mut s, Scale::Full).unwrap();
+            assert!(r.verified, "{} failed verification at full scale", b.name());
         }
     }
 

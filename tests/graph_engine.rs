@@ -1,0 +1,162 @@
+//! Property-based tests on the kernel-graph engine: fused replay is
+//! bit-identical to eager launch-by-launch execution over arbitrary
+//! elementwise chains, fission of register-spilling kernels never makes the
+//! simulated step slower, and replay collapses N launch charges into one
+//! graph submission.
+
+use exaready::hal::{
+    ApiSurface, Device, DType, FusionPolicy, GraphCapture, KernelProfile, LaunchConfig, Stream,
+};
+use exaready::machine::GpuModel;
+use proptest::prelude::*;
+
+fn stream() -> Stream {
+    Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip).unwrap()
+}
+
+/// A chain of random elementwise kernels: each stage is one of three op
+/// shapes (affine, shifted-abs-sqrt, index-dependent bump) with random
+/// coefficients.
+fn chain_strategy() -> impl Strategy<Value = Vec<(u8, f64, f64)>> {
+    prop::collection::vec((0u8..3, -1.5f64..1.5, -2.0f64..2.0), 1..10)
+}
+
+fn capture_chain(ops: &[(u8, f64, f64)], n: usize) -> GraphCapture {
+    let mut cap = GraphCapture::new();
+    for (s, &(kind, a, b)) in ops.iter().enumerate() {
+        let profile = KernelProfile::new(
+            format!("elem{s}"),
+            LaunchConfig::cover(n as u64, 256),
+        )
+        .flops(n as f64 * 4.0, DType::F64)
+        .bytes(n as f64 * 8.0, n as f64 * 8.0);
+        match kind {
+            0 => cap.elementwise(profile, move |_, chunk| {
+                for x in chunk {
+                    *x = *x * a + b;
+                }
+            }),
+            1 => cap.elementwise(profile, move |_, chunk| {
+                for x in chunk {
+                    *x = (*x + a).abs().sqrt() * b;
+                }
+            }),
+            _ => cap.elementwise(profile, move |base, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x += ((base + i) % 97) as f64 * a;
+                }
+            }),
+        };
+    }
+    cap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fused replay computes bit-for-bit what eager launch-by-launch
+    /// execution computes, for any chain and for sizes on both sides of the
+    /// exec parallel threshold.
+    #[test]
+    fn fused_replay_is_bit_identical_to_eager(ops in chain_strategy(), n in 1000usize..40_000) {
+        let unfused = capture_chain(&ops, n).end();
+        let mut fused = capture_chain(&ops, n).end();
+        fused.fuse_elementwise(&FusionPolicy::default());
+
+        let init: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let mut eager_data = init.clone();
+        let mut fused_data = init;
+
+        let mut s_eager = stream();
+        s_eager.launch_eager(&unfused, &mut eager_data);
+        let mut s_fused = stream();
+        s_fused.replay_on(&fused, &mut fused_data);
+
+        for (i, (a, b)) in eager_data.iter().zip(&fused_data).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "divergence at {i}: {a:e} vs {b:e} (chain {ops:?})"
+            );
+        }
+        // Replay charged one graph submission; eager charged one launch per
+        // captured kernel.
+        prop_assert_eq!(s_fused.stats().graph_replays, 1);
+        prop_assert_eq!(s_eager.stats().kernels as usize, ops.len());
+    }
+
+    /// Fissioning a register monster never increases the simulated replay
+    /// time: the spill traffic it eliminates dwarfs the extra per-node
+    /// dispatches (the §3.5 trade, "larger kernel launch overheads, but
+    /// significantly lower kernel runtimes").
+    #[test]
+    fn fission_never_slows_a_spilling_graph(
+        grid in 4096u64..16_384,
+        regs in 4096u32..16_384,
+        kflops in 10.0f64..200.0,
+    ) {
+        let gpu = GpuModel::mi250x_gcd();
+        let threads = grid * 256;
+        let monster = KernelProfile::new("monster", LaunchConfig::new(grid, 256))
+            .flops(threads as f64 * kflops, DType::F64)
+            .bytes(threads as f64 * 8.0, threads as f64 * 8.0)
+            .regs(regs);
+        let (_, spilled) = gpu.occupancy(&monster);
+        prop_assert!(spilled, "the strategy must generate true spillers");
+
+        let mut cap = GraphCapture::new();
+        cap.kernel(monster);
+        let original = cap.end();
+        let mut fissioned = original.clone();
+        prop_assert_eq!(fissioned.fission_spills(&gpu, 4, 200), 1);
+
+        // Every part is spill-free.
+        for node in fissioned.kernels() {
+            let (_, part_spills) = gpu.occupancy(&node.profile);
+            prop_assert!(!part_spills, "{} still spills", node.profile.name);
+        }
+        let t_orig = original.total_time(&gpu);
+        let t_fiss = fissioned.total_time(&gpu);
+        prop_assert!(
+            t_fiss <= t_orig,
+            "fission slowed the graph: {t_fiss} > {t_orig} (grid {grid}, regs {regs})"
+        );
+    }
+}
+
+/// Replay charges a single graph launch: the saving over eager per-kernel
+/// launching is (N-1) launch latencies minus N small dispatches.
+#[test]
+fn replay_collapses_launch_charges_to_one() {
+    let gpu = GpuModel::mi250x_gcd();
+    let n_kernels = 12u64;
+    let mut cap = GraphCapture::new();
+    for i in 0..n_kernels {
+        cap.kernel(
+            KernelProfile::new(format!("k{i}"), LaunchConfig::new(512, 256))
+                .flops(1e6, DType::F64)
+                .bytes(1e6, 1e6),
+        );
+    }
+    let graph = cap.end();
+
+    let mut eager = stream();
+    for node in graph.kernels() {
+        eager.launch_modeled(&node.profile);
+    }
+    let t_eager = eager.synchronize();
+
+    let mut replayed = stream();
+    replayed.replay(&graph);
+    let t_replay = replayed.synchronize();
+
+    assert_eq!(replayed.stats().graph_replays, 1);
+    assert_eq!(replayed.stats().graph_kernels, n_kernels);
+    assert_eq!(eager.stats().kernels, n_kernels);
+    assert!(
+        t_replay < t_eager,
+        "one submission must beat {n_kernels} launches: {t_replay} !< {t_eager}"
+    );
+    // The modeled saving is bounded by the launch latencies replay elides.
+    let saved = t_eager - t_replay;
+    assert!(saved <= gpu.launch_latency * n_kernels as f64, "saving {saved} too large");
+}

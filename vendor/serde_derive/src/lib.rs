@@ -1,0 +1,229 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim. Hand-parses the derive input token stream (no syn/quote so the
+//! workspace builds fully offline) and supports exactly the shapes this
+//! repository uses: non-generic structs with named fields, tuple structs, and
+//! fieldless enums. Anything else is a compile-time panic with a clear message.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields (possibly empty).
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum whose variants all carry no data.
+    UnitEnum(Vec<String>),
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+    let body = it.find_map(|tt| match tt {
+        TokenTree::Group(g)
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(g)
+        }
+        _ => None,
+    });
+    let shape = match (kind.as_str(), body) {
+        ("struct", Some(g)) if g.delimiter() == Delimiter::Brace => Shape::Named(named_fields(&g)),
+        ("struct", Some(g)) => Shape::Tuple(tuple_arity(&g)),
+        ("struct", None) => Shape::Named(Vec::new()),
+        ("enum", Some(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(unit_variants(&name, &g))
+        }
+        _ => panic!("serde shim derive: unsupported shape for `{name}`"),
+    };
+    (name, shape)
+}
+
+fn named_fields(g: &Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes (doc comments included) and visibility.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(gg)) = it.peek() {
+                        if gg.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde shim derive: unexpected token in struct body: {other:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the field type up to a top-level comma; `<...>` nesting can
+        // leak commas so track angle depth ((), [] and {} arrive as groups).
+        let mut depth = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+fn tuple_arity(g: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    for tt in g.stream() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    arity + usize::from(saw_token)
+}
+
+fn unit_variants(name: &str, g: &Group) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("serde shim derive: unexpected token in enum `{name}`: {other:?}"),
+        }
+        match it.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                panic!("serde shim derive: enum `{name}` has a data-carrying variant (unsupported)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: consume until the next top-level comma.
+                for tt in it.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            other => panic!("serde shim derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let mut body = String::new();
+    match shape {
+        Shape::Named(fields) => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+                body.push_str(&format!("::serde::Serialize::write_json(&self.{f}, out);\n"));
+                if i + 1 < fields.len() {
+                    body.push_str("out.push(',');\n");
+                }
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Shape::Tuple(1) => {
+            // Newtype structs serialize transparently, like real serde.
+            body.push_str("::serde::Serialize::write_json(&self.0, out);\n");
+        }
+        Shape::Tuple(n) => {
+            body.push_str("out.push('[');\n");
+            for i in 0..n {
+                body.push_str(&format!("::serde::Serialize::write_json(&self.{i}, out);\n"));
+                if i + 1 < n {
+                    body.push_str("out.push(',');\n");
+                }
+            }
+            body.push_str("out.push(']');\n");
+        }
+        Shape::UnitEnum(variants) => {
+            body.push_str("match self {\n");
+            for v in &variants {
+                body.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"));
+            }
+            body.push_str("}\n");
+        }
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("serde shim derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse_input(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl must parse")
+}

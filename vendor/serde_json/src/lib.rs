@@ -1,0 +1,143 @@
+//! Vendored minimal serde_json shim: renders any [`serde::Serialize`] type
+//! to compact or pretty JSON. Only the serializer half exists — nothing in
+//! this workspace deserializes JSON.
+
+use std::fmt;
+
+/// Serialization error. The shim's serializer is infallible, so this exists
+/// only to keep `Result`-shaped call sites compiling.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Two-space-indented JSON, matching serde_json's pretty layout.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&to_string(value)?))
+}
+
+fn pretty(compact: &str) -> String {
+    let chars: Vec<char> = compact.chars().collect();
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                let close = if c == '{' { '}' } else { ']' };
+                if i + 1 < chars.len() && chars[i + 1] == close {
+                    out.push(c);
+                    out.push(close);
+                    i += 1;
+                } else {
+                    indent += 1;
+                    out.push(c);
+                    out.push('\n');
+                    push_indent(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                push_indent(&mut out, indent);
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            _ => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        value: f64,
+        counts: Vec<u32>,
+        missing: Option<f64>,
+    }
+
+    #[test]
+    fn compact_json_is_real_json() {
+        let row = Row {
+            name: "e3sm \"mmf\"".to_string(),
+            value: 1.5,
+            counts: vec![1, 2, 3],
+            missing: None,
+        };
+        let s = super::to_string(&row).unwrap();
+        assert_eq!(
+            s,
+            r#"{"name":"e3sm \"mmf\"","value":1.5,"counts":[1,2,3],"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_json_indents_and_round_trips_structure() {
+        let row = Row { name: "x".into(), value: 2.0, counts: vec![7], missing: Some(0.5) };
+        let p = super::to_string_pretty(&row).unwrap();
+        assert!(p.contains("\"name\": \"x\""));
+        assert!(p.contains("\n  \"counts\": [\n    7\n  ]"));
+        let compact: String = super::to_string(&row).unwrap();
+        let squeezed: String = p.chars().filter(|c| !c.is_whitespace()).collect();
+        let compact_nospace: String = compact.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(squeezed, compact_nospace);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(super::to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
