@@ -31,6 +31,8 @@ use exa_hal::{
     LaunchConfig, PoolAllocator, SimTime, Stream,
 };
 use exa_machine::{GpuArch, MachineModel};
+use exa_telemetry::{SpanCat, TelemetryCollector, TrackKind};
+use std::sync::Arc;
 
 /// Configuration knobs of the §3.5 optimization campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +144,23 @@ pub fn capture_step_graph(device: &Device, columns: usize, cfg: E3smConfig) -> K
 /// Simulate one column-physics timestep under a configuration; returns the
 /// host-observed wall time for `columns` columns on one device.
 pub fn step_time(device_arch: GpuArch, columns: usize, cfg: E3smConfig) -> SimTime {
+    step_time_profiled(device_arch, columns, cfg, None)
+}
+
+/// [`step_time`] under observation: the stream's launches, allocation
+/// charges, and graph replay land on a `<label>/queue` device track, the
+/// whole step is wrapped in an `e3sm_step` phase span on `<label>/host`,
+/// and the stream, graph, and pool statistics are poured into the
+/// collector's metrics. The label namespaces the run's tracks — each
+/// profiled step restarts virtual time at zero, so two runs sharing a
+/// collector must use distinct labels to keep per-track timestamps
+/// monotonic.
+pub fn step_time_profiled(
+    device_arch: GpuArch,
+    columns: usize,
+    cfg: E3smConfig,
+    telemetry: Option<(&Arc<TelemetryCollector>, &str)>,
+) -> SimTime {
     let gpu = match device_arch {
         GpuArch::Volta => exa_machine::GpuModel::v100(),
         GpuArch::Vega20 => exa_machine::GpuModel::mi60(),
@@ -152,6 +171,9 @@ pub fn step_time(device_arch: GpuArch, columns: usize, cfg: E3smConfig) -> SimTi
     let device = Device::new(gpu, 0);
     let mut stream = Stream::new(device.clone(), api).expect("api supports arch");
     stream.set_sync_launch(!cfg.async_launch);
+    if let Some((c, label)) = telemetry {
+        stream.attach_telemetry(c, &format!("{label}/queue"));
+    }
 
     let graph = capture_step_graph(&device, columns, cfg);
 
@@ -159,7 +181,9 @@ pub fn step_time(device_arch: GpuArch, columns: usize, cfg: E3smConfig) -> SimTi
         // The whole step is one graph launch; the scratch allocations live
         // in the graph's pre-instantiated memory plan.
         stream.replay(&graph);
-        return stream.synchronize();
+        let t = stream.synchronize();
+        finish_step_telemetry(telemetry, &mut stream, &graph, None, t);
+        return t;
     }
 
     let mut pool = if cfg.pool_allocator {
@@ -189,7 +213,28 @@ pub fn step_time(device_arch: GpuArch, columns: usize, cfg: E3smConfig) -> SimTi
             stream.charge_host(stream.device().model.alloc_latency);
         }
     }
-    stream.synchronize()
+    let t = stream.synchronize();
+    finish_step_telemetry(telemetry, &mut stream, &graph, pool.as_ref(), t);
+    t
+}
+
+/// Close out an instrumented step: wrap the whole step in a host phase
+/// span and pour stream, graph, and (if used) pool stats into the metrics.
+fn finish_step_telemetry(
+    telemetry: Option<(&Arc<TelemetryCollector>, &str)>,
+    stream: &mut Stream,
+    graph: &KernelGraph,
+    pool: Option<&PoolAllocator>,
+    wall: SimTime,
+) {
+    let Some((c, label)) = telemetry else { return };
+    let host = c.track(&format!("{label}/host"), TrackKind::Host);
+    c.complete(host, "e3sm_step", SpanCat::Phase, SimTime::ZERO, wall);
+    stream.absorb_telemetry();
+    c.absorb(&graph.stats());
+    if let Some(p) = pool {
+        c.absorb(&p.stats());
+    }
 }
 
 /// The E3SM-MMF application.
@@ -251,6 +296,36 @@ impl Application for E3sm {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profiled_step_accounts_kernels_pool_and_phase() {
+        let collector = TelemetryCollector::shared();
+        let cfg = E3smConfig { pool_allocator: true, ..E3smConfig::naive() };
+        let t = step_time_profiled(GpuArch::Cdna2, 64, cfg, Some((&collector, "e3sm")));
+        let snap = collector.snapshot();
+        // Per-kernel loop: one launch span per pipeline kernel, one pool
+        // alloc/free pair each, and one host phase covering the step.
+        let k = cal::KERNELS_PER_STEP as u64;
+        assert_eq!(snap.counter("hal.kernels"), k);
+        assert_eq!(snap.counter("hal.pool.allocs"), k);
+        assert_eq!(snap.counter("hal.pool.frees"), k);
+        let phase = snap.tracks.iter().find(|tr| tr.name == "e3sm/host").expect("host track");
+        assert_eq!(phase.spans, 1);
+        assert!((phase.end_s - t.secs()).abs() < 1e-12);
+        exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
+    }
+
+    #[test]
+    fn profiled_replay_is_one_graph_span() {
+        let collector = TelemetryCollector::shared();
+        let t =
+            step_time_profiled(GpuArch::Cdna2, 64, E3smConfig::optimized(), Some((&collector, "e3sm")));
+        assert!(t > SimTime::ZERO);
+        let snap = collector.snapshot();
+        assert_eq!(snap.counter("hal.graph_replays"), 1);
+        assert_eq!(snap.counter("hal.kernels"), 0, "replay charges no per-kernel launches");
+        assert!(snap.counter("hal.graph.fused_nodes") > 0);
+    }
 
     #[test]
     fn every_knob_helps_on_frontier_hardware() {

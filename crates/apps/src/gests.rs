@@ -15,6 +15,8 @@ use exa_fft::{fft3d, ifft3d, Decomp, DistFft3d};
 use exa_linalg::C64;
 use exa_machine::{GpuArch, MachineModel, SimTime};
 use exa_mpi::{Comm, Network};
+use exa_telemetry::{SpanCat, TelemetryCollector, TrackKind};
+use std::sync::Arc;
 
 /// FFT transforms per PSDNS timestep: 3 velocity components forward + 3
 /// nonlinear products backward + 3 more for dealiased advection terms.
@@ -41,6 +43,19 @@ impl PsdnsRun {
 
     /// Charge one timestep on `machine`, returning its wall time.
     pub fn step_time(&self, machine: &MachineModel) -> SimTime {
+        self.step_time_profiled(machine, None)
+    }
+
+    /// [`PsdnsRun::step_time`] under observation: the communicator records
+    /// every transpose collective on per-rank comm tracks, each distributed
+    /// transform becomes a `transform` phase span on a `gests/host` track
+    /// (with the closing `spectral_advance` pass), and the communicator's
+    /// [`exa_mpi::CommStats`] are poured into the collector's metrics.
+    pub fn step_time_profiled(
+        &self,
+        machine: &MachineModel,
+        telemetry: Option<&Arc<TelemetryCollector>>,
+    ) -> SimTime {
         let mut plan = DistFft3d::new(self.n, self.decomp);
         plan.mem_eff = match machine.node.gpu().arch {
             GpuArch::Volta => cal::SUMMIT_MEM_EFF,
@@ -57,15 +72,28 @@ impl PsdnsRun {
             .with_ranks_per_node(ranks_per_node)
             .with_gpu_aware(gpu_aware);
         let mut comm = Comm::new(self.ranks, net);
+        let host = telemetry.map(|c| {
+            comm.attach_telemetry(c, "gests/comm");
+            c.track("gests/host", TrackKind::Host)
+        });
         let gpu = machine.node.gpu();
         for _ in 0..TRANSFORMS_PER_STEP {
+            let start = comm.elapsed();
             plan.charge_transform(&mut comm, gpu);
+            if let (Some(c), Some(tk)) = (telemetry, host) {
+                c.complete(tk, "transform", SpanCat::Phase, start, comm.elapsed());
+            }
         }
         // Spectral advance + dealiasing: one streaming pass over local data.
         let pass = SimTime::from_secs(
             (self.n as f64).powi(3) * 16.0 / (self.ranks as f64) / (gpu.mem_bw * plan.mem_eff),
         );
+        let advance_start = comm.elapsed();
         comm.advance_all(pass);
+        if let (Some(c), Some(tk)) = (telemetry, host) {
+            c.complete(tk, "spectral_advance", SpanCat::Phase, advance_start, comm.elapsed());
+            comm.absorb_telemetry();
+        }
         comm.elapsed()
     }
 
@@ -211,6 +239,26 @@ impl Application for Gests {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profiled_step_records_transforms_and_comm_spans() {
+        let collector = TelemetryCollector::shared();
+        let run = PsdnsRun::new(64, 8, Decomp::Slabs);
+        let machine = MachineModel::frontier();
+        let t = run.step_time_profiled(&machine, Some(&collector));
+        // Telemetry must not perturb the simulated clock.
+        assert_eq!(t, run.step_time(&machine));
+        let snap = collector.snapshot();
+        let host = snap.tracks.iter().find(|tr| tr.name == "gests/host").expect("host track");
+        assert_eq!(host.spans, TRANSFORMS_PER_STEP as u64 + 1);
+        // Every transpose collective lands on all 8 per-rank comm tracks.
+        let comm_tracks: Vec<_> =
+            snap.tracks.iter().filter(|tr| tr.name.starts_with("gests/comm/rank")).collect();
+        assert_eq!(comm_tracks.len(), 8);
+        assert!(comm_tracks.iter().all(|tr| tr.spans > 0));
+        assert!(snap.counter("mpi.collectives") > 0);
+        exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
+    }
 
     #[test]
     fn mini_psdns_energy_decays_smoothly() {

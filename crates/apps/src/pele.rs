@@ -23,7 +23,9 @@ use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
 use exa_linalg::lu::getrf;
 use exa_linalg::Matrix;
 use exa_machine::{CpuWork, GpuArch, MachineModel, SimTime};
+use exa_telemetry::{SpanCat, TelemetryCollector, TrackKind};
 use serde::Serialize;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Chemistry: a 3-species stiff ignition mechanism, A -> B -> C.
@@ -435,6 +437,17 @@ pub enum CodeState {
 }
 
 impl CodeState {
+    /// Static label for telemetry spans and report keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodeState::Baseline2018 => "baseline_2018",
+            CodeState::GpuPort2020 => "gpu_port_2020",
+            CodeState::Cvode2021 => "cvode_2021",
+            CodeState::Fused2022 => "fused_2022",
+            CodeState::Async2023 => "async_2023",
+        }
+    }
+
     /// Timeline order of all states.
     pub fn timeline() -> &'static [CodeState] {
         &[
@@ -742,7 +755,7 @@ pub fn chemistry_data_time(cells: usize, steps: usize, uvm: bool) -> SimTime {
 /// copy-back — each touching a slice of the state and each shorter than a
 /// kernel-launch latency. This is precisely the launch-bound regime the
 /// §3.8 fusion work (and hipGraph replay) targets.
-fn chemistry_kernels(cells: usize) -> Vec<exa_hal::KernelProfile> {
+pub fn chemistry_kernels(cells: usize) -> Vec<exa_hal::KernelProfile> {
     use exa_hal::{DType, KernelProfile, LaunchConfig};
     let c = cells as f64;
     let launch = LaunchConfig::cover(cells as u64, 256);
@@ -767,9 +780,25 @@ fn chemistry_kernels(cells: usize) -> Vec<exa_hal::KernelProfile> {
 /// submission, so the per-step launch charge collapses and the host stops
 /// gating the device).
 pub fn chemistry_step_time(cells: usize, steps: usize, graphed: bool) -> SimTime {
+    chemistry_step_profiled(cells, steps, graphed, None)
+}
+
+/// [`chemistry_step_time`] under observation: when a collector is supplied
+/// the stream records every launch, DMA, and graph replay as spans on a
+/// `pele/chem` device-queue track, and pours its [`exa_hal::stream::StreamStats`]
+/// into the collector's metrics before returning.
+pub fn chemistry_step_profiled(
+    cells: usize,
+    steps: usize,
+    graphed: bool,
+    telemetry: Option<&Arc<TelemetryCollector>>,
+) -> SimTime {
     use exa_hal::{ApiSurface, Device, Stream};
     let device = Device::new(exa_machine::GpuModel::mi250x_gcd(), 0);
     let mut stream = Stream::new(device, ApiSurface::Hip).expect("hip on cdna2");
+    if let Some(c) = telemetry {
+        stream.attach_telemetry(c, "pele/chem");
+    }
     let bytes = (cells * NSPEC * std::mem::size_of::<f64>()) as u64;
     let kernels = chemistry_kernels(cells);
     if graphed {
@@ -792,7 +821,54 @@ pub fn chemistry_step_time(cells: usize, steps: usize, graphed: bool) -> SimTime
             stream.download_modeled(bytes);
         }
     }
-    stream.synchronize()
+    let t = stream.synchronize();
+    if telemetry.is_some() {
+        stream.absorb_telemetry();
+    }
+    t
+}
+
+/// One Figure-2 point: a code state and its time per cell per timestep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Sample {
+    /// The code state the sample was taken at.
+    pub state: CodeState,
+    /// Time per cell per timestep at the requested node count.
+    pub time_per_cell_step: SimTime,
+}
+
+/// Walk the Figure-2 code-state timeline on `machine` at `nodes` nodes.
+/// With a collector attached, each code state becomes one host-track phase
+/// span whose length is a representative step of 2²⁰ cells at that state —
+/// so the exported timeline *is* Figure 2, readable in Perfetto — and the
+/// cumulative speed-up lands in the `pele.fig2.speedup` gauge.
+pub fn fig2_campaign_profiled(
+    machine: &MachineModel,
+    nodes: u32,
+    telemetry: Option<&Arc<TelemetryCollector>>,
+) -> Vec<Fig2Sample> {
+    const CELLS: f64 = (1u64 << 20) as f64;
+    let track = telemetry.map(|c| c.track("pele/fig2", TrackKind::Host));
+    let mut cursor = SimTime::ZERO;
+    let mut samples = Vec::new();
+    for &state in CodeState::timeline() {
+        let t = time_per_cell_step_at_scale(machine, state, nodes);
+        if let (Some(c), Some(tk)) = (telemetry, track) {
+            let step = t * CELLS;
+            c.complete(tk, state.label(), SpanCat::Phase, cursor, cursor + step);
+            cursor += step;
+        }
+        samples.push(Fig2Sample { state, time_per_cell_step: t });
+    }
+    if let Some(c) = telemetry {
+        let first = samples.first().expect("timeline non-empty").time_per_cell_step;
+        let last = samples.last().expect("timeline non-empty").time_per_cell_step;
+        c.metrics(|m| {
+            m.gauge_set("pele.fig2.speedup", first / last);
+            m.gauge_set("pele.fig2.code_states", samples.len() as f64);
+        });
+    }
+    samples
 }
 
 #[cfg(test)]
@@ -808,6 +884,33 @@ mod uvm_tests {
             graphed < eager,
             "replaying the captured step must beat per-call launches: {graphed} !< {eager}"
         );
+    }
+
+    #[test]
+    fn profiled_chemistry_emits_spans_matching_stream_stats() {
+        let collector = TelemetryCollector::shared();
+        let t = chemistry_step_profiled(4096, 4, true, Some(&collector));
+        assert!(t > SimTime::ZERO);
+        let snap = collector.snapshot();
+        // Captured kernels are recorded, not executed; the 4 replays are 4
+        // graph spans, and capture's upload/download stay off the timeline.
+        assert_eq!(snap.counter("hal.graph_replays"), 4);
+        assert_eq!(snap.counter("hal.graph_kernels"), 4 * 8);
+        assert!(snap.spans_total >= 4);
+        exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
+    }
+
+    #[test]
+    fn fig2_campaign_phases_cover_the_timeline() {
+        let collector = TelemetryCollector::shared();
+        let samples =
+            fig2_campaign_profiled(&MachineModel::frontier(), 1, Some(&collector));
+        assert_eq!(samples.len(), CodeState::timeline().len());
+        let snap = collector.snapshot();
+        assert_eq!(snap.spans_total, samples.len() as u64);
+        let speedup = snap.gauges.get("pele.fig2.speedup").copied().unwrap_or(0.0);
+        assert!(speedup > 1.0, "code states must improve over the port: {speedup}");
+        exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
     }
 
     #[test]

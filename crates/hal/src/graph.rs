@@ -260,6 +260,18 @@ pub struct GraphStats {
     pub allocs: usize,
 }
 
+impl exa_telemetry::MetricSource for GraphStats {
+    fn export_metrics(&self, m: &mut exa_telemetry::MetricsRegistry) {
+        m.counter_add("hal.graph.nodes", self.nodes as u64);
+        m.counter_add("hal.graph.kernels", self.kernels as u64);
+        m.counter_add("hal.graph.captured_kernels", self.captured_kernels as u64);
+        m.counter_add("hal.graph.fused_nodes", self.fused_nodes as u64);
+        m.counter_add("hal.graph.fissioned_nodes", self.fissioned_nodes as u64);
+        m.counter_add("hal.graph.transfers", self.transfers as u64);
+        m.counter_add("hal.graph.allocs", self.allocs as u64);
+    }
+}
+
 /// A captured, optimizable, replayable sequence of device operations.
 #[derive(Debug, Default, Clone)]
 pub struct KernelGraph {

@@ -62,3 +62,8 @@ pub use uvm::ManagedBuffer;
 
 // Re-export the model types callers need to build kernels.
 pub use exa_machine::{DType, GpuModel, KernelProfile, LaunchConfig, SimTime};
+
+// Re-export the telemetry surface streams plug into (see
+// `Stream::attach_telemetry`): every stats struct here implements
+// `exa_telemetry::MetricSource`.
+pub use exa_telemetry::{SpanCat, TelemetryCollector, TrackId, TrackKind};

@@ -12,6 +12,8 @@ use crate::device::Device;
 use crate::error::{HalError, Result};
 use crate::stream::Stream;
 use exa_machine::SimTime;
+use exa_telemetry::{MetricSource, MetricsRegistry};
+use serde::Serialize;
 use std::sync::Arc;
 
 /// Alignment of every pool block, matching HBM transaction granularity.
@@ -27,7 +29,7 @@ pub struct PoolBlock {
 }
 
 /// Allocation statistics, for the ablation bench.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct PoolStats {
     /// Total `alloc` calls served.
     pub allocs: u64,
@@ -37,6 +39,15 @@ pub struct PoolStats {
     pub high_water: u64,
     /// Bytes currently live.
     pub live: u64,
+}
+
+impl MetricSource for PoolStats {
+    fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter_add("hal.pool.allocs", self.allocs);
+        m.counter_add("hal.pool.frees", self.frees);
+        m.gauge_max("hal.pool.high_water_bytes", self.high_water as f64);
+        m.gauge_set("hal.pool.live_bytes", self.live as f64);
+    }
 }
 
 /// A first-fit free-list arena over one device's memory.

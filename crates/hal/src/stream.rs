@@ -26,6 +26,11 @@ use crate::device::Device;
 use crate::error::{HalError, Result};
 use crate::graph::{GraphCapture, GraphOp, KernelGraph};
 use exa_machine::{graph_node_dispatch, Clock, KernelProfile, SimTime};
+use exa_telemetry::{
+    MetricSource, MetricsRegistry, Span, SpanCat, TelemetryCollector, TrackId, TrackKind,
+};
+use serde::Serialize;
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// A recorded point on a stream's device timeline.
@@ -40,7 +45,7 @@ impl Event {
 }
 
 /// Cumulative statistics for a stream, used by benchmark reports.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct StreamStats {
     /// Kernels launched.
     pub kernels: u64,
@@ -60,6 +65,27 @@ pub struct StreamStats {
     pub device_busy: SimTime,
 }
 
+impl MetricSource for StreamStats {
+    fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter_add("hal.kernels", self.kernels);
+        m.counter_add("hal.bytes_h2d", self.bytes_h2d);
+        m.counter_add("hal.bytes_d2h", self.bytes_d2h);
+        m.counter_add("hal.bytes_d2d", self.bytes_d2d);
+        m.counter_add("hal.graph_replays", self.graph_replays);
+        m.counter_add("hal.graph_kernels", self.graph_kernels);
+        m.time_add("hal.device_busy", self.device_busy);
+    }
+}
+
+/// A stream's attachment to a shared [`TelemetryCollector`]: a dedicated
+/// device-queue track plus a local batch of spans, flushed under one lock.
+#[derive(Debug)]
+struct StreamTelemetry {
+    collector: Arc<TelemetryCollector>,
+    track: TrackId,
+    pending: Vec<Span>,
+}
+
 /// An in-order execution stream on a simulated device.
 #[derive(Debug)]
 pub struct Stream {
@@ -70,6 +96,7 @@ pub struct Stream {
     sync_launch: bool,
     stats: StreamStats,
     capture: Option<GraphCapture>,
+    telemetry: Option<StreamTelemetry>,
 }
 
 impl Stream {
@@ -93,6 +120,7 @@ impl Stream {
             sync_launch: false,
             stats: StreamStats::default(),
             capture: None,
+            telemetry: None,
         })
     }
 
@@ -128,13 +156,71 @@ impl Stream {
     }
 
     /// Block the host until all queued device work completes; returns the
-    /// joined time.
+    /// joined time. Also flushes any batched telemetry spans — a sync point
+    /// is where a profiler's buffers drain.
     pub fn synchronize(&mut self) -> SimTime {
         self.host.advance(self.api.call_overhead());
         let t = self.host.now().max(self.gpu.now());
         self.host.sync_to(t);
         self.gpu.sync_to(t);
+        self.flush_telemetry();
         t
+    }
+
+    // -----------------------------------------------------------------------
+    // Telemetry.
+    // -----------------------------------------------------------------------
+
+    /// Attach a shared telemetry collector. Device-side work (kernels, DMA,
+    /// graph replays) is recorded as spans on a dedicated device-queue track
+    /// named `track_name`. Spans are batched locally and flushed on
+    /// [`Stream::synchronize`], [`Stream::detach_telemetry`], and drop, so
+    /// the hot path adds one `Vec` push per operation.
+    pub fn attach_telemetry(&mut self, collector: &Arc<TelemetryCollector>, track_name: &str) {
+        let track = collector.track(track_name, TrackKind::DeviceQueue);
+        self.telemetry = Some(StreamTelemetry {
+            collector: Arc::clone(collector),
+            track,
+            pending: Vec::new(),
+        });
+    }
+
+    /// Whether a collector is attached.
+    pub fn telemetry_attached(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Push batched spans to the attached collector (no-op otherwise).
+    pub fn flush_telemetry(&mut self) {
+        if let Some(t) = self.telemetry.as_mut() {
+            if !t.pending.is_empty() {
+                t.collector.complete_batch(t.track, t.pending.drain(..));
+            }
+        }
+    }
+
+    /// Flush and drop the attachment.
+    pub fn detach_telemetry(&mut self) {
+        self.flush_telemetry();
+        self.telemetry = None;
+    }
+
+    /// Flush pending spans and pour this stream's [`StreamStats`] into the
+    /// attached collector's metrics. Counters add, so call it once per
+    /// stream at the end of an instrumented run.
+    pub fn absorb_telemetry(&mut self) {
+        self.flush_telemetry();
+        if let Some(t) = self.telemetry.as_ref() {
+            t.collector.absorb(&self.stats);
+        }
+    }
+
+    /// Record a device-side span of `work` length ending at `done`.
+    #[inline]
+    fn note(&mut self, name: Cow<'static, str>, cat: SpanCat, work: SimTime, done: SimTime) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.pending.push(Span { name, cat, start: done - work, end: done, depth: 0 });
+        }
     }
 
     /// Record an event at the stream's current device time.
@@ -191,7 +277,11 @@ impl Stream {
         }
         let work = self.device.model.kernel_time(profile);
         self.stats.kernels += 1;
-        self.enqueue_device_work(self.device.model.launch_latency, work)
+        let done = self.enqueue_device_work(self.device.model.launch_latency, work);
+        if self.telemetry.is_some() {
+            self.note(Cow::Owned(profile.name.clone()), SpanCat::Kernel, work, done);
+        }
+        done
     }
 
     /// Allocate a zeroed device buffer, charging the runtime's allocation
@@ -224,7 +314,9 @@ impl Stream {
         }
         self.stats.bytes_h2d += bytes;
         let t = self.device.host_link.transfer_time(bytes);
-        Ok(self.enqueue_device_work(SimTime::ZERO, t))
+        let done = self.enqueue_device_work(SimTime::ZERO, t);
+        self.note(Cow::Borrowed("h2d"), SpanCat::Dma, t, done);
+        Ok(done)
     }
 
     /// Copy device → host (stream-ordered DMA). Blocks the host, as the
@@ -244,6 +336,7 @@ impl Stream {
         let t = self.device.host_link.transfer_time(bytes);
         let done = self.enqueue_device_work(SimTime::ZERO, t);
         self.host.sync_to(done);
+        self.note(Cow::Borrowed("d2h"), SpanCat::Dma, t, done);
         Ok(done)
     }
 
@@ -260,7 +353,9 @@ impl Stream {
         let bytes = src.bytes();
         self.stats.bytes_d2d += bytes;
         let t = self.device.peer_link.transfer_time(bytes);
-        Ok(self.enqueue_device_work(SimTime::ZERO, t))
+        let done = self.enqueue_device_work(SimTime::ZERO, t);
+        self.note(Cow::Borrowed("d2d"), SpanCat::Dma, t, done);
+        Ok(done)
     }
 
     /// Charge a transfer of raw `bytes` host→device without data movement
@@ -274,7 +369,9 @@ impl Stream {
         }
         self.stats.bytes_h2d += bytes;
         let t = self.device.host_link.transfer_time(bytes);
-        self.enqueue_device_work(SimTime::ZERO, t)
+        let done = self.enqueue_device_work(SimTime::ZERO, t);
+        self.note(Cow::Borrowed("h2d"), SpanCat::Dma, t, done);
+        done
     }
 
     /// Charge a transfer of raw `bytes` device→host without data movement.
@@ -290,6 +387,7 @@ impl Stream {
         let t = self.device.host_link.transfer_time(bytes);
         let done = self.enqueue_device_work(SimTime::ZERO, t);
         self.host.sync_to(done);
+        self.note(Cow::Borrowed("d2h"), SpanCat::Dma, t, done);
         done
     }
 
@@ -350,7 +448,12 @@ impl Stream {
         }
         self.stats.graph_replays += 1;
         self.stats.graph_kernels += kernels;
-        self.enqueue_device_work(latency, work)
+        let done = self.enqueue_device_work(latency, work);
+        // One span per replay (static name, no allocation): per-node
+        // attribution stays with `Tracer::replay_traced`, keeping the
+        // enabled-collector overhead on replay loops inside the <5% gate.
+        self.note(Cow::Borrowed("graph_replay"), SpanCat::GraphReplay, work, done);
+        done
     }
 
     /// Replay a graph *and* run its elementwise kernels' real host compute
@@ -386,12 +489,20 @@ impl Stream {
     }
 
     /// Reset both clocks and statistics (between benchmark repetitions).
-    /// Abandons any capture in progress.
+    /// Abandons any capture in progress. An attached collector stays
+    /// attached; spans recorded so far are flushed first.
     pub fn reset(&mut self) {
+        self.flush_telemetry();
         self.host.reset();
         self.gpu.reset();
         self.stats = StreamStats::default();
         self.capture = None;
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        self.flush_telemetry();
     }
 }
 
@@ -585,6 +696,57 @@ mod tests {
         }
         assert_eq!(s.stats().bytes_h2d, 3000);
         assert_eq!(s.stats().bytes_d2h, 1500);
+    }
+
+    #[test]
+    fn telemetry_spans_match_device_work_and_stats() {
+        let mut s = stream(ApiSurface::Cuda);
+        let collector = TelemetryCollector::shared();
+        s.attach_telemetry(&collector, "gpu0/stream0");
+        let k = flops_kernel(1e9);
+        s.launch_modeled(&k);
+        s.upload_modeled(1 << 20);
+        s.download_modeled(1 << 20);
+        s.begin_capture();
+        s.launch_modeled(&k);
+        s.launch_modeled(&k);
+        let g = s.end_capture();
+        s.replay(&g);
+        s.synchronize(); // flushes
+        s.absorb_telemetry();
+
+        let snap = collector.snapshot();
+        // 1 kernel + 2 DMA + 1 replay (captured launches are not spans).
+        assert_eq!(snap.spans_total, 4);
+        assert_eq!(snap.counter("hal.kernels"), s.stats().kernels);
+        assert_eq!(snap.counter("hal.bytes_h2d"), s.stats().bytes_h2d);
+        assert_eq!(snap.counter("hal.graph_replays"), 1);
+        collector.with_timeline(|tl| {
+            let track = &tl.tracks()[0];
+            assert_eq!(track.kind, TrackKind::DeviceQueue);
+            // Device-busy equals the summed span durations, and spans are
+            // monotonic and non-overlapping on the queue.
+            let busy: SimTime = track.spans().iter().map(|sp| sp.duration()).sum();
+            assert!((busy.secs() - s.stats().device_busy.secs()).abs() < 1e-12);
+            for w in track.spans().windows(2) {
+                assert!(w[1].start >= w[0].end, "queue spans overlap");
+            }
+        });
+        let trace = collector.chrome_trace();
+        assert!(exa_telemetry::validate_chrome_trace(&trace).is_ok());
+    }
+
+    #[test]
+    fn detached_stream_records_nothing() {
+        let mut s = stream(ApiSurface::Cuda);
+        assert!(!s.telemetry_attached());
+        let collector = TelemetryCollector::shared();
+        s.attach_telemetry(&collector, "gpu0");
+        s.launch_modeled(&flops_kernel(1e9));
+        s.detach_telemetry();
+        s.launch_modeled(&flops_kernel(1e9));
+        s.synchronize();
+        assert_eq!(collector.snapshot().spans_total, 1);
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub struct KernelStats {
     pub time_share: f64,
     /// Mean achieved GFLOP/s.
     pub gflops: f64,
+    /// Total bytes moved across all launches.
+    pub bytes: f64,
     /// Mean occupancy.
     pub occupancy: f64,
     /// Dominant bound.
@@ -154,42 +156,92 @@ impl Tracer {
         &self.events
     }
 
-    /// Aggregate statistics, hottest kernel first.
+    /// Aggregate statistics, hottest kernel first. A kernel's reported
+    /// `bound` is the **time-weighted dominant** classification across its
+    /// launches — a kernel that is Latency-bound once but Memory-bound for
+    /// the bulk of its device time reports `Memory`.
     pub fn hotspots(&self) -> Vec<KernelStats> {
-        let mut agg: HashMap<&str, (u64, SimTime, f64, f64, f64, bool, Bound)> = HashMap::new();
+        #[derive(Default)]
+        struct Agg {
+            calls: u64,
+            time: SimTime,
+            flops: f64,
+            bytes: f64,
+            occ_sum: f64,
+            spills: bool,
+            // Device time spent under each classification, indexed by
+            // `bound_index` (Compute, Memory, Latency).
+            bound_time: [SimTime; 3],
+        }
+        const BOUNDS: [Bound; 3] = [Bound::Compute, Bound::Memory, Bound::Latency];
+        fn bound_index(b: Bound) -> usize {
+            match b {
+                Bound::Compute => 0,
+                Bound::Memory => 1,
+                Bound::Latency => 2,
+            }
+        }
+        let mut agg: HashMap<&str, Agg> = HashMap::new();
         let total: SimTime = self.events.iter().map(|e| e.duration).sum();
         for e in &self.events {
-            let entry = agg.entry(&e.name).or_insert((
-                0,
-                SimTime::ZERO,
-                0.0,
-                0.0,
-                0.0,
-                false,
-                e.bound,
-            ));
-            entry.0 += 1;
-            entry.1 += e.duration;
-            entry.2 += e.flops;
-            entry.3 += e.bytes;
-            entry.4 += e.occupancy;
-            entry.5 |= e.spilled;
+            let entry = agg.entry(&e.name).or_default();
+            entry.calls += 1;
+            entry.time += e.duration;
+            entry.flops += e.flops;
+            entry.bytes += e.bytes;
+            entry.occ_sum += e.occupancy;
+            entry.spills |= e.spilled;
+            entry.bound_time[bound_index(e.bound)] += e.duration;
         }
         let mut out: Vec<KernelStats> = agg
             .into_iter()
-            .map(|(name, (calls, time, flops, _bytes, occ_sum, spills, bound))| KernelStats {
-                name: name.to_string(),
-                calls,
-                total_time: time,
-                time_share: if total.is_zero() { 0.0 } else { time / total },
-                gflops: if time.is_zero() { 0.0 } else { flops / time.secs() / 1e9 },
-                occupancy: occ_sum / calls as f64,
-                bound,
-                spills,
+            .map(|(name, a)| {
+                let dominant = (0..3)
+                    .max_by(|&i, &j| a.bound_time[i].cmp(&a.bound_time[j]))
+                    .expect("three candidate bounds");
+                KernelStats {
+                    name: name.to_string(),
+                    calls: a.calls,
+                    total_time: a.time,
+                    time_share: if total.is_zero() { 0.0 } else { a.time / total },
+                    gflops: if a.time.is_zero() { 0.0 } else { a.flops / a.time.secs() / 1e9 },
+                    bytes: a.bytes,
+                    occupancy: a.occ_sum / a.calls as f64,
+                    bound: BOUNDS[dominant],
+                    spills: a.spills,
+                }
             })
             .collect();
         out.sort_by(|a, b| b.total_time.cmp(&a.total_time));
         out
+    }
+
+    /// Roofline report built from the recorded events — the device's f64
+    /// ceilings plus one point per kernel, hottest first. Serializable via
+    /// [`exa_telemetry::RooflineReport::to_json`].
+    pub fn roofline(&self) -> exa_telemetry::RooflineReport {
+        use exa_machine::DType;
+        let peak_gflops = self.gpu.peak_flops(DType::F64, false) / 1e9;
+        let mem_bw_gbs = self.gpu.mem_bw / 1e9;
+        let points = self
+            .hotspots()
+            .into_iter()
+            .map(|k| exa_telemetry::RooflinePoint {
+                intensity: k.gflops * 1e9 * k.total_time.secs() / k.bytes.max(1.0),
+                name: k.name,
+                calls: k.calls,
+                time_s: k.total_time.secs(),
+                gflops: k.gflops,
+                bound: format!("{:?}", k.bound),
+            })
+            .collect();
+        exa_telemetry::RooflineReport {
+            device: self.gpu.name.clone(),
+            peak_gflops,
+            mem_bw_gbs,
+            ridge_intensity: peak_gflops / mem_bw_gbs,
+            points,
+        }
     }
 
     /// Render the hotspot table the way a profiler summary prints.
@@ -269,6 +321,41 @@ mod tests {
         let share_sum: f64 = stats.iter().map(|k| k.time_share).sum();
         assert!((share_sum - 1.0).abs() < 1e-12);
         assert!(stats[0].time_share > 0.99);
+    }
+
+    #[test]
+    fn dominant_bound_is_time_weighted_not_first_seen() {
+        let (mut tracer, mut stream) = setup();
+        // Same kernel name, two regimes: one launch in the latency-bound
+        // regime (tiny work), then the bulk of the time memory-bound.
+        let tiny = KernelProfile::new("chem_rhs", LaunchConfig::new(1, 64)).flops(64.0, DType::F64);
+        let fat = KernelProfile::new("chem_rhs", big()).flops(1e9, DType::F64).bytes(1e12, 1e11);
+        assert_eq!(tracer.classify(&tiny), Bound::Latency);
+        assert_eq!(tracer.classify(&fat), Bound::Memory);
+        tracer.launch_traced_modeled(&mut stream, &tiny); // first seen: Latency
+        for _ in 0..3 {
+            tracer.launch_traced_modeled(&mut stream, &fat);
+        }
+        let stats = tracer.hotspots();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].calls, 4);
+        assert_eq!(stats[0].bound, Bound::Memory, "bound must follow the time, not launch order");
+        assert!(stats[0].bytes > 3e12, "aggregated bytes surface for the roofline");
+    }
+
+    #[test]
+    fn roofline_report_has_ceilings_and_points() {
+        let (mut tracer, mut stream) = setup();
+        let k = KernelProfile::new("triad", big()).flops(1e9, DType::F64).bytes(1e10, 1e9);
+        tracer.launch_traced_modeled(&mut stream, &k);
+        let r = tracer.roofline();
+        assert!(r.peak_gflops > 0.0 && r.mem_bw_gbs > 0.0);
+        assert_eq!(r.points.len(), 1);
+        let p = &r.points[0];
+        assert_eq!(p.name, "triad");
+        // intensity = flops / bytes
+        assert!((p.intensity - 1e9 / 1.1e10).abs() / (1e9 / 1.1e10) < 0.05, "{}", p.intensity);
+        assert!(exa_telemetry::parse_json(&r.to_json()).is_ok());
     }
 
     #[test]

@@ -16,6 +16,8 @@ use crate::device::Device;
 use crate::error::Result;
 use crate::stream::Stream;
 use exa_machine::SimTime;
+use exa_telemetry::{MetricSource, MetricsRegistry};
+use serde::Serialize;
 use std::sync::Arc;
 
 /// Where a page currently lives.
@@ -35,7 +37,7 @@ pub fn fault_latency() -> SimTime {
 }
 
 /// Migration statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct UvmStats {
     /// Page faults serviced (host→device).
     pub faults_to_device: u64,
@@ -43,6 +45,14 @@ pub struct UvmStats {
     pub faults_to_host: u64,
     /// Bytes migrated in either direction.
     pub bytes_migrated: u64,
+}
+
+impl MetricSource for UvmStats {
+    fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter_add("hal.uvm.faults_to_device", self.faults_to_device);
+        m.counter_add("hal.uvm.faults_to_host", self.faults_to_host);
+        m.counter_add("hal.uvm.bytes_migrated", self.bytes_migrated);
+    }
 }
 
 /// A managed (page-migrating) allocation of `T`s.

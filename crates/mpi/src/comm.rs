@@ -3,9 +3,12 @@
 use crate::collectives as coll;
 use crate::network::Network;
 use exa_machine::{Clock, SimTime};
+use exa_telemetry::{MetricSource, MetricsRegistry, SpanCat, TelemetryCollector, TrackId, TrackKind};
+use serde::Serialize;
+use std::sync::Arc;
 
 /// Aggregate communication statistics for a communicator.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct CommStats {
     /// Point-to-point messages sent.
     pub messages: u64,
@@ -13,6 +16,22 @@ pub struct CommStats {
     pub bytes: u64,
     /// Collective operations executed.
     pub collectives: u64,
+}
+
+impl MetricSource for CommStats {
+    fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter_add("mpi.messages", self.messages);
+        m.counter_add("mpi.bytes", self.bytes);
+        m.counter_add("mpi.collectives", self.collectives);
+    }
+}
+
+/// A communicator's attachment to a shared [`TelemetryCollector`]: one
+/// comm-rank track per rank.
+#[derive(Debug)]
+struct CommTelemetry {
+    collector: Arc<TelemetryCollector>,
+    tracks: Vec<TrackId>,
 }
 
 /// A simulated communicator over `size` ranks.
@@ -28,13 +47,43 @@ pub struct Comm {
     net: Network,
     clocks: Vec<Clock>,
     stats: CommStats,
+    telemetry: Option<CommTelemetry>,
 }
 
 impl Comm {
     /// A communicator of `size` ranks over `net`.
     pub fn new(size: usize, net: Network) -> Self {
         assert!(size >= 1, "communicator needs at least one rank");
-        Comm { net, clocks: vec![Clock::new(); size], stats: CommStats::default() }
+        Comm {
+            net,
+            clocks: vec![Clock::new(); size],
+            stats: CommStats::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attach a shared telemetry collector: every rank gets a comm-rank
+    /// track named `<name>/rank<r>`, and collectives / point-to-point
+    /// messages are recorded as spans on the ranks they involve.
+    pub fn attach_telemetry(&mut self, collector: &Arc<TelemetryCollector>, name: &str) {
+        let tracks = (0..self.size())
+            .map(|r| collector.track(&format!("{name}/rank{r}"), TrackKind::CommRank))
+            .collect();
+        self.telemetry = Some(CommTelemetry { collector: Arc::clone(collector), tracks });
+    }
+
+    /// Drop the collector attachment.
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// Pour this communicator's [`CommStats`] into the attached collector's
+    /// metrics. Counters add, so call it once at the end of an
+    /// instrumented run.
+    pub fn absorb_telemetry(&self) {
+        if let Some(t) = self.telemetry.as_ref() {
+            t.collector.absorb(&self.stats);
+        }
     }
 
     /// Number of ranks.
@@ -82,13 +131,19 @@ impl Comm {
         t
     }
 
-    fn collective(&mut self, cost: SimTime, bytes: u64) -> SimTime {
-        let t = self.sync_all() + cost;
+    fn collective(&mut self, name: &'static str, cost: SimTime, bytes: u64) -> SimTime {
+        let start = self.sync_all();
+        let t = start + cost;
         for c in &mut self.clocks {
             c.sync_to(t);
         }
         self.stats.collectives += 1;
         self.stats.bytes += bytes;
+        if let Some(tel) = self.telemetry.as_ref() {
+            // Every rank sees the operation over the same (post-skew)
+            // interval, so per-track spans stay non-overlapping.
+            tel.collector.complete_on_tracks(&tel.tracks, name, SpanCat::Collective, start, t);
+        }
         t
     }
 
@@ -101,62 +156,66 @@ impl Comm {
         self.clocks[dst].sync_to(done);
         self.stats.messages += 1;
         self.stats.bytes += bytes;
+        if let Some(tel) = self.telemetry.as_ref() {
+            let tracks = [tel.tracks[src], tel.tracks[dst]];
+            tel.collector.complete_on_tracks(&tracks, "send", SpanCat::Message, start, done);
+        }
         done
     }
 
     /// Barrier across all ranks.
     pub fn barrier(&mut self) -> SimTime {
         let cost = coll::barrier_time(&self.net, self.size());
-        self.collective(cost, 0)
+        self.collective("barrier", cost, 0)
     }
 
     /// Cost-only allreduce of `bytes` per rank.
     pub fn allreduce(&mut self, bytes: u64) -> SimTime {
         let cost = coll::allreduce_time(&self.net, self.size(), bytes);
-        self.collective(cost, bytes)
+        self.collective("allreduce", cost, bytes)
     }
 
     /// Cost-only broadcast.
     pub fn bcast(&mut self, bytes: u64) -> SimTime {
         let cost = coll::bcast_time(&self.net, self.size(), bytes);
-        self.collective(cost, bytes)
+        self.collective("bcast", cost, bytes)
     }
 
     /// Cost-only allgather (`bytes` contributed per rank).
     pub fn allgather(&mut self, bytes: u64) -> SimTime {
         let cost = coll::allgather_time(&self.net, self.size(), bytes);
-        self.collective(cost, bytes * self.size() as u64)
+        self.collective("allgather", cost, bytes * self.size() as u64)
     }
 
     /// Cost-only all-to-all (`bytes_per_pair` between every rank pair).
     pub fn alltoall(&mut self, bytes_per_pair: u64) -> SimTime {
         let p = self.size();
         let cost = coll::alltoall_time(&self.net, p, bytes_per_pair);
-        self.collective(cost, bytes_per_pair * (p as u64) * (p as u64 - 1))
+        self.collective("alltoall", cost, bytes_per_pair * (p as u64) * (p as u64 - 1))
     }
 
     /// Cost-only gather of `bytes` per rank to a root.
     pub fn gather(&mut self, bytes: u64) -> SimTime {
         let cost = coll::gather_time(&self.net, self.size(), bytes);
-        self.collective(cost, bytes * self.size() as u64)
+        self.collective("gather", cost, bytes * self.size() as u64)
     }
 
     /// Cost-only scatter of `bytes` per rank from a root.
     pub fn scatter(&mut self, bytes: u64) -> SimTime {
         let cost = coll::scatter_time(&self.net, self.size(), bytes);
-        self.collective(cost, bytes * self.size() as u64)
+        self.collective("scatter", cost, bytes * self.size() as u64)
     }
 
     /// Cost-only reduce of `bytes` per rank to a root.
     pub fn reduce(&mut self, bytes: u64) -> SimTime {
         let cost = coll::reduce_time(&self.net, self.size(), bytes);
-        self.collective(cost, bytes)
+        self.collective("reduce", cost, bytes)
     }
 
     /// Cost-only exclusive scan of `bytes` per rank.
     pub fn scan(&mut self, bytes: u64) -> SimTime {
         let cost = coll::scan_time(&self.net, self.size(), bytes);
-        self.collective(cost, bytes)
+        self.collective("scan", cost, bytes)
     }
 
     /// Data-carrying broadcast: copy `root`'s vector to every rank, charging
@@ -193,7 +252,7 @@ impl Comm {
         assert!(group >= 1 && group <= self.size());
         let cost = coll::bcast_time(&self.net, group, bytes);
         let groups = (self.size() / group.max(1)) as u64;
-        self.collective(cost, bytes * groups)
+        self.collective("bcast_grouped", cost, bytes * groups)
     }
 
     /// All-to-all happening concurrently inside disjoint groups of
@@ -204,13 +263,13 @@ impl Comm {
         assert!(group >= 1 && group <= self.size());
         let cost = coll::alltoall_time(&self.net, group, bytes_per_pair);
         let groups = (self.size() / group.max(1)) as u64;
-        self.collective(cost, bytes_per_pair * group as u64 * (group as u64 - 1) * groups)
+        self.collective("alltoall_grouped", cost, bytes_per_pair * group as u64 * (group as u64 - 1) * groups)
     }
 
     /// Nearest-neighbour halo exchange performed by every rank at once.
     pub fn halo_exchange(&mut self, neighbors: usize, bytes: u64) -> SimTime {
         let cost = coll::halo_time(&self.net, neighbors, bytes);
-        self.collective(cost, bytes as u64 * neighbors as u64 * self.size() as u64)
+        self.collective("halo_exchange", cost, bytes as u64 * neighbors as u64 * self.size() as u64)
     }
 
     // ---- data-carrying collectives --------------------------------------
@@ -259,7 +318,7 @@ impl Comm {
         }
         let p_u = self.size();
         let cost = coll::alltoall_time(&self.net, p_u, max_pair);
-        self.collective(cost, max_pair * p_u as u64 * (p_u as u64 - 1));
+        self.collective("alltoallv", cost, max_pair * p_u as u64 * (p_u as u64 - 1));
         recv
     }
 
@@ -404,6 +463,33 @@ mod tests {
             assert_eq!(v, &vec![7, 8, 9]);
         }
         assert_eq!(c.stats().collectives, 1);
+    }
+
+    #[test]
+    fn telemetry_records_per_rank_spans_and_matching_counters() {
+        let collector = TelemetryCollector::shared();
+        let mut c = comm(4);
+        c.attach_telemetry(&collector, "world");
+        c.advance(1, SimTime::from_micros(50.0)); // skew one rank
+        c.allreduce(1 << 12);
+        c.send(0, 3, 1 << 10);
+        c.barrier();
+        c.absorb_telemetry();
+
+        let snap = collector.snapshot();
+        let stats = c.stats();
+        assert_eq!(snap.counter("mpi.collectives"), stats.collectives);
+        assert_eq!(snap.counter("mpi.messages"), stats.messages);
+        assert_eq!(snap.counter("mpi.bytes"), stats.bytes);
+        // Collectives land on every rank track; the send only on ranks 0, 3.
+        assert_eq!(snap.tracks.len(), 4);
+        for t in &snap.tracks {
+            let expect = if t.name == "world/rank0" || t.name == "world/rank3" { 3 } else { 2 };
+            assert_eq!(t.spans, expect, "track {}", t.name);
+        }
+        // Per-track spans must be well-formed Chrome trace material.
+        let trace = collector.chrome_trace();
+        exa_telemetry::validate_chrome_trace(&trace).expect("valid chrome trace");
     }
 
     #[test]

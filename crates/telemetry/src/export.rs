@@ -1,0 +1,205 @@
+//! Exporters: Chrome Trace Event JSON (Perfetto / `chrome://tracing`), a
+//! rocprof-style hotspot CSV, and roofline-report JSON.
+
+use crate::span::{SpanCat, Timeline};
+use exa_machine::SimTime;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+fn push_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a timeline as a Chrome Trace Event JSON array: one `pid`, one
+/// `tid` per track (named via `M` thread-name metadata events), and one
+/// complete (`"ph":"X"`) event per span with `ts`/`dur` in microseconds of
+/// virtual time. Spans are emitted in recorded order, so `ts` is
+/// monotonically non-decreasing within each `tid`.
+pub fn chrome_trace(timeline: &Timeline) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+    };
+    for (i, track) in timeline.tracks().iter().enumerate() {
+        let tid = i + 1;
+        sep(&mut out, &mut first);
+        write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\""
+        )
+        .expect("write to String");
+        push_escaped(&mut out, &track.name);
+        write!(out, " [{}]\"}}}}", track.kind.label()).expect("write to String");
+        for span in track.spans() {
+            sep(&mut out, &mut first);
+            let ts = span.start.secs() * 1e6;
+            let dur = (span.end - span.start).secs() * 1e6;
+            write!(out, "{{\"name\":\"").expect("write to String");
+            push_escaped(&mut out, &span.name);
+            write!(
+                out,
+                "\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\
+                 \"tid\":{tid},\"args\":{{\"depth\":{}}}}}",
+                span.cat.label(),
+                span.depth
+            )
+            .expect("write to String");
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Aggregate kernel-ish spans (kernels, graph replays, DMA, collectives) by
+/// name into a rocprof-style CSV: name, category, calls, total µs, share of
+/// the aggregated time. Hottest first.
+pub fn hotspot_csv(timeline: &Timeline) -> String {
+    let mut agg: HashMap<(&str, SpanCat), (u64, SimTime)> = HashMap::new();
+    for track in timeline.tracks() {
+        for span in track.spans() {
+            if span.cat == SpanCat::Phase {
+                continue; // host phases are structure, not hotspots
+            }
+            let e = agg.entry((&span.name, span.cat)).or_insert((0, SimTime::ZERO));
+            e.0 += 1;
+            e.1 += span.duration();
+        }
+    }
+    let total: SimTime = agg.values().map(|(_, t)| *t).sum();
+    let mut rows: Vec<(&str, SpanCat, u64, SimTime)> =
+        agg.into_iter().map(|((n, c), (calls, t))| (n, c, calls, t)).collect();
+    rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
+    let mut out = String::from("name,category,calls,total_us,share_pct\n");
+    for (name, cat, calls, t) in rows {
+        let share = if total.is_zero() { 0.0 } else { t / total * 100.0 };
+        writeln!(
+            out,
+            "{},{},{},{:.3},{:.2}",
+            name,
+            cat.label(),
+            calls,
+            t.secs() * 1e6,
+            share
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+/// One kernel on the roofline plane.
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflinePoint {
+    /// Kernel name.
+    pub name: String,
+    /// Launches aggregated into the point.
+    pub calls: u64,
+    /// Total device time, seconds.
+    pub time_s: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Arithmetic intensity, FLOPs per byte.
+    pub intensity: f64,
+    /// Dominant bound label (`Compute` / `Memory` / `Latency`).
+    pub bound: String,
+}
+
+/// A roofline report: the device ceilings plus per-kernel points. Built by
+/// `exa-hal`'s `Tracer::roofline` from its recorded launch events.
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflineReport {
+    /// Device name.
+    pub device: String,
+    /// F64 peak, GFLOP/s.
+    pub peak_gflops: f64,
+    /// HBM bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Intensity at which the two ceilings meet, FLOP/byte.
+    pub ridge_intensity: f64,
+    /// Per-kernel points, hottest first.
+    pub points: Vec<RooflinePoint>,
+}
+
+impl RooflineReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("roofline serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TrackKind;
+    use crate::validate::{parse_json, validate_chrome_trace};
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_named() {
+        let mut tl = Timeline::default();
+        let g = tl.track("gpu \"0\"", TrackKind::DeviceQueue);
+        tl.complete(g, "chem_rates", SpanCat::Kernel, s(0.0), s(1e-6));
+        tl.complete(g, "h2d", SpanCat::Dma, s(1e-6), s(3e-6));
+        let json = chrome_trace(&tl);
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.tracks, 1);
+    }
+
+    #[test]
+    fn hotspot_csv_ranks_by_time() {
+        let mut tl = Timeline::default();
+        let g = tl.track("gpu0", TrackKind::DeviceQueue);
+        for i in 0..3 {
+            tl.complete(g, "hot", SpanCat::Kernel, s(i as f64), s(i as f64 + 0.9));
+        }
+        tl.complete(g, "cold", SpanCat::Kernel, s(3.0), s(3.01));
+        tl.complete(g, "setup", SpanCat::Phase, s(0.0), s(10.0)); // excluded
+        let csv = hotspot_csv(&tl);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "name,category,calls,total_us,share_pct");
+        assert!(lines.next().unwrap().starts_with("hot,kernel,3,"));
+        assert!(lines.next().unwrap().starts_with("cold,kernel,1,"));
+        assert!(!csv.contains("setup"));
+    }
+
+    #[test]
+    fn roofline_report_serializes() {
+        let r = RooflineReport {
+            device: "mi250x-gcd".into(),
+            peak_gflops: 23900.0,
+            mem_bw_gbs: 1600.0,
+            ridge_intensity: 23900.0 / 1600.0,
+            points: vec![RooflinePoint {
+                name: "chem_jac".into(),
+                calls: 8,
+                time_s: 1e-3,
+                gflops: 120.0,
+                intensity: 3.1,
+                bound: "Memory".into(),
+            }],
+        };
+        let v = parse_json(&r.to_json()).expect("valid json");
+        assert_eq!(v.get("points").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # exa-telemetry — unified observability for the exaready stack
+//!
+//! The simulator's analogue of the AMD tool chain the paper's readiness
+//! workflow leans on — `rocprof` timelines and Omnitrace-style unified
+//! views (§3.2 "by employing kernel profiling we were able to identify
+//! bottlenecks"; §3.10.2 "initial profiling on AMD Instinct GPUs found a
+//! few key bottlenecks"). One [`TelemetryCollector`] gathers:
+//!
+//! * **spans** — named, nested intervals of virtual time on per-resource
+//!   tracks ([`Timeline`]): host phases, device queues (one per `Stream`),
+//!   per-rank communication; recorded directly, via RAII [`SpanGuard`]s,
+//!   or batched by instrumented subsystems;
+//! * **metrics** — a namespaced [`MetricsRegistry`] of counters, gauges,
+//!   and time accumulators, fed by the [`MetricSource`] impls on
+//!   `StreamStats` / `GraphStats` / `PoolStats` / `UvmStats` / `CommStats`;
+//! * **exports** — Chrome Trace Event JSON (open in Perfetto or
+//!   `chrome://tracing`), a rocprof-style hotspot CSV, roofline-report
+//!   JSON, and the single serializable [`TelemetrySnapshot`].
+//!
+//! The crate sits *below* `exa-hal` and `exa-mpi` in the workspace DAG:
+//! those layers accept an optional shared collector and stay zero-cost
+//! when none is attached.
+//!
+//! Because the vendored `serde_json` shim has no deserializer, the crate
+//! also ships a small JSON parser ([`validate::parse_json`]) and a
+//! Chrome-trace schema validator ([`validate::validate_chrome_trace`])
+//! used by the property tests and the `profile_export` CI gate.
+
+pub mod collector;
+pub mod export;
+pub mod metrics;
+pub mod span;
+pub mod validate;
+
+pub use collector::{SpanGuard, TelemetryCollector};
+pub use export::{chrome_trace, hotspot_csv, RooflinePoint, RooflineReport};
+pub use metrics::{MetricSource, MetricsRegistry, TelemetrySnapshot, TrackSummary};
+pub use span::{Span, SpanCat, SpanId, Timeline, Track, TrackId, TrackKind};
+pub use validate::{parse_json, validate_chrome_trace, ChromeTraceSummary, JsonValue};

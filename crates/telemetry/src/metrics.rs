@@ -1,0 +1,193 @@
+//! Typed counters/gauges and the unified [`TelemetrySnapshot`].
+//!
+//! Subsystem statistics (`StreamStats`, `GraphStats`, `PoolStats`,
+//! `UvmStats`, `CommStats`) stay where they are; they flow into one
+//! registry through the [`MetricSource`] trait, which each stats type
+//! implements in its own crate. A snapshot is the serializable union of
+//! the registry and the timeline's per-track summaries.
+
+use crate::span::Timeline;
+use exa_machine::SimTime;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Namespaced counters (monotonic u64), gauges (last/explicit f64), and
+/// virtual-time accumulators.
+///
+/// Absorbing a stats struct **adds** its values, so absorbing several
+/// streams or communicators sums naturally — absorb each stats snapshot
+/// exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    times: BTreeMap<String, SimTime>,
+}
+
+impl MetricsRegistry {
+    /// Add to a named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an explicit value.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Raise a gauge to at least `v` (high-water marks).
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        let e = self.gauges.entry(name.to_string()).or_insert(v);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Accumulate virtual time under a name.
+    pub fn time_add(&mut self, name: &str, t: SimTime) {
+        let e = self.times.entry(name.to_string()).or_insert(SimTime::ZERO);
+        *e += t;
+    }
+
+    /// Read an accumulated time (zero if never touched).
+    pub fn time(&self, name: &str) -> SimTime {
+        self.times.get(name).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Drop every metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.times.clear();
+    }
+}
+
+/// Anything that can pour its statistics into a [`MetricsRegistry`].
+/// Implemented by `exa-hal` for `StreamStats`/`GraphStats`/`PoolStats`/
+/// `UvmStats` and by `exa-mpi` for `CommStats`.
+pub trait MetricSource {
+    /// Add this source's metrics (namespaced, e.g. `hal.kernels`) to `m`.
+    fn export_metrics(&self, m: &mut MetricsRegistry);
+}
+
+/// Per-track digest inside a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrackSummary {
+    /// Track display name.
+    pub name: String,
+    /// Track kind label (`host` / `device_queue` / `comm_rank`).
+    pub kind: String,
+    /// Spans recorded on the track.
+    pub spans: u64,
+    /// Sum of top-level span durations, seconds.
+    pub busy_s: f64,
+    /// Latest end time on the track, seconds.
+    pub end_s: f64,
+}
+
+/// The one serializable view of everything the collector knows: span
+/// counts and busy time per track plus the unified metric namespace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Total spans across all tracks.
+    pub spans_total: u64,
+    /// Wall time covered by the profile, seconds.
+    pub wall_s: f64,
+    /// Per-track summaries.
+    pub tracks: Vec<TrackSummary>,
+    /// Monotonic counters (`hal.kernels`, `mpi.collectives`, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Accumulated virtual times, seconds.
+    pub times_s: BTreeMap<String, f64>,
+}
+
+impl TelemetrySnapshot {
+    /// Build from a timeline + registry pair.
+    pub fn build(timeline: &Timeline, metrics: &MetricsRegistry) -> Self {
+        let tracks: Vec<TrackSummary> = timeline
+            .tracks()
+            .iter()
+            .map(|t| TrackSummary {
+                name: t.name.clone(),
+                kind: t.kind.label().to_string(),
+                spans: t.spans().len() as u64,
+                busy_s: t.busy().secs(),
+                end_s: t.end().secs(),
+            })
+            .collect();
+        TelemetrySnapshot {
+            spans_total: timeline.total_spans() as u64,
+            wall_s: timeline.wall_end().secs(),
+            tracks,
+            counters: metrics.counters.clone(),
+            gauges: metrics.gauges.clone(),
+            times_s: metrics.times.iter().map(|(k, t)| (k.clone(), t.secs())).collect(),
+        }
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanCat, TrackKind};
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("hal.kernels", 3);
+        m.counter_add("hal.kernels", 4);
+        assert_eq!(m.counter("hal.kernels"), 7);
+        assert_eq!(m.counter("never.touched"), 0);
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water() {
+        let mut m = MetricsRegistry::default();
+        m.gauge_max("pool.high_water", 10.0);
+        m.gauge_max("pool.high_water", 4.0);
+        assert_eq!(m.gauge("pool.high_water"), Some(10.0));
+    }
+
+    #[test]
+    fn snapshot_reflects_tracks_and_metrics() {
+        let mut tl = Timeline::default();
+        let h = tl.track("host", TrackKind::Host);
+        tl.complete(h, "a", SpanCat::Phase, SimTime::ZERO, SimTime::from_secs(2.0));
+        let mut m = MetricsRegistry::default();
+        m.counter_add("x", 1);
+        m.time_add("busy", SimTime::from_secs(2.0));
+        let snap = TelemetrySnapshot::build(&tl, &m);
+        assert_eq!(snap.spans_total, 1);
+        assert_eq!(snap.tracks[0].busy_s, 2.0);
+        assert_eq!(snap.counter("x"), 1);
+        assert_eq!(snap.times_s["busy"], 2.0);
+        assert!(snap.to_json().contains("\"spans_total\""));
+    }
+}

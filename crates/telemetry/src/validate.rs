@@ -1,0 +1,380 @@
+//! A small recursive-descent JSON parser and a Chrome-trace schema
+//! validator. The vendored `serde_json` shim only serializes, so artifact
+//! self-checks (tests, the `profile_export` gate) parse with this.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// As an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// As a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// As a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(JsonValue::Num(x)),
+            _ => self.err(&format!("invalid number '{text}'")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.b.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.b[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.b[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser { b: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return p.err("trailing garbage after JSON document");
+    }
+    Ok(v)
+}
+
+/// What a validated Chrome trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Duration (`X`/`B`/`E`) events.
+    pub events: usize,
+    /// Distinct `tid`s carrying duration events.
+    pub tracks: usize,
+}
+
+/// Validate a Chrome Trace Event JSON document:
+///
+/// * the document is a JSON array of objects;
+/// * every event's `ph` is `X`, `B`, `E`, or `M`, with `name`/`pid`/`tid`;
+/// * per `(pid, tid)`, timestamps are monotonically non-decreasing and
+///   `X` durations are non-negative;
+/// * nested events (via `args.depth`) lie within their parent interval.
+pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
+    let doc = parse_json(s)?;
+    let events = doc.as_array().ok_or("trace must be a JSON array")?;
+    // Per-tid cursor: last ts, and a stack of (depth, start, end) intervals.
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut open: BTreeMap<(u64, u64), Vec<(u64, f64, f64)>> = BTreeMap::new();
+    let mut n_events = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        ev.get("name").and_then(JsonValue::as_str).ok_or(format!("event {i}: missing name"))?;
+        let pid = ev.get("pid").and_then(JsonValue::as_u64).ok_or(format!("event {i}: missing pid"))?;
+        let tid = ev.get("tid").and_then(JsonValue::as_u64).ok_or(format!("event {i}: missing tid"))?;
+        match ph {
+            "M" => continue,
+            "X" | "B" | "E" => {}
+            other => return Err(format!("event {i}: unexpected ph '{other}'")),
+        }
+        n_events += 1;
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("event {i}: missing ts"))?;
+        let key = (pid, tid);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!("event {i}: ts {ts} goes backwards (prev {prev}) on tid {tid}"));
+            }
+        }
+        last_ts.insert(key, ts);
+        if ph == "X" {
+            let dur = ev
+                .get("dur")
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("event {i}: X event missing dur"))?;
+            if dur < 0.0 {
+                return Err(format!("event {i}: negative dur {dur}"));
+            }
+            if let Some(depth) = ev.get("args").and_then(|a| a.get("depth")).and_then(JsonValue::as_u64) {
+                let stack = open.entry(key).or_default();
+                while stack.last().is_some_and(|&(d, _, _)| d >= depth) {
+                    stack.pop();
+                }
+                if depth > 0 {
+                    match stack.last() {
+                        Some(&(d, ps, pe)) if d == depth - 1 => {
+                            const EPS: f64 = 1e-6; // µs rounding slack
+                            if ts + EPS < ps || ts + dur > pe + EPS {
+                                return Err(format!(
+                                    "event {i}: child [{ts}, {}] escapes parent [{ps}, {pe}]",
+                                    ts + dur
+                                ));
+                            }
+                        }
+                        _ => {
+                            return Err(format!(
+                                "event {i}: depth {depth} with no open parent at depth {}",
+                                depth - 1
+                            ))
+                        }
+                    }
+                }
+                stack.push((depth, ts, ts + dur));
+            }
+        }
+    }
+    Ok(ChromeTraceSummary { events: n_events, tracks: last_ts.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_strings_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e3, true, null, "x\n\"y\""], "b": {}}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[4].as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("b"), Some(&JsonValue::Obj(BTreeMap::new())));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("[1] x").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_backwards_timestamps() {
+        let bad = r#"[
+          {"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":1},
+          {"name":"b","ph":"X","ts":2,"dur":1,"pid":1,"tid":1}
+        ]"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_escaping_children() {
+        let bad = r#"[
+          {"name":"p","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"depth":0}},
+          {"name":"c","ph":"X","ts":5,"dur":50,"pid":1,"tid":1,"args":{"depth":1}}
+        ]"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("escapes parent"), "{err}");
+    }
+
+    #[test]
+    fn validator_accepts_independent_tids() {
+        let ok = r#"[
+          {"name":"t","ph":"M","pid":1,"tid":1,"args":{"name":"gpu"}},
+          {"name":"a","ph":"X","ts":0,"dur":4,"pid":1,"tid":1},
+          {"name":"b","ph":"X","ts":0,"dur":4,"pid":1,"tid":2},
+          {"name":"c","ph":"B","ts":6,"pid":1,"tid":1},
+          {"name":"c","ph":"E","ts":8,"pid":1,"tid":1}
+        ]"#;
+        let s = validate_chrome_trace(ok).unwrap();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.tracks, 2);
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification flow.
+#
+#   1. release build of the whole workspace;
+#   2. full test suite (unit + integration + property);
+#   3. telemetry export: `profile_export` re-drives the instrumented Pele /
+#      E3SM / GESTS paths and schema-checks its own output (non-empty spans,
+#      totals > 0, counters consistent, Chrome-trace invariants) before
+#      writing PROFILE_pele.json + PROFILE_pele.trace.json at the repo root,
+#      keeping a per-PR telemetry trajectory next to BENCH_graph_fusion.json.
+#
+# Any step failing fails the flow.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run --release -q -p exa-bench --bin profile_export
+
+# Belt-and-braces: the gate above already validated the artifacts, but make
+# absence-of-output a hard failure too.
+for f in PROFILE_pele.json PROFILE_pele.trace.json; do
+    [ -s "$f" ] || { echo "tier1: missing artifact $f" >&2; exit 1; }
+done
+echo "tier1: build + tests + telemetry export all green"

@@ -8,6 +8,7 @@
 //! Each member crate is re-exported under a short name:
 //!
 //! * [`machine`] — hardware performance models and virtual time
+//! * [`telemetry`] — unified span timelines, metrics, and trace exporters
 //! * [`hal`] — the simulated CUDA/HIP device runtime, hipify, OpenMP offload
 //! * [`mpi`] — deterministic simulated MPI
 //! * [`linalg`] — dense linear algebra substrate
@@ -27,3 +28,4 @@ pub use exa_linalg as linalg;
 pub use exa_machine as machine;
 pub use exa_mpi as mpi;
 pub use exa_shoc as shoc;
+pub use exa_telemetry as telemetry;

@@ -1,0 +1,180 @@
+//! Property-based tests on the unified telemetry layer (ISSUE PR 2
+//! satellite): for arbitrary operation sequences on an instrumented
+//! `Stream` or `Comm`,
+//!
+//! * the Chrome-trace export is valid JSON obeying the Trace Event
+//!   invariants (monotonic per-track timestamps, `X` durations ≥ 0,
+//!   children contained in their parents);
+//! * the snapshot's unified counters equal the underlying per-subsystem
+//!   statistics, exactly;
+//! * nested spans opened through the RAII guard API close in order, with
+//!   every child inside its parent.
+
+use exaready::hal::{
+    ApiSurface, DType, Device, KernelProfile, LaunchConfig, Stream, TelemetryCollector,
+};
+use exaready::machine::{GpuModel, MachineModel, SimTime};
+use exaready::mpi::{Comm, Network};
+use exaready::telemetry::{validate_chrome_trace, SpanCat, TrackKind};
+use proptest::prelude::*;
+
+fn stream() -> Stream {
+    Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip).unwrap()
+}
+
+/// Drive one encoded op against the stream. Op 3 replays an 8-kernel graph
+/// captured on first use.
+fn run_stream_op(
+    s: &mut Stream,
+    graph: &mut Option<exaready::hal::KernelGraph>,
+    op: u8,
+    bytes: u64,
+) {
+    match op {
+        0 => {
+            let k = KernelProfile::new("k", LaunchConfig::cover(1 << 16, 256))
+                .flops(bytes as f64, DType::F64)
+                .bytes(bytes as f64, bytes as f64);
+            s.launch_modeled(&k);
+        }
+        1 => {
+            s.upload_modeled(bytes);
+        }
+        2 => {
+            s.download_modeled(bytes);
+        }
+        _ => {
+            let g = graph.get_or_insert_with(|| {
+                let mut cap = stream();
+                cap.begin_capture();
+                for i in 0..8 {
+                    cap.launch_modeled(
+                        &KernelProfile::new(
+                            format!("g{i}"),
+                            LaunchConfig::cover(1 << 14, 256),
+                        )
+                        .flops(1.0e6, DType::F64)
+                        .bytes(1.0e5, 1.0e5),
+                    );
+                }
+                cap.end_capture()
+            });
+            s.replay(g);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any op sequence on an instrumented stream yields a snapshot whose
+    /// counters equal the stream's own statistics, and a valid trace whose
+    /// per-track span count matches the snapshot.
+    #[test]
+    fn stream_snapshot_matches_stats(
+        ops in prop::collection::vec((0u8..4, 1u64..1_000_000), 1..40)
+    ) {
+        let collector = TelemetryCollector::shared();
+        let mut s = stream();
+        s.attach_telemetry(&collector, "gpu0/queue");
+        let mut graph = None;
+        for &(op, bytes) in &ops {
+            run_stream_op(&mut s, &mut graph, op, bytes);
+        }
+        s.synchronize();
+        s.absorb_telemetry();
+
+        let stats = s.stats();
+        let snap = collector.snapshot();
+        prop_assert_eq!(snap.counter("hal.kernels"), stats.kernels);
+        prop_assert_eq!(snap.counter("hal.bytes_h2d"), stats.bytes_h2d);
+        prop_assert_eq!(snap.counter("hal.bytes_d2h"), stats.bytes_d2h);
+        prop_assert_eq!(snap.counter("hal.graph_replays"), stats.graph_replays);
+        prop_assert_eq!(snap.counter("hal.graph_kernels"), stats.graph_kernels);
+        // Every op leaves exactly one span on the queue track.
+        prop_assert_eq!(snap.spans_total, ops.len() as u64);
+        let busy: f64 = snap.tracks.iter().map(|t| t.busy_s).sum();
+        let err = (busy - stats.device_busy.secs()).abs();
+        prop_assert!(err < 1e-9 * ops.len() as f64, "busy {busy} vs {}", stats.device_busy);
+
+        let summary = validate_chrome_trace(&collector.chrome_trace());
+        prop_assert!(summary.is_ok(), "invalid trace: {:?}", summary.err());
+        // `events` counts duration (X) events only — metadata excluded.
+        prop_assert_eq!(summary.unwrap().events as u64, snap.spans_total);
+    }
+
+    /// Any mix of collectives and point-to-point sends on an instrumented
+    /// communicator yields matching counters, one span per involved rank,
+    /// and a valid trace.
+    #[test]
+    fn comm_snapshot_matches_stats(
+        ranks in 2usize..9,
+        ops in prop::collection::vec((0u8..5, 1u64..1_000_000), 1..30)
+    ) {
+        let collector = TelemetryCollector::shared();
+        let net = Network::from_machine(&MachineModel::frontier());
+        let mut comm = Comm::new(ranks, net);
+        comm.attach_telemetry(&collector, "mpi");
+        let mut expect_spans = 0u64;
+        for &(op, bytes) in &ops {
+            match op {
+                0 => { comm.allreduce(bytes); expect_spans += ranks as u64; }
+                1 => { comm.bcast(bytes); expect_spans += ranks as u64; }
+                2 => { comm.barrier(); expect_spans += ranks as u64; }
+                3 => { comm.alltoall(bytes); expect_spans += ranks as u64; }
+                _ => {
+                    let src = (bytes % ranks as u64) as usize;
+                    let dst = (src + 1) % ranks;
+                    comm.send(src, dst, bytes);
+                    expect_spans += 2;
+                }
+            }
+        }
+        comm.absorb_telemetry();
+
+        let stats = comm.stats();
+        let snap = collector.snapshot();
+        prop_assert_eq!(snap.counter("mpi.messages"), stats.messages);
+        prop_assert_eq!(snap.counter("mpi.bytes"), stats.bytes);
+        prop_assert_eq!(snap.counter("mpi.collectives"), stats.collectives);
+        prop_assert_eq!(snap.spans_total, expect_spans);
+        prop_assert_eq!(snap.tracks.len(), ranks);
+
+        let summary = validate_chrome_trace(&collector.chrome_trace());
+        prop_assert!(summary.is_ok(), "invalid trace: {:?}", summary.err());
+    }
+
+    /// Arbitrary push/pop nesting through the RAII guard API produces a
+    /// structurally sound timeline: depths follow the open-stack, children
+    /// are contained in parents (checked independently by the Chrome-trace
+    /// validator via `args.depth`), and per-track time is monotonic.
+    #[test]
+    fn guarded_nesting_is_contained(
+        script in prop::collection::vec((0u8..2, 1u32..1000), 2..30)
+    ) {
+        let collector = TelemetryCollector::shared();
+        let track = collector.track("host", TrackKind::Host);
+        let mut cursor = SimTime::ZERO;
+        let mut open = Vec::new();
+        for &(action, dt) in &script {
+            cursor += SimTime::from_micros(dt as f64);
+            if action == 0 || open.is_empty() {
+                open.push(collector.span(track, "phase", SpanCat::Phase, cursor));
+            } else {
+                let guard: exaready::telemetry::SpanGuard = open.pop().unwrap();
+                guard.end_at(cursor);
+            }
+        }
+        // Close the rest innermost-first.
+        while let Some(g) = open.pop() {
+            cursor += SimTime::from_micros(1.0);
+            g.end_at(cursor);
+        }
+
+        let snap = collector.snapshot();
+        let opens = script.iter().filter(|&&(a, _)| a == 0).count() as u64;
+        prop_assert!(snap.spans_total >= opens, "every begin records a span");
+        let summary = validate_chrome_trace(&collector.chrome_trace());
+        prop_assert!(summary.is_ok(), "invalid trace: {:?}", summary.err());
+    }
+}
