@@ -238,6 +238,18 @@ impl Application for Coast {
     fn paper_speedup(&self) -> Option<f64> {
         Some(7.4)
     }
+
+    fn profile_phases(&self) -> Vec<exa_core::Phase> {
+        use exa_core::Phase;
+        // §3.9 blocked Floyd-Warshall: the tuned min-plus tile kernel is
+        // nearly everything; the remainder is the pivot-panel broadcast and
+        // the inter-block distance exchange.
+        vec![
+            Phase::kernel("minplus_tile", 0.74),
+            Phase::collective("pivot_panel_bcast", 0.14),
+            Phase::collective("block_row_exchange", 0.12),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -191,6 +191,19 @@ impl Application for CoMet {
     fn paper_speedup(&self) -> Option<f64> {
         Some(5.2)
     }
+
+    fn profile_phases(&self) -> Vec<exa_core::Phase> {
+        use exa_core::Phase;
+        // §3.6: CCC is GEMM-dominated by construction; the rest is the
+        // 2x2-table metrics reduction, vector staging, and the all-pairs
+        // vector broadcast.
+        vec![
+            Phase::kernel("ccc_gemm", 0.68),
+            Phase::kernel("metrics_reduce", 0.14),
+            Phase::new("vector_staging", 0.06),
+            Phase::collective("vector_allgather", 0.12),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -197,6 +197,19 @@ impl Application for ExaSky {
     fn paper_speedup(&self) -> Option<f64> {
         Some(4.2)
     }
+
+    fn profile_phases(&self) -> Vec<exa_core::Phase> {
+        use exa_core::Phase;
+        // §3.4 gravity split: short-range particle-particle kernels
+        // dominate, then the PM deposit/interpolate, the Poisson FFT, and
+        // the slab/pencil data exchange.
+        vec![
+            Phase::kernel("short_range_force", 0.48),
+            Phase::kernel("pm_deposit_interp", 0.17),
+            Phase::kernel("poisson_fft", 0.20),
+            Phase::collective("pm_alltoall", 0.15),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -203,6 +203,19 @@ impl Application for Gamess {
     fn paper_speedup(&self) -> Option<f64> {
         Some(5.0)
     }
+
+    fn profile_phases(&self) -> Vec<exa_core::Phase> {
+        use exa_core::Phase;
+        // §3.1 fragment hot path: RI tensor transform GEMMs dominate, then
+        // the symmetric eigensolve, the MP2 pair-energy sum, and the
+        // fragment result gather.
+        vec![
+            Phase::kernel("ri_transform_gemm", 0.46),
+            Phase::kernel("fock_eigensolve", 0.24),
+            Phase::kernel("mp2_pair_energy", 0.18),
+            Phase::collective("fragment_gather", 0.12),
+        ]
+    }
 }
 
 #[cfg(test)]

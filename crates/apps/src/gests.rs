@@ -10,7 +10,7 @@
 //! 32,768 MPI ranks for the N³ = 32,768³ problem" result.
 
 use crate::calibration::gests as cal;
-use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
+use exa_core::{perturb_measurement, Application, FigureOfMerit, FomMeasurement, Motif, RunContext};
 use exa_fft::{fft3d, ifft3d, Decomp, DistFft3d};
 use exa_linalg::C64;
 use exa_machine::{GpuArch, MachineModel, SimTime};
@@ -56,6 +56,20 @@ impl PsdnsRun {
         machine: &MachineModel,
         telemetry: Option<&Arc<TelemetryCollector>>,
     ) -> SimTime {
+        self.step_time_observed(machine, telemetry, None)
+    }
+
+    /// [`PsdnsRun::step_time_profiled`] with optional synthetic fault
+    /// injection: phases whose name contains the needle run `factor`×
+    /// longer (the extra time charged to every rank, so the recorded spans
+    /// and the returned wall time stretch together). Used by the
+    /// regression-sentinel drill in `fom_ledger`.
+    pub fn step_time_observed(
+        &self,
+        machine: &MachineModel,
+        telemetry: Option<&Arc<TelemetryCollector>>,
+        inject: Option<(&str, f64)>,
+    ) -> SimTime {
         let mut plan = DistFft3d::new(self.n, self.decomp);
         plan.mem_eff = match machine.node.gpu().arch {
             GpuArch::Volta => cal::SUMMIT_MEM_EFF,
@@ -77,16 +91,27 @@ impl PsdnsRun {
             c.track("gests/host", TrackKind::Host)
         });
         let gpu = machine.node.gpu();
+        let stretch = |name: &str| -> f64 {
+            match inject {
+                Some((needle, factor)) if name.contains(needle) => factor,
+                _ => 1.0,
+            }
+        };
         for _ in 0..TRANSFORMS_PER_STEP {
             let start = comm.elapsed();
             plan.charge_transform(&mut comm, gpu);
+            let extra = stretch("transform") - 1.0;
+            if extra > 0.0 {
+                comm.advance_all((comm.elapsed() - start) * extra);
+            }
             if let (Some(c), Some(tk)) = (telemetry, host) {
                 c.complete(tk, "transform", SpanCat::Phase, start, comm.elapsed());
             }
         }
         // Spectral advance + dealiasing: one streaming pass over local data.
         let pass = SimTime::from_secs(
-            (self.n as f64).powi(3) * 16.0 / (self.ranks as f64) / (gpu.mem_bw * plan.mem_eff),
+            (self.n as f64).powi(3) * 16.0 / (self.ranks as f64) / (gpu.mem_bw * plan.mem_eff)
+                * stretch("spectral_advance"),
         );
         let advance_start = comm.elapsed();
         comm.advance_all(pass);
@@ -234,6 +259,18 @@ impl Application for Gests {
     fn paper_speedup(&self) -> Option<f64> {
         Some(5.0)
     }
+
+    /// GESTS has real instrumentation, so its profiled run replays the
+    /// actual PSDNS step on a representative scaled-down configuration
+    /// (the challenge problem would register 32,768 comm-rank tracks) and
+    /// scales the challenge measurement by the observed stretch.
+    fn run_profiled(&self, machine: &MachineModel, ctx: &RunContext<'_>) -> FomMeasurement {
+        let rep = PsdnsRun::new(128, 8, Decomp::Slabs);
+        let t_clean = rep.step_time(machine);
+        let t_observed = rep.step_time_observed(machine, Some(ctx.telemetry), ctx.inject);
+        let ratio = if t_clean.is_zero() { 1.0 } else { t_observed / t_clean };
+        perturb_measurement(self.run(machine), self.fom().higher_is_better, ratio)
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +295,37 @@ mod tests {
         assert!(comm_tracks.iter().all(|tr| tr.spans > 0));
         assert!(snap.counter("mpi.collectives") > 0);
         exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
+    }
+
+    #[test]
+    fn injected_transform_slowdown_stretches_spans_and_degrades_the_fom() {
+        let m = MachineModel::frontier();
+        let app = Gests;
+        let clean_c = TelemetryCollector::shared();
+        let clean = app.run_profiled(&m, &RunContext::new(&clean_c));
+        let hurt_c = TelemetryCollector::shared();
+        let hurt = app.run_profiled(&m, &RunContext::with_injection(&hurt_c, "transform", 2.0));
+        assert!(
+            hurt.value < clean.value * 0.75,
+            "2x transform injection must visibly hurt the FOM: {} vs {}",
+            hurt.value,
+            clean.value
+        );
+        // The recorded transform spans stretched; spectral_advance did not.
+        let sum_of = |c: &TelemetryCollector, name: &str| {
+            c.with_timeline(|tl| {
+                tl.tracks()
+                    .iter()
+                    .flat_map(|t| t.spans())
+                    .filter(|s| s.name == name)
+                    .map(|s| s.duration().secs())
+                    .sum::<f64>()
+            })
+        };
+        let grow = sum_of(&hurt_c, "transform") / sum_of(&clean_c, "transform");
+        assert!((grow - 2.0).abs() < 0.05, "transform spans must double: {grow}");
+        let adv = sum_of(&hurt_c, "spectral_advance") / sum_of(&clean_c, "spectral_advance");
+        assert!((adv - 1.0).abs() < 1e-9, "untargeted phases must not move: {adv}");
     }
 
     #[test]

@@ -246,6 +246,19 @@ impl Application for Lsms {
     fn paper_speedup(&self) -> Option<f64> {
         Some(7.5)
     }
+
+    fn profile_phases(&self) -> Vec<exa_core::Phase> {
+        use exa_core::Phase;
+        // §3.2 per-atom work: the rocSOLVER LU of the LIZ τ-matrix is the
+        // hot spot, then the block back-substitution, the energy-contour
+        // integration, and the LIZ neighbor exchange.
+        vec![
+            Phase::kernel("tau_matrix_lu", 0.52),
+            Phase::kernel("block_backsolve", 0.21),
+            Phase::new("energy_contour", 0.14),
+            Phase::collective("liz_exchange", 0.13),
+        ]
+    }
 }
 
 #[cfg(test)]

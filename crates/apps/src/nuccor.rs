@@ -230,6 +230,19 @@ impl Application for Nuccor {
     fn paper_speedup(&self) -> Option<f64> {
         Some(6.1)
     }
+
+    fn profile_phases(&self) -> Vec<exa_core::Phase> {
+        use exa_core::Phase;
+        // §3.7 CCD iteration: the ladder-diagram tensor contraction
+        // (reshaped into GEMM) dominates; then the tensor permutes around
+        // it, the amplitude/denominator update, and the residual reduce.
+        vec![
+            Phase::kernel("t2_ladder_gemm", 0.58),
+            Phase::kernel("tensor_permute", 0.16),
+            Phase::new("amplitude_update", 0.12),
+            Phase::collective("residual_allreduce", 0.14),
+        ]
+    }
 }
 
 #[cfg(test)]

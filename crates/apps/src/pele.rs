@@ -581,6 +581,36 @@ impl Application for Pele {
     fn paper_speedup(&self) -> Option<f64> {
         Some(4.2)
     }
+
+    /// §3.8's step decomposition: reacting-flow chemistry dominates, then
+    /// hydro advection, AMR regridding, and ghost-cell exchange.
+    fn profile_phases(&self) -> Vec<exa_core::Phase> {
+        use exa_core::Phase;
+        vec![
+            Phase::kernel("chemistry_integrate", 0.50),
+            Phase::kernel("hydro_advection", 0.25),
+            Phase::new("amr_regrid", 0.12),
+            Phase::collective("halo_exchange", 0.13),
+        ]
+    }
+
+    /// Pele has genuinely instrumented paths, so the profiled run drives
+    /// them for real spans (device-queue chemistry, the Figure-2 host
+    /// walk) and then replays the phase decomposition for the injectable
+    /// FOM measurement.
+    fn run_profiled(
+        &self,
+        machine: &MachineModel,
+        ctx: &exa_core::RunContext<'_>,
+    ) -> FomMeasurement {
+        chemistry_step_profiled(4096, 4, true, Some(ctx.telemetry));
+        fig2_campaign_profiled(machine, 1, Some(ctx.telemetry));
+        let clean = self.run(machine);
+        let observed =
+            exa_core::record_phases(ctx, "pele/host", clean.wall, &self.profile_phases());
+        let ratio = if clean.wall.is_zero() { 1.0 } else { observed / clean.wall };
+        exa_core::perturb_measurement(clean, self.fom().higher_is_better, ratio)
+    }
 }
 
 #[cfg(test)]

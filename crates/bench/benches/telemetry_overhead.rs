@@ -23,6 +23,11 @@ const N_KERNELS: usize = 8;
 const REPLAYS_PER_REP: usize = 512;
 const MAX_RATIO: f64 = 1.05;
 const ATTEMPTS: usize = 3;
+/// A long-running sentinel drains the collector (snapshot + critical path
+/// + ledger append) once per campaign batch — here modeled as once every
+/// this many reps (128k replays); the gate charges the enabled side the
+/// amortized per-rep share of the measured analysis cost.
+const ANALYSIS_EVERY: usize = 256;
 
 fn stream() -> Stream {
     Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip).unwrap()
@@ -91,13 +96,55 @@ fn measure_once() -> (f64, f64) {
     (off, on)
 }
 
+/// Median wall-clock seconds of one ledger-analysis pass over a rep's
+/// worth of spans: snapshot, top-span profile, cross-rank critical path,
+/// and an in-memory ledger append.
+fn measure_analysis() -> f64 {
+    use exa_telemetry::{span_profile, CriticalPath, FomKind, FomLedger, FomRecord};
+
+    let collector = TelemetryCollector::shared();
+    let mut s = stream();
+    let graph = capture_on(&mut s);
+    s.attach_telemetry(&collector, "bench/queue");
+    for _ in 0..REPLAYS_PER_REP {
+        s.replay(black_box(&graph));
+    }
+    s.synchronize();
+
+    let mut ledger = FomLedger::new();
+    let mut rep = 0u64;
+    time_median(2, 9, || {
+        let snapshot = collector.snapshot();
+        let profile = collector.with_timeline(|tl| span_profile(tl, 16));
+        let path = collector.with_timeline(CriticalPath::compute);
+        rep += 1;
+        ledger.append(FomRecord {
+            seq: 0,
+            app: "bench".into(),
+            machine: "host".into(),
+            nodes: 1,
+            kind: FomKind::Throughput,
+            value: REPLAYS_PER_REP as f64 / snapshot.wall_s.max(1e-12),
+            units: "replays/s".into(),
+            wall_s: snapshot.wall_s,
+            run_tag: format!("rep-{rep}"),
+            snapshot_digest: exa_telemetry::digest64(&snapshot.to_json()),
+            span_profile: profile,
+        });
+        black_box(path.busy_s);
+    })
+}
+
 #[derive(Serialize)]
 struct Record {
     n_kernels: u64,
     replays_per_rep: u64,
     disabled_us_per_rep: f64,
     enabled_us_per_rep: f64,
+    analysis_us: f64,
+    analysis_every: u64,
     overhead_ratio: f64,
+    amortized_ratio: f64,
     max_ratio: f64,
     attempts: u64,
     pass: bool,
@@ -129,43 +176,63 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     }
     g.finish();
 
+    // Ledger/critical-path analysis cost is stable; measure it once and
+    // charge its amortized per-rep share to the enabled side.
+    let analysis = measure_analysis();
+    println!(
+        "analysis pass: {:.2} us ({:.2} us amortized over {} reps)",
+        analysis * 1e6,
+        analysis * 1e6 / ANALYSIS_EVERY as f64,
+        ANALYSIS_EVERY
+    );
+
     // Headline gate: best ratio over a few attempts, to ride out machine
-    // noise on a sub-microsecond-per-replay loop.
+    // noise on a sub-microsecond-per-replay loop. The amortized ratio
+    // (replay overhead + sentinel analysis share) is the one that gates.
     let mut best = f64::INFINITY;
+    let mut best_amortized = f64::INFINITY;
     let mut best_pair = (0.0, 0.0);
     let mut attempts = 0u64;
     for _ in 0..ATTEMPTS {
         attempts += 1;
         let (off, on) = measure_once();
         let ratio = on / off;
+        let with_analysis = (on + analysis / ANALYSIS_EVERY as f64) / off;
         println!(
-            "attempt {attempts}: disabled {:.2} us, enabled {:.2} us, ratio {:.4}",
+            "attempt {attempts}: disabled {:.2} us, enabled {:.2} us, ratio {:.4} ({:.4} amortized)",
             off * 1e6,
             on * 1e6,
-            ratio
+            ratio,
+            with_analysis
         );
-        if ratio < best {
+        if with_analysis < best_amortized {
             best = ratio;
+            best_amortized = with_analysis;
             best_pair = (off, on);
         }
-        if best < MAX_RATIO {
+        if best_amortized < MAX_RATIO {
             break;
         }
     }
+    let amortized = best_amortized;
 
     let record = Record {
         n_kernels: N_KERNELS as u64,
         replays_per_rep: REPLAYS_PER_REP as u64,
         disabled_us_per_rep: best_pair.0 * 1e6,
         enabled_us_per_rep: best_pair.1 * 1e6,
+        analysis_us: analysis * 1e6,
+        analysis_every: ANALYSIS_EVERY as u64,
         overhead_ratio: best,
+        amortized_ratio: amortized,
         max_ratio: MAX_RATIO,
         attempts,
-        pass: best < MAX_RATIO,
+        pass: best < MAX_RATIO && amortized < MAX_RATIO,
     };
     println!(
-        "\ntelemetry overhead: {:.2}% on {} replays of an {}-kernel graph (gate < {:.0}%)",
+        "\ntelemetry overhead: {:.2}% raw, {:.2}% with amortized analysis, on {} replays of an {}-kernel graph (gate < {:.0}%)",
         (best - 1.0) * 1e2,
+        (amortized - 1.0) * 1e2,
         REPLAYS_PER_REP,
         N_KERNELS,
         (MAX_RATIO - 1.0) * 1e2
@@ -173,7 +240,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     write_root_json("BENCH_telemetry_overhead", &record);
     assert!(
         record.pass,
-        "collector overhead must stay under {:.0}%: ratio {best:.4}",
+        "collector overhead (incl. amortized analysis) must stay under {:.0}%: raw {best:.4}, amortized {amortized:.4}",
         (MAX_RATIO - 1.0) * 1e2
     );
 }

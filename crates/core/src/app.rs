@@ -2,6 +2,7 @@
 
 use crate::fom::{FigureOfMerit, FomMeasurement};
 use crate::motif::Motif;
+use crate::profiled::{perturb_measurement, record_phases, Phase, RunContext};
 use exa_machine::MachineModel;
 
 /// An application under readiness assessment.
@@ -39,6 +40,28 @@ pub trait Application {
         let summit = self.run(&MachineModel::summit());
         let frontier = self.run(&MachineModel::frontier());
         self.fom().speedup(summit.value, frontier.value)
+    }
+
+    /// How this application's challenge wall time decomposes into named
+    /// phases — the span breakdown a profiled run records. The default is
+    /// one opaque span; every Table 2 app overrides this (or all of
+    /// [`Application::run_profiled`]) with its paper-derived breakdown.
+    fn profile_phases(&self) -> Vec<Phase> {
+        vec![Phase::new("challenge", 1.0)]
+    }
+
+    /// Run the challenge problem while recording span telemetry into the
+    /// context's collector. The default replays
+    /// [`Application::profile_phases`] over the analytic run's wall time
+    /// (honoring the context's fault injection and scaling the FOM by the
+    /// observed slowdown); apps with genuinely instrumented paths (GESTS,
+    /// Pele) override the whole method.
+    fn run_profiled(&self, machine: &MachineModel, ctx: &RunContext<'_>) -> FomMeasurement {
+        let clean = self.run(machine);
+        let track = format!("{}/host", self.name().to_ascii_lowercase());
+        let observed = record_phases(ctx, &track, clean.wall, &self.profile_phases());
+        let ratio = if clean.wall.is_zero() { 1.0 } else { observed / clean.wall };
+        perturb_measurement(clean, self.fom().higher_is_better, ratio)
     }
 }
 

@@ -26,9 +26,11 @@ pub mod campaign;
 pub mod fom;
 pub mod lessons;
 pub mod motif;
+pub mod profiled;
 
 pub use app::Application;
 pub use campaign::{CampaignStage, PortingCampaign, ReadinessReport};
 pub use fom::{FigureOfMerit, FomMeasurement, SpeedupTarget};
 pub use lessons::{lessons, render_user_guide, IssueClass, Lesson, Topic};
 pub use motif::Motif;
+pub use profiled::{measure_record, perturb_measurement, record_phases, Phase, RunContext};

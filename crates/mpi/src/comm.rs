@@ -16,6 +16,10 @@ pub struct CommStats {
     pub bytes: u64,
     /// Collective operations executed.
     pub collectives: u64,
+    /// Total time ranks spent blocked waiting for peers to arrive at
+    /// communication operations (summed over ranks) — the imbalance the
+    /// critical-path analysis attributes.
+    pub wait: SimTime,
 }
 
 impl MetricSource for CommStats {
@@ -23,6 +27,7 @@ impl MetricSource for CommStats {
         m.counter_add("mpi.messages", self.messages);
         m.counter_add("mpi.bytes", self.bytes);
         m.counter_add("mpi.collectives", self.collectives);
+        m.time_add("mpi.wait", self.wait);
     }
 }
 
@@ -47,6 +52,7 @@ pub struct Comm {
     net: Network,
     clocks: Vec<Clock>,
     stats: CommStats,
+    waits: Vec<SimTime>,
     telemetry: Option<CommTelemetry>,
 }
 
@@ -58,6 +64,7 @@ impl Comm {
             net,
             clocks: vec![Clock::new(); size],
             stats: CommStats::default(),
+            waits: vec![SimTime::ZERO; size],
             telemetry: None,
         }
     }
@@ -78,11 +85,18 @@ impl Comm {
     }
 
     /// Pour this communicator's [`CommStats`] into the attached collector's
-    /// metrics. Counters add, so call it once at the end of an
-    /// instrumented run.
+    /// metrics, plus the per-rank wait attribution as gauges
+    /// (`mpi.wait_max_s` — the straggler signal — and `mpi.wait_mean_s`).
+    /// Counters add, so call it once at the end of an instrumented run.
     pub fn absorb_telemetry(&self) {
         if let Some(t) = self.telemetry.as_ref() {
             t.collector.absorb(&self.stats);
+            let max = self.max_wait().secs();
+            let mean = self.stats.wait.secs() / self.size() as f64;
+            t.collector.metrics(|m| {
+                m.gauge_max("mpi.wait_max_s", max);
+                m.gauge_max("mpi.wait_mean_s", mean);
+            });
         }
     }
 
@@ -123,11 +137,26 @@ impl Comm {
         }
     }
 
+    /// Time `rank` has spent blocked waiting for peers so far.
+    pub fn wait(&self, rank: usize) -> SimTime {
+        self.waits[rank]
+    }
+
+    /// The worst per-rank wait — the straggler's victims.
+    pub fn max_wait(&self) -> SimTime {
+        self.waits.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
     fn sync_all(&mut self) -> SimTime {
         let t = self.elapsed();
-        for c in &mut self.clocks {
+        let mut total = SimTime::ZERO;
+        for (c, w) in self.clocks.iter_mut().zip(self.waits.iter_mut()) {
+            let dt = t - c.now();
+            *w += dt;
+            total += dt;
             c.sync_to(t);
         }
+        self.stats.wait += total;
         t
     }
 
@@ -151,6 +180,12 @@ impl Comm {
     pub fn send(&mut self, src: usize, dst: usize, bytes: u64) -> SimTime {
         assert!(src != dst, "self-sends are local copies, not messages");
         let start = self.clocks[src].now().max(self.clocks[dst].now());
+        // The endpoint that arrived first blocks until the rendezvous.
+        for r in [src, dst] {
+            let dt = start - self.clocks[r].now();
+            self.waits[r] += dt;
+            self.stats.wait += dt;
+        }
         let done = start + self.net.p2p(bytes);
         self.clocks[src].sync_to(done);
         self.clocks[dst].sync_to(done);
@@ -327,6 +362,9 @@ impl Comm {
         for c in &mut self.clocks {
             c.reset();
         }
+        for w in &mut self.waits {
+            *w = SimTime::ZERO;
+        }
         self.stats = CommStats::default();
     }
 }
@@ -490,6 +528,40 @@ mod tests {
         // Per-track spans must be well-formed Chrome trace material.
         let trace = collector.chrome_trace();
         exa_telemetry::validate_chrome_trace(&trace).expect("valid chrome trace");
+    }
+
+    #[test]
+    fn wait_attribution_charges_the_punctual_ranks() {
+        let collector = TelemetryCollector::shared();
+        let mut c = comm(4);
+        c.attach_telemetry(&collector, "world");
+        let skew = SimTime::from_millis(5.0);
+        c.advance(3, skew); // rank 3 is the straggler
+        c.allreduce(1 << 10);
+        // The straggler never waited; everyone else waited out the skew.
+        assert_eq!(c.wait(3), SimTime::ZERO);
+        for r in 0..3 {
+            assert_eq!(c.wait(r), skew, "rank {r}");
+        }
+        assert_eq!(c.max_wait(), skew);
+        assert_eq!(c.stats().wait, skew * 3.0);
+
+        // A rendezvous send also charges the early endpoint.
+        c.advance(0, SimTime::from_micros(40.0));
+        let before = c.wait(1);
+        c.send(0, 1, 1 << 10);
+        assert!((c.wait(1) - before - SimTime::from_micros(40.0)).secs().abs() < 1e-12);
+        assert_eq!(c.wait(0), skew, "the late arriver paid nothing extra");
+
+        c.absorb_telemetry();
+        let snap = collector.snapshot();
+        assert!((snap.times_s["mpi.wait"] - c.stats().wait.secs()).abs() < 1e-12);
+        assert_eq!(snap.gauges["mpi.wait_max_s"], c.max_wait().secs());
+        assert!(snap.gauges["mpi.wait_mean_s"] > 0.0);
+
+        c.reset();
+        assert_eq!(c.max_wait(), SimTime::ZERO);
+        assert_eq!(c.stats().wait, SimTime::ZERO);
     }
 
     #[test]

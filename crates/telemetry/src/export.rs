@@ -25,8 +25,16 @@ fn push_escaped(out: &mut String, s: &str) {
 /// Render a timeline as a Chrome Trace Event JSON array: one `pid`, one
 /// `tid` per track (named via `M` thread-name metadata events), and one
 /// complete (`"ph":"X"`) event per span with `ts`/`dur` in microseconds of
-/// virtual time. Spans are emitted in recorded order, so `ts` is
-/// monotonically non-decreasing within each `tid`.
+/// virtual time.
+///
+/// The output is **deterministic**: thread-name metadata comes first (in
+/// track-registration order, which fixes the `tid` assignment), then every
+/// duration event globally stable-sorted by `(ts, depth, name, tid)`.
+/// Sorting primarily by `ts` makes run-to-run diffs of the artifact
+/// reproducible regardless of track interleaving during recording; the
+/// `depth` tiebreak keeps a parent ahead of a child that starts at the
+/// same instant, so the validator's containment check still sees parents
+/// before children.
 pub fn chrome_trace(timeline: &Timeline) -> String {
     let mut out = String::from("[");
     let mut first = true;
@@ -48,21 +56,34 @@ pub fn chrome_trace(timeline: &Timeline) -> String {
         .expect("write to String");
         push_escaped(&mut out, &track.name);
         write!(out, " [{}]\"}}}}", track.kind.label()).expect("write to String");
+    }
+    // (ts_us, depth, name, tid, dur_us, cat) — the stable global order.
+    let mut events: Vec<(f64, usize, &str, usize, f64, &'static str)> = Vec::new();
+    for (i, track) in timeline.tracks().iter().enumerate() {
         for span in track.spans() {
-            sep(&mut out, &mut first);
-            let ts = span.start.secs() * 1e6;
-            let dur = (span.end - span.start).secs() * 1e6;
-            write!(out, "{{\"name\":\"").expect("write to String");
-            push_escaped(&mut out, &span.name);
-            write!(
-                out,
-                "\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\
-                 \"tid\":{tid},\"args\":{{\"depth\":{}}}}}",
+            events.push((
+                span.start.secs() * 1e6,
+                span.depth,
+                &span.name,
+                i + 1,
+                (span.end - span.start).secs() * 1e6,
                 span.cat.label(),
-                span.depth
-            )
-            .expect("write to String");
+            ));
         }
+    }
+    events.sort_by(|a, b| {
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(b.2)).then(a.3.cmp(&b.3))
+    });
+    for (ts, depth, name, tid, dur, cat) in events {
+        sep(&mut out, &mut first);
+        write!(out, "{{\"name\":\"").expect("write to String");
+        push_escaped(&mut out, name);
+        write!(
+            out,
+            "\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\
+             \"tid\":{tid},\"args\":{{\"depth\":{depth}}}}}"
+        )
+        .expect("write to String");
     }
     out.push_str("\n]\n");
     out
@@ -164,6 +185,44 @@ mod tests {
         let summary = validate_chrome_trace(&json).expect("valid trace");
         assert_eq!(summary.events, 2);
         assert_eq!(summary.tracks, 1);
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_across_recording_interleave() {
+        // Same spans, recorded in different track interleavings: the
+        // rendered artifact must be byte-identical, and globally ts-sorted.
+        let build = |swap: bool| {
+            let mut tl = Timeline::default();
+            let a = tl.track("gpu0", TrackKind::DeviceQueue);
+            let b = tl.track("gpu1", TrackKind::DeviceQueue);
+            let mut ops: Vec<(crate::span::TrackId, &str, f64, f64)> = vec![
+                (a, "k1", 0.0, 1e-6),
+                (b, "k2", 0.5e-6, 2e-6),
+                (a, "k3", 2e-6, 3e-6),
+                (b, "k4", 2e-6, 4e-6),
+            ];
+            if swap {
+                ops.reverse();
+            }
+            for (t, n, s0, s1) in ops {
+                tl.complete(t, n.to_string(), SpanCat::Kernel, s(s0), s(s1));
+            }
+            chrome_trace(&tl)
+        };
+        let fwd = build(false);
+        let rev = build(true);
+        assert_eq!(fwd, rev, "event order must not depend on recording order");
+        // Duration events are globally ts-sorted.
+        let doc = parse_json(&fwd).unwrap();
+        let ts: Vec<f64> = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(crate::validate::JsonValue::as_str) == Some("X"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts not sorted: {ts:?}");
+        validate_chrome_trace(&fwd).expect("still a valid trace");
     }
 
     #[test]

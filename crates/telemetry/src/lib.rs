@@ -27,13 +27,22 @@
 //! used by the property tests and the `profile_export` CI gate.
 
 pub mod collector;
+pub mod critical_path;
 pub mod export;
+pub mod ledger;
 pub mod metrics;
+pub mod sentinel;
 pub mod span;
 pub mod validate;
 
 pub use collector::{SpanGuard, TelemetryCollector};
+pub use critical_path::{
+    diff_profiles, max_rank_idle, rank_attribution, span_profile, CriticalPath, PathSegment,
+    RankAttribution, SpanDelta,
+};
 pub use export::{chrome_trace, hotspot_csv, RooflinePoint, RooflineReport};
+pub use ledger::{digest64, FomKind, FomLedger, FomRecord, LEDGER_FILE, LEDGER_VERSION};
 pub use metrics::{MetricSource, MetricsRegistry, TelemetrySnapshot, TrackSummary};
+pub use sentinel::{run_sentinel, run_sentinel_all, SentinelConfig, SentinelReport, Verdict};
 pub use span::{Span, SpanCat, SpanId, Timeline, Track, TrackId, TrackKind};
 pub use validate::{parse_json, validate_chrome_trace, ChromeTraceSummary, JsonValue};

@@ -147,6 +147,39 @@ impl TelemetrySnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Aggregate another snapshot into this one — the multi-run /
+    /// multi-rank union. Additive quantities add exactly once: counters,
+    /// accumulated times, and span counts sum, while same-named tracks
+    /// are folded together (spans and busy time summed, end maxed)
+    /// instead of being duplicated, and `wall_s` takes the maximum
+    /// (concurrent timelines share a wall; they do not stack). Gauges are
+    /// high-water marks, so the merge keeps the larger value.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        self.spans_total += other.spans_total;
+        self.wall_s = self.wall_s.max(other.wall_s);
+        for t in &other.tracks {
+            if let Some(mine) = self.tracks.iter_mut().find(|m| m.name == t.name) {
+                mine.spans += t.spans;
+                mine.busy_s += t.busy_s;
+                mine.end_s = mine.end_s.max(t.end_s);
+            } else {
+                self.tracks.push(t.clone());
+            }
+        }
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(*v);
+            if *v > *e {
+                *e = *v;
+            }
+        }
+        for (k, v) in &other.times_s {
+            *self.times_s.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
@@ -173,6 +206,46 @@ mod tests {
         m.gauge_max("pool.high_water", 10.0);
         m.gauge_max("pool.high_water", 4.0);
         assert_eq!(m.gauge("pool.high_water"), Some(10.0));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_folds_same_named_tracks() {
+        let mut tl = Timeline::default();
+        let h = tl.track("rank0", TrackKind::CommRank);
+        tl.complete(h, "bcast", SpanCat::Collective, SimTime::ZERO, SimTime::from_secs(1.0));
+        let mut m = MetricsRegistry::default();
+        m.counter_add("mpi.collectives", 1);
+        m.gauge_set("mpi.wait_max_s", 0.5);
+        m.time_add("mpi.wait", SimTime::from_secs(0.25));
+        let a = TelemetrySnapshot::build(&tl, &m);
+
+        let mut merged = a.clone();
+        merged.merge(&a); // same rank, second run
+        assert_eq!(merged.spans_total, 2);
+        assert_eq!(merged.counter("mpi.collectives"), 2, "counters add exactly once per merge");
+        assert_eq!(merged.tracks.len(), 1, "same-named track folds instead of duplicating");
+        assert_eq!(merged.tracks[0].spans, 2);
+        assert_eq!(merged.tracks[0].busy_s, 2.0);
+        assert_eq!(merged.wall_s, 1.0, "concurrent walls max, not stack");
+        assert_eq!(merged.gauges["mpi.wait_max_s"], 0.5, "gauges are high-water marks");
+        assert_eq!(merged.times_s["mpi.wait"], 0.5);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_ranks() {
+        let mut tl0 = Timeline::default();
+        let r0 = tl0.track("rank0", TrackKind::CommRank);
+        tl0.complete(r0, "work", SpanCat::Phase, SimTime::ZERO, SimTime::from_secs(2.0));
+        let mut tl1 = Timeline::default();
+        let r1 = tl1.track("rank1", TrackKind::CommRank);
+        tl1.complete(r1, "work", SpanCat::Phase, SimTime::ZERO, SimTime::from_secs(3.0));
+        let m = MetricsRegistry::default();
+        let mut a = TelemetrySnapshot::build(&tl0, &m);
+        let b = TelemetrySnapshot::build(&tl1, &m);
+        a.merge(&b);
+        assert_eq!(a.tracks.len(), 2);
+        assert_eq!(a.wall_s, 3.0);
+        assert_eq!(a.spans_total, 2);
     }
 
     #[test]

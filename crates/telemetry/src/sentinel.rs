@@ -1,0 +1,300 @@
+//! The regression sentinel: compare the newest ledger entry of a series
+//! against a rolling baseline and explain any regression with the span
+//! profile diff.
+//!
+//! This mechanizes the practice behind the paper's Figure 2 (§6): FOMs
+//! were recorded continuously and "this quantitative approach permitted
+//! early detection of software bugs and performance regressions". The
+//! baseline is the *median* of the last N prior runs — robust to a single
+//! noisy outlier either way — and the verdict thresholds default to the
+//! conventional 15% warn / 50% fail bands.
+
+use crate::critical_path::{diff_profiles, SpanDelta};
+use crate::ledger::{FomKind, FomLedger, FomRecord};
+use serde::Serialize;
+
+/// Sentinel outcome for one series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// Within the warn band of the baseline.
+    Pass,
+    /// Regressed past the warn threshold but not the fail threshold.
+    Warn,
+    /// Regressed past the fail threshold.
+    Fail,
+}
+
+impl Verdict {
+    /// Stable lowercase label (`pass` / `warn` / `fail`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Warn => "warn",
+            Verdict::Fail => "fail",
+        }
+    }
+}
+
+/// Sentinel tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct SentinelConfig {
+    /// How many prior records feed the rolling baseline.
+    pub window: usize,
+    /// Regression factor at which the verdict becomes [`Verdict::Warn`].
+    pub warn_ratio: f64,
+    /// Regression factor at which the verdict becomes [`Verdict::Fail`].
+    pub fail_ratio: f64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig { window: 8, warn_ratio: 1.15, fail_ratio: 1.5 }
+    }
+}
+
+/// The sentinel's judgement on one (app, machine, kind) series.
+#[derive(Debug, Clone, Serialize)]
+pub struct SentinelReport {
+    /// Application under judgement.
+    pub app: String,
+    /// Machine profile.
+    pub machine: String,
+    /// FOM kind label.
+    pub kind: String,
+    /// Verdict.
+    pub verdict: Verdict,
+    /// Newest FOM value.
+    pub newest_value: f64,
+    /// Baseline FOM value (median of the window).
+    pub baseline_value: f64,
+    /// Regression factor, oriented so that > 1 is always worse (for
+    /// higher-is-better FOMs this is `baseline/newest`).
+    pub regression: f64,
+    /// Run tag of the newest record.
+    pub run_tag: String,
+    /// Run tag of the baseline record.
+    pub baseline_run_tag: String,
+    /// Name of the dominant regressing span from the critical-path diff,
+    /// when one grew.
+    pub culprit_span: Option<String>,
+    /// Top span-profile deltas, worst regression first.
+    pub explanation: Vec<SpanDelta>,
+}
+
+impl SentinelReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let culprit = match &self.culprit_span {
+            Some(c) => format!(" (top regressing span: {c})"),
+            None => String::new(),
+        };
+        format!(
+            "{}: {} {:.3}x vs baseline {} on {}{}",
+            self.verdict.label(),
+            self.app,
+            self.regression,
+            self.baseline_run_tag,
+            self.machine,
+            culprit
+        )
+    }
+}
+
+/// Median-by-value record of a slice (upper median; the slice is cloned
+/// and sorted by FOM value so the pick is deterministic).
+fn median_record<'a>(records: &[&'a FomRecord]) -> &'a FomRecord {
+    let mut sorted: Vec<&FomRecord> = records.to_vec();
+    sorted.sort_by(|a, b| a.value.total_cmp(&b.value).then(a.seq.cmp(&b.seq)));
+    sorted[sorted.len() / 2]
+}
+
+/// Judge the newest record of one series against the rolling baseline.
+/// Returns `None` when the series has no records. A series with a single
+/// record is its own baseline and always passes.
+pub fn run_sentinel(
+    ledger: &FomLedger,
+    app: &str,
+    machine: &str,
+    kind: FomKind,
+    config: &SentinelConfig,
+) -> Option<SentinelReport> {
+    const EPS: f64 = 1e-300;
+    let series = ledger.series(app, machine, kind);
+    let (newest, priors) = series.split_last()?;
+    let window_start = priors.len().saturating_sub(config.window);
+    let baseline = if priors.is_empty() { newest } else { median_record(&priors[window_start..]) };
+    let regression = if kind.higher_is_better() {
+        (baseline.value + EPS) / (newest.value + EPS)
+    } else {
+        (newest.value + EPS) / (baseline.value + EPS)
+    };
+    let verdict = if regression >= config.fail_ratio {
+        Verdict::Fail
+    } else if regression >= config.warn_ratio {
+        Verdict::Warn
+    } else {
+        Verdict::Pass
+    };
+    let mut explanation = diff_profiles(&baseline.span_profile, &newest.span_profile);
+    let culprit_span = explanation
+        .first()
+        .filter(|d| d.delta_s > 0.0)
+        .map(|d| d.name.clone());
+    explanation.truncate(3);
+    Some(SentinelReport {
+        app: newest.app.clone(),
+        machine: newest.machine.clone(),
+        kind: kind.label().to_string(),
+        verdict,
+        newest_value: newest.value,
+        baseline_value: baseline.value,
+        regression,
+        run_tag: newest.run_tag.clone(),
+        baseline_run_tag: baseline.run_tag.clone(),
+        culprit_span,
+        explanation,
+    })
+}
+
+/// Judge every series in the ledger; reports come back in series order.
+pub fn run_sentinel_all(ledger: &FomLedger, config: &SentinelConfig) -> Vec<SentinelReport> {
+    let mut keys: Vec<(String, String, &'static str)> =
+        ledger.records.iter().map(|r| r.series_key()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .filter_map(|(app, machine, kind_label)| {
+            let kind = FomKind::from_label(kind_label)?;
+            run_sentinel(ledger, &app, &machine, kind, config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::digest64;
+
+    fn rec(app: &str, tag: &str, kind: FomKind, value: f64, spans: &[(&str, f64)]) -> FomRecord {
+        FomRecord {
+            seq: 0,
+            app: app.into(),
+            machine: "Frontier".into(),
+            nodes: 9408,
+            kind,
+            value,
+            units: "u".into(),
+            wall_s: 1.0,
+            run_tag: tag.into(),
+            snapshot_digest: digest64(&format!("{app}/{tag}/{value}")),
+            span_profile: spans.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn steady_series_passes() {
+        let mut l = FomLedger::new();
+        for i in 0..5 {
+            l.append(rec("A", &format!("v{i}"), FomKind::Throughput, 100.0, &[("k", 1.0)]));
+        }
+        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Pass);
+        assert!((r.regression - 1.0).abs() < 1e-9);
+        assert!(r.culprit_span.is_none(), "nothing regressed: {:?}", r.culprit_span);
+    }
+
+    #[test]
+    fn single_record_is_its_own_baseline() {
+        let mut l = FomLedger::new();
+        l.append(rec("A", "v0", FomKind::Throughput, 100.0, &[]));
+        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Pass);
+        assert_eq!(r.baseline_run_tag, "v0");
+    }
+
+    #[test]
+    fn empty_series_yields_none() {
+        let l = FomLedger::new();
+        assert!(run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn throughput_drop_fails_with_the_culprit_span() {
+        let mut l = FomLedger::new();
+        for i in 0..4 {
+            l.append(rec(
+                "A",
+                &format!("v{i}"),
+                FomKind::Throughput,
+                100.0,
+                &[("kernel", 0.8), ("comm", 0.2)],
+            ));
+        }
+        // 2x slowdown, driven by the comm span exploding.
+        l.append(rec("A", "v9", FomKind::Throughput, 50.0, &[("kernel", 0.8), ("comm", 1.2)]));
+        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Fail);
+        assert!((r.regression - 2.0).abs() < 1e-9);
+        assert_eq!(r.culprit_span.as_deref(), Some("comm"));
+        assert_eq!(r.explanation[0].name, "comm");
+        assert!(r.summary().contains("fail"));
+        assert!(r.summary().contains("comm"));
+    }
+
+    #[test]
+    fn time_fom_orientation_is_inverted() {
+        let mut l = FomLedger::new();
+        for i in 0..4 {
+            l.append(rec("P", &format!("v{i}"), FomKind::TimePerCellStep, 2.0e-9, &[]));
+        }
+        // Time per cell per step *rose* — that's the regression.
+        l.append(rec("P", "v9", FomKind::TimePerCellStep, 2.5e-9, &[]));
+        let r = run_sentinel(
+            &l,
+            "P",
+            "Frontier",
+            FomKind::TimePerCellStep,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.verdict, Verdict::Warn);
+        assert!((r.regression - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_baseline_shrugs_off_one_outlier() {
+        let mut l = FomLedger::new();
+        l.append(rec("A", "v0", FomKind::Throughput, 100.0, &[]));
+        l.append(rec("A", "v1", FomKind::Throughput, 5.0, &[])); // bad day
+        l.append(rec("A", "v2", FomKind::Throughput, 100.0, &[]));
+        l.append(rec("A", "v3", FomKind::Throughput, 98.0, &[]));
+        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Pass, "median baseline ignores the outlier");
+    }
+
+    #[test]
+    fn improvement_never_warns() {
+        let mut l = FomLedger::new();
+        l.append(rec("A", "v0", FomKind::Throughput, 100.0, &[]));
+        l.append(rec("A", "v1", FomKind::Throughput, 300.0, &[]));
+        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Pass);
+        assert!(r.regression < 1.0);
+    }
+
+    #[test]
+    fn run_sentinel_all_covers_every_series() {
+        let mut l = FomLedger::new();
+        l.append(rec("A", "v0", FomKind::Throughput, 100.0, &[]));
+        l.append(rec("B", "v0", FomKind::TimePerCellStep, 1e-9, &[]));
+        let reports = run_sentinel_all(&l, &SentinelConfig::default());
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.verdict == Verdict::Pass));
+    }
+}

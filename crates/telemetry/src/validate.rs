@@ -249,7 +249,11 @@ pub struct ChromeTraceSummary {
 /// * the document is a JSON array of objects;
 /// * every event's `ph` is `X`, `B`, `E`, or `M`, with `name`/`pid`/`tid`;
 /// * per `(pid, tid)`, timestamps are monotonically non-decreasing and
-///   `X` durations are non-negative;
+///   `X` durations are finite and non-negative (a serialized NaN arrives
+///   as JSON `null` and is rejected as non-numeric);
+/// * track mapping: when the trace carries any `thread_name` metadata,
+///   every `(pid, tid)` with duration events must be named by exactly one
+///   such `M` event (with a string `args.name`);
 /// * nested events (via `args.depth`) lie within their parent interval.
 pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
     let doc = parse_json(s)?;
@@ -257,17 +261,28 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
     // Per-tid cursor: last ts, and a stack of (depth, start, end) intervals.
     let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     let mut open: BTreeMap<(u64, u64), Vec<(u64, f64, f64)>> = BTreeMap::new();
+    let mut named: BTreeMap<(u64, u64), usize> = BTreeMap::new();
     let mut n_events = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
             .and_then(JsonValue::as_str)
             .ok_or(format!("event {i}: missing ph"))?;
-        ev.get("name").and_then(JsonValue::as_str).ok_or(format!("event {i}: missing name"))?;
+        let name =
+            ev.get("name").and_then(JsonValue::as_str).ok_or(format!("event {i}: missing name"))?;
         let pid = ev.get("pid").and_then(JsonValue::as_u64).ok_or(format!("event {i}: missing pid"))?;
         let tid = ev.get("tid").and_then(JsonValue::as_u64).ok_or(format!("event {i}: missing tid"))?;
         match ph {
-            "M" => continue,
+            "M" => {
+                if name == "thread_name" {
+                    ev.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(JsonValue::as_str)
+                        .ok_or(format!("event {i}: thread_name metadata missing args.name"))?;
+                    *named.entry((pid, tid)).or_insert(0) += 1;
+                }
+                continue;
+            }
             "X" | "B" | "E" => {}
             other => return Err(format!("event {i}: unexpected ph '{other}'")),
         }
@@ -275,7 +290,7 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
         let ts = ev
             .get("ts")
             .and_then(JsonValue::as_f64)
-            .ok_or(format!("event {i}: missing ts"))?;
+            .ok_or(format!("event {i}: missing or non-numeric ts"))?;
         let key = (pid, tid);
         if let Some(&prev) = last_ts.get(&key) {
             if ts < prev {
@@ -287,7 +302,7 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
             let dur = ev
                 .get("dur")
                 .and_then(JsonValue::as_f64)
-                .ok_or(format!("event {i}: X event missing dur"))?;
+                .ok_or(format!("event {i}: X event with missing or non-numeric dur (NaN serializes to null)"))?;
             if dur < 0.0 {
                 return Err(format!("event {i}: negative dur {dur}"));
             }
@@ -316,6 +331,25 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
                     }
                 }
                 stack.push((depth, ts, ts + dur));
+            }
+        }
+    }
+    // Track-mapping invariant: a trace that names tracks at all must name
+    // every track carrying duration events, exactly once.
+    if !named.is_empty() {
+        for &(pid, tid) in last_ts.keys() {
+            match named.get(&(pid, tid)) {
+                None => {
+                    return Err(format!(
+                        "track (pid {pid}, tid {tid}) has duration events but no thread_name metadata"
+                    ))
+                }
+                Some(&n) if n > 1 => {
+                    return Err(format!(
+                        "track (pid {pid}, tid {tid}) named by {n} thread_name events (want 1)"
+                    ))
+                }
+                _ => {}
             }
         }
     }
@@ -367,7 +401,8 @@ mod tests {
     #[test]
     fn validator_accepts_independent_tids() {
         let ok = r#"[
-          {"name":"t","ph":"M","pid":1,"tid":1,"args":{"name":"gpu"}},
+          {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"gpu0"}},
+          {"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"gpu1"}},
           {"name":"a","ph":"X","ts":0,"dur":4,"pid":1,"tid":1},
           {"name":"b","ph":"X","ts":0,"dur":4,"pid":1,"tid":2},
           {"name":"c","ph":"B","ts":6,"pid":1,"tid":1},
@@ -376,5 +411,60 @@ mod tests {
         let s = validate_chrome_trace(ok).unwrap();
         assert_eq!(s.events, 4);
         assert_eq!(s.tracks, 2);
+    }
+
+    #[test]
+    fn validator_requires_thread_names_for_every_active_track() {
+        let bad = r#"[
+          {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"gpu0"}},
+          {"name":"a","ph":"X","ts":0,"dur":4,"pid":1,"tid":1},
+          {"name":"b","ph":"X","ts":0,"dur":4,"pid":1,"tid":2}
+        ]"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("no thread_name metadata"), "{err}");
+        // A fully-unnamed trace is still fine (naming is opt-in).
+        let ok = r#"[
+          {"name":"a","ph":"X","ts":0,"dur":4,"pid":1,"tid":1},
+          {"name":"b","ph":"X","ts":0,"dur":4,"pid":1,"tid":2}
+        ]"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_thread_names_for_one_track() {
+        let bad = r#"[
+          {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"gpu0"}},
+          {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"gpu0 again"}},
+          {"name":"a","ph":"X","ts":0,"dur":4,"pid":1,"tid":1}
+        ]"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("named by 2 thread_name events"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_nan_and_negative_durations() {
+        // A NaN duration serializes to JSON null (the shim writes null for
+        // non-finite floats) — must be rejected, not skipped.
+        let nan = r#"[{"name":"a","ph":"X","ts":0,"dur":null,"pid":1,"tid":1}]"#;
+        let err = validate_chrome_trace(nan).unwrap_err();
+        assert!(err.contains("non-numeric dur"), "{err}");
+        let neg = r#"[{"name":"a","ph":"X","ts":5,"dur":-1,"pid":1,"tid":1}]"#;
+        let err = validate_chrome_trace(neg).unwrap_err();
+        assert!(err.contains("negative dur"), "{err}");
+        let nan_ts = r#"[{"name":"a","ph":"X","ts":null,"dur":1,"pid":1,"tid":1}]"#;
+        let err = validate_chrome_trace(nan_ts).unwrap_err();
+        assert!(err.contains("non-numeric ts"), "{err}");
+        // Raw NaN literals are not JSON at all.
+        assert!(parse_json("[NaN]").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_metadata_without_args_name() {
+        let bad = r#"[
+          {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{}},
+          {"name":"a","ph":"X","ts":0,"dur":4,"pid":1,"tid":1}
+        ]"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("missing args.name"), "{err}");
     }
 }

@@ -7,7 +7,10 @@
 #      E3SM / GESTS paths and schema-checks its own output (non-empty spans,
 #      totals > 0, counters consistent, Chrome-trace invariants) before
 #      writing PROFILE_pele.json + PROFILE_pele.trace.json at the repo root,
-#      keeping a per-PR telemetry trajectory next to BENCH_graph_fusion.json.
+#      keeping a per-PR telemetry trajectory next to BENCH_graph_fusion.json;
+#   4. FOM ledger: `fom_ledger` runs the Table-2 campaign, appends to
+#      FOM_LEDGER.json, gates on the regression sentinel, and proves the
+#      sentinel detects an injected 2x slowdown (exit 1 on any failure).
 #
 # Any step failing fails the flow.
 set -euo pipefail
@@ -16,10 +19,21 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo run --release -q -p exa-bench --bin profile_export
+cargo run --release -q -p exa-bench --bin fom_ledger
 
-# Belt-and-braces: the gate above already validated the artifacts, but make
+# Belt-and-braces: the gates above already validated the artifacts, but make
 # absence-of-output a hard failure too.
-for f in PROFILE_pele.json PROFILE_pele.trace.json; do
+for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json; do
     [ -s "$f" ] || { echo "tier1: missing artifact $f" >&2; exit 1; }
 done
-echo "tier1: build + tests + telemetry export all green"
+
+# Ledger schema spot-check: all eight Table-2 apps present, with snapshot
+# digests for provenance.
+for app in GAMESS LSMS GESTS ExaSky CoMet NuCCOR Pele COAST; do
+    grep -q "\"app\": \"$app\"" FOM_LEDGER.json \
+        || { echo "tier1: FOM_LEDGER.json is missing $app" >&2; exit 1; }
+done
+digests=$(grep -c '"snapshot_digest"' FOM_LEDGER.json)
+[ "$digests" -ge 8 ] || { echo "tier1: FOM_LEDGER.json has only $digests digests" >&2; exit 1; }
+
+echo "tier1: build + tests + telemetry export + fom ledger all green"

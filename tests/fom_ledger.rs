@@ -1,0 +1,179 @@
+//! Property and integration tests for the longitudinal FOM ledger and the
+//! regression sentinel (ISSUE PR 4): append/merge/compact are idempotent
+//! under arbitrary record streams, the JSON round-trips through the
+//! vendored parser, and the sentinel catches an injected slowdown in a
+//! real Table-2 application with the correct culprit span.
+
+use exaready::apps::table2_applications;
+use exaready::core::{measure_record, RunContext};
+use exaready::machine::MachineModel;
+use exaready::telemetry::{
+    run_sentinel, FomKind, FomLedger, FomRecord, SentinelConfig, TelemetryCollector, Verdict,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const APPS: [&str; 3] = ["GAMESS", "GESTS", "Pele"];
+const MACHINES: [&str; 2] = ["Summit", "Frontier"];
+const KINDS: [FomKind; 3] =
+    [FomKind::TimePerCellStep, FomKind::GflopsPerNode, FomKind::Throughput];
+
+/// Build a record from small generator indices so identities collide often
+/// enough to exercise the dedup path.
+fn record(app: usize, machine: usize, kind: usize, tag: usize, value: f64) -> FomRecord {
+    let mut span_profile = BTreeMap::new();
+    span_profile.insert("kernel".to_string(), value);
+    span_profile.insert("exchange".to_string(), value / 4.0);
+    FomRecord {
+        seq: 0,
+        app: APPS[app % APPS.len()].to_string(),
+        machine: MACHINES[machine % MACHINES.len()].to_string(),
+        nodes: 9408,
+        kind: KINDS[kind % KINDS.len()],
+        value,
+        units: "u/s".to_string(),
+        wall_s: 1.0 / value,
+        run_tag: format!("v{tag}"),
+        snapshot_digest: format!("{:016x}", tag as u64 * 2_654_435_761 + app as u64),
+        span_profile,
+    }
+}
+
+fn ledger_of(recs: &[(usize, usize, usize, usize, f64)]) -> FomLedger {
+    let mut l = FomLedger::new();
+    for &(a, m, k, t, v) in recs {
+        l.append(record(a, m, k, t, v));
+    }
+    l
+}
+
+type RecSpec = (usize, usize, usize, usize, f64);
+
+fn rec_strategy() -> impl Strategy<Value = RecSpec> {
+    (0usize..3, 0usize..2, 0usize..3, 0usize..6, 0.5f64..100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Re-appending every record of a ledger changes nothing: identity
+    /// dedup makes append idempotent.
+    #[test]
+    fn append_is_idempotent(recs in prop::collection::vec(rec_strategy(), 1..30)) {
+        let once = ledger_of(&recs);
+        let mut twice = ledger_of(&recs);
+        for &(a, m, k, t, v) in &recs {
+            twice.append(record(a, m, k, t, v));
+        }
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert_eq!(once.to_json(), twice.to_json());
+    }
+
+    /// Merging a ledger into itself is a no-op, and merging two ledgers
+    /// yields the identity-union regardless of order.
+    #[test]
+    fn merge_is_idempotent_and_unions(
+        a in prop::collection::vec(rec_strategy(), 1..20),
+        b in prop::collection::vec(rec_strategy(), 1..20),
+    ) {
+        let la = ledger_of(&a);
+        let mut self_merged = la.clone();
+        self_merged.merge(&la);
+        prop_assert_eq!(la.to_json(), self_merged.to_json());
+
+        let mut ab = la.clone();
+        ab.merge(&ledger_of(&b));
+        let mut ids: Vec<_> = la.records.iter().map(|r| r.identity()).collect();
+        ids.extend(ledger_of(&b).records.iter().map(|r| r.identity()));
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ab.len(), ids.len());
+        // Merging again adds nothing.
+        let mut abb = ab.clone();
+        abb.merge(&ledger_of(&b));
+        prop_assert_eq!(ab.to_json(), abb.to_json());
+    }
+
+    /// Compacting twice with the same keep-depth equals compacting once,
+    /// and never keeps more than `keep` records per (app, machine, kind).
+    #[test]
+    fn compact_is_idempotent_and_bounded(
+        recs in prop::collection::vec(rec_strategy(), 1..40),
+        keep in 1usize..5,
+    ) {
+        let mut once = ledger_of(&recs);
+        once.compact(keep);
+        let mut twice = once.clone();
+        twice.compact(keep);
+        prop_assert_eq!(once.to_json(), twice.to_json());
+
+        let mut per_series: BTreeMap<_, usize> = BTreeMap::new();
+        for r in &once.records {
+            *per_series.entry(r.series_key()).or_insert(0) += 1;
+        }
+        for (series, n) in per_series {
+            prop_assert!(n <= keep, "series {series:?} kept {n} > {keep}");
+        }
+    }
+
+    /// The ledger JSON round-trips exactly through the vendored parser.
+    #[test]
+    fn ledger_json_round_trips(recs in prop::collection::vec(rec_strategy(), 1..30)) {
+        let l = ledger_of(&recs);
+        let back = FomLedger::parse(&l.to_json());
+        prop_assert!(back.is_ok(), "re-parse failed: {:?}", back.err());
+        prop_assert_eq!(l.to_json(), back.unwrap().to_json());
+    }
+}
+
+/// End-to-end sentinel drill against a real application: a clean GESTS run
+/// establishes the baseline, a 2x FFT-transform injection must trip a
+/// `fail` verdict naming the transform span.
+#[test]
+fn sentinel_catches_injected_gests_regression() {
+    let frontier = MachineModel::frontier();
+    let gests = table2_applications()
+        .into_iter()
+        .find(|a| a.name() == "GESTS")
+        .expect("GESTS is in Table 2");
+
+    let mut ledger = FomLedger::new();
+    let clean_c = TelemetryCollector::shared();
+    let clean = measure_record(gests.as_ref(), &frontier, &RunContext::new(&clean_c), "base");
+    let kind = clean.kind;
+    ledger.append(clean);
+
+    let hurt_c = TelemetryCollector::shared();
+    let ctx = RunContext::with_injection(&hurt_c, "transform", 2.0);
+    ledger.append(measure_record(gests.as_ref(), &frontier, &ctx, "regressed"));
+
+    let report = run_sentinel(&ledger, "GESTS", "Frontier", kind, &SentinelConfig::default())
+        .expect("two-entry series produces a report");
+    assert_eq!(report.verdict, Verdict::Fail, "2x injection must fail: {}", report.summary());
+    assert!(report.regression > 1.5, "regression {:.3} too small", report.regression);
+    let culprit = report.culprit_span.as_deref().expect("culprit span named");
+    assert!(culprit.contains("transform"), "culprit {culprit:?} should be the transforms");
+    assert!(!report.explanation.is_empty(), "explanation carries the span diff");
+}
+
+/// The same drill through a clean run twice must pass — no false alarms.
+#[test]
+fn sentinel_passes_on_a_stable_series() {
+    let frontier = MachineModel::frontier();
+    let gests = table2_applications()
+        .into_iter()
+        .find(|a| a.name() == "GESTS")
+        .expect("GESTS is in Table 2");
+
+    let mut ledger = FomLedger::new();
+    let mut kind = FomKind::Throughput;
+    for tag in ["r1", "r2"] {
+        let c = TelemetryCollector::shared();
+        let rec = measure_record(gests.as_ref(), &frontier, &RunContext::new(&c), tag);
+        kind = rec.kind;
+        ledger.append(rec);
+    }
+    let report = run_sentinel(&ledger, "GESTS", "Frontier", kind, &SentinelConfig::default())
+        .expect("report");
+    assert_eq!(report.verdict, Verdict::Pass, "stable series must pass: {}", report.summary());
+}

@@ -15,7 +15,10 @@ use exaready::hal::{
 };
 use exaready::machine::{GpuModel, MachineModel, SimTime};
 use exaready::mpi::{Comm, Network};
-use exaready::telemetry::{validate_chrome_trace, SpanCat, TrackKind};
+use exaready::telemetry::{
+    parse_json, validate_chrome_trace, JsonValue, RooflinePoint, RooflineReport, SpanCat,
+    TrackKind,
+};
 use proptest::prelude::*;
 
 fn stream() -> Stream {
@@ -176,5 +179,119 @@ proptest! {
         prop_assert!(snap.spans_total >= opens, "every begin records a span");
         let summary = validate_chrome_trace(&collector.chrome_trace());
         prop_assert!(summary.is_ok(), "invalid trace: {:?}", summary.err());
+    }
+
+    /// The Chrome-trace export is a pure function of the recorded spans:
+    /// recording the same spans in any order — including fully reversed
+    /// cross-track interleavings — renders a byte-identical artifact.
+    #[test]
+    fn chrome_trace_is_order_independent(
+        spans in prop::collection::vec(
+            (0usize..3, 0usize..4, 0u32..100_000, 1u32..5_000), 1..40)
+    ) {
+        const NAMES: [&str; 4] = ["fft", "gemm", "halo", "advance"];
+        let build = |reversed: bool| {
+            let collector = TelemetryCollector::shared();
+            let tracks = [
+                collector.track("gpu0", TrackKind::DeviceQueue),
+                collector.track("gpu1", TrackKind::DeviceQueue),
+                collector.track("rank0", TrackKind::CommRank),
+            ];
+            let mut ops = spans.clone();
+            if reversed {
+                ops.reverse();
+            }
+            for (t, n, start, dur) in ops {
+                let s0 = SimTime::from_micros(start as f64);
+                collector.complete(tracks[t], NAMES[n], SpanCat::Kernel, s0,
+                    s0 + SimTime::from_micros(dur as f64));
+            }
+            collector.chrome_trace()
+        };
+        let fwd = build(false);
+        let rev = build(true);
+        prop_assert_eq!(&fwd, &rev, "trace must not depend on recording order");
+        prop_assert!(validate_chrome_trace(&fwd).is_ok());
+    }
+
+    /// Roofline-report JSON round-trips through the vendored parser with
+    /// exact field equality (the writer emits shortest-round-trip floats).
+    #[test]
+    fn roofline_json_round_trips(
+        points in prop::collection::vec(
+            (0usize..4, 1u64..1000, 1e-6f64..1.0, 1.0f64..5e4, 0.01f64..1e3), 0..10)
+    ) {
+        const NAMES: [&str; 4] = ["dot", "spmv", "stencil", "chem"];
+        let report = RooflineReport {
+            device: "MI250X GCD".to_string(),
+            peak_gflops: 23950.0,
+            mem_bw_gbs: 1638.4,
+            ridge_intensity: 23950.0 / 1638.4,
+            points: points.iter().map(|&(n, calls, time_s, gflops, intensity)| RooflinePoint {
+                name: NAMES[n].to_string(),
+                calls,
+                time_s,
+                gflops,
+                intensity,
+                bound: if intensity > 14.6 { "Compute" } else { "Memory" }.to_string(),
+            }).collect(),
+        };
+        let doc = parse_json(&report.to_json());
+        prop_assert!(doc.is_ok(), "roofline JSON unparsable: {:?}", doc.err());
+        let doc = doc.unwrap();
+        prop_assert_eq!(doc.get("device").and_then(JsonValue::as_str), Some("MI250X GCD"));
+        prop_assert_eq!(doc.get("peak_gflops").and_then(JsonValue::as_f64), Some(23950.0));
+        let pts = doc.get("points").and_then(JsonValue::as_array).unwrap();
+        prop_assert_eq!(pts.len(), report.points.len());
+        for (p, orig) in pts.iter().zip(&report.points) {
+            prop_assert_eq!(p.get("name").and_then(JsonValue::as_str), Some(orig.name.as_str()));
+            prop_assert_eq!(p.get("calls").and_then(JsonValue::as_u64), Some(orig.calls));
+            prop_assert_eq!(p.get("time_s").and_then(JsonValue::as_f64), Some(orig.time_s));
+            prop_assert_eq!(p.get("gflops").and_then(JsonValue::as_f64), Some(orig.gflops));
+            prop_assert_eq!(
+                p.get("intensity").and_then(JsonValue::as_f64), Some(orig.intensity));
+            prop_assert_eq!(p.get("bound").and_then(JsonValue::as_str), Some(orig.bound.as_str()));
+        }
+    }
+
+    /// The hotspot CSV round-trips semantically: re-parsing the rows
+    /// recovers per-kernel call counts and total time, and the shares sum
+    /// to ~100% whenever any non-phase time was recorded.
+    #[test]
+    fn hotspot_csv_round_trips(
+        spans in prop::collection::vec((0usize..3, 1u32..10_000), 1..30)
+    ) {
+        const NAMES: [&str; 3] = ["fft", "gemm", "halo"];
+        let collector = TelemetryCollector::shared();
+        let track = collector.track("gpu0", TrackKind::DeviceQueue);
+        let mut cursor = SimTime::ZERO;
+        let mut want: std::collections::BTreeMap<&str, (u64, f64)> = Default::default();
+        for &(n, dur) in &spans {
+            let d = SimTime::from_micros(dur as f64);
+            collector.complete(track, NAMES[n], SpanCat::Kernel, cursor, cursor + d);
+            let e = want.entry(NAMES[n]).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += d.secs() * 1e6;
+            cursor = cursor + d;
+        }
+
+        let csv = collector.hotspot_csv();
+        let mut lines = csv.lines();
+        prop_assert_eq!(lines.next(), Some("name,category,calls,total_us,share_pct"));
+        let mut share_sum = 0.0;
+        let mut seen = 0usize;
+        for line in lines {
+            let cols: Vec<&str> = line.split(',').collect();
+            prop_assert_eq!(cols.len(), 5, "malformed row {line:?}");
+            let (calls, total_us) = want[cols[0]];
+            prop_assert_eq!(cols[1], "kernel");
+            prop_assert_eq!(cols[2].parse::<u64>().unwrap(), calls);
+            let got_us = cols[3].parse::<f64>().unwrap();
+            prop_assert!((got_us - total_us).abs() < 1e-2, "{}: {got_us} vs {total_us}", cols[0]);
+            share_sum += cols[4].parse::<f64>().unwrap();
+            seen += 1;
+        }
+        prop_assert_eq!(seen, want.len(), "one row per distinct kernel");
+        prop_assert!((share_sum - 100.0).abs() < 0.1, "shares sum to {share_sum}");
     }
 }
