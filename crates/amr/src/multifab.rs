@@ -134,12 +134,12 @@ impl MultiFab {
                 comm.halo_exchange(8, bytes);
             }
             GhostPolicy::Overlapped => {
-                // Post the exchange, do interior work, pay only the excess.
-                let mut probe = Comm::new(comm.size(), comm.network().clone());
-                probe.halo_exchange(8, bytes);
-                let comm_time = probe.elapsed();
-                let exposed = (comm_time - comm_time.min(interior_work)).max(SimTime::ZERO);
-                comm.advance_all(interior_work + exposed);
+                // Prepost the exchange, do interior work, pay only the
+                // residue at wait — and let the communicator attribute the
+                // hidden portion to its overlap stats.
+                let req = comm.ihalo(8, bytes);
+                comm.advance_all(interior_work);
+                req.wait(comm);
             }
         }
         comm.elapsed() - start

@@ -992,6 +992,35 @@ pub fn multifab_diffusion_step(
     t
 }
 
+/// A short diffusion campaign under observation: builds an `n × n` field
+/// chopped into `max_box` boxes over `ranks` ranks, runs `steps` explicit
+/// steps with the given [`exa_amr::GhostPolicy`], records every exchange on
+/// per-rank comm tracks named `pele/ghost/rank<r>`, and absorbs the
+/// communicator stats into `telemetry`. Returns the campaign's wall time.
+/// This is the driver the overlap bench and the critical-path idle
+/// comparison use: same physics, only the ghost-exchange schedule differs.
+pub fn diffusion_campaign_profiled(
+    n: i64,
+    max_box: i64,
+    ranks: usize,
+    steps: usize,
+    policy: exa_amr::GhostPolicy,
+    interior_work: SimTime,
+    telemetry: &Arc<TelemetryCollector>,
+) -> SimTime {
+    let machine = MachineModel::frontier();
+    let ba = exa_amr::BoxArray::chop(exa_amr::IntBox::domain(n, n), max_box, ranks);
+    let mut field = exa_amr::MultiFab::new(ba, 1);
+    field.fill(|i, j| ((i * 7 + j * 3) % 11) as f64);
+    let mut comm = exa_mpi::Comm::new(ranks, exa_mpi::Network::from_machine(&machine));
+    comm.attach_telemetry(telemetry, "pele/ghost");
+    for _ in 0..steps {
+        multifab_diffusion_step(&mut field, &mut comm, 0.2, policy, interior_work);
+    }
+    comm.absorb_telemetry();
+    comm.elapsed()
+}
+
 #[cfg(test)]
 mod amr_tests {
     use super::*;

@@ -17,7 +17,7 @@ use crate::fft1d::fft_flops;
 use crate::fft3d::{fft3d, ifft3d};
 use exa_linalg::C64;
 use exa_machine::{DType, GpuModel, KernelProfile, LaunchConfig, SimTime};
-use exa_mpi::Comm;
+use exa_mpi::{Comm, Overlap};
 
 /// Domain decomposition of the N³ grid over ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,13 +59,34 @@ pub struct DistFft3d {
     pub mem_eff: f64,
     /// Fraction of compute peak FFT butterflies achieve.
     pub compute_eff: f64,
+    /// Pipeline the transposes over this many chunks, overlapping each
+    /// chunk's collective with the neighbouring FFT stages' compute
+    /// (`None` = blocking transposes, the BSP schedule).
+    pub overlap_chunks: Option<usize>,
+}
+
+/// `split_bytes(total, parts, idx)`: the `idx`-th share of `total` bytes
+/// split into `parts` near-equal pieces, remainder spread over the leading
+/// pieces — so the shares always sum back to `total` exactly.
+fn split_bytes(total: u64, parts: usize, idx: usize) -> u64 {
+    debug_assert!(idx < parts);
+    let parts = parts as u64;
+    total / parts + u64::from((idx as u64) < total % parts)
 }
 
 impl DistFft3d {
     /// Plan for an `n³` grid.
     pub fn new(n: usize, decomp: Decomp) -> Self {
         assert!(n >= 2);
-        DistFft3d { n, decomp, mem_eff: 0.70, compute_eff: 0.18 }
+        DistFft3d { n, decomp, mem_eff: 0.70, compute_eff: 0.18, overlap_chunks: None }
+    }
+
+    /// Pipeline the transposes over `chunks` chunks (clamped internally so
+    /// per-chunk latency can never make the pipeline slower than blocking).
+    pub fn with_overlap(mut self, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        self.overlap_chunks = Some(chunks);
+        self
     }
 
     /// Validate a rank count against the decomposition limit.
@@ -101,11 +122,39 @@ impl DistFft3d {
         .mem_eff(self.mem_eff)
     }
 
-    /// Bytes each rank pair exchanges in one transpose: the rank's local
-    /// volume (`total/ranks`) is repartitioned across its transpose group.
-    fn transpose_bytes_per_pair(&self, ranks: usize, group: usize) -> u64 {
-        let local_bytes = self.total_points() * 16 / ranks.max(1) as u64;
-        (local_bytes / group.max(1) as u64).max(1)
+    /// Per-partner payloads of one transpose as seen by `rank`: the rank's
+    /// local volume (its share of `total × 16` bytes) repartitioned across
+    /// its transpose group. Entry 0 is the share that stays resident (never
+    /// crosses the network); entries `1..group` go to the remote partners.
+    /// Summing every rank's entries reproduces the full grid payload exactly
+    /// — no rounding loss (see the conservation test).
+    pub fn transpose_pair_bytes(&self, ranks: usize, group: usize, rank: usize) -> Vec<u64> {
+        assert!(group >= 1 && rank < ranks);
+        let local_bytes = split_bytes(self.total_points() * 16, ranks, rank);
+        (0..group).map(|g| split_bytes(local_bytes, group, g)).collect()
+    }
+
+    /// The transpose group size for `ranks` ranks: everyone for slabs, a
+    /// √p-sized row/column communicator for pencils.
+    fn transpose_group(&self, ranks: usize) -> usize {
+        match self.decomp {
+            Decomp::Slabs => ranks,
+            Decomp::Pencils => {
+                let group = (ranks as f64).sqrt().round().max(1.0) as usize;
+                group.min(ranks)
+            }
+        }
+    }
+
+    /// Chunk `i` of the remote partner list: a contiguous run of exchange
+    /// rounds. Chunking by *partner* (not by slicing every payload) keeps
+    /// the pipeline's total latency at the blocking schedule's `(group−1)·α`
+    /// — a volume slice would re-pay every round's α per chunk and eat the
+    /// overlap gain at scale.
+    fn chunk_pairs(remote: &[u64], chunks: usize, i: usize) -> &[u64] {
+        let lo = i * remote.len() / chunks;
+        let hi = (i + 1) * remote.len() / chunks;
+        &remote[lo..hi]
     }
 
     /// Charge one forward (or inverse — same cost) transform on `comm`,
@@ -121,23 +170,62 @@ impl DistFft3d {
         );
         let start = comm.elapsed();
         let local = gpu.kernel_time(&self.local_profile(ranks)) + gpu.launch_latency;
-        match self.decomp {
-            Decomp::Slabs => {
+        let group = self.transpose_group(ranks);
+        // Rank 0 carries the remainder shares, so its schedule paces the
+        // transpose.
+        let pairs = self.transpose_pair_bytes(ranks, group, 0);
+        let remote = &pairs[1..];
+        match (self.decomp, self.overlap_chunks) {
+            (Decomp::Slabs, None) => {
                 // 2-D FFT stage (2/3 of work), global transpose, 1-D stage.
                 comm.advance_all(local * (2.0 / 3.0));
-                comm.alltoall(self.transpose_bytes_per_pair(ranks, ranks));
+                comm.alltoallv(remote);
                 comm.advance_all(local * (1.0 / 3.0));
             }
-            Decomp::Pencils => {
+            (Decomp::Pencils, None) => {
                 // Three 1-D stages with two transposes inside √p-sized
                 // row/column groups.
-                let group = (ranks as f64).sqrt().round().max(1.0) as usize;
-                let group = group.min(ranks);
                 comm.advance_all(local * (1.0 / 3.0));
-                comm.alltoall_grouped(group, self.transpose_bytes_per_pair(ranks, group));
+                comm.alltoallv_grouped(group, remote);
                 comm.advance_all(local * (1.0 / 3.0));
-                comm.alltoall_grouped(group, self.transpose_bytes_per_pair(ranks, group));
+                comm.alltoallv_grouped(group, remote);
                 comm.advance_all(local * (1.0 / 3.0));
+            }
+            (Decomp::Slabs, Some(k)) => {
+                // One pipeline: each chunk's partner exchanges fly while the
+                // 2-D stage produces the next chunk and the 1-D stage
+                // consumes the previous one.
+                let k = k.min(remote.len()).max(1);
+                let (produce, consume) = (local * (2.0 / 3.0) / k as f64, local * (1.0 / 3.0) / k as f64);
+                Overlap::pipeline(
+                    comm,
+                    k,
+                    |c, _| c.advance_all(produce),
+                    |c, i| c.ialltoallv(Self::chunk_pairs(remote, k, i)),
+                    |c, _| c.advance_all(consume),
+                );
+            }
+            (Decomp::Pencils, Some(k)) => {
+                // First transpose overlaps stages 1 and 2; by the time the
+                // second pipeline starts every chunk of its payload already
+                // exists, so it only overlaps stage 3 on the consume side.
+                let stage = local * (1.0 / 3.0);
+                let k = k.min(remote.len()).max(1);
+                let per_chunk = stage / k as f64;
+                Overlap::pipeline(
+                    comm,
+                    k,
+                    |c, _| c.advance_all(per_chunk),
+                    |c, i| c.ialltoallv_grouped(group, Self::chunk_pairs(remote, k, i)),
+                    |c, _| c.advance_all(per_chunk),
+                );
+                Overlap::pipeline(
+                    comm,
+                    k,
+                    |_, _| {},
+                    |c, i| c.ialltoallv_grouped(group, Self::chunk_pairs(remote, k, i)),
+                    |c, _| c.advance_all(per_chunk),
+                );
             }
         }
         comm.elapsed() - start
@@ -241,6 +329,63 @@ mod tests {
         let plan = DistFft3d::new(16, Decomp::Slabs);
         let mut c = comm(32);
         plan.charge_transform(&mut c, &gpu());
+    }
+
+    #[test]
+    fn transpose_bytes_are_conserved() {
+        // Sum over every rank's pair list == the full grid payload, even for
+        // awkward rank/group combinations that don't divide N³ evenly.
+        for (n, ranks, group) in [(8, 3, 3), (8, 5, 5), (16, 7, 3), (16, 12, 4), (8, 1, 1)] {
+            let plan = DistFft3d::new(n, Decomp::Pencils);
+            let payload = plan.total_points() * 16;
+            let total: u64 = (0..ranks)
+                .flat_map(|r| plan.transpose_pair_bytes(ranks, group, r))
+                .sum();
+            assert_eq!(total, payload, "n={n} ranks={ranks} group={group}");
+        }
+    }
+
+    #[test]
+    fn overlapped_transform_is_faster_never_slower() {
+        let n = 256;
+        let p = 64;
+        for decomp in [Decomp::Slabs, Decomp::Pencils] {
+            let blocking = DistFft3d::new(n, decomp);
+            let mut cb = comm(p);
+            let t_blocking = blocking.charge_transform(&mut cb, &gpu());
+            for k in [1, 2, 4, 8, 32] {
+                let mut co = comm(p);
+                let t_over = blocking.clone().with_overlap(k).charge_transform(&mut co, &gpu());
+                assert!(
+                    t_over <= t_blocking,
+                    "{decomp:?} K={k}: overlapped {t_over} > blocking {t_blocking}"
+                );
+            }
+        }
+        // At a compute-heavy scale the chunk clamp leaves room to hide real
+        // communication.
+        for decomp in [Decomp::Slabs, Decomp::Pencils] {
+            let mut co = comm(16);
+            DistFft3d::new(512, decomp).with_overlap(4).charge_transform(&mut co, &gpu());
+            let eff = co.stats().overlap_efficiency();
+            assert!(eff > 0.0 && eff <= 1.0, "{decomp:?} eff {eff}");
+        }
+    }
+
+    #[test]
+    fn overlapped_forward_is_bit_identical_to_blocking() {
+        let n = 8;
+        let orig: Vec<C64> =
+            (0..n * n * n).map(|i| C64::new((i % 11) as f64 - 5.0, (i % 5) as f64)).collect();
+        let blocking = DistFft3d::new(n, Decomp::Slabs);
+        let overlapped = blocking.clone().with_overlap(4);
+        let mut xb = orig.clone();
+        let mut xo = orig.clone();
+        blocking.forward(&mut comm(4), &gpu(), &mut xb);
+        overlapped.forward(&mut comm(4), &gpu(), &mut xo);
+        for (a, b) in xb.iter().zip(&xo) {
+            assert!(a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+        }
     }
 
     #[test]

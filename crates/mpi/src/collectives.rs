@@ -70,6 +70,21 @@ pub fn alltoall_time(net: &Network, p: usize, bytes_per_pair: u64) -> SimTime {
         + SimTime::from_secs(rounds * bytes_per_pair as f64 * net.beta_global())
 }
 
+/// All-to-all with variable per-pair payloads: pairwise exchange where round
+/// `r` moves `pair_bytes[r]` between this rank and its `r`-th peer, so the
+/// cost is `Σ_r (α + pair_bytes[r] β_global)`. With a uniform payload this
+/// reduces exactly to [`alltoall_time`]; with ragged payloads (non-square
+/// pencil grids) it charges the true volume instead of rounding every round
+/// up to the maximum pair.
+pub fn alltoallv_time(net: &Network, pair_bytes: &[u64]) -> SimTime {
+    if pair_bytes.is_empty() {
+        return SimTime::ZERO;
+    }
+    let rounds = pair_bytes.len() as f64;
+    let vol: u64 = pair_bytes.iter().sum();
+    net.alpha() * rounds + SimTime::from_secs(vol as f64 * net.beta_global())
+}
+
 /// Gather to a root (each rank contributes `bytes`): binomial tree with
 /// doubling payloads, `log2(p) α + (p-1) n β` volume at the root link.
 pub fn gather_time(net: &Network, p: usize, bytes: u64) -> SimTime {
@@ -178,6 +193,30 @@ mod tests {
         full.model.bisection_factor = 1.0;
         let ideal = alltoall_time(&full, p, bytes);
         assert!(derated > ideal);
+    }
+
+    #[test]
+    fn alltoallv_uniform_matches_alltoall() {
+        let n = net();
+        let p = 64;
+        let m = 1 << 16;
+        let pairs = vec![m; p - 1];
+        let v = alltoallv_time(&n, &pairs);
+        let fixed = alltoall_time(&n, p, m);
+        assert!((v.secs() - fixed.secs()).abs() / fixed.secs() < 1e-12);
+        assert_eq!(alltoallv_time(&n, &[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn alltoallv_ragged_cheaper_than_max_rounding() {
+        let n = net();
+        // 63 pairs, one big and the rest small: the old max-rounding model
+        // charged 63 × big.
+        let mut pairs = vec![1u64 << 10; 63];
+        pairs[0] = 1 << 20;
+        let v = alltoallv_time(&n, &pairs);
+        let rounded = alltoall_time(&n, 64, 1 << 20);
+        assert!(v < rounded);
     }
 
     #[test]

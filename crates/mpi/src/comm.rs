@@ -20,6 +20,27 @@ pub struct CommStats {
     /// communication operations (summed over ranks) — the imbalance the
     /// critical-path analysis attributes.
     pub wait: SimTime,
+    /// Nonblocking (split-phase) operations completed via `wait`.
+    pub nonblocking: u64,
+    /// Total in-flight time of nonblocking operations (cost × participating
+    /// ranks, like `wait` a per-rank sum).
+    pub inflight: SimTime,
+    /// The portion of `inflight` that ranks spent computing instead of
+    /// blocked — the communication the overlap engine actually hid.
+    pub hidden: SimTime,
+}
+
+impl CommStats {
+    /// Fraction of nonblocking communication time hidden behind compute
+    /// (hidden / in-flight), in `[0, 1]`. Zero when no split-phase
+    /// operation completed.
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.inflight.is_zero() {
+            0.0
+        } else {
+            (self.hidden / self.inflight).clamp(0.0, 1.0)
+        }
+    }
 }
 
 impl MetricSource for CommStats {
@@ -28,15 +49,18 @@ impl MetricSource for CommStats {
         m.counter_add("mpi.bytes", self.bytes);
         m.counter_add("mpi.collectives", self.collectives);
         m.time_add("mpi.wait", self.wait);
+        m.counter_add("mpi.nonblocking", self.nonblocking);
+        m.time_add("mpi.inflight", self.inflight);
+        m.time_add("mpi.hidden", self.hidden);
     }
 }
 
 /// A communicator's attachment to a shared [`TelemetryCollector`]: one
 /// comm-rank track per rank.
 #[derive(Debug)]
-struct CommTelemetry {
-    collector: Arc<TelemetryCollector>,
-    tracks: Vec<TrackId>,
+pub(crate) struct CommTelemetry {
+    pub(crate) collector: Arc<TelemetryCollector>,
+    pub(crate) tracks: Vec<TrackId>,
 }
 
 /// A simulated communicator over `size` ranks.
@@ -49,11 +73,15 @@ struct CommTelemetry {
 /// FFT, the APSP solver, QEq CG) is exactly testable.
 #[derive(Debug)]
 pub struct Comm {
-    net: Network,
-    clocks: Vec<Clock>,
-    stats: CommStats,
-    waits: Vec<SimTime>,
-    telemetry: Option<CommTelemetry>,
+    pub(crate) net: Network,
+    pub(crate) clocks: Vec<Clock>,
+    pub(crate) stats: CommStats,
+    pub(crate) waits: Vec<SimTime>,
+    pub(crate) telemetry: Option<CommTelemetry>,
+    /// The time the fabric finishes its last accepted operation: in-flight
+    /// nonblocking traffic serialises here, and later operations cannot
+    /// start before it (one injection pipe per communicator).
+    pub(crate) net_free: SimTime,
 }
 
 impl Comm {
@@ -66,6 +94,7 @@ impl Comm {
             stats: CommStats::default(),
             waits: vec![SimTime::ZERO; size],
             telemetry: None,
+            net_free: SimTime::ZERO,
         }
     }
 
@@ -93,9 +122,14 @@ impl Comm {
             t.collector.absorb(&self.stats);
             let max = self.max_wait().secs();
             let mean = self.stats.wait.secs() / self.size() as f64;
+            let overlap = (!self.stats.inflight.is_zero())
+                .then(|| self.stats.overlap_efficiency());
             t.collector.metrics(|m| {
                 m.gauge_max("mpi.wait_max_s", max);
                 m.gauge_max("mpi.wait_mean_s", mean);
+                if let Some(eff) = overlap {
+                    m.gauge_max("mpi.overlap_efficiency", eff);
+                }
             });
         }
     }
@@ -161,7 +195,18 @@ impl Comm {
     }
 
     fn collective(&mut self, name: &'static str, cost: SimTime, bytes: u64) -> SimTime {
-        let start = self.sync_all();
+        let arrived = self.sync_all();
+        // In-flight nonblocking traffic holds the injection pipe: a blocking
+        // operation posted behind it stalls (and the stall is a wait).
+        let start = arrived.max(self.net_free);
+        if start > arrived {
+            let dt = start - arrived;
+            for (c, w) in self.clocks.iter_mut().zip(self.waits.iter_mut()) {
+                *w += dt;
+                c.sync_to(start);
+            }
+            self.stats.wait += dt * self.clocks.len() as f64;
+        }
         let t = start + cost;
         for c in &mut self.clocks {
             c.sync_to(t);
@@ -173,6 +218,7 @@ impl Comm {
             // interval, so per-track spans stay non-overlapping.
             tel.collector.complete_on_tracks(&tel.tracks, name, SpanCat::Collective, start, t);
         }
+        self.net_free = t;
         t
     }
 
@@ -301,6 +347,29 @@ impl Comm {
         self.collective("alltoall_grouped", cost, bytes_per_pair * group as u64 * (group as u64 - 1) * groups)
     }
 
+    /// Cost-only all-to-all with variable per-pair payloads as seen by one
+    /// rank: `pair_bytes[r]` is what this rank exchanges with its `r`-th
+    /// remote peer (exclude the resident share). Every rank is assumed to
+    /// run the same schedule, so the charge is one rank's sum of rounds and
+    /// the volume is `Σ pair_bytes × size`.
+    pub fn alltoallv(&mut self, pair_bytes: &[u64]) -> SimTime {
+        assert!(pair_bytes.len() < self.size(), "more peers than remote ranks");
+        let cost = coll::alltoallv_time(&self.net, pair_bytes);
+        let vol: u64 = pair_bytes.iter().sum::<u64>() * self.size() as u64;
+        self.collective("alltoallv", cost, vol)
+    }
+
+    /// [`Comm::alltoallv`] running concurrently inside disjoint groups of
+    /// `group` ranks (row/column communicators of a 2-D pencil grid). All
+    /// groups proceed in parallel, so the charge is one group's cost.
+    pub fn alltoallv_grouped(&mut self, group: usize, pair_bytes: &[u64]) -> SimTime {
+        assert!(group >= 1 && group <= self.size());
+        assert!(pair_bytes.len() < group, "more peers than remote group members");
+        let cost = coll::alltoallv_time(&self.net, pair_bytes);
+        let vol: u64 = pair_bytes.iter().sum::<u64>() * self.size() as u64;
+        self.collective("alltoallv_grouped", cost, vol)
+    }
+
     /// Nearest-neighbour halo exchange performed by every rank at once.
     pub fn halo_exchange(&mut self, neighbors: usize, bytes: u64) -> SimTime {
         let cost = coll::halo_time(&self.net, neighbors, bytes);
@@ -329,8 +398,10 @@ impl Comm {
     }
 
     /// Data all-to-all: `send[i][j]` is what rank `i` sends to rank `j`;
-    /// returns `recv` with `recv[j][i] = send[i][j]`. Charges the cost for
-    /// the *largest* pairwise payload (the straggler pair sets the pace).
+    /// returns `recv` with `recv[j][i] = send[i][j]`. Pairwise-exchange
+    /// schedule: in round `r`, rank `i` exchanges with rank `(i + r) % p`,
+    /// and the round finishes when its largest payload lands — so ragged
+    /// payloads cost per-round maxima, not a global max times every round.
     pub fn alltoallv_data<T: Clone>(&mut self, send: Vec<Vec<Vec<T>>>) -> Vec<Vec<Vec<T>>> {
         let p = self.size();
         assert_eq!(send.len(), p);
@@ -338,11 +409,24 @@ impl Comm {
             assert_eq!(row.len(), p, "each rank must address every rank");
         }
         let elem = std::mem::size_of::<T>() as u64;
-        let max_pair = send
-            .iter()
-            .flat_map(|row| row.iter().map(|v| v.len() as u64 * elem))
-            .max()
-            .unwrap_or(0);
+        let mut cost = SimTime::ZERO;
+        let mut volume = 0u64;
+        for r in 1..p {
+            let round_max = (0..p)
+                .map(|i| send[i][(i + r) % p].len() as u64 * elem)
+                .max()
+                .unwrap_or(0);
+            cost += SimTime::from_secs(
+                self.net.alpha().secs() + round_max as f64 * self.net.beta_global(),
+            );
+        }
+        for (i, row) in send.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if i != j {
+                    volume += v.len() as u64 * elem;
+                }
+            }
+        }
         // recv[j][i] = send[i][j]
         let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
         let mut columns: Vec<Vec<Vec<T>>> = send.into_iter().map(|row| row).collect();
@@ -351,9 +435,7 @@ impl Comm {
                 recv[j].push(std::mem::take(&mut row[j]));
             }
         }
-        let p_u = self.size();
-        let cost = coll::alltoall_time(&self.net, p_u, max_pair);
-        self.collective("alltoallv", cost, max_pair * p_u as u64 * (p_u as u64 - 1));
+        self.collective("alltoallv", cost, volume);
         recv
     }
 
@@ -366,6 +448,7 @@ impl Comm {
             *w = SimTime::ZERO;
         }
         self.stats = CommStats::default();
+        self.net_free = SimTime::ZERO;
     }
 }
 

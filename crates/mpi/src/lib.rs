@@ -22,8 +22,10 @@
 pub mod collectives;
 pub mod comm;
 pub mod network;
+pub mod nonblocking;
 
 pub use comm::{Comm, CommStats};
 pub use network::Network;
+pub use nonblocking::{Overlap, Participants, Request, RequestSet};
 
 pub use exa_machine::SimTime;

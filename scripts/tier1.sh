@@ -10,7 +10,11 @@
 #      keeping a per-PR telemetry trajectory next to BENCH_graph_fusion.json;
 #   4. FOM ledger: `fom_ledger` runs the Table-2 campaign, appends to
 #      FOM_LEDGER.json, gates on the regression sentinel, and proves the
-#      sentinel detects an injected 2x slowdown (exit 1 on any failure).
+#      sentinel detects an injected 2x slowdown (exit 1 on any failure);
+#   5. overlap bench: the `comm_overlap` bench gates >=1.3x on its own
+#      comm-bound configuration and bit-identical FFT output, then this
+#      script re-checks the written BENCH_comm_overlap.json schema
+#      (non-empty, speedup >= 1.0, overlap efficiency in [0, 1]).
 #
 # Any step failing fails the flow.
 set -euo pipefail
@@ -20,12 +24,24 @@ cargo build --release
 cargo test -q
 cargo run --release -q -p exa-bench --bin profile_export
 cargo run --release -q -p exa-bench --bin fom_ledger
+cargo bench -q -p exa-bench --bench comm_overlap
 
 # Belt-and-braces: the gates above already validated the artifacts, but make
 # absence-of-output a hard failure too.
-for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json; do
+for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json BENCH_comm_overlap.json; do
     [ -s "$f" ] || { echo "tier1: missing artifact $f" >&2; exit 1; }
 done
+
+# Overlap-bench schema spot-check: the bench gates >=1.3x itself; re-assert
+# the written record is sane (speedup >= 1.0, efficiency in [0, 1], pass).
+speedup=$(awk -F'[:,]' '/"speedup":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_comm_overlap.json)
+eff=$(awk -F'[:,]' '/"overlap_efficiency":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_comm_overlap.json)
+awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }' \
+    || { echo "tier1: overlap speedup $speedup < 1.0" >&2; exit 1; }
+awk -v e="$eff" 'BEGIN { exit !(e >= 0.0 && e <= 1.0) }' \
+    || { echo "tier1: overlap efficiency $eff outside [0, 1]" >&2; exit 1; }
+grep -q '"pass": true' BENCH_comm_overlap.json \
+    || { echo "tier1: BENCH_comm_overlap.json did not pass its own gate" >&2; exit 1; }
 
 # Ledger schema spot-check: all eight Table-2 apps present, with snapshot
 # digests for provenance.
@@ -36,4 +52,4 @@ done
 digests=$(grep -c '"snapshot_digest"' FOM_LEDGER.json)
 [ "$digests" -ge 8 ] || { echo "tier1: FOM_LEDGER.json has only $digests digests" >&2; exit 1; }
 
-echo "tier1: build + tests + telemetry export + fom ledger all green"
+echo "tier1: build + tests + telemetry export + fom ledger + overlap bench all green"
