@@ -30,10 +30,12 @@ pub mod e3sm;
 pub mod exasky;
 pub mod gamess;
 pub mod gests;
+pub mod gests_exec;
 pub mod lammps;
 pub mod lsms;
 pub mod nuccor;
 pub mod pele;
+pub mod pele_exec;
 
 use exa_core::Application;
 

@@ -1,0 +1,408 @@
+//! Executed (data-carrying) distributed 3-D FFT on the rank scheduler.
+//!
+//! [`crate::dist3d::DistFft3d`] prices the GESTS transform at paper scale
+//! but performs the math once on a *global* array — ranks never hold their
+//! own slice. This module is the executed counterpart: the grid really is
+//! distributed (each rank owns a contiguous range of lines), every 1-D FFT
+//! runs on the owning rank inside a [`RankScheduler`] compute phase, and
+//! the transposes really repartition the data between line layouts. With
+//! `p ≤ N²` ranks this executes the *Pencils*-style schedule of §3.3 —
+//! every pass transforms complete lines that are local to one rank.
+//!
+//! Determinism: per-rank work is a pure function of the rank's slice, and
+//! the scheduler's virtual-time merge orders clocks and spans by rank, so
+//! results, traces and timings are bit-identical at any thread count. The
+//! transform itself is bitwise identical to [`crate::fft3d::fft3d`] on the
+//! gathered global array (same per-line [`fft`] on the same values, axes
+//! in the same order) — a property the tests assert with `to_bits`.
+
+use crate::fft1d::{fft, fft_flops, ifft};
+use exa_linalg::C64;
+use exa_machine::{GpuModel, SimTime};
+use exa_mpi::{Comm, RankScheduler};
+use exa_telemetry::SpanCat;
+
+/// Which axis the distributed lines run along. The layout names follow
+/// the transform schedule: a pass along axis `a` requires layout
+/// `Lines(a)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineAxis {
+    /// Lines along `i2` (contiguous in the canonical array); line index
+    /// `i0·n + i1`. The initial and final layout.
+    Axis2,
+    /// Lines along `i1`; line index `i0·n + i2`.
+    Axis1,
+    /// Lines along `i0`; line index `i1·n + i2`.
+    Axis0,
+}
+
+impl LineAxis {
+    /// `(line, offset)` of global element `(i0, i1, i2)` in this layout.
+    fn index(self, n: usize, i0: usize, i1: usize, i2: usize) -> (usize, usize) {
+        match self {
+            LineAxis::Axis2 => (i0 * n + i1, i2),
+            LineAxis::Axis1 => (i0 * n + i2, i1),
+            LineAxis::Axis0 => (i1 * n + i2, i0),
+        }
+    }
+
+    /// Global element `(i0, i1, i2)` at `(line, offset)` of this layout.
+    fn coords(self, n: usize, line: usize, off: usize) -> (usize, usize, usize) {
+        match self {
+            LineAxis::Axis2 => (line / n, line % n, off),
+            LineAxis::Axis1 => (line / n, off, line % n),
+            LineAxis::Axis0 => (off, line / n, line % n),
+        }
+    }
+}
+
+/// Contiguous near-equal split of `total` lines over `ranks`: the first
+/// `total % ranks` ranks get one extra line.
+#[derive(Debug, Clone, Copy)]
+struct LineSplit {
+    base: usize,
+    rem: usize,
+}
+
+impl LineSplit {
+    fn new(total: usize, ranks: usize) -> Self {
+        LineSplit { base: total / ranks, rem: total % ranks }
+    }
+
+    fn start(&self, rank: usize) -> usize {
+        rank * self.base + rank.min(self.rem)
+    }
+
+    fn count(&self, rank: usize) -> usize {
+        self.base + usize::from(rank < self.rem)
+    }
+
+    fn owner(&self, line: usize) -> usize {
+        let fat = self.rem * (self.base + 1);
+        if line < fat {
+            line / (self.base + 1)
+        } else {
+            self.rem + (line - fat) / self.base
+        }
+    }
+}
+
+/// An `n³` complex grid distributed over ranks as lines along one axis.
+#[derive(Debug, Clone)]
+pub struct DistGrid {
+    n: usize,
+    axis: LineAxis,
+    /// `parts[r]` holds rank `r`'s lines back to back, `n` points each.
+    parts: Vec<Vec<C64>>,
+}
+
+impl DistGrid {
+    /// Scatter a canonical-order (`data[(i0·n + i1)·n + i2]`) global array
+    /// into the initial [`LineAxis::Axis2`] layout over `ranks` ranks.
+    /// Requires `2 ≤ ranks ≤ n²` so every pass keeps whole lines local.
+    pub fn from_global(n: usize, ranks: usize, data: &[C64]) -> Self {
+        assert_eq!(data.len(), n * n * n, "global array must be n^3");
+        assert!(ranks >= 1 && ranks <= n * n, "need 1 <= ranks <= n^2");
+        let split = LineSplit::new(n * n, ranks);
+        let parts = (0..ranks)
+            .map(|r| {
+                let (s, c) = (split.start(r), split.count(r));
+                data[s * n..(s + c) * n].to_vec()
+            })
+            .collect();
+        DistGrid { n, axis: LineAxis::Axis2, parts }
+    }
+
+    /// Grid size per dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Ranks holding the grid.
+    pub fn ranks(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Current line layout.
+    pub fn axis(&self) -> LineAxis {
+        self.axis
+    }
+
+    /// Mutable access to the per-rank line slices, for executed kernels
+    /// (e.g. a spectral advance) that transform the distributed data in
+    /// place between FFT passes.
+    pub fn parts_mut(&mut self) -> &mut [Vec<C64>] {
+        &mut self.parts
+    }
+
+    /// Reassemble the global array in canonical order from whatever
+    /// layout the grid is currently in.
+    pub fn gather_global(&self) -> Vec<C64> {
+        let n = self.n;
+        let split = LineSplit::new(n * n, self.parts.len());
+        let mut out = vec![C64::ZERO; n * n * n];
+        for (r, part) in self.parts.iter().enumerate() {
+            let start = split.start(r);
+            for (li, line) in part.chunks(n).enumerate() {
+                for (off, &v) in line.iter().enumerate() {
+                    let (i0, i1, i2) = self.axis.coords(n, start + li, off);
+                    out[(i0 * n + i1) * n + i2] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The executed distributed 3-D FFT plan.
+#[derive(Debug, Clone)]
+pub struct ExecutedFft3d {
+    /// Grid size per dimension.
+    pub n: usize,
+    /// Fraction of vector-FP64 peak the line FFTs achieve (matches the
+    /// costed plan's strided-pass efficiency).
+    pub compute_eff: f64,
+}
+
+impl ExecutedFft3d {
+    /// Plan for an `n³` grid.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        ExecutedFft3d { n, compute_eff: 0.10 }
+    }
+
+    /// Virtual time one rank spends transforming `lines` local lines.
+    fn pass_time(&self, gpu: &GpuModel, lines: usize) -> SimTime {
+        SimTime::from_secs(lines as f64 * fft_flops(self.n) / (gpu.peak_f64 * self.compute_eff))
+    }
+
+    /// One line-FFT pass over the layout the grid is currently in.
+    fn fft_pass(
+        &self,
+        sched: &RankScheduler,
+        comm: &mut Comm,
+        gpu: &GpuModel,
+        grid: &mut DistGrid,
+        inverse: bool,
+    ) {
+        let n = self.n;
+        let span = match (grid.axis, inverse) {
+            (LineAxis::Axis2, false) => "fft_lines_axis2",
+            (LineAxis::Axis1, false) => "fft_lines_axis1",
+            (LineAxis::Axis0, false) => "fft_lines_axis0",
+            (LineAxis::Axis2, true) => "ifft_lines_axis2",
+            (LineAxis::Axis1, true) => "ifft_lines_axis1",
+            (LineAxis::Axis0, true) => "ifft_lines_axis0",
+        };
+        sched.compute_phase(comm, &mut grid.parts, |ctx, part| {
+            for line in part.chunks_mut(n) {
+                if inverse {
+                    ifft(line);
+                } else {
+                    fft(line);
+                }
+            }
+            ctx.span(span, SpanCat::Kernel, self.pass_time(gpu, part.len() / n));
+        });
+    }
+
+    /// Repartition the grid into `to`-layout lines: every destination rank
+    /// gathers its lines positionally from the source layout (a pure
+    /// permutation — no arithmetic touches the values), and the transpose
+    /// is charged as the all-to-all its actual per-peer volumes imply.
+    fn repartition(
+        &self,
+        sched: &RankScheduler,
+        comm: &mut Comm,
+        grid: &mut DistGrid,
+        to: LineAxis,
+    ) {
+        let n = self.n;
+        let ranks = grid.ranks();
+        let split = LineSplit::new(n * n, ranks);
+        let from = grid.axis;
+        let src = std::mem::take(&mut grid.parts);
+        let mut dst: Vec<Vec<C64>> = (0..ranks).map(|r| vec![C64::ZERO; split.count(r) * n]).collect();
+        let src_ref = &src;
+        sched.compute_phase(comm, &mut dst, |ctx, buf| {
+            let d = ctx.rank();
+            let start = split.start(d);
+            for li in 0..split.count(d) {
+                for off in 0..n {
+                    let (i0, i1, i2) = to.coords(n, start + li, off);
+                    let (sl, so) = from.index(n, i0, i1, i2);
+                    let s = split.owner(sl);
+                    buf[li * n + off] = src_ref[s][(sl - split.start(s)) * n + so];
+                }
+            }
+        });
+        // Per-peer transpose volume, measured on rank 0's actual reads
+        // (the split is near-uniform, so rank 0 is representative).
+        let mut peer_bytes = vec![0u64; ranks - 1];
+        for li in 0..split.count(0) {
+            for off in 0..n {
+                let (i0, i1, i2) = to.coords(n, li, off);
+                let (sl, _) = from.index(n, i0, i1, i2);
+                let s = split.owner(sl);
+                if s != 0 {
+                    peer_bytes[s - 1] += std::mem::size_of::<C64>() as u64;
+                }
+            }
+        }
+        comm.alltoallv(&peer_bytes);
+        grid.parts = dst;
+        grid.axis = to;
+    }
+
+    /// Forward transform in place: three line passes (axes 2, 1, 0 — the
+    /// same order as [`crate::fft3d::fft3d`]) with a repartition between
+    /// passes. The grid must be in the initial layout; it finishes in
+    /// [`LineAxis::Axis0`]. Returns the virtual time the transform took.
+    pub fn forward(
+        &self,
+        sched: &RankScheduler,
+        comm: &mut Comm,
+        gpu: &GpuModel,
+        grid: &mut DistGrid,
+    ) -> SimTime {
+        assert_eq!(grid.n, self.n);
+        assert_eq!(grid.ranks(), comm.size(), "one communicator rank per grid rank");
+        assert_eq!(grid.axis, LineAxis::Axis2, "forward starts from the initial layout");
+        let t0 = comm.elapsed();
+        self.fft_pass(sched, comm, gpu, grid, false);
+        self.repartition(sched, comm, grid, LineAxis::Axis1);
+        self.fft_pass(sched, comm, gpu, grid, false);
+        self.repartition(sched, comm, grid, LineAxis::Axis0);
+        self.fft_pass(sched, comm, gpu, grid, false);
+        comm.elapsed() - t0
+    }
+
+    /// Inverse transform in place, unwinding the forward schedule (axis 0
+    /// first, back to the initial layout). `inverse(forward(x)) = x` up to
+    /// rounding. Returns the virtual time the transform took.
+    pub fn inverse(
+        &self,
+        sched: &RankScheduler,
+        comm: &mut Comm,
+        gpu: &GpuModel,
+        grid: &mut DistGrid,
+    ) -> SimTime {
+        assert_eq!(grid.n, self.n);
+        assert_eq!(grid.ranks(), comm.size(), "one communicator rank per grid rank");
+        assert_eq!(grid.axis, LineAxis::Axis0, "inverse starts where forward finished");
+        let t0 = comm.elapsed();
+        self.fft_pass(sched, comm, gpu, grid, true);
+        self.repartition(sched, comm, grid, LineAxis::Axis1);
+        self.fft_pass(sched, comm, gpu, grid, true);
+        self.repartition(sched, comm, grid, LineAxis::Axis2);
+        self.fft_pass(sched, comm, gpu, grid, true);
+        comm.elapsed() - t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft3d::fft3d;
+    use exa_machine::MachineModel;
+    use exa_mpi::Network;
+
+    fn signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut s = seed;
+        (0..n * n * n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let re = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                C64::new(re, re * 0.25 + 0.1)
+            })
+            .collect()
+    }
+
+    fn setup(ranks: usize) -> (Comm, GpuModel) {
+        let machine = MachineModel::frontier();
+        let gpu = machine.node.gpu().clone();
+        (Comm::new(ranks, Network::from_machine(&machine)), gpu)
+    }
+
+    fn bits(v: &[C64]) -> Vec<(u64, u64)> {
+        v.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+    }
+
+    #[test]
+    fn scatter_gather_round_trips_all_layouts() {
+        let n = 8;
+        let orig = signal(n, 3);
+        for ranks in [1, 3, 7, 64] {
+            let sched = RankScheduler::sequential();
+            let (mut comm, gpu) = setup(ranks);
+            let mut grid = DistGrid::from_global(n, ranks, &orig);
+            assert_eq!(bits(&grid.gather_global()), bits(&orig));
+            let plan = ExecutedFft3d::new(n);
+            // A repartition is a pure permutation: gather must return the
+            // same bits from every layout.
+            plan.repartition(&sched, &mut comm, &mut grid, LineAxis::Axis1);
+            assert_eq!(bits(&grid.gather_global()), bits(&orig));
+            plan.repartition(&sched, &mut comm, &mut grid, LineAxis::Axis0);
+            assert_eq!(bits(&grid.gather_global()), bits(&orig));
+            let _ = gpu;
+        }
+    }
+
+    #[test]
+    fn executed_forward_is_bitwise_fft3d() {
+        let n = 8;
+        let orig = signal(n, 11);
+        let mut reference = orig.clone();
+        fft3d(&mut reference, n, n, n);
+        for ranks in [1, 5, 16, 64] {
+            let sched = RankScheduler::new();
+            let (mut comm, gpu) = setup(ranks);
+            let mut grid = DistGrid::from_global(n, ranks, &orig);
+            let plan = ExecutedFft3d::new(n);
+            let dt = plan.forward(&sched, &mut comm, &gpu, &mut grid);
+            assert!(dt > SimTime::ZERO);
+            assert_eq!(bits(&grid.gather_global()), bits(&reference), "{ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_input() {
+        let n = 8;
+        let orig = signal(n, 29);
+        let sched = RankScheduler::new();
+        let (mut comm, gpu) = setup(12);
+        let mut grid = DistGrid::from_global(n, 12, &orig);
+        let plan = ExecutedFft3d::new(n);
+        plan.forward(&sched, &mut comm, &gpu, &mut grid);
+        plan.inverse(&sched, &mut comm, &gpu, &mut grid);
+        assert_eq!(grid.axis(), LineAxis::Axis2);
+        let back = grid.gather_global();
+        let err = back
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-10, "round-trip error {err}");
+    }
+
+    #[test]
+    fn executed_transform_is_thread_count_invariant() {
+        let n = 8;
+        let orig = signal(n, 41);
+        let run = |threads: usize| {
+            let sched = RankScheduler::with_threads(threads);
+            let (mut comm, gpu) = setup(32);
+            let mut grid = DistGrid::from_global(n, 32, &orig);
+            let plan = ExecutedFft3d::new(n);
+            let dt = plan.forward(&sched, &mut comm, &gpu, &mut grid);
+            (bits(&grid.gather_global()), dt, comm.stats())
+        };
+        let (b1, t1, s1) = run(1);
+        for threads in [2, 4] {
+            let (bn, tn, sn) = run(threads);
+            assert_eq!(b1, bn, "spectrum bits differ at {threads} threads");
+            assert_eq!(t1, tn, "virtual time differs at {threads} threads");
+            assert_eq!(s1, sn, "comm stats differ at {threads} threads");
+        }
+    }
+}

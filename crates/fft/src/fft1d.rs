@@ -5,7 +5,9 @@
 //! any length to a power-of-two cyclic convolution).
 
 use exa_linalg::C64;
+use std::cell::RefCell;
 use std::f64::consts::PI;
+use std::rc::Rc;
 
 /// Forward DFT, in place: `X[k] = Σ x[j]·e^{-2πi jk/n}`.
 pub fn fft(data: &mut [C64]) {
@@ -34,7 +36,40 @@ fn transform(data: &mut [C64], inverse: bool) {
     }
 }
 
+/// Half-length twiddle table for a size-`n` transform:
+/// `tw[k] = e^{sign·2πi k/n}` for `k < n/2`. Stage `len` reads it at
+/// stride `n/len`, so one table serves every butterfly pass.
+///
+/// Tables are cached per thread (the distributed 3-D FFT transforms
+/// thousands of equal-length lines back to back); entries are pure
+/// functions of `(n, inverse)`, so the cache never affects results.
+fn twiddle_table(n: usize, inverse: bool) -> Rc<Vec<C64>> {
+    thread_local! {
+        static CACHE: RefCell<Vec<(usize, bool, Rc<Vec<C64>>)>> = const { RefCell::new(Vec::new()) };
+    }
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some((_, _, t)) = c.iter().find(|(m, inv, _)| *m == n && *inv == inverse) {
+            return Rc::clone(t);
+        }
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let table: Rc<Vec<C64>> = Rc::new(
+            (0..n / 2).map(|k| C64::cis(sign * 2.0 * PI * k as f64 / n as f64)).collect(),
+        );
+        if c.len() >= 16 {
+            c.remove(0);
+        }
+        c.push((n, inverse, Rc::clone(&table)));
+        table
+    })
+}
+
 /// Iterative radix-2 Cooley–Tukey (requires `n` a power of two).
+///
+/// Twiddles come from a precomputed table instead of the textbook
+/// running product `w *= wlen`: the butterfly loop loses its
+/// loop-carried dependency (so it auto-vectorizes) and each factor is a
+/// direct `cis` evaluation rather than an accumulated product.
 fn fft_pow2(data: &mut [C64], inverse: bool) {
     let n = data.len();
     debug_assert!(n.is_power_of_two());
@@ -46,21 +81,19 @@ fn fft_pow2(data: &mut [C64], inverse: bool) {
             data.swap(i, j);
         }
     }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
+    // Butterflies, one pass per stage, twiddle stride halving each time.
+    let tw = twiddle_table(n, inverse);
     let mut len = 2;
     while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = C64::cis(ang);
+        let half = len / 2;
+        let stride = n / len;
         for chunk in data.chunks_mut(len) {
-            let mut w = C64::ONE;
-            let half = len / 2;
+            let (lo, hi) = chunk.split_at_mut(half);
             for k in 0..half {
-                let u = chunk[k];
-                let v = chunk[k + half] * w;
-                chunk[k] = u + v;
-                chunk[k + half] = u - v;
-                w = w * wlen;
+                let u = lo[k];
+                let v = hi[k] * tw[k * stride];
+                lo[k] = u + v;
+                hi[k] = u - v;
             }
         }
         len <<= 1;

@@ -12,14 +12,20 @@
 //! * [`dist3d`] — the distributed 3-D FFT at the heart of the GESTS PSDNS
 //!   solver, with both domain decompositions the paper compares: **Slabs**
 //!   (1-D decomposition, one transpose per transform, at most N ranks) and
-//!   **Pencils** (2-D decomposition, two transposes, up to N² ranks).
+//!   **Pencils** (2-D decomposition, two transposes, up to N² ranks);
+//! * [`executed`] — the *executed* distributed transform: ranks really own
+//!   line slices, FFT passes run concurrently on the work-stealing rank
+//!   scheduler, and transposes really repartition the data — bit-identical
+//!   to [`fft3d`](fft3d()) on the gathered array at any thread count.
 
 pub mod dist3d;
+pub mod executed;
 pub mod fft1d;
 pub mod fft3d;
 pub mod real;
 
 pub use dist3d::{Decomp, DistFft3d};
+pub use executed::{DistGrid, ExecutedFft3d, LineAxis};
 pub use exa_linalg::C64;
 pub use fft1d::{dft_naive, fft, ifft};
 pub use fft3d::{fft3d, ifft3d};

@@ -1,22 +1,30 @@
 //! Data-parallel host execution of kernel bodies.
 //!
 //! The simulated GPU kernels in this repository perform their real math on
-//! the host. For large arrays the helpers fan work out over scoped OS
-//! threads (`std::thread::scope` — no external dependencies, the build is
-//! fully offline); below a threshold the sequential path avoids fork/join
-//! overhead. The helpers guarantee identical results either way (all
-//! closures are pure per-element maps or associative reductions).
+//! the host. For large arrays the helpers fan work out onto the persistent
+//! work-stealing pool (the vendored `workpool` crate — workers are spawned
+//! once per process, not per call); below a threshold the sequential path
+//! avoids fork/join overhead entirely.
+//!
+//! **Determinism contract:** results are bit-identical for any thread
+//! count. The block decomposition ([`block_ranges`]) depends only on
+//! `(n, min_len)` — never on `num_threads()` — and reduction partials are
+//! folded in block order, so floating-point rounding does not shift when
+//! `EXA_THREADS` changes. The pool merely executes the fixed blocks in an
+//! arbitrary interleaving.
 //!
 //! Tuning knobs:
 //! * [`PAR_THRESHOLD`] — compile-time default for the sequential cutoff;
 //!   override per process with the `EXA_PAR_THRESHOLD` env var (bench sweeps).
-//! * `EXA_NUM_THREADS` — cap the worker count (defaults to the machine).
+//! * `EXA_THREADS` — total execution lanes; `0` (or unset) auto-detects.
+//!   The legacy `EXA_NUM_THREADS` spelling is honored as a fallback.
 //! * The `*_with_min_len` variants bound task granularity, the equivalent of
-//!   rayon's `with_min_len`: no worker receives fewer than `min_len` items,
+//!   rayon's `with_min_len`: no task receives fewer than `min_len` items,
 //!   which caps fork/join overhead for cheap per-element closures.
 
 use std::ops::Range;
 use std::sync::OnceLock;
+use workpool::ThreadPool;
 
 /// Below this many elements a sequential loop beats fork/join overhead.
 pub const PAR_THRESHOLD: usize = 1 << 14;
@@ -37,26 +45,32 @@ pub fn par_threshold() -> usize {
     })
 }
 
-/// Worker count: `EXA_NUM_THREADS` if set, else available parallelism.
+/// Execution-lane count: `EXA_THREADS` (0 ⇒ auto-detect), else the legacy
+/// `EXA_NUM_THREADS`, else available parallelism — the sizing of the
+/// process-wide [`workpool`] pool. Read once per process.
 pub fn num_threads() -> usize {
-    static CACHE: OnceLock<usize> = OnceLock::new();
-    *CACHE.get_or_init(|| {
-        std::env::var("EXA_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            })
-    })
+    workpool::default_threads()
 }
+
+/// The process-wide persistent pool every `par_*` helper fans out onto.
+fn pool() -> &'static ThreadPool {
+    ThreadPool::global()
+}
+
+/// Upper bound on how many blocks one helper call decomposes into. A
+/// constant (rather than `num_threads()`) so the decomposition — and with
+/// it every floating-point fold order — is identical for any thread
+/// count; 64 blocks keep the pool fed well past any realistic lane count
+/// while the per-block closure cost stays amortized by `min_len`.
+const MAX_BLOCKS: usize = 64;
 
 /// The deterministic block decomposition [`par_scatter_blocks`] uses for a
 /// given `(n, min_len)` — public so multi-phase algorithms (histogram →
 /// offsets → scatter, the radix-sort shape) can precompute per-block state
 /// that lines up exactly with the scatter's blocks. Returns a single
 /// `0..n` block when `n` is below [`par_threshold`], matching the scatter's
-/// serial fallback.
+/// serial fallback. Depends only on `(n, min_len)`, never on the thread
+/// count — see the module-level determinism contract.
 pub fn block_ranges(n: usize, min_len: usize) -> Vec<Range<usize>> {
     if n < par_threshold() {
         return vec![0..n];
@@ -64,15 +78,16 @@ pub fn block_ranges(n: usize, min_len: usize) -> Vec<Range<usize>> {
     blocks(n, min_len)
 }
 
-/// Split `0..n` into per-worker ranges of at least `min_len` items each.
+/// Split `0..n` into at most [`MAX_BLOCKS`] ranges of at least `min_len`
+/// items each. Thread-count-independent by construction.
 fn blocks(n: usize, min_len: usize) -> Vec<Range<usize>> {
     let min_len = min_len.max(1);
-    let workers = num_threads().min(n / min_len).max(1);
-    let base = n / workers;
-    let extra = n % workers;
-    let mut out = Vec::with_capacity(workers);
+    let nblocks = (n / min_len).clamp(1, MAX_BLOCKS);
+    let base = n / nblocks;
+    let extra = n % nblocks;
+    let mut out = Vec::with_capacity(nblocks);
     let mut start = 0;
-    for w in 0..workers {
+    for w in 0..nblocks {
         let len = base + usize::from(w < extra);
         out.push(start..start + len);
         start += len;
@@ -80,8 +95,8 @@ fn blocks(n: usize, min_len: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Fan `data` out over workers as disjoint contiguous subslices;
-/// `f(base_index, subslice)` runs once per worker, the tail on the caller.
+/// Fan `data` out over pool tasks as disjoint contiguous subslices;
+/// `f(base_index, subslice)` runs once per block, the tail on the caller.
 fn par_split_mut<T, F>(data: &mut [T], min_len: usize, f: F)
 where
     T: Send,
@@ -92,7 +107,7 @@ where
         f(0, data);
         return;
     }
-    std::thread::scope(|s| {
+    pool().scope(|s| {
         let f = &f;
         let mut rest = data;
         let mut base = 0;
@@ -179,18 +194,59 @@ where
     if ranges.len() <= 1 {
         return (0..n).fold(identity, |acc, i| reduce(acc, f(i)));
     }
-    let partials: Vec<T> = std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
-                let f = &f;
-                let reduce = &reduce;
-                s.spawn(move || r.fold(identity, |acc, i| reduce(acc, f(i))))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("exec worker panicked")).collect()
+    // Partials land in block order and are folded in block order: the
+    // rounding of the final fold is fixed by (n, min_len) alone.
+    let mut partials = vec![identity; ranges.len()];
+    pool().scope(|s| {
+        for (slot, r) in partials.iter_mut().zip(ranges) {
+            let f = &f;
+            let reduce = &reduce;
+            s.spawn(move || *slot = r.fold(identity, |acc, i| reduce(acc, f(i))));
+        }
     });
     partials.into_iter().fold(identity, |acc, p| reduce(acc, p))
+}
+
+/// Unrolled sum of one block: four independent accumulator lanes (so the
+/// compiler can keep four adds in flight / vectorize), lanes combined
+/// pairwise, then the `len % 4` tail. The rounding is a pure function of
+/// the slice — no thread count, no chunking.
+fn sum_lanes4(x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut quads = x.chunks_exact(4);
+    for q in quads.by_ref() {
+        acc[0] += q[0];
+        acc[1] += q[1];
+        acc[2] += q[2];
+        acc[3] += q[3];
+    }
+    let mut tail = 0.0;
+    for &v in quads.remainder() {
+        tail += v;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// Parallel sum of an `f64` slice with a vectorization-friendly inner
+/// loop: each block is summed by [`sum_lanes4`] (four-lane unrolled, no
+/// loop-carried serial add chain), block partials folded in block order.
+/// Bit-identical at any thread count.
+pub fn par_sum_f64(data: &[f64]) -> f64 {
+    if data.len() < par_threshold() {
+        return sum_lanes4(data);
+    }
+    let ranges = blocks(data.len(), DEFAULT_MIN_LEN);
+    if ranges.len() <= 1 {
+        return sum_lanes4(data);
+    }
+    let mut partials = vec![0.0f64; ranges.len()];
+    pool().scope(|s| {
+        for (slot, r) in partials.iter_mut().zip(ranges) {
+            let block = &data[r];
+            s.spawn(move || *slot = sum_lanes4(block));
+        }
+    });
+    partials.into_iter().fold(0.0, |acc, p| acc + p)
 }
 
 /// Run `f(chunk_index, chunk)` over disjoint mutable chunks in parallel —
@@ -215,7 +271,7 @@ where
         }
         return;
     }
-    std::thread::scope(|s| {
+    pool().scope(|s| {
         let f = &f;
         let mut rest = data;
         let last = ranges.len() - 1;
@@ -254,15 +310,13 @@ where
     if ranges.len() <= 1 {
         return (0..n).map(&f).collect();
     }
-    let parts: Vec<Vec<T>> = std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
-                let f = &f;
-                s.spawn(move || r.map(f).collect::<Vec<T>>())
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("exec worker panicked")).collect()
+    let mut parts: Vec<Vec<T>> = Vec::new();
+    parts.resize_with(ranges.len(), Vec::new);
+    pool().scope(|s| {
+        for (slot, r) in parts.iter_mut().zip(ranges) {
+            let f = &f;
+            s.spawn(move || *slot = r.map(f).collect::<Vec<T>>());
+        }
     });
     let mut out = Vec::with_capacity(n);
     for p in parts {
@@ -307,7 +361,7 @@ where
     unsafe impl<T: Send> Send for SendPtr<T> {}
     unsafe impl<T: Send> Sync for SendPtr<T> {}
     let ptr = SendPtr(dst.as_mut_ptr());
-    std::thread::scope(|s| {
+    pool().scope(|s| {
         let f = &f;
         let ptr = &ptr;
         for (bi, r) in ranges.into_iter().enumerate() {
@@ -425,5 +479,59 @@ mod tests {
     fn threshold_and_threads_are_positive() {
         assert!(par_threshold() > 0);
         assert!(num_threads() > 0);
+    }
+
+    #[test]
+    fn reduce_fold_order_is_blockwise_and_bit_exact() {
+        // The determinism contract: a parallel fp reduction equals the
+        // sequential fold over block_ranges partials, bit for bit — the
+        // pool's interleaving can never shift rounding.
+        let n = PAR_THRESHOLD * 2 + 123;
+        let f = |i: usize| ((i.wrapping_mul(2654435761)) % 1000) as f64 * 1e-3 - 0.4;
+        let got = par_reduce(n, 0.0f64, f, |a, b| a + b);
+        let mut expect = 0.0f64;
+        for r in block_ranges(n, DEFAULT_MIN_LEN) {
+            expect += r.fold(0.0f64, |acc, i| acc + f(i));
+        }
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn block_decomposition_ignores_thread_count() {
+        // block_ranges is a pure function of (n, min_len): at most
+        // MAX_BLOCKS blocks, covering 0..n exactly, each >= min_len.
+        let n = PAR_THRESHOLD * 5 + 7;
+        let ranges = block_ranges(n, 1 << 10);
+        assert!(ranges.len() <= MAX_BLOCKS);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, n);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert!(ranges.iter().all(|r| r.len() >= 1 << 10));
+    }
+
+    #[test]
+    fn par_sum_is_lane_exact_and_accurate() {
+        // Small (sequential path) and large (pooled path) slices: the
+        // result must equal the blockwise lane-unrolled reference bit for
+        // bit, and the plain sum to tolerance.
+        for n in [0, 1, 5, 1000, PAR_THRESHOLD * 3 + 17] {
+            let data: Vec<f64> = (0..n)
+                .map(|i| ((i.wrapping_mul(2654435761)) % 997) as f64 * 1e-3 - 0.45)
+                .collect();
+            let got = par_sum_f64(&data);
+            let mut expect = 0.0f64;
+            if data.len() >= par_threshold() && block_ranges(n, DEFAULT_MIN_LEN).len() > 1 {
+                for r in block_ranges(n, DEFAULT_MIN_LEN) {
+                    expect += sum_lanes4(&data[r]);
+                }
+            } else {
+                expect = sum_lanes4(&data);
+            }
+            assert_eq!(got.to_bits(), expect.to_bits(), "n = {n}");
+            let naive: f64 = data.iter().sum();
+            assert!((got - naive).abs() < 1e-9 * naive.abs().max(1.0), "n = {n}");
+        }
     }
 }

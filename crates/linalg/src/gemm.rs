@@ -14,6 +14,10 @@ use exa_hal::exec;
 const KBLOCK: usize = 64;
 /// Column panel width per parallel task.
 const JPANEL: usize = 8;
+/// Cache block in the m (row) dimension: one `MB`-row tile of a C column
+/// (2 KiB at f64) stays L1-resident across a whole k-block instead of
+/// streaming the full column once per k iteration.
+const MB: usize = 256;
 
 /// General matrix multiply: `c ← alpha * a * b + beta * c`.
 ///
@@ -41,19 +45,28 @@ pub fn gemm<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut 
             for x in c_panel.iter_mut() {
                 *x = beta * *x;
             }
-            // k-blocked accumulation.
+            // k-blocked, row-blocked accumulation. Splitting the row loop
+            // into MB tiles only reorders independent axpy spans — every
+            // C element still accumulates its k terms in ascending order,
+            // so results are bit-identical to the unblocked kernel.
             let mut k0 = 0;
             while k0 < k {
                 let kend = (k0 + KBLOCK).min(k);
                 for (jj, c_col) in c_panel.chunks_mut(m).enumerate().take(ncols) {
                     let j = j0 + jj;
-                    for kk in k0..kend {
-                        let bkj = alpha * b_data[kk + j * k];
-                        let a_col = &a_data[kk * m..kk * m + m];
-                        for (ci, &aik) in c_col.iter_mut().zip(a_col) {
-                            let prod = aik * bkj;
-                            *ci += prod;
+                    let mut i0 = 0;
+                    while i0 < m {
+                        let iend = (i0 + MB).min(m);
+                        let c_blk = &mut c_col[i0..iend];
+                        for kk in k0..kend {
+                            let bkj = alpha * b_data[kk + j * k];
+                            let a_blk = &a_data[kk * m + i0..kk * m + iend];
+                            for (ci, &aik) in c_blk.iter_mut().zip(a_blk) {
+                                let prod = aik * bkj;
+                                *ci += prod;
+                            }
                         }
+                        i0 = iend;
                     }
                 }
                 k0 = kend;

@@ -8,7 +8,7 @@ use serde::Serialize;
 use std::sync::Arc;
 
 /// Aggregate communication statistics for a communicator.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct CommStats {
     /// Point-to-point messages sent.
     pub messages: u64,

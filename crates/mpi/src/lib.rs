@@ -23,9 +23,11 @@ pub mod collectives;
 pub mod comm;
 pub mod network;
 pub mod nonblocking;
+pub mod sched;
 
 pub use comm::{Comm, CommStats};
 pub use network::Network;
 pub use nonblocking::{Overlap, Participants, Request, RequestSet};
+pub use sched::{RankCtx, RankScheduler};
 
 pub use exa_machine::SimTime;

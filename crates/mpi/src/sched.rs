@@ -1,0 +1,274 @@
+//! Work-stealing rank scheduler: simulate ranks concurrently, merge
+//! deterministically.
+//!
+//! A [`Comm`] advances one virtual clock per rank, and until now every
+//! rank's compute closure ran sequentially on the calling thread. The
+//! [`RankScheduler`] fans a *compute phase* — one closure per rank, no
+//! communication inside — out over the persistent work-stealing pool, then
+//! performs a **deterministic virtual-time merge**:
+//!
+//! 1. per-rank results (elapsed virtual time, recorded span log) land in a
+//!    rank-indexed table, so the pool's interleaving is invisible;
+//! 2. clocks are charged in rank order, exactly as the sequential
+//!    scheduler would;
+//! 3. span logs are merged by `(virtual start time, rank, per-rank
+//!    sequence)` and emitted to the communicator's telemetry tracks in
+//!    that order.
+//!
+//! The result: traces, FOM records and [`crate::CommStats`] are
+//! bit-identical to the sequential schedule regardless of thread count.
+//! Communication stays on the existing single-threaded [`Comm`] API
+//! between phases — the collectives are already deterministic.
+
+use crate::comm::Comm;
+use exa_machine::SimTime;
+use exa_telemetry::SpanCat;
+use std::borrow::Cow;
+use workpool::ThreadPool;
+
+/// One span recorded by a rank inside a compute phase, in rank-local
+/// virtual time.
+#[derive(Debug, Clone)]
+struct RankEvent {
+    name: Cow<'static, str>,
+    cat: SpanCat,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// Per-rank execution context handed to the phase closure. Tracks the
+/// rank's virtual clock locally (the shared [`Comm`] clocks are only
+/// touched during the merge) and accumulates the rank's span log.
+#[derive(Debug)]
+pub struct RankCtx {
+    rank: usize,
+    start: SimTime,
+    now: SimTime,
+    events: Vec<RankEvent>,
+}
+
+impl RankCtx {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The rank's current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Charge local compute time.
+    pub fn advance(&mut self, dt: SimTime) {
+        self.now += dt;
+    }
+
+    /// Charge local compute time and record it as a named span on this
+    /// rank's telemetry track.
+    pub fn span(&mut self, name: impl Into<Cow<'static, str>>, cat: SpanCat, dt: SimTime) {
+        let start = self.now;
+        self.now += dt;
+        self.events.push(RankEvent { name: name.into(), cat, start, end: self.now });
+    }
+}
+
+/// How a [`RankScheduler`] gets its pool: the process-global one (sized by
+/// `EXA_THREADS`) or a private one with an explicit lane count.
+#[derive(Debug)]
+enum PoolRef {
+    Global,
+    Owned(ThreadPool),
+}
+
+/// Executes per-rank compute closures concurrently with the deterministic
+/// virtual-time merge described in the module docs.
+#[derive(Debug)]
+pub struct RankScheduler {
+    pool: PoolRef,
+}
+
+impl Default for RankScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RankScheduler {
+    /// A scheduler on the process-wide pool (`EXA_THREADS`, 0 ⇒ auto).
+    pub fn new() -> Self {
+        RankScheduler { pool: PoolRef::Global }
+    }
+
+    /// A scheduler with an explicit lane count (tests and benches pin
+    /// concurrency without touching the environment). `1` is the
+    /// sequential schedule: every rank closure runs inline, in rank order.
+    pub fn with_threads(threads: usize) -> Self {
+        RankScheduler { pool: PoolRef::Owned(ThreadPool::new(threads)) }
+    }
+
+    /// The sequential reference schedule (`with_threads(1)`).
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Execution lanes this scheduler fans ranks across.
+    pub fn threads(&self) -> usize {
+        match &self.pool {
+            PoolRef::Global => ThreadPool::global().threads(),
+            PoolRef::Owned(p) => p.threads(),
+        }
+    }
+
+    fn pool(&self) -> &ThreadPool {
+        match &self.pool {
+            PoolRef::Global => ThreadPool::global(),
+            PoolRef::Owned(p) => p,
+        }
+    }
+
+    /// Run one compute phase: `f(ctx, state)` once per rank, concurrently,
+    /// with `states[r]` the rank-private state. Blocks until every rank
+    /// finished, then merges clocks and span logs deterministically.
+    ///
+    /// `f` must not touch the communicator (phases are pure compute;
+    /// collectives go between phases) and must be deterministic per rank —
+    /// everything else about thread interleaving is absorbed by the merge.
+    pub fn compute_phase<S, F>(&self, comm: &mut Comm, states: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut RankCtx, &mut S) + Sync,
+    {
+        let p = comm.size();
+        assert_eq!(states.len(), p, "one state per rank");
+        let starts: Vec<SimTime> = (0..p).map(|r| comm.now(r)).collect();
+        // Rank-indexed outcome table: (elapsed virtual time, span log).
+        let mut outs: Vec<(SimTime, Vec<RankEvent>)> = Vec::new();
+        outs.resize_with(p, || (SimTime::ZERO, Vec::new()));
+        // Chunk ranks into at most 64 pool tasks; the chunking affects
+        // only load balance, never results (the table is positional).
+        let chunk = p.div_ceil(64).max(1);
+        self.pool().scope(|s| {
+            for ((base, st_chunk), out_chunk) in states
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, c)| (ci * chunk, c))
+                .zip(outs.chunks_mut(chunk))
+            {
+                let f = &f;
+                let starts = &starts;
+                s.spawn(move || {
+                    for (k, (state, out)) in
+                        st_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                    {
+                        let rank = base + k;
+                        let mut ctx = RankCtx {
+                            rank,
+                            start: starts[rank],
+                            now: starts[rank],
+                            events: Vec::new(),
+                        };
+                        f(&mut ctx, state);
+                        *out = (ctx.now - ctx.start, std::mem::take(&mut ctx.events));
+                    }
+                });
+            }
+        });
+        // Merge step 1: clocks, in rank order — identical to the
+        // sequential scheduler's charging order.
+        for (r, (elapsed, _)) in outs.iter().enumerate() {
+            comm.advance(r, *elapsed);
+        }
+        // Merge step 2: span logs, by (virtual start, rank, sequence).
+        if let Some(tel) = comm.telemetry.as_ref() {
+            let mut merged: Vec<(usize, RankEvent)> = Vec::new();
+            for (r, (_, events)) in outs.into_iter().enumerate() {
+                merged.extend(events.into_iter().map(|e| (r, e)));
+            }
+            merged.sort_by(|a, b| {
+                a.1.start.cmp(&b.1.start).then(a.0.cmp(&b.0))
+            });
+            for (r, e) in merged {
+                tel.collector.complete(tel.tracks[r], e.name, e.cat, e.start, e.end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use exa_telemetry::TelemetryCollector;
+
+    fn us(x: f64) -> SimTime {
+        SimTime::from_secs(x * 1e-6)
+    }
+
+    /// An unbalanced two-phase workload with telemetry and a collective
+    /// between the phases.
+    fn run(threads: usize, ranks: usize) -> (Vec<SimTime>, String, u64) {
+        let sched = RankScheduler::with_threads(threads);
+        let collector = TelemetryCollector::shared();
+        let mut comm = Comm::new(ranks, Network::from_machine(&exa_machine::MachineModel::frontier()));
+        comm.attach_telemetry(&collector, "world");
+        let mut sums = vec![0.0f64; ranks];
+        sched.compute_phase(&mut comm, &mut sums, |ctx, sum| {
+            let r = ctx.rank();
+            for i in 0..(r + 1) * 50 {
+                *sum += ((r * 1000 + i) as f64).sqrt();
+            }
+            ctx.span("stretch", SpanCat::Kernel, us((r + 1) as f64));
+            ctx.span("relax", SpanCat::Kernel, us(0.5));
+        });
+        comm.allreduce(8);
+        sched.compute_phase(&mut comm, &mut sums, |ctx, sum| {
+            *sum *= 1.5;
+            ctx.span("scale", SpanCat::Kernel, us(2.0));
+        });
+        comm.absorb_telemetry();
+        let clocks: Vec<SimTime> = (0..ranks).map(|r| comm.now(r)).collect();
+        let digest = exa_telemetry::digest64(&format!("{sums:?}"));
+        (clocks, collector.chrome_trace(), u64::from_str_radix(&digest, 16).unwrap())
+    }
+
+    #[test]
+    fn parallel_schedule_is_bit_identical_to_sequential() {
+        let (c1, t1, d1) = run(1, 9);
+        for threads in [2, 4] {
+            let (cn, tn, dn) = run(threads, 9);
+            assert_eq!(c1, cn, "clocks differ at {threads} threads");
+            assert_eq!(t1, tn, "chrome trace differs at {threads} threads");
+            assert_eq!(d1, dn, "state digest differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn phase_advances_each_rank_by_its_own_elapsed_time() {
+        let sched = RankScheduler::with_threads(3);
+        let mut comm = Comm::new(4, Network::from_machine(&exa_machine::MachineModel::frontier()));
+        let mut states = vec![(); 4];
+        sched.compute_phase(&mut comm, &mut states, |ctx, _| {
+            ctx.advance(us((ctx.rank() + 1) as f64));
+        });
+        for r in 0..4 {
+            assert_eq!(comm.now(r), us((r + 1) as f64));
+        }
+        assert_eq!(comm.elapsed(), us(4.0));
+    }
+
+    #[test]
+    fn merged_span_log_is_time_then_rank_ordered() {
+        let sched = RankScheduler::new();
+        let collector = TelemetryCollector::shared();
+        let mut comm = Comm::new(3, Network::from_machine(&exa_machine::MachineModel::summit()));
+        comm.attach_telemetry(&collector, "w");
+        let mut states = vec![(); 3];
+        sched.compute_phase(&mut comm, &mut states, |ctx, _| {
+            ctx.span("a", SpanCat::Kernel, us(1.0));
+            ctx.span("b", SpanCat::Kernel, us(1.0));
+        });
+        let snap = collector.snapshot();
+        assert_eq!(snap.spans_total, 6);
+        exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
+    }
+}

@@ -390,7 +390,7 @@ impl ShocBenchmark for Reduction {
         let e0 = s.record_event();
         let buf_ref = &buf;
         s.launch(&profile, || {
-            sum = exec::par_reduce(n, 0.0f64, |i| buf_ref.as_slice()[i], |a, b| a + b);
+            sum = exec::par_sum_f64(buf_ref.as_slice());
         });
         let e1 = s.record_event();
         s.download_modeled(8);

@@ -1,0 +1,91 @@
+//! Property: telemetry output is independent of *which thread* emits and
+//! of how concurrent emitters interleave.
+//!
+//! The parallel rank scheduler emits spans for many ranks from many pool
+//! workers. The contract that makes that safe is: per-track span order is
+//! emission order, tracks appear in registration order, and every export
+//! (Chrome trace, snapshot) orders its output by (virtual time, track) —
+//! never by wall-clock arrival. So K threads emitting K disjoint tracks
+//! must produce byte-identical artifacts to the same spans emitted
+//! sequentially, for every interleaving the OS happens to pick.
+
+use exa_machine::SimTime;
+use exa_telemetry::{SpanCat, TelemetryCollector, TrackKind};
+use std::sync::{Arc, Barrier};
+
+const TRACKS: usize = 6;
+const SPANS_PER_TRACK: usize = 40;
+
+fn us(x: f64) -> SimTime {
+    SimTime::from_secs(x * 1e-6)
+}
+
+/// The spans track `t` emits, in its fixed per-track order.
+fn track_spans(t: usize) -> Vec<(&'static str, SpanCat, SimTime, SimTime)> {
+    let names = ["advance", "halo", "pack", "solve"];
+    (0..SPANS_PER_TRACK)
+        .map(|i| {
+            let start = us((i * TRACKS + t) as f64);
+            let cat = if i % 5 == 0 { SpanCat::Collective } else { SpanCat::Kernel };
+            (names[(t + i) % names.len()], cat, start, start + us(0.75))
+        })
+        .collect()
+}
+
+fn register(collector: &TelemetryCollector) -> Vec<exa_telemetry::TrackId> {
+    (0..TRACKS)
+        .map(|t| collector.track(&format!("rank{t}"), TrackKind::CommRank))
+        .collect()
+}
+
+/// Reference artifacts: every track emitted sequentially.
+fn sequential() -> (String, String) {
+    let collector = TelemetryCollector::new();
+    let ids = register(&collector);
+    for (t, id) in ids.iter().enumerate() {
+        for (name, cat, start, end) in track_spans(t) {
+            collector.complete(*id, name, cat, start, end);
+        }
+    }
+    (collector.chrome_trace(), collector.snapshot().to_json())
+}
+
+/// Concurrent emission with a start barrier and a round-dependent stagger
+/// so successive rounds exercise different interleavings.
+fn concurrent(round: usize) -> (String, String) {
+    let collector = TelemetryCollector::shared();
+    let ids = register(&collector);
+    let barrier = Arc::new(Barrier::new(TRACKS));
+    let handles: Vec<_> = ids
+        .into_iter()
+        .enumerate()
+        .map(|(t, id)| {
+            let collector = Arc::clone(&collector);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for (i, (name, cat, start, end)) in track_spans(t).into_iter().enumerate() {
+                    if (i + t + round) % 3 == 0 {
+                        std::thread::yield_now();
+                    }
+                    collector.complete(id, name, cat, start, end);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (collector.chrome_trace(), collector.snapshot().to_json())
+}
+
+#[test]
+fn concurrent_emission_is_order_independent() {
+    let (ref_trace, ref_snap) = sequential();
+    exa_telemetry::validate_chrome_trace(&ref_trace).expect("reference trace is valid");
+    for round in 0..8 {
+        let (trace, snap) = concurrent(round);
+        assert_eq!(trace, ref_trace, "chrome trace depends on interleaving (round {round})");
+        assert_eq!(snap, ref_snap, "snapshot depends on interleaving (round {round})");
+    }
+}

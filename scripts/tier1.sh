@@ -14,21 +14,31 @@
 #   5. overlap bench: the `comm_overlap` bench gates >=1.3x on its own
 #      comm-bound configuration and bit-identical FFT output, then this
 #      script re-checks the written BENCH_comm_overlap.json schema
-#      (non-empty, speedup >= 1.0, overlap efficiency in [0, 1]).
+#      (non-empty, speedup >= 1.0, overlap efficiency in [0, 1]);
+#   6. parallel substrate: the full test suite re-runs under EXA_THREADS=1
+#      and EXA_THREADS=4 (the scheduler's determinism contract says the
+#      results cannot differ), and the `sim_throughput` bench gates >=4x
+#      on the 256-rank executed Pele step plus the executed 1024-rank
+#      distributed FFT inside its wall budget; this script then
+#      schema-checks BENCH_sim_throughput.json.
 #
 # Any step failing fails the flow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+for threads in 1 4; do
+    EXA_THREADS=$threads cargo test -q
+done
 cargo run --release -q -p exa-bench --bin profile_export
 cargo run --release -q -p exa-bench --bin fom_ledger
 cargo bench -q -p exa-bench --bench comm_overlap
+cargo bench -q -p exa-bench --bench sim_throughput
 
 # Belt-and-braces: the gates above already validated the artifacts, but make
 # absence-of-output a hard failure too.
-for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json BENCH_comm_overlap.json; do
+for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json BENCH_comm_overlap.json \
+         BENCH_sim_throughput.json; do
     [ -s "$f" ] || { echo "tier1: missing artifact $f" >&2; exit 1; }
 done
 
@@ -52,4 +62,21 @@ done
 digests=$(grep -c '"snapshot_digest"' FOM_LEDGER.json)
 [ "$digests" -ge 8 ] || { echo "tier1: FOM_LEDGER.json has only $digests digests" >&2; exit 1; }
 
-echo "tier1: build + tests + telemetry export + fom ledger + overlap bench all green"
+# Substrate-bench schema spot-check: the bench gates itself; re-assert the
+# record shows the required speedup, an executed (not costed) FFT milestone
+# inside budget, and bit-identical multi-threaded output.
+sim_speedup=$(awk -F'[:,]' '/"speedup_vs_gmres":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_sim_throughput.json)
+awk -v s="$sim_speedup" 'BEGIN { exit !(s >= 4.0) }' \
+    || { echo "tier1: substrate speedup $sim_speedup < 4.0" >&2; exit 1; }
+fft_wall=$(awk -F'[:,]' '/"wall_s":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_sim_throughput.json)
+fft_budget=$(awk -F'[:,]' '/"budget_s":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_sim_throughput.json)
+awk -v w="$fft_wall" -v b="$fft_budget" 'BEGIN { exit !(w > 0.0 && w <= b) }' \
+    || { echo "tier1: executed FFT wall $fft_wall outside budget $fft_budget" >&2; exit 1; }
+grep -q '"executed": true' BENCH_sim_throughput.json \
+    || { echo "tier1: FFT milestone is not executed" >&2; exit 1; }
+bits=$(grep -c '"bit_identical": true' BENCH_sim_throughput.json)
+[ "$bits" -ge 2 ] || { echo "tier1: substrate output is not bit-identical across threads" >&2; exit 1; }
+grep -q '"pass": true' BENCH_sim_throughput.json \
+    || { echo "tier1: BENCH_sim_throughput.json did not pass its own gate" >&2; exit 1; }
+
+echo "tier1: build + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches all green"

@@ -29,3 +29,4 @@ pub use exa_machine as machine;
 pub use exa_mpi as mpi;
 pub use exa_shoc as shoc;
 pub use exa_telemetry as telemetry;
+pub use workpool;

@@ -1,0 +1,473 @@
+//! # workpool — vendored work-stealing thread pool
+//!
+//! A minimal, dependency-free stand-in for the slice of `rayon` this
+//! repository needs: **persistent workers** (spawned once, parked when
+//! idle), **chunked work-stealing deques** (idle workers steal *half* of a
+//! victim's queue, amortizing steal traffic for fine-grained task floods),
+//! and **scoped spawn** (borrow stack data in tasks; the scope call blocks
+//! until every task completed, propagating panics).
+//!
+//! Design points that matter for the simulator:
+//!
+//! * **The caller helps.** While a [`ThreadPool::scope`] waits for its
+//!   tasks it executes queued jobs itself. This makes nested scopes
+//!   deadlock-free on pools of any size (including zero workers) and keeps
+//!   the calling core busy instead of parked.
+//! * **One-thread pools are sequential.** `ThreadPool::new(1)` spawns no
+//!   worker threads at all: every job runs inline on the calling thread,
+//!   in spawn order. `EXA_THREADS=1` therefore *is* the sequential
+//!   schedule, with zero synchronization noise.
+//! * **Sizing is an env contract.** [`default_threads`] resolves
+//!   `EXA_THREADS` (0 ⇒ auto-detect), then the legacy `EXA_NUM_THREADS`,
+//!   then `std::thread::available_parallelism()`. The global pool and
+//!   `exa-hal::exec::num_threads()` both use it, so one knob pins the
+//!   whole substrate.
+//!
+//! Determinism is *not* the pool's job — schedulers built on top (the
+//! exa-mpi rank scheduler, `exa-hal::exec`) get bit-identical results by
+//! making their *decomposition and merge order* independent of thread
+//! count, then letting this pool execute the pieces in any interleaving.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Resolve the substrate-wide thread count: `EXA_THREADS` (0 ⇒ auto),
+/// else `EXA_NUM_THREADS` (same convention), else the machine's available
+/// parallelism. Read once per process and cached.
+pub fn default_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for var in ["EXA_THREADS", "EXA_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    return if n == 0 { auto() } else { n };
+                }
+            }
+        }
+        auto()
+    })
+}
+
+/// Shared pool state: one chunked deque per worker plus the parking lot.
+struct Shared {
+    /// Per-worker job queues. External submissions round-robin across
+    /// them; workers pop their own queue FIFO and steal half of a
+    /// victim's queue when empty.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs currently enqueued (incremented before push, decremented on
+    /// pop) — the workers' park/unpark condition.
+    pending: AtomicUsize,
+    /// Round-robin cursor for external submission.
+    rr: AtomicUsize,
+    /// Set once on drop; workers exit their loop.
+    shutdown: AtomicBool,
+    /// Parking lot for idle workers.
+    park_mx: Mutex<()>,
+    park_cv: Condvar,
+}
+
+impl Shared {
+    /// Pop one job: own queue first (FIFO), then steal **half** of the
+    /// first non-empty victim queue, keeping one job to run and moving
+    /// the rest onto `home`'s queue. `home == None` (scope helpers,
+    /// external threads) steals a single job without relocating any.
+    fn find_job(&self, home: Option<usize>) -> Option<Job> {
+        let nq = self.queues.len();
+        if nq == 0 {
+            return None;
+        }
+        if let Some(h) = home {
+            if let Some(job) = self.queues[h].lock().expect("workpool queue").pop_front() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(job);
+            }
+        }
+        let start = home.map(|h| h + 1).unwrap_or(0);
+        for k in 0..nq {
+            let v = (start + k) % nq;
+            if Some(v) == home {
+                continue;
+            }
+            let mut q = self.queues[v].lock().expect("workpool queue");
+            let len = q.len();
+            if len == 0 {
+                continue;
+            }
+            let take = if home.is_some() { len.div_ceil(2) } else { 1 };
+            let mut grabbed: VecDeque<Job> = q.drain(..take).collect();
+            drop(q);
+            let job = grabbed.pop_front().expect("stole at least one job");
+            if let Some(h) = home {
+                if !grabbed.is_empty() {
+                    self.queues[h].lock().expect("workpool queue").extend(grabbed);
+                }
+            }
+            self.pending.fetch_sub(1, Ordering::Release);
+            return Some(job);
+        }
+        None
+    }
+
+    /// Enqueue one job onto a worker queue (round-robin) and wake a
+    /// parked worker. Only called when the pool has workers.
+    fn inject(&self, job: Job) {
+        let nq = self.queues.len();
+        debug_assert!(nq > 0, "inject on a zero-worker pool");
+        self.pending.fetch_add(1, Ordering::Release);
+        let slot = self.rr.fetch_add(1, Ordering::Relaxed) % nq;
+        self.queues[slot].lock().expect("workpool queue").push_back(job);
+        // Taking the parking lock here (and dropping it immediately)
+        // guarantees no worker is between its "pending == 0" check and
+        // its wait when we notify.
+        drop(self.park_mx.lock().expect("workpool park"));
+        self.park_cv.notify_all();
+    }
+
+    fn worker_loop(self: &Arc<Self>, home: usize) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(job) = self.find_job(Some(home)) {
+                job();
+                continue;
+            }
+            let guard = self.park_mx.lock().expect("workpool park");
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if self.pending.load(Ordering::Acquire) > 0 {
+                continue;
+            }
+            // Bounded wait: correctness never depends on the timeout (the
+            // inject path notifies under the lock), it only bounds the
+            // cost of a hypothetical missed wakeup.
+            let _ = self
+                .park_cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .expect("workpool park");
+        }
+    }
+}
+
+/// Completion latch for one [`ThreadPool::scope`]: counts outstanding
+/// tasks and stores the first captured panic payload.
+struct Latch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    mx: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            remaining: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            mx: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self) {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "latch underflow");
+        if prev == 1 {
+            drop(self.mx.lock().expect("workpool latch"));
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A persistent work-stealing pool. Cheap to share (`&'static` via
+/// [`ThreadPool::global`], or owned per scheduler); workers are joined on
+/// drop.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    /// Helper queue used when the pool has zero workers (`threads == 1`).
+    inline: Mutex<VecDeque<Job>>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+impl ThreadPool {
+    /// A pool with `threads` total execution lanes: `threads - 1`
+    /// persistent workers plus the calling thread (which always helps
+    /// while waiting on a scope). `threads <= 1` spawns no workers — every
+    /// job runs inline on the caller, in spawn order.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let nworkers = threads - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            park_mx: Mutex::new(()),
+            park_cv: Condvar::new(),
+        });
+        let workers = (0..nworkers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{w}"))
+                    .spawn(move || shared.worker_loop(w))
+                    .expect("spawn workpool worker")
+            })
+            .collect();
+        ThreadPool { shared, inline: Mutex::new(VecDeque::new()), threads, workers }
+    }
+
+    /// The process-wide pool, sized by [`default_threads`].
+    pub fn global() -> &'static ThreadPool {
+        static POOL: OnceLock<ThreadPool> = OnceLock::new();
+        POOL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
+
+    /// Total execution lanes (workers + the helping caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn borrowing tasks. Blocks
+    /// until every spawned task finished — even if `f` or a task panics —
+    /// then resumes the first captured panic, so borrowed data is never
+    /// observable by a live task after `scope` returns.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let latch = Arc::new(Latch::new());
+        let scope = Scope { pool: self, latch: Arc::clone(&latch), env: PhantomData };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help-while-waiting: drain our own inline queue first (the only
+        // queue on 1-thread pools), then steal from workers, then park
+        // briefly on the latch.
+        loop {
+            if latch.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let inline_job = self.inline.lock().expect("workpool inline").pop_front();
+            if let Some(job) = inline_job {
+                self.shared.pending.fetch_sub(1, Ordering::Release);
+                job();
+                continue;
+            }
+            if let Some(job) = self.shared.find_job(None) {
+                job();
+                continue;
+            }
+            let guard = latch.mx.lock().expect("workpool latch");
+            if latch.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let _ = latch
+                .cv
+                .wait_timeout(guard, Duration::from_micros(200))
+                .expect("workpool latch");
+        }
+        if let Some(p) = latch.panic.lock().expect("workpool panic slot").take() {
+            panic::resume_unwind(p);
+        }
+        match result {
+            Ok(r) => r,
+            Err(p) => panic::resume_unwind(p),
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        if self.shared.queues.is_empty() {
+            self.shared.pending.fetch_add(1, Ordering::Release);
+            self.inline.lock().expect("workpool inline").push_back(job);
+        } else {
+            self.shared.inject(job);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(self.shared.park_mx.lock().expect("workpool park"));
+        self.shared.park_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn handle passed to the [`ThreadPool::scope`] closure. The `'env`
+/// lifetime is invariant (same trick as `std::thread::Scope`): tasks may
+/// borrow anything that outlives the `scope` call.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    latch: Arc<Latch>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Spawn a task onto the pool. Panics inside the task are captured
+    /// and re-thrown by the enclosing `scope` call after all tasks finish.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.latch.remaining.fetch_add(1, Ordering::AcqRel);
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = latch.panic.lock().expect("workpool panic slot");
+                slot.get_or_insert(p);
+            }
+            latch.complete();
+        });
+        // SAFETY: `scope` blocks until `latch.remaining == 0`, i.e. until
+        // this closure has run to completion, so the borrowed environment
+        // ('env) strictly outlives the job. Erasing the lifetime to
+        // 'static is the same contract std::thread::scope relies on.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.pool.submit(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_tasks_any_size() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let hits = AtomicU64::new(0);
+            pool.scope(|s| {
+                for i in 0..100u64 {
+                    let hits = &hits;
+                    s.spawn(move || {
+                        hits.fetch_add(i + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 5050, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn tasks_borrow_and_mutate_stack_data() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u32; 64];
+        pool.scope(|s| {
+            for chunk in data.chunks_mut(7) {
+                s.spawn(move || {
+                    for x in chunk {
+                        *x += 2;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        for threads in [1, 2] {
+            let pool = ThreadPool::new(threads);
+            let total = AtomicU64::new(0);
+            pool.scope(|s| {
+                for _ in 0..4 {
+                    let total = &total;
+                    let pool_ref = ThreadPool::global();
+                    s.spawn(move || {
+                        pool_ref.scope(|inner| {
+                            for _ in 0..4 {
+                                inner.spawn(|| {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 16, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline_in_spawn_order() {
+        let pool = ThreadPool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..10 {
+                let order = &order;
+                s.spawn(move || order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(order.into_inner().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let r = pool.scope(|s| {
+            s.spawn(|| {});
+            42
+        });
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicU64::new(0));
+        let done2 = Arc::clone(&done);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(move || {
+                    done2.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the scope");
+        assert_eq!(done.load(Ordering::Relaxed), 1, "sibling task still ran");
+    }
+
+    #[test]
+    fn global_pool_matches_env_contract() {
+        let p = ThreadPool::global();
+        assert_eq!(p.threads(), default_threads());
+        assert!(p.threads() >= 1);
+    }
+
+    #[test]
+    fn many_rounds_reuse_persistent_workers() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    let hits = &hits;
+                    s.spawn(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 1600);
+    }
+}
