@@ -318,7 +318,20 @@ pub fn chemistry_campaign(
     kernel: ChemKernel,
     cfg: &ChemCampaign,
 ) -> ChemCampaignResult {
-    let collector: Arc<TelemetryCollector> = TelemetryCollector::shared();
+    chemistry_campaign_observed(sched, kernel, cfg, &TelemetryCollector::shared())
+}
+
+/// [`chemistry_campaign`] with an externally owned collector — the
+/// profiling entry point (`obs_export`) passes the collector it also lands
+/// scheduler/pool wall-clock observations into, so virtual rank tracks and
+/// real worker tracks end up in one trace. The campaign itself records
+/// exactly what [`chemistry_campaign`] records.
+pub fn chemistry_campaign_observed(
+    sched: &RankScheduler,
+    kernel: ChemKernel,
+    cfg: &ChemCampaign,
+    collector: &Arc<TelemetryCollector>,
+) -> ChemCampaignResult {
     let mut comm = Comm::new(cfg.ranks, Network::from_machine(&exa_machine::MachineModel::frontier()));
     comm.attach_telemetry(&collector, "pele_chem");
     let mech = Mechanism::ignition();

@@ -5,14 +5,18 @@
 //! graph replays record a single static-named span. This bench drives the
 //! E3SM-shaped workload — an 8-kernel captured graph replayed in a loop —
 //! with and without an attached collector and asserts the enabled/disabled
-//! wall-clock ratio stays under 1.05 (5% overhead).
+//! wall-clock ratio stays under 1.05 (5% overhead). The enabled side runs
+//! the *full* leave-it-on configuration: collector attached, a
+//! [`exa_hal::exec::observe_global_pool`] observer on the worker pool, and
+//! a per-rep histogram record; both sides include a pool fan-out so the
+//! observer callbacks are actually exercised.
 //!
 //! Results land in `BENCH_telemetry_overhead.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use exa_bench::write_root_json;
 use exa_hal::{
-    ApiSurface, DType, Device, KernelProfile, LaunchConfig, Stream, TelemetryCollector,
+    exec, ApiSurface, DType, Device, KernelProfile, LaunchConfig, Stream, TelemetryCollector,
 };
 use exa_machine::GpuModel;
 use serde::Serialize;
@@ -21,6 +25,9 @@ use std::time::Instant;
 
 const N_KERNELS: usize = 8;
 const REPLAYS_PER_REP: usize = 512;
+/// Elements in the per-rep pool fan-out (4x the parallel cutoff, so the
+/// rep exercises real worker-pool traffic on both sides of the gate).
+const POOL_FILL_N: usize = 1 << 16;
 const MAX_RATIO: f64 = 1.05;
 const ATTEMPTS: usize = 3;
 /// A long-running sentinel drains the collector (snapshot + critical path
@@ -69,14 +76,20 @@ fn time_median<F: FnMut()>(warmup: usize, reps: usize, mut f: F) -> f64 {
 }
 
 /// One measurement pass: (disabled_s, enabled_s) medians for a rep of
-/// `REPLAYS_PER_REP` graph replays plus a synchronize.
+/// `REPLAYS_PER_REP` graph replays, a pool fan-out, and a synchronize.
+/// Both sides do identical work; the enabled side additionally pays for
+/// the attached collector, a pool observer on the global pool, and a
+/// per-rep histogram record — the full leave-it-on configuration.
 fn measure_once() -> (f64, f64) {
+    let mut fill = vec![0.0f64; POOL_FILL_N];
+
     let mut s_off = stream();
     let graph_off = capture_on(&mut s_off);
     let off = time_median(3, 15, || {
         for _ in 0..REPLAYS_PER_REP {
             s_off.replay(black_box(&graph_off));
         }
+        exec::par_fill(black_box(&mut fill), |i| i as f64);
         black_box(s_off.synchronize());
     });
 
@@ -84,15 +97,21 @@ fn measure_once() -> (f64, f64) {
     let mut s_on = stream();
     let graph_on = capture_on(&mut s_on);
     s_on.attach_telemetry(&collector, "bench/queue");
+    let pool_obs = exec::observe_global_pool();
     let on = time_median(3, 15, || {
+        let t0 = Instant::now();
         for _ in 0..REPLAYS_PER_REP {
             s_on.replay(black_box(&graph_on));
         }
+        exec::par_fill(black_box(&mut fill), |i| i as f64);
         black_box(s_on.synchronize());
+        collector.metrics(|m| m.hist_record("bench.rep_s", t0.elapsed().as_secs_f64()));
         // Keep the timeline bounded across reps, as a long-running tool
         // would after draining an export.
         collector.clear();
     });
+    exec::unobserve_global_pool();
+    black_box(pool_obs.tasks());
     (off, on)
 }
 

@@ -57,6 +57,23 @@ fn pool() -> &'static ThreadPool {
     ThreadPool::global()
 }
 
+/// Attach a fresh [`PoolTelemetry`](exa_telemetry::PoolTelemetry) observer
+/// to the process-wide pool and return it. Every subsequent `par_*` fan-out
+/// (from any thread) is recorded — per-lane task intervals, steal traffic,
+/// inject backlog — until [`unobserve_global_pool`] detaches it. The
+/// accumulated activity only reaches a collector when the caller `land`s
+/// it, so simulation outputs stay byte-identical while observed.
+pub fn observe_global_pool() -> std::sync::Arc<exa_telemetry::PoolTelemetry> {
+    let obs = std::sync::Arc::new(exa_telemetry::PoolTelemetry::new());
+    ThreadPool::global().set_observer(Some(obs.clone()));
+    obs
+}
+
+/// Detach whatever observer [`observe_global_pool`] attached.
+pub fn unobserve_global_pool() {
+    ThreadPool::global().set_observer(None);
+}
+
 /// Upper bound on how many blocks one helper call decomposes into. A
 /// constant (rather than `num_threads()`) so the decomposition — and with
 /// it every floating-point fold order — is identical for any thread
@@ -391,6 +408,27 @@ mod tests {
         par_map_inplace(&mut small, |i, x| x * 2.0 + i as f64);
         assert_eq!(&big[..100], &small[..]);
         assert_eq!(big[n - 1], (n - 1) as f64 * 3.0);
+    }
+
+    #[test]
+    fn global_pool_observer_sees_par_fanout_without_touching_results() {
+        let obs = observe_global_pool();
+        let n = PAR_THRESHOLD * 4;
+        let mut v = vec![0.0f64; n];
+        par_fill(&mut v, |i| i as f64);
+        let sum = par_sum_f64(&v);
+        unobserve_global_pool();
+        assert_eq!(sum, (0..n).map(|i| i as f64).sum::<f64>());
+        assert!(obs.tasks() > 0, "fan-out above threshold must be observed");
+        assert!(obs.busy_ns() > 0);
+        // Landing into a private collector yields worker tracks whose busy
+        // time matches the observer's accumulator.
+        let collector = exa_telemetry::TelemetryCollector::new();
+        let busy = obs.land(&collector, "exec");
+        let snap = collector.snapshot();
+        let track_busy: f64 =
+            snap.tracks.iter().filter(|t| t.kind == "worker").map(|t| t.busy_s).sum();
+        assert!((track_busy - busy as f64 / 1e9).abs() < 1e-9);
     }
 
     #[test]

@@ -22,8 +22,10 @@
 
 use crate::comm::Comm;
 use exa_machine::SimTime;
-use exa_telemetry::SpanCat;
+use exa_telemetry::{PoolTelemetry, SpanCat, TelemetryCollector, TrackKind};
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use workpool::ThreadPool;
 
 /// One span recorded by a rank inside a compute phase, in rank-local
@@ -80,11 +82,62 @@ enum PoolRef {
     Owned(ThreadPool),
 }
 
+/// One wall-clock scheduler phase interval, pending land.
+#[derive(Debug, Clone, Copy)]
+struct PhaseMark {
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// Observer state attached by [`RankScheduler::attach_observer`]: the pool
+/// observer accumulating per-lane activity, plus scheduler-level phase
+/// marks (fan-out / merge / idle) in pool-clock nanoseconds. Everything is
+/// accumulated locally and only reaches the collector on
+/// [`RankScheduler::land_observer`], keeping unobserved runs and observed
+/// runs byte-identical until the land.
+#[derive(Debug)]
+struct SchedObserver {
+    tel: Arc<PoolTelemetry>,
+    collector: Arc<TelemetryCollector>,
+    namespace: String,
+    marks: Mutex<Vec<PhaseMark>>,
+    fanout_wall_ns: AtomicU64,
+    phases: AtomicU64,
+    last_end_ns: AtomicU64,
+}
+
+/// What [`RankScheduler::land_observer`] landed — the inputs of the
+/// substrate occupancy gate.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedLanding {
+    /// Total busy nanoseconds across every pool lane.
+    pub busy_ns: u64,
+    /// Wall nanoseconds spent inside fan-out windows (ranks in flight).
+    pub fanout_wall_ns: u64,
+    /// Execution lanes the scheduler fanned ranks across.
+    pub lanes: usize,
+    /// Compute phases observed.
+    pub phases: u64,
+}
+
+impl SchedLanding {
+    /// Fraction of the fan-out window × lanes that lanes spent busy —
+    /// 1.0 is a perfectly packed pool.
+    pub fn occupancy(&self) -> f64 {
+        if self.fanout_wall_ns == 0 || self.lanes == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (self.fanout_wall_ns as f64 * self.lanes as f64)
+    }
+}
+
 /// Executes per-rank compute closures concurrently with the deterministic
 /// virtual-time merge described in the module docs.
 #[derive(Debug)]
 pub struct RankScheduler {
     pool: PoolRef,
+    observer: Option<SchedObserver>,
 }
 
 impl Default for RankScheduler {
@@ -96,14 +149,14 @@ impl Default for RankScheduler {
 impl RankScheduler {
     /// A scheduler on the process-wide pool (`EXA_THREADS`, 0 ⇒ auto).
     pub fn new() -> Self {
-        RankScheduler { pool: PoolRef::Global }
+        RankScheduler { pool: PoolRef::Global, observer: None }
     }
 
     /// A scheduler with an explicit lane count (tests and benches pin
     /// concurrency without touching the environment). `1` is the
     /// sequential schedule: every rank closure runs inline, in rank order.
     pub fn with_threads(threads: usize) -> Self {
-        RankScheduler { pool: PoolRef::Owned(ThreadPool::new(threads)) }
+        RankScheduler { pool: PoolRef::Owned(ThreadPool::new(threads)), observer: None }
     }
 
     /// The sequential reference schedule (`with_threads(1)`).
@@ -124,6 +177,65 @@ impl RankScheduler {
             PoolRef::Global => ThreadPool::global(),
             PoolRef::Owned(p) => p,
         }
+    }
+
+    /// Attach a wall-clock observer: a [`PoolTelemetry`] on this
+    /// scheduler's pool (the *global* pool for [`RankScheduler::new`] —
+    /// fan-outs from other schedulers on the same pool are observed too)
+    /// plus scheduler phase tracking (fan-out / merge / idle windows).
+    /// Nothing reaches `collector` until [`RankScheduler::land_observer`];
+    /// until then simulation outputs remain byte-identical to an
+    /// unobserved run. Returns the pool observer for direct inspection.
+    pub fn attach_observer(
+        &mut self,
+        collector: &Arc<TelemetryCollector>,
+        namespace: &str,
+    ) -> Arc<PoolTelemetry> {
+        let tel = Arc::new(PoolTelemetry::new());
+        self.pool().set_observer(Some(tel.clone()));
+        self.observer = Some(SchedObserver {
+            tel: tel.clone(),
+            collector: Arc::clone(collector),
+            namespace: namespace.to_string(),
+            marks: Mutex::new(Vec::new()),
+            fanout_wall_ns: AtomicU64::new(0),
+            phases: AtomicU64::new(0),
+            last_end_ns: AtomicU64::new(0),
+        });
+        tel
+    }
+
+    /// Detach the observer and land everything it accumulated into the
+    /// collector passed to [`RankScheduler::attach_observer`]: per-lane
+    /// `{ns}/worker*` occupancy tracks, `pool.*` counters and histograms,
+    /// and a `{ns}/scheduler` track of fan-out / merge / idle phase spans.
+    /// Returns the landing summary (`None` when no observer is attached).
+    pub fn land_observer(&mut self) -> Option<SchedLanding> {
+        let obs = self.observer.take()?;
+        self.pool().set_observer(None);
+        let busy_ns = obs.tel.land(&obs.collector, &obs.namespace);
+        let track_name = format!("{}/scheduler", obs.namespace);
+        let track = obs.collector.track(&track_name, TrackKind::Worker);
+        let mut marks = obs.marks.into_inner().expect("scheduler marks");
+        marks.sort_by_key(|m| (m.start_ns, m.end_ns));
+        obs.collector.complete_batch(
+            track,
+            marks.into_iter().map(|m| exa_telemetry::Span {
+                name: Cow::Borrowed(m.name),
+                cat: SpanCat::Phase,
+                start: SimTime::from_secs(m.start_ns as f64 / 1e9),
+                end: SimTime::from_secs(m.end_ns as f64 / 1e9),
+                depth: 0,
+            }),
+        );
+        let phases = obs.phases.load(Ordering::Relaxed);
+        obs.collector.metrics(|m| m.counter_add("sched.phases", phases));
+        Some(SchedLanding {
+            busy_ns,
+            fanout_wall_ns: obs.fanout_wall_ns.load(Ordering::Relaxed),
+            lanes: self.threads(),
+            phases,
+        })
     }
 
     /// Run one compute phase: `f(ctx, state)` once per rank, concurrently,
@@ -147,6 +259,20 @@ impl RankScheduler {
         // Chunk ranks into at most 64 pool tasks; the chunking affects
         // only load balance, never results (the table is positional).
         let chunk = p.div_ceil(64).max(1);
+        // Wall-clock phase marking (observer attached only): the window
+        // from here to the end of the scope is the fan-out (ranks in
+        // flight); the gap since the previous phase ended is idle.
+        let fanout_start = self.observer.as_ref().map(|obs| {
+            let t0 = self.pool().now_ns();
+            let prev = obs.last_end_ns.load(Ordering::Relaxed);
+            if prev > 0 && t0 > prev {
+                obs.marks
+                    .lock()
+                    .expect("scheduler marks")
+                    .push(PhaseMark { name: "idle", start_ns: prev, end_ns: t0 });
+            }
+            t0
+        });
         self.pool().scope(|s| {
             for ((base, st_chunk), out_chunk) in states
                 .chunks_mut(chunk)
@@ -173,6 +299,17 @@ impl RankScheduler {
                 });
             }
         });
+        let merge_start = self.observer.as_ref().map(|obs| {
+            let t1 = self.pool().now_ns();
+            if let Some(t0) = fanout_start {
+                obs.fanout_wall_ns.fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                obs.marks
+                    .lock()
+                    .expect("scheduler marks")
+                    .push(PhaseMark { name: "fanout", start_ns: t0, end_ns: t1 });
+            }
+            t1
+        });
         // Merge step 1: clocks, in rank order — identical to the
         // sequential scheduler's charging order.
         for (r, (elapsed, _)) in outs.iter().enumerate() {
@@ -180,6 +317,15 @@ impl RankScheduler {
         }
         // Merge step 2: span logs, by (virtual start, rank, sequence).
         if let Some(tel) = comm.telemetry.as_ref() {
+            // Rank-compute-time distribution, recorded in rank order from
+            // *virtual* elapsed times — deterministic at any thread count,
+            // so it can feed the registry on every telemetry-attached
+            // phase without breaking cross-thread byte-identity.
+            tel.collector.metrics(|m| {
+                for (elapsed, _) in outs.iter() {
+                    m.hist_record("sched.rank_compute_s", elapsed.secs());
+                }
+            });
             let mut merged: Vec<(usize, RankEvent)> = Vec::new();
             for (r, (_, events)) in outs.into_iter().enumerate() {
                 merged.extend(events.into_iter().map(|e| (r, e)));
@@ -190,6 +336,17 @@ impl RankScheduler {
             for (r, e) in merged {
                 tel.collector.complete(tel.tracks[r], e.name, e.cat, e.start, e.end);
             }
+        }
+        if let Some(obs) = self.observer.as_ref() {
+            let t2 = self.pool().now_ns();
+            if let Some(t1) = merge_start {
+                obs.marks
+                    .lock()
+                    .expect("scheduler marks")
+                    .push(PhaseMark { name: "merge", start_ns: t1, end_ns: t2 });
+            }
+            obs.last_end_ns.store(t2, Ordering::Relaxed);
+            obs.phases.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -254,6 +411,58 @@ mod tests {
             assert_eq!(comm.now(r), us((r + 1) as f64));
         }
         assert_eq!(comm.elapsed(), us(4.0));
+    }
+
+    #[test]
+    fn observer_lands_worker_tracks_phase_spans_and_histograms() {
+        let mut sched = RankScheduler::with_threads(4);
+        let collector = TelemetryCollector::shared();
+        let mut comm = Comm::new(32, Network::from_machine(&exa_machine::MachineModel::frontier()));
+        comm.attach_telemetry(&collector, "world");
+        let obs = sched.attach_observer(&collector, "pool");
+        let mut states = vec![0.0f64; 32];
+        for _ in 0..3 {
+            sched.compute_phase(&mut comm, &mut states, |ctx, s| {
+                for i in 0..4000 {
+                    *s += (i as f64 + ctx.rank() as f64).sqrt();
+                }
+                ctx.span("work", SpanCat::Kernel, us((ctx.rank() + 1) as f64));
+            });
+        }
+        assert!(obs.tasks() > 0, "fan-out tasks observed");
+        let landing = sched.land_observer().expect("observer attached");
+        assert!(landing.busy_ns > 0);
+        assert!(landing.fanout_wall_ns > 0);
+        assert_eq!(landing.phases, 3);
+        assert_eq!(landing.lanes, 4);
+        assert!(landing.occupancy() > 0.0 && landing.occupancy() <= 1.0 + 1e-9);
+        let snap = collector.snapshot();
+        assert!(snap.tracks.iter().any(|t| t.kind == "worker" && t.name.starts_with("pool/")));
+        assert!(snap.tracks.iter().any(|t| t.name == "pool/scheduler"));
+        assert_eq!(snap.counter("sched.phases"), 3);
+        let h = snap.hist("sched.rank_compute_s").expect("rank compute histogram");
+        assert_eq!(h.count(), 96, "32 ranks x 3 phases");
+        assert!(h.p99() >= h.p50());
+        // Wall-clock and virtual tracks coexist in one valid trace.
+        exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
+        assert!(sched.land_observer().is_none(), "second land is a no-op");
+    }
+
+    #[test]
+    fn rank_compute_histogram_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let sched = RankScheduler::with_threads(threads);
+            let collector = TelemetryCollector::shared();
+            let mut comm =
+                Comm::new(16, Network::from_machine(&exa_machine::MachineModel::frontier()));
+            comm.attach_telemetry(&collector, "w");
+            let mut states = vec![(); 16];
+            sched.compute_phase(&mut comm, &mut states, |ctx, _| {
+                ctx.span("k", SpanCat::Kernel, us((ctx.rank() % 5 + 1) as f64));
+            });
+            collector.snapshot().to_json()
+        };
+        assert_eq!(run(1), run(4), "snapshot (incl. histogram) must be byte-identical");
     }
 
     #[test]

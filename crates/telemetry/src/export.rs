@@ -1,10 +1,12 @@
 //! Exporters: Chrome Trace Event JSON (Perfetto / `chrome://tracing`), a
-//! rocprof-style hotspot CSV, and roofline-report JSON.
+//! rocprof-style hotspot CSV, Prometheus text format, collapsed flamegraph
+//! stacks, and roofline-report JSON.
 
+use crate::metrics::TelemetrySnapshot;
 use crate::span::{SpanCat, Timeline};
 use exa_machine::SimTime;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write;
 
 fn push_escaped(out: &mut String, s: &str) {
@@ -111,16 +113,169 @@ pub fn hotspot_csv(timeline: &Timeline) -> String {
     let mut out = String::from("name,category,calls,total_us,share_pct\n");
     for (name, cat, calls, t) in rows {
         let share = if total.is_zero() { 0.0 } else { t / total * 100.0 };
-        writeln!(
-            out,
-            "{},{},{},{:.3},{:.2}",
-            name,
-            cat.label(),
-            calls,
-            t.secs() * 1e6,
-            share
-        )
-        .expect("write to String");
+        csv_field(&mut out, name);
+        writeln!(out, ",{},{},{:.3},{:.2}", cat.label(), calls, t.secs() * 1e6, share)
+            .expect("write to String");
+    }
+    out
+}
+
+/// Append one CSV field, RFC-4180-quoted only when the content demands it
+/// (commas, quotes, or line breaks) so plain names render unchanged.
+fn csv_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Sanitize a dotted metric name into a Prometheus-legal one, prefixed
+/// with the `exa_` namespace: `[a-zA-Z0-9_:]` pass through, everything
+/// else (dots, dashes, slashes, spaces) becomes `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut s = String::with_capacity(name.len() + 4);
+    s.push_str("exa_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            s.push(ch);
+        } else {
+            s.push('_');
+        }
+    }
+    s
+}
+
+fn prom_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        write!(out, "{v}").expect("write to String");
+    }
+}
+
+/// Render a [`TelemetrySnapshot`] in the Prometheus text exposition
+/// format: every counter as `<name>_total`, every gauge as-is, every
+/// accumulated virtual time as `<name>_seconds_total`, and every histogram
+/// as the conventional cumulative `_bucket{le=...}` / `_sum` / `_count`
+/// family. Deterministic: metric families emit in name order (the
+/// registry's `BTreeMap` order).
+pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let family = |out: &mut String, name: &str, kind: &str| {
+        writeln!(out, "# TYPE {name} {kind}").expect("write to String");
+    };
+    family(&mut out, "exa_spans_total", "counter");
+    writeln!(out, "exa_spans_total {}", snapshot.spans_total).expect("write to String");
+    family(&mut out, "exa_wall_seconds", "gauge");
+    out.push_str("exa_wall_seconds ");
+    prom_f64(&mut out, snapshot.wall_s);
+    out.push('\n');
+    for (k, v) in &snapshot.counters {
+        let name = format!("{}_total", prometheus_name(k));
+        family(&mut out, &name, "counter");
+        writeln!(out, "{name} {v}").expect("write to String");
+    }
+    for (k, v) in &snapshot.gauges {
+        let name = prometheus_name(k);
+        family(&mut out, &name, "gauge");
+        out.push_str(&name);
+        out.push(' ');
+        prom_f64(&mut out, *v);
+        out.push('\n');
+    }
+    for (k, v) in &snapshot.times_s {
+        let name = format!("{}_seconds_total", prometheus_name(k));
+        family(&mut out, &name, "counter");
+        out.push_str(&name);
+        out.push(' ');
+        prom_f64(&mut out, *v);
+        out.push('\n');
+    }
+    for (k, h) in &snapshot.hists {
+        let name = prometheus_name(k);
+        family(&mut out, &name, "histogram");
+        let mut cum = 0u64;
+        for (edge, n) in h.buckets() {
+            cum += n;
+            out.push_str(&name);
+            out.push_str("_bucket{le=\"");
+            prom_f64(&mut out, edge);
+            writeln!(out, "\"}} {cum}").expect("write to String");
+        }
+        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count()).expect("write to String");
+        out.push_str(&name);
+        out.push_str("_sum ");
+        prom_f64(&mut out, h.sum());
+        out.push('\n');
+        writeln!(out, "{name}_count {}", h.count()).expect("write to String");
+    }
+    out
+}
+
+/// Render a timeline as collapsed flamegraph stacks (`folded` format, the
+/// input of `flamegraph.pl` and speedscope): one line per unique stack,
+/// `track;outer;inner <self_weight_ns>`, with weights in integer
+/// nanoseconds of *self* time (span duration minus its children). Frames
+/// sanitize `;` and line breaks; zero-self-time lines are dropped; output
+/// is sorted by stack string so equal timelines fold byte-identically.
+pub fn folded_stacks(timeline: &Timeline) -> String {
+    fn frame(name: &str) -> String {
+        name.chars().map(|c| if c == ';' || c == '\n' || c == '\r' { ':' } else { c }).collect()
+    }
+    struct Open {
+        path: String,
+        dur_ns: u64,
+        child_ns: u64,
+    }
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    let flush = |o: Open, weights: &mut BTreeMap<String, u64>| {
+        let self_ns = o.dur_ns.saturating_sub(o.child_ns);
+        if self_ns > 0 {
+            *weights.entry(o.path).or_insert(0) += self_ns;
+        }
+    };
+    for track in timeline.tracks() {
+        let root = frame(&track.name);
+        let mut spans: Vec<_> = track.spans().iter().collect();
+        // Parents sort ahead of the children they contain: earlier start
+        // first, and at an equal start the smaller depth.
+        spans.sort_by(|a, b| {
+            a.start.cmp(&b.start).then(a.depth.cmp(&b.depth)).then(a.name.cmp(&b.name))
+        });
+        let mut stack: Vec<Open> = Vec::new();
+        for span in spans {
+            while stack.len() > span.depth {
+                let top = stack.pop().expect("stack non-empty");
+                flush(top, &mut weights);
+            }
+            let dur_ns = (span.duration().secs() * 1e9).round() as u64;
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            let parent_path =
+                stack.last().map(|o| o.path.as_str()).unwrap_or(root.as_str()).to_string();
+            let path = format!("{parent_path};{}", frame(&span.name));
+            stack.push(Open { path, dur_ns, child_ns: 0 });
+        }
+        while let Some(top) = stack.pop() {
+            flush(top, &mut weights);
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in weights {
+        writeln!(out, "{path} {ns}").expect("write to String");
     }
     out
 }
@@ -240,6 +395,93 @@ mod tests {
         assert!(lines.next().unwrap().starts_with("hot,kernel,3,"));
         assert!(lines.next().unwrap().starts_with("cold,kernel,1,"));
         assert!(!csv.contains("setup"));
+    }
+
+    #[test]
+    fn hotspot_csv_quotes_hostile_names_and_validates() {
+        let mut tl = Timeline::default();
+        let g = tl.track("gpu0", TrackKind::DeviceQueue);
+        tl.complete(g, "axpy, fused \"hot\"", SpanCat::Kernel, s(0.0), s(1.0));
+        tl.complete(g, "plain", SpanCat::Kernel, s(1.0), s(1.5));
+        let csv = hotspot_csv(&tl);
+        assert!(csv.contains("\"axpy, fused \"\"hot\"\"\",kernel,1,"));
+        assert!(csv.contains("\nplain,kernel,1,"), "plain names stay unquoted");
+        let rows = crate::validate::validate_hotspot_csv(&csv).expect("rfc-4180 clean");
+        assert_eq!(rows, 2);
+    }
+
+    #[test]
+    fn prometheus_text_renders_and_validates() {
+        use crate::metrics::MetricsRegistry;
+        let mut tl = Timeline::default();
+        let h = tl.track("host", TrackKind::Host);
+        tl.complete(h, "step", SpanCat::Phase, s(0.0), s(2.0));
+        let mut m = MetricsRegistry::default();
+        m.counter_add("pool.tasks", 7);
+        m.gauge_set("mpi.overlap_efficiency", 0.8);
+        m.time_add("mpi.wait", SimTime::from_secs(0.25));
+        for v in [0.001, 0.002, 0.004, 0.004] {
+            m.hist_record("pool.task_run_s", v);
+        }
+        let snap = TelemetrySnapshot::build(&tl, &m);
+        let text = prometheus_text(&snap);
+        let summary = crate::validate::validate_prometheus(&text).expect("valid exposition");
+        assert!(summary.families >= 5);
+        let doc = crate::validate::parse_prometheus(&text).unwrap();
+        assert_eq!(doc.value("exa_pool_tasks_total"), Some(7.0));
+        assert_eq!(doc.value("exa_mpi_overlap_efficiency"), Some(0.8));
+        assert_eq!(doc.value("exa_mpi_wait_seconds_total"), Some(0.25));
+        assert_eq!(doc.value("exa_pool_task_run_s_count"), Some(4.0));
+        let inf = doc
+            .samples
+            .iter()
+            .find(|sm| {
+                sm.name == "exa_pool_task_run_s_bucket"
+                    && sm.labels.iter().any(|(_, v)| v == "+Inf")
+            })
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 4.0);
+    }
+
+    #[test]
+    fn folded_stacks_charge_self_time_and_validate() {
+        let mut tl = Timeline::default();
+        let h = tl.track("rank0", TrackKind::CommRank);
+        // parent [0, 10µs] with child [2µs, 5µs]: parent self = 7µs.
+        let p = tl.begin(h, "step", SpanCat::Phase, s(0.0));
+        let c = tl.begin(h, "fft;inner", SpanCat::Kernel, s(2e-6));
+        tl.end(c, s(5e-6));
+        tl.end(p, s(10e-6));
+        let folded = folded_stacks(&tl);
+        let lines = crate::validate::validate_folded(&folded).expect("valid folded");
+        assert_eq!(lines, 2);
+        assert!(folded.contains("rank0;step 7000\n"), "{folded}");
+        assert!(folded.contains("rank0;step;fft:inner 3000\n"), "semicolon sanitized: {folded}");
+        // Total weight equals total busy time (nothing lost or doubled).
+        let total: u64 = folded
+            .lines()
+            .filter_map(|l| l.rsplit_once(' ').map(|(_, w)| w.parse::<u64>().unwrap()))
+            .sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn folded_stacks_are_deterministic_and_fold_repeats() {
+        let build = |rev: bool| {
+            let mut tl = Timeline::default();
+            let a = tl.track("w0", TrackKind::Worker);
+            let mut ops = vec![(0.0, 1e-6), (2e-6, 3e-6), (4e-6, 9e-6)];
+            if rev {
+                ops.reverse();
+            }
+            for (s0, s1) in ops {
+                tl.complete(a, "task", SpanCat::Task, s(s0), s(s1));
+            }
+            folded_stacks(&tl)
+        };
+        let fwd = build(false);
+        assert_eq!(fwd, build(true));
+        assert_eq!(fwd, "w0;task 7000\n", "repeated stacks fold into one line");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod critical_path;
 pub mod export;
 pub mod ledger;
 pub mod metrics;
+pub mod pool_obs;
 pub mod sentinel;
 pub mod span;
 pub mod validate;
@@ -40,9 +41,17 @@ pub use critical_path::{
     diff_profiles, max_rank_idle, rank_attribution, span_profile, CriticalPath, PathSegment,
     RankAttribution, SpanDelta,
 };
-pub use export::{chrome_trace, hotspot_csv, RooflinePoint, RooflineReport};
+pub use export::{
+    chrome_trace, folded_stacks, hotspot_csv, prometheus_name, prometheus_text, RooflinePoint,
+    RooflineReport,
+};
 pub use ledger::{digest64, FomKind, FomLedger, FomRecord, LEDGER_FILE, LEDGER_VERSION};
-pub use metrics::{MetricSource, MetricsRegistry, TelemetrySnapshot, TrackSummary};
+pub use metrics::{Counter, Histogram, MetricSource, MetricsRegistry, TelemetrySnapshot, TrackSummary};
+pub use pool_obs::PoolTelemetry;
 pub use sentinel::{run_sentinel, run_sentinel_all, SentinelConfig, SentinelReport, Verdict};
 pub use span::{Span, SpanCat, SpanId, Timeline, Track, TrackId, TrackKind};
-pub use validate::{parse_json, validate_chrome_trace, ChromeTraceSummary, JsonValue};
+pub use validate::{
+    parse_csv, parse_json, parse_prometheus, validate_chrome_trace, validate_folded,
+    validate_hotspot_csv, validate_prometheus, ChromeTraceSummary, JsonValue, PromDoc, PromSample,
+    PromSummary,
+};

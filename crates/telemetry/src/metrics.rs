@@ -11,6 +11,261 @@ use exa_machine::SimTime;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
+/// A typed monotonic counter. Serializes as a bare number, so registry and
+/// snapshot JSON are unchanged by the move from raw `u64` storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increment by `v`.
+    pub fn add(&mut self, v: u64) {
+        self.0 += v;
+    }
+
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(v: u64) -> Self {
+        Counter(v)
+    }
+}
+
+impl Serialize for Counter {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two octave. 16 sub-buckets
+/// bound the relative quantile error at 1/16 = 6.25%.
+const HIST_SUBBUCKETS: u64 = 16;
+
+/// Bucket key for values at or below zero (and subnormals): everything
+/// the log scheme cannot place lands in one underflow bucket whose upper
+/// edge is 0.0.
+const HIST_UNDERFLOW: i64 = i64::MIN;
+
+/// A log-bucketed distribution: HDR-style buckets (16 linear sub-buckets
+/// per power-of-two octave, keyed straight off the f64 bit pattern), an
+/// exact min/max, and a sum quantized to integer nanoseconds.
+///
+/// Everything inside is integer arithmetic over sparse buckets, so
+/// [`Histogram::merge`] is **exactly** associative and commutative — the
+/// serialized form of a merged histogram is byte-identical to recording
+/// the union stream into one histogram, which is what lets histograms ride
+/// inside [`TelemetrySnapshot::merge`] without breaking the concurrent-
+/// emission byte-identity property.
+///
+/// Quantiles are *exact over bucketized values*: `quantile(q)` returns the
+/// upper edge of the bucket holding the rank-⌈q·count⌉ value, i.e.
+/// exactly what a sorted-reference oracle over `bucket_edge(v)` values
+/// yields, and within a factor of `1 + 1/16` of the raw value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    /// Sum of recorded values, quantized to integer nanoseconds at record
+    /// time (values are seconds). Integer adds keep merge exact.
+    sum_ns: u128,
+    min: f64,
+    max: f64,
+    /// Sparse bucket table: key → occupancy. Keys order identically to
+    /// the values they cover.
+    buckets: BTreeMap<i64, u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_ns: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: BTreeMap::new(),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket key for `v`: octave (unbiased exponent) × 16 + the top
+    /// four mantissa bits. Key order equals value order for positive
+    /// normal values; zero, negatives, and subnormals share the underflow
+    /// bucket.
+    pub fn bucket_key(v: f64) -> i64 {
+        if !(v > 0.0) || v < f64::MIN_POSITIVE {
+            return HIST_UNDERFLOW;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let sub = ((bits >> 48) & 0xf) as i64;
+        exp * HIST_SUBBUCKETS as i64 + sub
+    }
+
+    /// The inclusive upper edge of bucket `key`: `(1 + (sub+1)/16)·2^e`,
+    /// or 0.0 for the underflow bucket.
+    pub fn bucket_edge(key: i64) -> f64 {
+        if key == HIST_UNDERFLOW {
+            return 0.0;
+        }
+        let sb = HIST_SUBBUCKETS as i64;
+        let exp = key.div_euclid(sb);
+        let sub = key.rem_euclid(sb);
+        (1.0 + (sub + 1) as f64 / HIST_SUBBUCKETS as f64) * f64::powi(2.0, exp as i32)
+    }
+
+    /// Record one value (seconds for time-like series; any non-negative
+    /// finite unit works). Non-finite values are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum_ns += (v.max(0.0) * 1e9).round() as u128;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        *self.buckets.entry(Self::bucket_key(v)).or_insert(0) += 1;
+    }
+
+    /// Recorded sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum (reconstructed from the nanosecond accumulator).
+    pub fn sum(&self) -> f64 {
+        self.sum_ns as f64 / 1e9
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum() / self.count as f64
+        }
+    }
+
+    /// Exact minimum (`INFINITY` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum (`NEG_INFINITY` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The quantile at `q ∈ [0, 1]`: the upper edge of the bucket holding
+    /// the value of rank ⌈q·count⌉ (rank 1 for q = 0). Returns 0.0 when
+    /// empty. Monotone in `q` by construction (bucket keys order like the
+    /// values they hold).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&key, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_edge(key);
+            }
+        }
+        Self::bucket_edge(*self.buckets.keys().next_back().expect("non-empty histogram"))
+    }
+
+    /// Shorthand for the median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand for the 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Shorthand for the 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`. Integer adds + exact min/max make this
+    /// exactly associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        for (&k, &n) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += n;
+        }
+    }
+
+    /// Iterate `(upper_edge, count)` pairs in ascending edge order — the
+    /// shape Prometheus `le`-bucket emission wants.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets.iter().map(|(&k, &n)| (Self::bucket_edge(k), n))
+    }
+}
+
+impl Serialize for Histogram {
+    fn write_json(&self, out: &mut String) {
+        // Hand-rolled: the serde shim has no BTreeMap<i64, _> support.
+        // Buckets serialize as [[key, count], ...] in key order; `sum_ns`
+        // is emitted as exact decimal digits (JSON numbers are unbounded).
+        out.push_str("{\"count\":");
+        self.count.write_json(out);
+        out.push_str(",\"sum_ns\":");
+        out.push_str(&self.sum_ns.to_string());
+        out.push_str(",\"min\":");
+        self.min.write_json(out);
+        out.push_str(",\"max\":");
+        self.max.write_json(out);
+        out.push_str(",\"p50\":");
+        self.p50().write_json(out);
+        out.push_str(",\"p99\":");
+        self.p99().write_json(out);
+        out.push_str(",\"buckets\":[");
+        for (i, (k, n)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&k.to_string());
+            out.push(',');
+            n.write_json(out);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+}
+
 /// Namespaced counters (monotonic u64), gauges (last/explicit f64), and
 /// virtual-time accumulators.
 ///
@@ -19,20 +274,21 @@ use std::collections::BTreeMap;
 /// exactly once.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
+    counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, f64>,
     times: BTreeMap<String, SimTime>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
     /// Add to a named counter (creating it at zero).
     pub fn counter_add(&mut self, name: &str, v: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += v;
+        self.counters.entry(name.to_string()).or_default().add(v);
     }
 
     /// Read a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters.get(name).copied().unwrap_or_default().get()
     }
 
     /// Set a gauge to an explicit value.
@@ -66,7 +322,28 @@ impl MetricsRegistry {
 
     /// Iterate counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v.get()))
+    }
+
+    /// Record one sample into a named histogram (creating it empty).
+    pub fn hist_record(&mut self, name: &str, v: f64) {
+        self.hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Fold a whole histogram into a named slot — the bulk path observers
+    /// use when landing locally-accumulated distributions.
+    pub fn hist_merge(&mut self, name: &str, h: &Histogram) {
+        self.hists.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// Read a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterate histograms in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Drop every metric.
@@ -74,6 +351,7 @@ impl MetricsRegistry {
         self.counters.clear();
         self.gauges.clear();
         self.times.clear();
+        self.hists.clear();
     }
 }
 
@@ -116,6 +394,9 @@ pub struct TelemetrySnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Accumulated virtual times, seconds.
     pub times_s: BTreeMap<String, f64>,
+    /// Distribution metrics (task runtimes, steal latencies, rank compute
+    /// times, FOM evaluation times, ...).
+    pub hists: BTreeMap<String, Histogram>,
 }
 
 impl TelemetrySnapshot {
@@ -136,15 +417,21 @@ impl TelemetrySnapshot {
             spans_total: timeline.total_spans() as u64,
             wall_s: timeline.wall_end().secs(),
             tracks,
-            counters: metrics.counters.clone(),
+            counters: metrics.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
             gauges: metrics.gauges.clone(),
             times_s: metrics.times.iter().map(|(k, t)| (k.clone(), t.secs())).collect(),
+            hists: metrics.hists.clone(),
         }
     }
 
     /// Read a counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
     }
 
     /// Aggregate another snapshot into this one — the multi-run /
@@ -177,6 +464,9 @@ impl TelemetrySnapshot {
         }
         for (k, v) in &other.times_s {
             *self.times_s.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
         }
     }
 
@@ -246,6 +536,93 @@ mod tests {
         assert_eq!(a.tracks.len(), 2);
         assert_eq!(a.wall_s, 3.0);
         assert_eq!(a.spans_total, 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_sorted_oracle() {
+        let vals = [0.003, 0.0007, 0.014, 0.5, 0.25, 0.0007, 2.0, 0.031, 0.009, 0.125];
+        let mut h = Histogram::new();
+        for v in vals {
+            h.record(v);
+        }
+        // Oracle: sort the bucketized values, pick rank ceil(q*n).
+        let mut oracle: Vec<f64> = vals.iter().map(|&v| Histogram::bucket_edge(Histogram::bucket_key(v))).collect();
+        oracle.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            assert_eq!(h.quantile(q).to_bits(), oracle[rank - 1].to_bits(), "q = {q}");
+        }
+        assert_eq!(h.max(), 2.0, "max is exact");
+        assert_eq!(h.min(), 0.0007, "min is exact");
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn histogram_edge_bounds_value_within_one_sixteenth() {
+        for v in [1e-9, 3.7e-6, 0.000_25, 0.0421, 1.0, 17.3, 9_000.5] {
+            let edge = Histogram::bucket_edge(Histogram::bucket_key(v));
+            assert!(edge >= v, "edge {edge} below value {v}");
+            assert!(edge <= v * (1.0 + 1.0 / 16.0) * (1.0 + 1e-12), "edge {edge} too far above {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_underflow_bucket_catches_zero_and_negative() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), -3.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_exactly_associative_and_commutative() {
+        let streams: [&[f64]; 3] = [&[0.1, 0.004, 2.5], &[0.03, 0.03, 7.0, 1e-5], &[0.9]];
+        let hs: Vec<Histogram> = streams
+            .iter()
+            .map(|s| {
+                let mut h = Histogram::new();
+                for &v in *s {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut single = Histogram::new();
+        for s in streams {
+            for &v in s {
+                single.record(v);
+            }
+        }
+        let ser = |h: &Histogram| {
+            let mut s = String::new();
+            h.write_json(&mut s);
+            s
+        };
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == single stream, byte-for-byte.
+        let mut left = hs[0].clone();
+        left.merge(&hs[1]);
+        left.merge(&hs[2]);
+        let mut right = hs[2].clone();
+        right.merge(&hs[1]);
+        right.merge(&hs[0]);
+        assert_eq!(ser(&left), ser(&single));
+        assert_eq!(ser(&right), ser(&single));
+    }
+
+    #[test]
+    fn registry_histograms_flow_into_snapshot_and_merge() {
+        let mut m = MetricsRegistry::default();
+        m.hist_record("task.run_s", 0.002);
+        m.hist_record("task.run_s", 0.004);
+        let tl = Timeline::default();
+        let mut a = TelemetrySnapshot::build(&tl, &m);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.hist("task.run_s").unwrap().count(), 4);
+        assert!(a.to_json().contains("\"task.run_s\""));
+        assert!(a.to_json().contains("\"buckets\""));
     }
 
     #[test]

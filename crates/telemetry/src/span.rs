@@ -15,6 +15,9 @@ pub enum TrackKind {
     DeviceQueue,
     /// One MPI rank's communication timeline.
     CommRank,
+    /// One real execution lane of the thread-pool substrate (a workpool
+    /// worker or the helping caller) — wall-clock, not virtual time.
+    Worker,
 }
 
 impl TrackKind {
@@ -24,6 +27,7 @@ impl TrackKind {
             TrackKind::Host => "host",
             TrackKind::DeviceQueue => "device_queue",
             TrackKind::CommRank => "comm_rank",
+            TrackKind::Worker => "worker",
         }
     }
 }
@@ -44,6 +48,9 @@ pub enum SpanCat {
     Message,
     /// A host-side phase (capture, transform, app step, ...).
     Phase,
+    /// One pool task executed on a worker lane (wall-clock substrate
+    /// tracks).
+    Task,
 }
 
 impl SpanCat {
@@ -56,6 +63,7 @@ impl SpanCat {
             SpanCat::Collective => "collective",
             SpanCat::Message => "message",
             SpanCat::Phase => "phase",
+            SpanCat::Task => "task",
         }
     }
 }

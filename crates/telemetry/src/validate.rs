@@ -1,6 +1,8 @@
-//! A small recursive-descent JSON parser and a Chrome-trace schema
-//! validator. The vendored `serde_json` shim only serializes, so artifact
-//! self-checks (tests, the `profile_export` gate) parse with this.
+//! Dependency-free artifact validators: a small recursive-descent JSON
+//! parser plus schema validators for Chrome traces, Prometheus text
+//! exposition, collapsed flamegraph stacks, and the hotspot CSV. The
+//! vendored `serde_json` shim only serializes, so artifact self-checks
+//! (tests, the `profile_export`/`obs_export` gates) parse with these.
 
 use std::collections::BTreeMap;
 
@@ -356,6 +358,356 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
     Ok(ChromeTraceSummary { events: n_events, tracks: last_ts.len() })
 }
 
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full series name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed Prometheus text-format document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromDoc {
+    /// `# TYPE` declarations: family name → kind.
+    pub types: BTreeMap<String, String>,
+    /// Sample lines in source order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromDoc {
+    /// The value of the first unlabelled sample called `name`.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name && s.labels.is_empty()).map(|s| s.value)
+    }
+}
+
+fn prom_name_ok(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn prom_value(tok: &str) -> Result<f64, String> {
+    match tok {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        t => t.parse::<f64>().map_err(|_| format!("bad sample value '{t}'")),
+    }
+}
+
+/// Parse the Prometheus text exposition format: `# TYPE` lines, comments,
+/// and `name{label="value",...} value` samples.
+pub fn parse_prometheus(s: &str) -> Result<PromDoc, String> {
+    let mut doc = PromDoc::default();
+    for (ln, raw) in s.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let name = it.next().ok_or(format!("line {ln}: TYPE without name"))?;
+                let kind = it.next().ok_or(format!("line {ln}: TYPE without kind"))?;
+                if !prom_name_ok(name) {
+                    return Err(format!("line {ln}: illegal metric name '{name}'"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {ln}: unknown TYPE kind '{kind}'"));
+                }
+                doc.types.insert(name.to_string(), kind.to_string());
+            }
+            continue; // other comments are legal and ignored
+        }
+        // Sample line: name, optional {labels}, value.
+        let (head, labels) = match line.find('{') {
+            None => {
+                let (name, value) =
+                    line.split_once(' ').ok_or(format!("line {ln}: sample without value"))?;
+                (name.to_string(), (Vec::new(), value))
+            }
+            Some(brace) => {
+                let name = &line[..brace];
+                let rest = &line[brace + 1..];
+                let mut labels = Vec::new();
+                let mut chars = rest.char_indices().peekable();
+                let close = loop {
+                    // Parse `key="value"` pairs until the closing brace.
+                    let start = match chars.peek() {
+                        Some(&(i, '}')) => break i,
+                        Some(&(i, _)) => i,
+                        None => return Err(format!("line {ln}: unterminated label set")),
+                    };
+                    let eq = rest[start..]
+                        .find('=')
+                        .map(|o| start + o)
+                        .ok_or(format!("line {ln}: label without '='"))?;
+                    let key = rest[start..eq].to_string();
+                    if rest.as_bytes().get(eq + 1) != Some(&b'"') {
+                        return Err(format!("line {ln}: label value must be quoted"));
+                    }
+                    let mut val = String::new();
+                    let mut i = eq + 2;
+                    loop {
+                        match rest.as_bytes().get(i) {
+                            None => return Err(format!("line {ln}: unterminated label value")),
+                            Some(b'"') => break,
+                            Some(b'\\') => {
+                                match rest.as_bytes().get(i + 1) {
+                                    Some(b'"') => val.push('"'),
+                                    Some(b'\\') => val.push('\\'),
+                                    Some(b'n') => val.push('\n'),
+                                    _ => return Err(format!("line {ln}: bad label escape")),
+                                }
+                                i += 2;
+                            }
+                            Some(_) => {
+                                let ch = rest[i..].chars().next().expect("non-empty");
+                                val.push(ch);
+                                i += ch.len_utf8();
+                            }
+                        }
+                    }
+                    labels.push((key, val));
+                    i += 1; // past the closing quote
+                    while chars.peek().is_some_and(|&(j, _)| j < i) {
+                        chars.next();
+                    }
+                    if let Some(&(_, ',')) = chars.peek() {
+                        chars.next();
+                    }
+                };
+                let after = &rest[close + 1..];
+                let value =
+                    after.strip_prefix(' ').ok_or(format!("line {ln}: sample without value"))?;
+                (name.to_string(), (labels, value))
+            }
+        };
+        let (labels, value_tok) = labels;
+        if !prom_name_ok(&head) {
+            return Err(format!("line {ln}: illegal metric name '{head}'"));
+        }
+        let value = prom_value(value_tok.trim()).map_err(|e| format!("line {ln}: {e}"))?;
+        doc.samples.push(PromSample { name: head, labels, value });
+    }
+    Ok(doc)
+}
+
+/// What a validated Prometheus document contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromSummary {
+    /// Sample lines.
+    pub samples: usize,
+    /// Declared metric families.
+    pub families: usize,
+}
+
+/// Validate Prometheus text output: every sample belongs to a `# TYPE`d
+/// family (histogram `_bucket`/`_sum`/`_count` series resolve to their
+/// base family), counter values are finite and non-negative, and every
+/// histogram family has strictly increasing `le` edges, non-decreasing
+/// cumulative bucket counts, a terminal `+Inf` bucket, and an `+Inf`
+/// count that equals its `_count` sample.
+pub fn validate_prometheus(s: &str) -> Result<PromSummary, String> {
+    let doc = parse_prometheus(s)?;
+    let family_of = |name: &str| -> Option<String> {
+        if doc.types.contains_key(name) {
+            return Some(name.to_string());
+        }
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if doc.types.get(base).map(String::as_str) == Some("histogram") {
+                    return Some(base.to_string());
+                }
+            }
+        }
+        None
+    };
+    for sample in &doc.samples {
+        let fam = family_of(&sample.name)
+            .ok_or(format!("sample '{}' has no # TYPE declaration", sample.name))?;
+        let kind = doc.types[&fam].as_str();
+        if kind == "counter" && !(sample.value.is_finite() && sample.value >= 0.0) {
+            return Err(format!("counter '{}' has value {}", sample.name, sample.value));
+        }
+        if kind == "gauge" && sample.value.is_nan() {
+            return Err(format!("gauge '{}' is NaN", sample.name));
+        }
+    }
+    for (fam, kind) in &doc.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{fam}_bucket");
+        let mut prev_edge = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0f64;
+        let mut saw_inf = false;
+        let mut inf_count = None;
+        for sample in doc.samples.iter().filter(|s| s.name == bucket_name) {
+            if saw_inf {
+                return Err(format!("histogram '{fam}': bucket after +Inf"));
+            }
+            let le = match sample.labels.as_slice() {
+                [(k, v)] if k == "le" => v,
+                _ => return Err(format!("histogram '{fam}': bucket needs exactly one le label")),
+            };
+            let edge = prom_value(le).map_err(|e| format!("histogram '{fam}': {e}"))?;
+            if edge == f64::INFINITY {
+                saw_inf = true;
+                inf_count = Some(sample.value);
+            } else if edge <= prev_edge {
+                return Err(format!("histogram '{fam}': le edges not increasing at {edge}"));
+            }
+            if sample.value < prev_cum {
+                return Err(format!("histogram '{fam}': cumulative count decreases"));
+            }
+            prev_edge = edge;
+            prev_cum = sample.value;
+        }
+        let inf = inf_count.ok_or(format!("histogram '{fam}': missing +Inf bucket"))?;
+        let count = doc
+            .value(&format!("{fam}_count"))
+            .ok_or(format!("histogram '{fam}': missing _count"))?;
+        doc.value(&format!("{fam}_sum")).ok_or(format!("histogram '{fam}': missing _sum"))?;
+        if inf != count {
+            return Err(format!("histogram '{fam}': +Inf bucket {inf} != _count {count}"));
+        }
+    }
+    Ok(PromSummary { samples: doc.samples.len(), families: doc.types.len() })
+}
+
+/// Validate collapsed flamegraph stacks: every line is
+/// `frame(;frame)* <weight>`, weights are positive integers, frames are
+/// non-empty and free of `;`-injection (an empty frame means a stray
+/// separator). Returns the number of stack lines.
+pub fn validate_folded(s: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    for (ln, raw) in s.lines().enumerate() {
+        if raw.is_empty() {
+            continue;
+        }
+        let (stack, weight) =
+            raw.rsplit_once(' ').ok_or(format!("line {ln}: no weight field"))?;
+        let w: u64 =
+            weight.parse().map_err(|_| format!("line {ln}: bad weight '{weight}'"))?;
+        if w == 0 {
+            return Err(format!("line {ln}: zero-weight stack"));
+        }
+        let frames: Vec<&str> = stack.split(';').collect();
+        if frames.len() < 2 {
+            return Err(format!("line {ln}: want at least track;span, got '{stack}'"));
+        }
+        if frames.iter().any(|f| f.is_empty()) {
+            return Err(format!("line {ln}: empty frame in '{stack}'"));
+        }
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Parse one RFC-4180 CSV document into records of fields. Rejects
+/// unescaped quotes inside unquoted fields and unterminated quoted fields
+/// — exactly the damage an exporter that forgets to quote produces.
+pub fn parse_csv(s: &str) -> Result<Vec<Vec<String>>, String> {
+    let b = s.as_bytes();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b'"' {
+            // Quoted field: read to the closing quote ("" is a literal ").
+            i += 1;
+            loop {
+                match b.get(i) {
+                    None => return Err("unterminated quoted field".into()),
+                    Some(b'"') if b.get(i + 1) == Some(&b'"') => {
+                        field.push('"');
+                        i += 2;
+                    }
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        let ch = s[i..].chars().next().expect("non-empty");
+                        field.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            match b.get(i) {
+                None | Some(b',') | Some(b'\n') => {}
+                Some(_) => return Err(format!("garbage after closing quote at byte {i}")),
+            }
+        } else {
+            while i < b.len() && !matches!(b[i], b',' | b'\n') {
+                if b[i] == b'"' {
+                    return Err(format!("unescaped quote in unquoted field at byte {i}"));
+                }
+                let ch = s[i..].chars().next().expect("non-empty");
+                field.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+        match b.get(i) {
+            Some(b',') => {
+                row.push(std::mem::take(&mut field));
+                i += 1;
+            }
+            Some(b'\n') => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                i += 1;
+            }
+            None => break,
+            Some(_) => unreachable!("field loop stops at separators"),
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Validate the hotspot CSV artifact: RFC-4180 parse, exact header, five
+/// fields per row, integer `calls`, non-negative `total_us`, and
+/// `share_pct` within [0, 100]. Returns the number of data rows.
+pub fn validate_hotspot_csv(s: &str) -> Result<usize, String> {
+    let rows = parse_csv(s)?;
+    let header: Vec<&str> = rows.first().map(|r| r.iter().map(String::as_str).collect()).unwrap_or_default();
+    if header != ["name", "category", "calls", "total_us", "share_pct"] {
+        return Err(format!("bad header {header:?}"));
+    }
+    for (ln, row) in rows.iter().enumerate().skip(1) {
+        if row.len() != 5 {
+            return Err(format!("row {ln}: {} fields (want 5) — unescaped name?", row.len()));
+        }
+        row[2].parse::<u64>().map_err(|_| format!("row {ln}: bad calls '{}'", row[2]))?;
+        let total: f64 =
+            row[3].parse().map_err(|_| format!("row {ln}: bad total_us '{}'", row[3]))?;
+        if !(total >= 0.0) {
+            return Err(format!("row {ln}: negative total_us {total}"));
+        }
+        let share: f64 =
+            row[4].parse().map_err(|_| format!("row {ln}: bad share_pct '{}'", row[4]))?;
+        if !(0.0..=100.000001).contains(&share) {
+            return Err(format!("row {ln}: share_pct {share} outside [0, 100]"));
+        }
+    }
+    Ok(rows.len() - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +808,69 @@ mod tests {
         assert!(err.contains("non-numeric ts"), "{err}");
         // Raw NaN literals are not JSON at all.
         assert!(parse_json("[NaN]").is_err());
+    }
+
+    #[test]
+    fn prometheus_round_trip_and_histogram_invariants() {
+        let text = "# TYPE exa_tasks_total counter\nexa_tasks_total 42\n\
+                    # TYPE exa_occupancy gauge\nexa_occupancy 0.93\n\
+                    # TYPE exa_task_run_s histogram\n\
+                    exa_task_run_s_bucket{le=\"0.001\"} 3\n\
+                    exa_task_run_s_bucket{le=\"0.002\"} 7\n\
+                    exa_task_run_s_bucket{le=\"+Inf\"} 9\n\
+                    exa_task_run_s_sum 0.014\nexa_task_run_s_count 9\n";
+        let summary = validate_prometheus(text).expect("valid document");
+        assert_eq!(summary.families, 3);
+        let doc = parse_prometheus(text).unwrap();
+        assert_eq!(doc.value("exa_tasks_total"), Some(42.0));
+        assert_eq!(doc.value("exa_occupancy"), Some(0.93));
+        let buckets: Vec<_> = doc.samples.iter().filter(|s| s.name == "exa_task_run_s_bucket").collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].labels, vec![("le".to_string(), "0.001".to_string())]);
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_broken_histograms() {
+        let no_type = "exa_x 1\n";
+        assert!(validate_prometheus(no_type).unwrap_err().contains("no # TYPE"));
+        let decreasing = "# TYPE exa_h histogram\n\
+                          exa_h_bucket{le=\"1\"} 5\nexa_h_bucket{le=\"2\"} 3\n\
+                          exa_h_bucket{le=\"+Inf\"} 5\nexa_h_sum 1\nexa_h_count 5\n";
+        assert!(validate_prometheus(decreasing).unwrap_err().contains("decreases"));
+        let inf_mismatch = "# TYPE exa_h histogram\n\
+                            exa_h_bucket{le=\"+Inf\"} 4\nexa_h_sum 1\nexa_h_count 5\n";
+        assert!(validate_prometheus(inf_mismatch).unwrap_err().contains("!= _count"));
+        let neg_counter = "# TYPE exa_c counter\nexa_c -1\n";
+        assert!(validate_prometheus(neg_counter).unwrap_err().contains("value -1"));
+    }
+
+    #[test]
+    fn folded_validator_accepts_stacks_and_rejects_damage() {
+        let ok = "pool/worker0;chem_substep;lu4 1200\npool/worker0;chem_substep 40\n";
+        assert_eq!(validate_folded(ok).unwrap(), 2);
+        assert!(validate_folded("lonely 5\n").unwrap_err().contains("at least"));
+        assert!(validate_folded("a;;b 5\n").unwrap_err().contains("empty frame"));
+        assert!(validate_folded("a;b zero\n").unwrap_err().contains("bad weight"));
+        assert!(validate_folded("a;b 0\n").unwrap_err().contains("zero-weight"));
+    }
+
+    #[test]
+    fn csv_validator_accepts_quoted_and_rejects_unescaped() {
+        let ok = "name,category,calls,total_us,share_pct\n\
+                  \"axpy, fused \"\"hot\"\"\",kernel,3,10.000,80.00\n\
+                  plain,kernel,1,2.500,20.00\n";
+        assert_eq!(validate_hotspot_csv(ok).unwrap(), 2);
+        let rows = parse_csv(ok).unwrap();
+        assert_eq!(rows[1][0], "axpy, fused \"hot\"");
+        // An exporter that forgot to quote: the comma splits the name into
+        // a sixth field.
+        let unescaped = "name,category,calls,total_us,share_pct\n\
+                         axpy, fused,kernel,3,10.000,80.00\n";
+        assert!(validate_hotspot_csv(unescaped).unwrap_err().contains("unescaped"));
+        // A raw quote mid-field is also rejected.
+        let raw_quote = "name,category,calls,total_us,share_pct\n\
+                         axpy \"hot\",kernel,3,10.000,80.00\n";
+        assert!(parse_csv(raw_quote).is_err());
     }
 
     #[test]

@@ -21,6 +21,14 @@
 #      on the 256-rank executed Pele step plus the executed 1024-rank
 #      distributed FFT inside its wall budget; this script then
 #      schema-checks BENCH_sim_throughput.json.
+#   7. substrate observability: `obs_export` re-drives the 256-rank
+#      executed Pele campaign on 4 lanes with the pool/scheduler observer
+#      attached, gates worker occupancy within 10% of wall x lanes, and
+#      validates its own Prometheus + folded + Chrome-trace artifacts;
+#      the `telemetry_overhead` bench re-gates < 5% overhead with the
+#      pool observer and histograms enabled. This script then
+#      schema-checks PROFILE_substrate.json, METRICS.prom,
+#      PROFILE_pele.folded, and BENCH_telemetry_overhead.json.
 #
 # Any step failing fails the flow.
 set -euo pipefail
@@ -34,11 +42,14 @@ cargo run --release -q -p exa-bench --bin profile_export
 cargo run --release -q -p exa-bench --bin fom_ledger
 cargo bench -q -p exa-bench --bench comm_overlap
 cargo bench -q -p exa-bench --bench sim_throughput
+EXA_THREADS=4 cargo run --release -q -p exa-bench --bin obs_export
+EXA_THREADS=4 cargo bench -q -p exa-bench --bench telemetry_overhead
 
 # Belt-and-braces: the gates above already validated the artifacts, but make
 # absence-of-output a hard failure too.
 for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json BENCH_comm_overlap.json \
-         BENCH_sim_throughput.json; do
+         BENCH_sim_throughput.json PROFILE_substrate.json METRICS.prom PROFILE_pele.folded \
+         BENCH_telemetry_overhead.json; do
     [ -s "$f" ] || { echo "tier1: missing artifact $f" >&2; exit 1; }
 done
 
@@ -79,4 +90,26 @@ bits=$(grep -c '"bit_identical": true' BENCH_sim_throughput.json)
 grep -q '"pass": true' BENCH_sim_throughput.json \
     || { echo "tier1: BENCH_sim_throughput.json did not pass its own gate" >&2; exit 1; }
 
-echo "tier1: build + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches all green"
+# Substrate-observability schema spot-check: occupancy within the 10% gate,
+# non-empty worker tracks, and the overhead bench under its 5% ceiling with
+# the pool observer + histograms enabled.
+grep -q '"pass": true' PROFILE_substrate.json \
+    || { echo "tier1: PROFILE_substrate.json did not pass its own gate" >&2; exit 1; }
+occ=$(awk -F'[:,]' '/"occupancy":/ { gsub(/ /, "", $2); print $2; exit }' PROFILE_substrate.json)
+awk -v o="$occ" 'BEGIN { exit !(o >= 0.9 && o <= 1.1) }' \
+    || { echo "tier1: substrate occupancy $occ outside [0.9, 1.1]" >&2; exit 1; }
+wtracks=$(awk -F'[:,]' '/"worker_tracks":/ { gsub(/ /, "", $2); print $2; exit }' PROFILE_substrate.json)
+[ "$wtracks" -ge 4 ] || { echo "tier1: only $wtracks worker tracks in PROFILE_substrate.json" >&2; exit 1; }
+grep -q '^# TYPE exa_pool_tasks_total counter' METRICS.prom \
+    || { echo "tier1: METRICS.prom is missing the pool task counter family" >&2; exit 1; }
+grep -q '_bucket{le="+Inf"}' METRICS.prom \
+    || { echo "tier1: METRICS.prom carries no histogram families" >&2; exit 1; }
+grep -q ';task ' PROFILE_pele.folded \
+    || { echo "tier1: PROFILE_pele.folded carries no worker task frames" >&2; exit 1; }
+ratio=$(awk -F'[:,]' '/"amortized_ratio":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_telemetry_overhead.json)
+awk -v r="$ratio" 'BEGIN { exit !(r > 0.0 && r < 1.05) }' \
+    || { echo "tier1: telemetry overhead ratio $ratio not under 1.05 with observer enabled" >&2; exit 1; }
+grep -q '"pass": true' BENCH_telemetry_overhead.json \
+    || { echo "tier1: BENCH_telemetry_overhead.json did not pass its own gate" >&2; exit 1; }
+
+echo "tier1: build + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches + observability export all green"

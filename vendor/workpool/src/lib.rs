@@ -32,10 +32,53 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lane index reported for work executed on the *calling* thread (the
+/// inline queue of a one-thread pool, or a scope caller helping while it
+/// waits). Distinct from any worker index.
+pub const CALLER_LANE: usize = usize::MAX;
+
+/// Observer hooks for pool activity. The pool stays dependency-free:
+/// telemetry layers implement this trait and attach via
+/// [`ThreadPool::set_observer`]. All timestamps are nanoseconds since the
+/// pool's creation epoch (see [`ThreadPool::now_ns`]), so one observer can
+/// correlate events across lanes without a shared wall clock.
+///
+/// Callbacks fire on the thread where the event happened and must be cheap
+/// and non-blocking; every method has an empty default so observers opt
+/// into only the events they need. The contract is identical on every pool
+/// size — a `threads == 1` pool emits the same `inject`/`task_run` stream
+/// (with `lane == CALLER_LANE` and zero steals) the pooled path would.
+pub trait PoolObserver: Send + Sync {
+    /// A job ran on `lane` from `start_ns` to `end_ns`. `stolen` is true
+    /// when the job was taken from another lane's queue.
+    fn task_run(&self, lane: usize, start_ns: u64, end_ns: u64, stolen: bool) {
+        let _ = (lane, start_ns, end_ns, stolen);
+    }
+    /// `thief` stole `taken` job(s) from `victim`'s queue after searching
+    /// for `latency_ns`.
+    fn steal(&self, thief: usize, victim: usize, taken: usize, latency_ns: u64) {
+        let _ = (thief, victim, taken, latency_ns);
+    }
+    /// A job was enqueued onto `slot` (round-robin target, or
+    /// `CALLER_LANE` for the inline queue); `queue_depth` is the queue
+    /// length after the push — a natural sampling point for backlog.
+    fn inject(&self, slot: usize, queue_depth: usize) {
+        let _ = (slot, queue_depth);
+    }
+    /// Worker `worker` found no work and is about to park.
+    fn park(&self, worker: usize) {
+        let _ = worker;
+    }
+    /// Worker `worker` resumed after `parked_ns` parked.
+    fn unpark(&self, worker: usize, parked_ns: u64) {
+        let _ = (worker, parked_ns);
+    }
+}
 
 /// Resolve the substrate-wide thread count: `EXA_THREADS` (0 ⇒ auto),
 /// else `EXA_NUM_THREADS` (same convention), else the machine's available
@@ -71,22 +114,46 @@ struct Shared {
     /// Parking lot for idle workers.
     park_mx: Mutex<()>,
     park_cv: Condvar,
+    /// Creation instant; observer timestamps are offsets from it.
+    epoch: Instant,
+    /// Fast-path flag: true iff `observer` is `Some`. Checked before the
+    /// `RwLock` so an unobserved pool pays one relaxed load per hook site.
+    observed: AtomicBool,
+    /// The attached observer, if any.
+    observer: RwLock<Option<Arc<dyn PoolObserver>>>,
 }
 
 impl Shared {
+    /// Nanoseconds since pool creation.
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Clone the observer handle iff one is attached (fast-path gated).
+    fn obs(&self) -> Option<Arc<dyn PoolObserver>> {
+        if !self.observed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.observer.read().expect("workpool observer").clone()
+    }
     /// Pop one job: own queue first (FIFO), then steal **half** of the
     /// first non-empty victim queue, keeping one job to run and moving
     /// the rest onto `home`'s queue. `home == None` (scope helpers,
     /// external threads) steals a single job without relocating any.
-    fn find_job(&self, home: Option<usize>) -> Option<Job> {
+    ///
+    /// Returns the job plus a `stolen` flag (true when it came from a
+    /// queue other than `home`'s own).
+    fn find_job(&self, home: Option<usize>) -> Option<(Job, bool)> {
         let nq = self.queues.len();
         if nq == 0 {
             return None;
         }
+        let observer = self.obs();
+        let search_start = observer.as_ref().map(|_| self.now_ns());
         if let Some(h) = home {
             if let Some(job) = self.queues[h].lock().expect("workpool queue").pop_front() {
                 self.pending.fetch_sub(1, Ordering::Release);
-                return Some(job);
+                return Some((job, false));
             }
         }
         let start = home.map(|h| h + 1).unwrap_or(0);
@@ -110,9 +177,26 @@ impl Shared {
                 }
             }
             self.pending.fetch_sub(1, Ordering::Release);
-            return Some(job);
+            if let Some(obs) = observer.as_ref() {
+                let latency = self.now_ns().saturating_sub(search_start.unwrap_or(0));
+                obs.steal(home.unwrap_or(CALLER_LANE), v, take, latency);
+            }
+            return Some((job, true));
         }
         None
+    }
+
+    /// Run `job` on `lane`, wrapping it in a `task_run` observation when an
+    /// observer is attached.
+    fn run_job(&self, lane: usize, job: Job, stolen: bool) {
+        match self.obs() {
+            None => job(),
+            Some(obs) => {
+                let start = self.now_ns();
+                job();
+                obs.task_run(lane, start, self.now_ns(), stolen);
+            }
+        }
     }
 
     /// Enqueue one job onto a worker queue (round-robin) and wake a
@@ -122,7 +206,14 @@ impl Shared {
         debug_assert!(nq > 0, "inject on a zero-worker pool");
         self.pending.fetch_add(1, Ordering::Release);
         let slot = self.rr.fetch_add(1, Ordering::Relaxed) % nq;
-        self.queues[slot].lock().expect("workpool queue").push_back(job);
+        let depth = {
+            let mut q = self.queues[slot].lock().expect("workpool queue");
+            q.push_back(job);
+            q.len()
+        };
+        if let Some(obs) = self.obs() {
+            obs.inject(slot, depth);
+        }
         // Taking the parking lock here (and dropping it immediately)
         // guarantees no worker is between its "pending == 0" check and
         // its wait when we notify.
@@ -135,8 +226,8 @@ impl Shared {
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            if let Some(job) = self.find_job(Some(home)) {
-                job();
+            if let Some((job, stolen)) = self.find_job(Some(home)) {
+                self.run_job(home, job, stolen);
                 continue;
             }
             let guard = self.park_mx.lock().expect("workpool park");
@@ -149,10 +240,18 @@ impl Shared {
             // Bounded wait: correctness never depends on the timeout (the
             // inject path notifies under the lock), it only bounds the
             // cost of a hypothetical missed wakeup.
+            let observer = self.obs();
+            let parked_at = observer.as_ref().map(|obs| {
+                obs.park(home);
+                self.now_ns()
+            });
             let _ = self
                 .park_cv
                 .wait_timeout(guard, Duration::from_millis(50))
                 .expect("workpool park");
+            if let (Some(obs), Some(t0)) = (observer, parked_at) {
+                obs.unpark(home, self.now_ns().saturating_sub(t0));
+            }
         }
     }
 }
@@ -218,6 +317,9 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             park_mx: Mutex::new(()),
             park_cv: Condvar::new(),
+            epoch: Instant::now(),
+            observed: AtomicBool::new(false),
+            observer: RwLock::new(None),
         });
         let workers = (0..nworkers)
             .map(|w| {
@@ -242,6 +344,23 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Nanoseconds elapsed since the pool was created — the same clock
+    /// [`PoolObserver`] timestamps use, so callers can interleave their own
+    /// phase marks with observed task intervals.
+    pub fn now_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+
+    /// Attach (or, with `None`, detach) a [`PoolObserver`]. At most one
+    /// observer is attached at a time; attaching replaces the previous one.
+    /// Events already in flight on other threads may still reach the old
+    /// observer for the duration of their current hook call.
+    pub fn set_observer(&self, observer: Option<Arc<dyn PoolObserver>>) {
+        let mut slot = self.shared.observer.write().expect("workpool observer");
+        self.shared.observed.store(observer.is_some(), Ordering::Relaxed);
+        *slot = observer;
+    }
+
     /// Run `f` with a [`Scope`] that can spawn borrowing tasks. Blocks
     /// until every spawned task finished — even if `f` or a task panics —
     /// then resumes the first captured panic, so borrowed data is never
@@ -263,11 +382,11 @@ impl ThreadPool {
             let inline_job = self.inline.lock().expect("workpool inline").pop_front();
             if let Some(job) = inline_job {
                 self.shared.pending.fetch_sub(1, Ordering::Release);
-                job();
+                self.shared.run_job(CALLER_LANE, job, false);
                 continue;
             }
-            if let Some(job) = self.shared.find_job(None) {
-                job();
+            if let Some((job, stolen)) = self.shared.find_job(None) {
+                self.shared.run_job(CALLER_LANE, job, stolen);
                 continue;
             }
             let guard = latch.mx.lock().expect("workpool latch");
@@ -291,7 +410,16 @@ impl ThreadPool {
     fn submit(&self, job: Job) {
         if self.shared.queues.is_empty() {
             self.shared.pending.fetch_add(1, Ordering::Release);
-            self.inline.lock().expect("workpool inline").push_back(job);
+            let depth = {
+                let mut q = self.inline.lock().expect("workpool inline");
+                q.push_back(job);
+                q.len()
+            };
+            // The inline path reports the same event stream a worker queue
+            // would, so observers see comparable injects at any pool size.
+            if let Some(obs) = self.shared.obs() {
+                obs.inject(CALLER_LANE, depth);
+            }
         } else {
             self.shared.inject(job);
         }
@@ -452,6 +580,113 @@ mod tests {
         let p = ThreadPool::global();
         assert_eq!(p.threads(), default_threads());
         assert!(p.threads() >= 1);
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        tasks: AtomicU64,
+        steals: AtomicU64,
+        injects: AtomicU64,
+        parks: AtomicU64,
+        unparks: AtomicU64,
+        bad_interval: AtomicU64,
+        caller_tasks: AtomicU64,
+    }
+
+    impl PoolObserver for CountingObserver {
+        fn task_run(&self, lane: usize, start_ns: u64, end_ns: u64, _stolen: bool) {
+            self.tasks.fetch_add(1, Ordering::Relaxed);
+            if lane == CALLER_LANE {
+                self.caller_tasks.fetch_add(1, Ordering::Relaxed);
+            }
+            if end_ns < start_ns {
+                self.bad_interval.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        fn steal(&self, _thief: usize, _victim: usize, taken: usize, _latency_ns: u64) {
+            self.steals.fetch_add(taken as u64, Ordering::Relaxed);
+        }
+        fn inject(&self, _slot: usize, queue_depth: usize) {
+            assert!(queue_depth >= 1, "depth sampled after push");
+            self.injects.fetch_add(1, Ordering::Relaxed);
+        }
+        fn park(&self, _worker: usize) {
+            self.parks.fetch_add(1, Ordering::Relaxed);
+        }
+        fn unpark(&self, _worker: usize, _parked_ns: u64) {
+            self.unparks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_task_on_any_pool_size() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let obs = Arc::new(CountingObserver::default());
+            pool.set_observer(Some(obs.clone()));
+            let hits = AtomicU64::new(0);
+            pool.scope(|s| {
+                for _ in 0..64 {
+                    let hits = &hits;
+                    s.spawn(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            pool.set_observer(None);
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+            assert_eq!(obs.tasks.load(Ordering::Relaxed), 64, "threads = {threads}");
+            assert_eq!(obs.injects.load(Ordering::Relaxed), 64, "threads = {threads}");
+            assert_eq!(obs.bad_interval.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn inline_pool_observer_matches_pooled_contract() {
+        // Satellite contract: threads == 1 emits the same callback stream —
+        // one inject + one task_run per spawn, all on CALLER_LANE, and
+        // exactly zero steals (there is no one to steal from).
+        let pool = ThreadPool::new(1);
+        let obs = Arc::new(CountingObserver::default());
+        pool.set_observer(Some(obs.clone()));
+        pool.scope(|s| {
+            for _ in 0..50 {
+                s.spawn(|| {});
+            }
+        });
+        pool.set_observer(None);
+        assert_eq!(obs.tasks.load(Ordering::Relaxed), 50);
+        assert_eq!(obs.caller_tasks.load(Ordering::Relaxed), 50);
+        assert_eq!(obs.injects.load(Ordering::Relaxed), 50);
+        assert_eq!(obs.steals.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn detached_observer_stops_receiving_events() {
+        let pool = ThreadPool::new(2);
+        let obs = Arc::new(CountingObserver::default());
+        pool.set_observer(Some(obs.clone()));
+        pool.scope(|s| s.spawn(|| {}));
+        pool.set_observer(None);
+        let seen = obs.tasks.load(Ordering::Relaxed);
+        assert_eq!(seen, 1);
+        pool.scope(|s| s.spawn(|| {}));
+        assert_eq!(obs.tasks.load(Ordering::Relaxed), seen, "no events after detach");
+    }
+
+    #[test]
+    fn observer_timestamps_share_the_pool_clock() {
+        let pool = ThreadPool::new(2);
+        let obs = Arc::new(CountingObserver::default());
+        pool.set_observer(Some(obs.clone()));
+        let before = pool.now_ns();
+        pool.scope(|s| {
+            s.spawn(|| std::thread::sleep(Duration::from_millis(2)));
+        });
+        let after = pool.now_ns();
+        pool.set_observer(None);
+        assert!(after > before);
+        assert!(after - before >= 2_000_000, "clock advances with real time");
     }
 
     #[test]
