@@ -1,0 +1,353 @@
+//! Faulted Pele chemistry: the executed campaign of [`crate::pele_exec`]
+//! run under a [`ScenarioSpec`] — MTBF-driven rank failures with
+//! checkpoint/restart, straggler ranks, and a degraded fabric.
+//!
+//! The campaign stays *deterministic*: the failure schedule is drawn from
+//! the scenario seed (no wall clock, no OS entropy), stragglers only skew
+//! virtual clocks (rank state is bit-identical to the clean run), and
+//! restart replays re-execute the same substeps on the same states — so
+//! the physics (`checksum`, `temp_sum`, `newton_total`) of a faulted run
+//! equals the clean run, while the virtual wall time carries the full
+//! price of lost work, checkpoint I/O, and restart penalties.
+//!
+//! Every second lost to the scenario lands in a span the critical-path
+//! analyzer's `fault_attribution` can bill:
+//!
+//! | span prefix        | what it covers                                  |
+//! |--------------------|-------------------------------------------------|
+//! | `checkpoint/`      | defensive snapshot I/O (α–β file-system model)  |
+//! | `fault/`           | failure detection + job-relaunch penalty        |
+//! | `restart/`         | snapshot reload I/O and replayed compute        |
+//! | `straggler-wait/`  | healthy ranks idling at collectives (per rank)  |
+
+use crate::pele::NSPEC;
+use crate::pele_exec::{init_cell, ChemCampaign, ChemKernel, NEWTON_ITER_COST};
+use exa_core::ScenarioSpec;
+use exa_machine::SimTime;
+use exa_mpi::{Comm, Network, RankCtx, RankScheduler};
+use exa_telemetry::{digest64, SpanCat, TelemetryCollector, TrackKind};
+use std::sync::Arc;
+
+/// Deterministic outcome of one faulted campaign — every field must be
+/// bit-identical for any `EXA_THREADS` and for repeated runs of the same
+/// scenario seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedCampaignResult {
+    /// Global species-mass checksum (equals the clean campaign's).
+    pub checksum: f64,
+    /// Global final-temperature sum (equals the clean campaign's).
+    pub temp_sum: f64,
+    /// Total committed Newton iterations (replays do not double-count:
+    /// restore rewinds the counters, replay re-earns them).
+    pub newton_total: u64,
+    /// Virtual wall time including checkpoints, faults, and replays.
+    pub elapsed: SimTime,
+    /// Rank failures injected by the MTBF schedule.
+    pub failures: u32,
+    /// Restarts performed (one per failure).
+    pub restarts: u32,
+    /// Defensive checkpoints written.
+    pub checkpoints: u32,
+    /// Largest number of substeps any single failure rolled back — the
+    /// lost-work bound property: never more than one checkpoint interval.
+    pub max_lost_steps: usize,
+    /// FNV digest of the telemetry snapshot JSON.
+    pub snapshot_digest: String,
+    /// FNV digest of the Chrome trace.
+    pub trace_digest: String,
+}
+
+#[derive(Clone)]
+struct RankState {
+    cells: Vec<[f64; NSPEC]>,
+    newton: u64,
+}
+
+/// Generous virtual horizon for drawing the failure schedule: far beyond
+/// any campaign, so the schedule is bounded by `ScenarioSpec::max_failures`
+/// and the campaign's own end, never by this constant.
+fn failure_horizon() -> SimTime {
+    SimTime::from_secs(1.0e9)
+}
+
+/// Run one chemistry campaign under `scenario` on `sched`. Builds its own
+/// communicator (Frontier Slingshot 11, optionally degraded by the
+/// scenario's [`exa_core::NetworkScenario`]) against the supplied
+/// collector; [`ScenarioSpec::clean`] reproduces
+/// [`crate::pele_exec::chemistry_campaign`]'s physics exactly.
+pub fn chemistry_campaign_faulted(
+    sched: &RankScheduler,
+    kernel: ChemKernel,
+    cfg: &ChemCampaign,
+    scenario: &ScenarioSpec,
+    collector: &Arc<TelemetryCollector>,
+) -> FaultedCampaignResult {
+    let mut net = Network::from_machine(&exa_machine::MachineModel::frontier());
+    if let Some(ns) = scenario.network {
+        net = net.with_contention(ns.alpha_factor, ns.beta_factor);
+    }
+    let mut comm = Comm::new(cfg.ranks, net);
+    comm.attach_telemetry(collector, "pele_fault");
+    if let Some(ns) = scenario.network {
+        if ns.jitter_amp > 0.0 {
+            comm.set_jitter(ns.jitter_amp, ns.jitter_seed);
+        }
+    }
+    let skew = scenario.skew_table(cfg.ranks);
+    if skew.is_some() {
+        comm.record_straggler_spans(true);
+    }
+    let host = collector.track("pele_fault/host", TrackKind::Host);
+    let mech = crate::pele::Mechanism::ignition();
+
+    // Synthetic injections stretch the committed compute spans (the
+    // sentinel-drill pipe, generalized to a composable list).
+    let stretch: f64 = scenario
+        .injections
+        .iter()
+        .filter(|inj| "chem_substep".contains(inj.needle.as_str()))
+        .map(|inj| inj.factor)
+        .product();
+
+    let mut states: Vec<RankState> = (0..cfg.ranks)
+        .map(|r| RankState {
+            cells: (0..cfg.cells_per_rank).map(|c| init_cell(r, c)).collect(),
+            newton: 0,
+        })
+        .collect();
+
+    // The recovery line: state as of the last checkpoint (initially the
+    // initial condition — a failure before the first checkpoint replays
+    // from step 0).
+    let mut snapshot: Vec<RankState> = states.clone();
+    let mut last_ckpt_step = 0usize;
+
+    let failure_events = scenario.failure_schedule(cfg.ranks, failure_horizon());
+    let mut next_failure = 0usize;
+
+    let mut failures = 0u32;
+    let mut restarts = 0u32;
+    let mut checkpoints = 0u32;
+    let mut max_lost_steps = 0usize;
+
+    let mut step = 0usize;
+    // `replay_until`: substeps below this index are re-execution of work a
+    // failure rolled back; their compute lands in `restart/replay` spans.
+    let mut replay_until = 0usize;
+    while step < cfg.substeps {
+        let replaying = step < replay_until;
+        let span_name: &'static str = if replaying { "restart/replay" } else { "chem_substep" };
+        let span_cat = if replaying { SpanCat::Fault } else { SpanCat::Kernel };
+        sched.compute_phase_skewed(
+            &mut comm,
+            &mut states,
+            skew.as_deref(),
+            |ctx: &mut RankCtx, st: &mut RankState| {
+                let mut newton_here = 0u64;
+                for u in st.cells.iter_mut() {
+                    let (next, iters) = kernel.step(&mech, u, cfg.dt);
+                    *u = next;
+                    newton_here += iters as u64;
+                }
+                st.newton += newton_here;
+                ctx.span(
+                    span_name,
+                    span_cat,
+                    SimTime::from_secs(newton_here as f64 * NEWTON_ITER_COST * stretch),
+                );
+            },
+        );
+        // Ghost-cell/reduction sync between substeps (cost-only).
+        comm.allreduce((NSPEC * 8) as u64);
+        step += 1;
+
+        // MTBF failure check: has virtual time crossed the next scheduled
+        // failure? Detection happens at the substep boundary (the sync
+        // point where a real job notices a dead rank).
+        if next_failure < failure_events.len() && comm.elapsed() >= failure_events[next_failure].at
+        {
+            let ev = &failure_events[next_failure];
+            next_failure += 1;
+            failures += 1;
+            restarts += 1;
+            let lost = step - last_ckpt_step;
+            max_lost_steps = max_lost_steps.max(lost);
+
+            // Failure detection + relaunch penalty.
+            if let Some(ck) = &scenario.checkpoint {
+                let t0 = comm.elapsed();
+                comm.advance_all(ck.restart_penalty());
+                collector.complete(
+                    host,
+                    format!("fault/rank{}", ev.rank),
+                    SpanCat::Fault,
+                    t0,
+                    comm.elapsed(),
+                );
+                // Reload the snapshot through the same α–β I/O model that
+                // wrote it.
+                let t1 = comm.elapsed();
+                comm.advance_all(ck.read_time());
+                collector.complete(host, "restart/reload", SpanCat::Fault, t1, comm.elapsed());
+            }
+
+            // Roll state back to the recovery line; the main loop replays
+            // the lost substeps (virtual time never rewinds).
+            for (st, snap) in states.iter_mut().zip(snapshot.iter()) {
+                st.cells.copy_from_slice(&snap.cells);
+                st.newton = snap.newton;
+            }
+            replay_until = step.max(replay_until);
+            step = last_ckpt_step;
+            continue;
+        }
+
+        // Defensive checkpoint every `interval_steps` committed substeps.
+        if let Some(ck) = &scenario.checkpoint {
+            if ck.interval_steps > 0 && step % ck.interval_steps == 0 && step < cfg.substeps {
+                snapshot.clone_from(&states);
+                last_ckpt_step = step;
+                checkpoints += 1;
+                let t0 = comm.elapsed();
+                comm.advance_all(ck.write_time());
+                collector.complete(host, "checkpoint/write", SpanCat::Fault, t0, comm.elapsed());
+            }
+        }
+    }
+
+    // Data-carrying global reduction, summed in rank order — deterministic.
+    let mut per_rank: Vec<Vec<f64>> = states
+        .iter()
+        .map(|st| {
+            let mass: f64 = st.cells.iter().map(|u| u[0] + u[1] + u[2]).sum();
+            let temp: f64 = st.cells.iter().map(|u| u[3]).sum();
+            vec![mass, temp]
+        })
+        .collect();
+    comm.allreduce_sum_f64(&mut per_rank);
+    comm.absorb_telemetry();
+
+    let newton_total = states.iter().map(|s| s.newton).sum();
+    let snapshot_json = collector.snapshot();
+    FaultedCampaignResult {
+        checksum: per_rank[0][0],
+        temp_sum: per_rank[0][1],
+        newton_total,
+        elapsed: comm.elapsed(),
+        failures,
+        restarts,
+        checkpoints,
+        max_lost_steps,
+        snapshot_digest: digest64(&snapshot_json.to_json()),
+        trace_digest: digest64(&collector.chrome_trace()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pele_exec::chemistry_campaign;
+    use exa_core::{CheckpointSpec, NetworkScenario};
+
+    fn small_cfg() -> ChemCampaign {
+        ChemCampaign { ranks: 16, cells_per_rank: 4, substeps: 8, dt: 0.4 }
+    }
+
+    #[test]
+    fn clean_scenario_reproduces_the_unfaulted_physics() {
+        let sched = RankScheduler::sequential();
+        let cfg = small_cfg();
+        let clean = chemistry_campaign(&sched, ChemKernel::FusedLu, &cfg);
+        let faulted = chemistry_campaign_faulted(
+            &sched,
+            ChemKernel::FusedLu,
+            &cfg,
+            &ScenarioSpec::clean(),
+            &TelemetryCollector::shared(),
+        );
+        assert_eq!(faulted.checksum.to_bits(), clean.checksum.to_bits());
+        assert_eq!(faulted.temp_sum.to_bits(), clean.temp_sum.to_bits());
+        assert_eq!(faulted.newton_total, clean.newton_total);
+        assert_eq!(faulted.failures, 0);
+        assert_eq!(faulted.restarts, 0);
+        assert_eq!(faulted.checkpoints, 0);
+    }
+
+    #[test]
+    fn mtbf_failures_restart_and_preserve_physics() {
+        let sched = RankScheduler::sequential();
+        let cfg = small_cfg();
+        let clean = chemistry_campaign(&sched, ChemKernel::FusedLu, &cfg);
+        // Size MTBF to a fraction of the clean wall so failures land.
+        let mtbf = SimTime::from_secs(clean.elapsed.secs() / 3.0);
+        let scen = ScenarioSpec::named("mtbf-drill", 0xfa11)
+            .with_mtbf(mtbf)
+            .with_checkpoint(CheckpointSpec::orion(2, 1 << 16));
+        let faulted = chemistry_campaign_faulted(
+            &sched,
+            ChemKernel::FusedLu,
+            &cfg,
+            &scen,
+            &TelemetryCollector::shared(),
+        );
+        assert!(faulted.failures >= 1, "MTBF {mtbf:?} injected no failures");
+        assert_eq!(faulted.restarts, faulted.failures);
+        assert!(faulted.checkpoints >= 1);
+        assert!(faulted.max_lost_steps <= 2, "lost {} > interval 2", faulted.max_lost_steps);
+        assert!(faulted.elapsed > clean.elapsed, "faults must cost wall time");
+        // Physics is unchanged by checkpoint/restart.
+        assert_eq!(faulted.checksum.to_bits(), clean.checksum.to_bits());
+        assert_eq!(faulted.newton_total, clean.newton_total);
+    }
+
+    #[test]
+    fn faulted_campaign_is_deterministic_across_thread_counts() {
+        let cfg = small_cfg();
+        let scen = ScenarioSpec::named("det-drill", 7)
+            .with_mtbf(SimTime::from_micros(40.0))
+            .with_checkpoint(CheckpointSpec::orion(3, 1 << 14))
+            .with_straggler(3, 1.7)
+            .with_network(NetworkScenario::contended(1.5, 2.0, 0.2, 99));
+        let seq = chemistry_campaign_faulted(
+            &RankScheduler::sequential(),
+            ChemKernel::FusedLu,
+            &cfg,
+            &scen,
+            &TelemetryCollector::shared(),
+        );
+        for threads in [2, 4] {
+            let par = chemistry_campaign_faulted(
+                &RankScheduler::with_threads(threads),
+                ChemKernel::FusedLu,
+                &cfg,
+                &scen,
+                &TelemetryCollector::shared(),
+            );
+            assert_eq!(seq, par, "faulted campaign diverges at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn stragglers_stretch_wall_time_but_not_physics() {
+        let sched = RankScheduler::sequential();
+        let cfg = small_cfg();
+        let clean = chemistry_campaign_faulted(
+            &sched,
+            ChemKernel::FusedLu,
+            &cfg,
+            &ScenarioSpec::clean(),
+            &TelemetryCollector::shared(),
+        );
+        let scen = ScenarioSpec::named("slow-rank", 1).with_straggler(2, 2.5);
+        let skewed = chemistry_campaign_faulted(
+            &sched,
+            ChemKernel::FusedLu,
+            &cfg,
+            &scen,
+            &TelemetryCollector::shared(),
+        );
+        assert!(skewed.elapsed > clean.elapsed);
+        assert_eq!(skewed.checksum.to_bits(), clean.checksum.to_bits());
+        assert_eq!(skewed.newton_total, clean.newton_total);
+    }
+}

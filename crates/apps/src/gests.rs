@@ -10,7 +10,10 @@
 //! 32,768 MPI ranks for the N³ = 32,768³ problem" result.
 
 use crate::calibration::gests as cal;
-use exa_core::{perturb_measurement, Application, FigureOfMerit, FomMeasurement, Motif, RunContext};
+use exa_core::{
+    perturb_measurement, Application, FigureOfMerit, FomMeasurement, Injection, Motif,
+    NetworkScenario, RunContext,
+};
 use exa_fft::{fft3d, ifft3d, Decomp, DistFft3d};
 use exa_linalg::C64;
 use exa_machine::{GpuArch, MachineModel, SimTime};
@@ -34,6 +37,11 @@ pub struct PsdnsRun {
     /// Pipeline the transposes over this many chunks, hiding them behind
     /// the neighbouring FFT stages (`None` = the blocking BSP schedule).
     pub overlap_chunks: Option<usize>,
+    /// Degraded-fabric scenario: contention factors applied to the α–β
+    /// network view plus seeded per-operation jitter (`None` = calm
+    /// fabric). The fault-scenario drills run GESTS under this to exercise
+    /// the overlap engine on a congested Slingshot.
+    pub net_scenario: Option<NetworkScenario>,
 }
 
 impl PsdnsRun {
@@ -41,13 +49,19 @@ impl PsdnsRun {
     pub fn new(n: usize, ranks: usize, decomp: Decomp) -> Self {
         let plan = DistFft3d::new(n, decomp);
         assert!(plan.supports_ranks(ranks), "invalid decomposition");
-        PsdnsRun { n, ranks, decomp, overlap_chunks: None }
+        PsdnsRun { n, ranks, decomp, overlap_chunks: None, net_scenario: None }
     }
 
     /// Enable transpose/compute overlap with `chunks` pipeline chunks.
     pub fn with_overlap(mut self, chunks: usize) -> Self {
         assert!(chunks >= 1);
         self.overlap_chunks = Some(chunks);
+        self
+    }
+
+    /// Run on a degraded fabric (contention + seeded jitter).
+    pub fn with_network_scenario(mut self, scenario: NetworkScenario) -> Self {
+        self.net_scenario = Some(scenario);
         self
     }
 
@@ -66,19 +80,20 @@ impl PsdnsRun {
         machine: &MachineModel,
         telemetry: Option<&Arc<TelemetryCollector>>,
     ) -> SimTime {
-        self.step_time_observed(machine, telemetry, None)
+        self.step_time_observed(machine, telemetry, &[])
     }
 
-    /// [`PsdnsRun::step_time_profiled`] with optional synthetic fault
-    /// injection: phases whose name contains the needle run `factor`×
+    /// [`PsdnsRun::step_time_profiled`] with synthetic fault injections:
+    /// phases whose name contains an injection's needle run `factor`×
     /// longer (the extra time charged to every rank, so the recorded spans
-    /// and the returned wall time stretch together). Used by the
-    /// regression-sentinel drill in `fom_ledger`.
+    /// and the returned wall time stretch together; matching factors
+    /// compose multiplicatively). Used by the regression-sentinel drill in
+    /// `fom_ledger` and the scenario engine.
     pub fn step_time_observed(
         &self,
         machine: &MachineModel,
         telemetry: Option<&Arc<TelemetryCollector>>,
-        inject: Option<(&str, f64)>,
+        injections: &[Injection],
     ) -> SimTime {
         let mut plan = DistFft3d::new(self.n, self.decomp);
         plan.overlap_chunks = self.overlap_chunks;
@@ -93,20 +108,29 @@ impl PsdnsRun {
         // offloading was used to ... enable GPU-Direct MPI communications");
         // the 2019 CUDA reference staged transposes through host memory.
         let gpu_aware = !matches!(machine.node.gpu().arch, GpuArch::Volta);
-        let net = Network::from_machine(machine)
+        let mut net = Network::from_machine(machine)
             .with_ranks_per_node(ranks_per_node)
             .with_gpu_aware(gpu_aware);
+        if let Some(ns) = self.net_scenario {
+            net = net.with_contention(ns.alpha_factor, ns.beta_factor);
+        }
         let mut comm = Comm::new(self.ranks, net);
+        if let Some(ns) = self.net_scenario {
+            if ns.jitter_amp > 0.0 {
+                comm.set_jitter(ns.jitter_amp, ns.jitter_seed);
+            }
+        }
         let host = telemetry.map(|c| {
             comm.attach_telemetry(c, "gests/comm");
             c.track("gests/host", TrackKind::Host)
         });
         let gpu = machine.node.gpu();
         let stretch = |name: &str| -> f64 {
-            match inject {
-                Some((needle, factor)) if name.contains(needle) => factor,
-                _ => 1.0,
-            }
+            injections
+                .iter()
+                .filter(|inj| name.contains(inj.needle.as_str()))
+                .map(|inj| inj.factor)
+                .product()
         };
         for _ in 0..TRANSFORMS_PER_STEP {
             let start = comm.elapsed();
@@ -284,7 +308,7 @@ impl Application for Gests {
     fn run_profiled(&self, machine: &MachineModel, ctx: &RunContext<'_>) -> FomMeasurement {
         let rep = PsdnsRun::new(128, 8, Decomp::Slabs).with_overlap(4);
         let t_clean = rep.step_time(machine);
-        let t_observed = rep.step_time_observed(machine, Some(ctx.telemetry), ctx.inject);
+        let t_observed = rep.step_time_observed(machine, Some(ctx.telemetry), &ctx.injections);
         let ratio = if t_clean.is_zero() { 1.0 } else { t_observed / t_clean };
         perturb_measurement(self.run(machine), self.fom().higher_is_better, ratio)
     }

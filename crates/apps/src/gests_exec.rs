@@ -195,6 +195,7 @@ pub fn executed_dns_step(sched: &RankScheduler, cfg: &DnsStep) -> (DnsStepResult
         units: "points/s".into(),
         wall_s,
         run_tag: format!("executed-{}r-{}c", cfg.ranks, cfg.n),
+        scenario: String::new(),
         snapshot_digest: snapshot_digest.clone(),
         span_profile: Default::default(),
     };

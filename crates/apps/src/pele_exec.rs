@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 /// Nominal device time charged per cell·Newton-iteration (one fused
 /// rates+Jacobian+solve inner body on an MI250X GCD).
-const NEWTON_ITER_COST: f64 = 20e-9;
+pub(crate) const NEWTON_ITER_COST: f64 = 20e-9;
 
 /// One backward-Euler step with the fused, allocation-free Newton kernel.
 /// Numerically identical (bitwise) to
@@ -237,7 +237,7 @@ impl ChemKernel {
         }
     }
 
-    fn step(self, mech: &Mechanism, u: &[f64; NSPEC], dt: f64) -> ([f64; NSPEC], usize) {
+    pub(crate) fn step(self, mech: &Mechanism, u: &[f64; NSPEC], dt: f64) -> ([f64; NSPEC], usize) {
         match self {
             ChemKernel::BatchedLu => bdf1_step(mech, u, dt, ChemLinearSolver::BatchedLu),
             ChemKernel::MatrixFreeGmres => {
@@ -302,7 +302,7 @@ fn unit(h: u64) -> f64 {
 
 /// Deterministic initial cell state: mostly-cold fuel with a hot-spot
 /// fraction that triggers the stiff ignition transient.
-fn init_cell(rank: usize, cell: usize) -> [f64; NSPEC] {
+pub(crate) fn init_cell(rank: usize, cell: usize) -> [f64; NSPEC] {
     let h = splitmix64((rank as u64) << 32 | cell as u64);
     let hot = h % 8 == 0;
     let t = if hot { 1.1 + 0.3 * unit(splitmix64(h)) } else { 0.18 + 0.1 * unit(splitmix64(h)) };

@@ -147,6 +147,7 @@ fn measure_analysis() -> f64 {
             units: "replays/s".into(),
             wall_s: snapshot.wall_s,
             run_tag: format!("rep-{rep}"),
+            scenario: String::new(),
             snapshot_digest: exa_telemetry::digest64(&snapshot.to_json()),
             span_profile: profile,
         });

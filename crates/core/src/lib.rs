@@ -19,7 +19,10 @@
 //! * [`app::Application`] — the contract every mini-app implements: a
 //!   challenge problem, an FOM, and a `run(machine)` entry point;
 //! * [`campaign`] — porting campaigns over the early-access timeline with
-//!   stage-by-stage measurements and readiness reports.
+//!   stage-by-stage measurements and readiness reports;
+//! * [`scenario`] — the fault/contention scenario engine: deterministic
+//!   MTBF failure schedules, checkpoint/restart cost models, stragglers,
+//!   network degradation, and the Young/Daly checkpoint-interval theory.
 
 pub mod app;
 pub mod campaign;
@@ -27,6 +30,7 @@ pub mod fom;
 pub mod lessons;
 pub mod motif;
 pub mod profiled;
+pub mod scenario;
 
 pub use app::Application;
 pub use campaign::{CampaignStage, PortingCampaign, ReadinessReport};
@@ -34,3 +38,7 @@ pub use fom::{FigureOfMerit, FomMeasurement, SpeedupTarget};
 pub use lessons::{lessons, render_user_guide, IssueClass, Lesson, Topic};
 pub use motif::Motif;
 pub use profiled::{measure_record, perturb_measurement, record_phases, Phase, RunContext};
+pub use scenario::{
+    best_interval, daly_interval, expected_wall, sweep_intervals, young_interval, CheckpointSpec,
+    FailureEvent, Injection, NetworkScenario, ScenarioSpec, StragglerSpec, SweepPoint,
+};

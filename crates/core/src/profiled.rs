@@ -15,6 +15,7 @@
 
 use crate::app::Application;
 use crate::fom::FomMeasurement;
+use crate::scenario::{Injection, ScenarioSpec};
 use exa_machine::{MachineModel, SimTime};
 use exa_telemetry::ledger::{digest64, FomKind, FomRecord};
 use exa_telemetry::{span_profile, SpanCat, TelemetryCollector, TrackKind};
@@ -29,32 +30,60 @@ pub const SPAN_PROFILE_TOP: usize = 16;
 pub struct RunContext<'a> {
     /// Collector the run records into.
     pub telemetry: &'a Arc<TelemetryCollector>,
-    /// Synthetic fault injection for regression-sentinel drills: spans
-    /// whose name contains the needle run `factor`× longer.
-    pub inject: Option<(&'a str, f64)>,
+    /// Synthetic fault injections for regression-sentinel drills and
+    /// scenario runs: spans whose name contains an injection's needle run
+    /// `factor`× longer. Matching factors compose multiplicatively.
+    pub injections: Vec<Injection>,
+    /// Scenario tag stamped onto the ledger record (empty = clean run);
+    /// the sentinel uses it to separate "unlucky run" from "regression".
+    pub scenario: String,
 }
 
 impl<'a> RunContext<'a> {
     /// A clean profiled run.
     pub fn new(telemetry: &'a Arc<TelemetryCollector>) -> Self {
-        RunContext { telemetry, inject: None }
+        RunContext { telemetry, injections: Vec::new(), scenario: String::new() }
     }
 
-    /// A drill run: stretch spans matching `needle` by `factor`.
+    /// A drill run: stretch spans matching `needle` by `factor`. Shim over
+    /// [`RunContext::with_injections`] kept so the original single-knob
+    /// sentinel drills read unchanged.
     pub fn with_injection(
         telemetry: &'a Arc<TelemetryCollector>,
-        needle: &'a str,
+        needle: &str,
         factor: f64,
     ) -> Self {
-        RunContext { telemetry, inject: Some((needle, factor)) }
+        Self::with_injections(telemetry, vec![Injection::new(needle, factor)])
     }
 
-    /// Stretch factor for a span name (1.0 when uninjected/unmatched).
-    pub fn stretch(&self, span_name: &str) -> f64 {
-        match self.inject {
-            Some((needle, factor)) if span_name.contains(needle) => factor,
-            _ => 1.0,
+    /// A drill run with a list of span-stretch injections.
+    pub fn with_injections(
+        telemetry: &'a Arc<TelemetryCollector>,
+        injections: Vec<Injection>,
+    ) -> Self {
+        RunContext { telemetry, injections, scenario: String::new() }
+    }
+
+    /// A run under a full [`ScenarioSpec`]: takes the spec's injections
+    /// and stamps its tag. Fault/straggler/network dynamics are applied by
+    /// the instrumented apps themselves; this carries the parts every app
+    /// shares.
+    pub fn for_scenario(telemetry: &'a Arc<TelemetryCollector>, spec: &ScenarioSpec) -> Self {
+        RunContext {
+            telemetry,
+            injections: spec.injections.clone(),
+            scenario: spec.tag.clone(),
         }
+    }
+
+    /// Stretch factor for a span name: the product of all matching
+    /// injection factors (1.0 when none match).
+    pub fn stretch(&self, span_name: &str) -> f64 {
+        self.injections
+            .iter()
+            .filter(|inj| span_name.contains(inj.needle.as_str()))
+            .map(|inj| inj.factor)
+            .product()
     }
 }
 
@@ -135,6 +164,7 @@ pub fn measure_record(
         units: fom.units,
         wall_s: measurement.wall.secs(),
         run_tag: run_tag.to_string(),
+        scenario: ctx.scenario.clone(),
         snapshot_digest: digest64(&snapshot.to_json()),
         span_profile: profile,
     }
@@ -238,6 +268,33 @@ mod tests {
         assert_eq!(r.snapshot_digest.len(), 16);
         assert_eq!(r.span_profile.len(), 2);
         assert!((r.span_profile["fma"] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injection_list_composes_multiplicatively() {
+        let c = TelemetryCollector::shared();
+        let ctx = RunContext::with_injections(
+            &c,
+            vec![Injection::new("fma", 2.0), Injection::new("fm", 1.5), Injection::new("x", 9.0)],
+        );
+        assert!((ctx.stretch("fma") - 3.0).abs() < 1e-12, "both needles match fma");
+        assert!((ctx.stretch("allreduce") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_context_stamps_the_ledger_record() {
+        let c = TelemetryCollector::shared();
+        let spec =
+            crate::scenario::ScenarioSpec::named("mtbf-drill", 7).with_injection("fma", 2.0);
+        let ctx = RunContext::for_scenario(&c, &spec);
+        assert_eq!(ctx.scenario, "mtbf-drill");
+        assert!((ctx.stretch("fma") - 2.0).abs() < 1e-12);
+        let r = measure_record(&ToyApp, &MachineModel::frontier(), &ctx, "v1-test");
+        assert_eq!(r.scenario, "mtbf-drill");
+        // A clean context leaves the tag empty.
+        let c2 = TelemetryCollector::shared();
+        let clean = measure_record(&ToyApp, &MachineModel::frontier(), &RunContext::new(&c2), "v");
+        assert!(clean.scenario.is_empty());
     }
 
     #[test]

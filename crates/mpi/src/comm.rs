@@ -55,6 +55,28 @@ impl MetricSource for CommStats {
     }
 }
 
+/// Seeded multiplicative network jitter: each operation's cost is scaled
+/// by `1 + amp·u`, `u ∈ [0, 1)` the next draw of a hash sequence — the
+/// scenario engine's model of a noisy shared fabric. No wall-clock
+/// randomness: same seed, same operation order, same costs.
+#[derive(Debug, Clone, Copy)]
+struct Jitter {
+    amp: f64,
+    seed: u64,
+    seq: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A communicator's attachment to a shared [`TelemetryCollector`]: one
 /// comm-rank track per rank.
 #[derive(Debug)]
@@ -82,6 +104,12 @@ pub struct Comm {
     /// nonblocking traffic serialises here, and later operations cannot
     /// start before it (one injection pipe per communicator).
     pub(crate) net_free: SimTime,
+    /// Optional seeded network jitter on blocking operation costs.
+    jitter: Option<Jitter>,
+    /// When set, every blocking collective records `straggler-wait/<op>`
+    /// spans ([`SpanCat::Fault`]) on the ranks that arrived early. Off by
+    /// default so clean-run traces are unchanged.
+    straggler_spans: bool,
 }
 
 impl Comm {
@@ -95,6 +123,36 @@ impl Comm {
             waits: vec![SimTime::ZERO; size],
             telemetry: None,
             net_free: SimTime::ZERO,
+            jitter: None,
+            straggler_spans: false,
+        }
+    }
+
+    /// Enable deterministic network jitter: every blocking collective and
+    /// point-to-point cost is scaled by `1 + amp·u`, `u ∈ [0, 1)` drawn
+    /// from a seeded hash sequence in operation order. `amp = 0` disables.
+    /// (Nonblocking operations are shaped by [`Network::with_contention`]
+    /// instead: their posted costs come straight from the α–β models.)
+    pub fn set_jitter(&mut self, amp: f64, seed: u64) {
+        assert!((0.0..1.0).contains(&amp), "jitter amplitude must be in [0, 1)");
+        self.jitter = (amp > 0.0).then_some(Jitter { amp, seed, seq: 0 });
+    }
+
+    /// Toggle `straggler-wait/<op>` span recording on blocking collectives
+    /// (needs attached telemetry). Off by default.
+    pub fn record_straggler_spans(&mut self, on: bool) {
+        self.straggler_spans = on;
+    }
+
+    /// Next jittered cost (identity when jitter is off).
+    fn perturb(&mut self, cost: SimTime) -> SimTime {
+        match self.jitter.as_mut() {
+            Some(j) => {
+                let u = unit(splitmix64(j.seed ^ j.seq.wrapping_mul(0x9e3779b97f4a7c15)));
+                j.seq += 1;
+                cost * (1.0 + j.amp * u)
+            }
+            None => cost,
         }
     }
 
@@ -195,6 +253,26 @@ impl Comm {
     }
 
     fn collective(&mut self, name: &'static str, cost: SimTime, bytes: u64) -> SimTime {
+        let cost = self.perturb(cost);
+        // Straggler attribution: the ranks already at the collective wait
+        // for the last arrival — record that wait per early rank before the
+        // clocks are synchronised away.
+        if self.straggler_spans {
+            if let Some(tel) = self.telemetry.as_ref() {
+                let last = self.elapsed();
+                for (r, c) in self.clocks.iter().enumerate() {
+                    if c.now() < last {
+                        tel.collector.complete(
+                            tel.tracks[r],
+                            format!("straggler-wait/{name}"),
+                            SpanCat::Fault,
+                            c.now(),
+                            last,
+                        );
+                    }
+                }
+            }
+        }
         let arrived = self.sync_all();
         // In-flight nonblocking traffic holds the injection pipe: a blocking
         // operation posted behind it stalls (and the stall is a wait).
@@ -232,7 +310,8 @@ impl Comm {
             self.waits[r] += dt;
             self.stats.wait += dt;
         }
-        let done = start + self.net.p2p(bytes);
+        let p2p = self.net.p2p(bytes);
+        let done = start + self.perturb(p2p);
         self.clocks[src].sync_to(done);
         self.clocks[dst].sync_to(done);
         self.stats.messages += 1;
@@ -449,6 +528,11 @@ impl Comm {
         }
         self.stats = CommStats::default();
         self.net_free = SimTime::ZERO;
+        // Restart the jitter draw sequence so repetitions replay the same
+        // perturbations.
+        if let Some(j) = self.jitter.as_mut() {
+            j.seq = 0;
+        }
     }
 }
 
@@ -645,6 +729,64 @@ mod tests {
         c.reset();
         assert_eq!(c.max_wait(), SimTime::ZERO);
         assert_eq!(c.stats().wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn jitter_inflates_costs_deterministically() {
+        let run = |seed: u64| {
+            let mut c = comm(8);
+            c.set_jitter(0.3, seed);
+            for _ in 0..16 {
+                c.allreduce(1 << 12);
+            }
+            c.elapsed()
+        };
+        let calm = {
+            let mut c = comm(8);
+            for _ in 0..16 {
+                c.allreduce(1 << 12);
+            }
+            c.elapsed()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed must replay the same jitter");
+        assert_ne!(a, run(43), "different seed, different noise");
+        assert!(a > calm, "jitter can only slow the fabric");
+        assert!(a < calm * 1.3 + SimTime::from_secs(1e-12), "bounded by the amplitude");
+        // reset() restarts the draw sequence.
+        let mut c = comm(8);
+        c.set_jitter(0.3, 42);
+        for _ in 0..16 {
+            c.allreduce(1 << 12);
+        }
+        let first = c.elapsed();
+        c.reset();
+        for _ in 0..16 {
+            c.allreduce(1 << 12);
+        }
+        assert_eq!(c.elapsed(), first);
+    }
+
+    #[test]
+    fn straggler_wait_spans_record_only_when_enabled() {
+        let run = |enabled: bool| {
+            let collector = TelemetryCollector::shared();
+            let mut c = comm(4);
+            c.attach_telemetry(&collector, "w");
+            c.record_straggler_spans(enabled);
+            c.advance(2, SimTime::from_millis(3.0)); // straggler
+            c.allreduce(1 << 10);
+            c.absorb_telemetry();
+            collector.snapshot()
+        };
+        let off = run(false);
+        assert!(off.tracks.iter().all(|t| t.spans == 1), "clean traces unchanged");
+        let on = run(true);
+        // Ranks 0, 1, 3 waited on rank 2: one extra fault-cat span each.
+        for t in &on.tracks {
+            let expect = if t.name == "w/rank2" { 1 } else { 2 };
+            assert_eq!(t.spans, expect, "track {}", t.name);
+        }
     }
 
     #[test]

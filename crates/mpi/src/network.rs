@@ -14,6 +14,10 @@ pub struct Network {
     /// Whether payloads move NIC↔HBM directly (GPU-aware) or stage through
     /// host memory.
     pub gpu_aware: bool,
+    /// Shared-fabric contention multiplier on α (≥ 1; 1 = calm fabric).
+    pub alpha_contention: f64,
+    /// Shared-fabric contention multiplier on β (≥ 1; 1 = calm fabric).
+    pub beta_contention: f64,
 }
 
 impl Network {
@@ -26,7 +30,19 @@ impl Network {
             nics_per_node: m.node.nics,
             ranks_per_node: ranks.max(1),
             gpu_aware: m.node.has_gpus(),
+            alpha_contention: 1.0,
+            beta_contention: 1.0,
         }
+    }
+
+    /// Degrade the fabric: multiply α by `alpha_factor` and β by
+    /// `beta_factor` (a congested fabric costs more per message and per
+    /// byte). Factors must be ≥ 1.
+    pub fn with_contention(mut self, alpha_factor: f64, beta_factor: f64) -> Self {
+        assert!(alpha_factor >= 1.0 && beta_factor >= 1.0, "contention cannot speed the fabric up");
+        self.alpha_contention = alpha_factor;
+        self.beta_contention = beta_factor;
+        self
     }
 
     /// Override the ranks-per-node mapping.
@@ -45,11 +61,12 @@ impl Network {
     /// Per-message latency (α), including the host-staging penalty when
     /// GPU-aware MPI is off.
     pub fn alpha(&self) -> SimTime {
-        if self.gpu_aware {
+        let base = if self.gpu_aware {
             self.model.alpha
         } else {
             self.model.alpha + self.model.host_staging_penalty
-        }
+        };
+        base * self.alpha_contention
     }
 
     /// Effective per-rank injection bandwidth in bytes/s: the node's NICs
@@ -66,7 +83,7 @@ impl Network {
 
     /// Per-byte cost (β) seen by one rank.
     pub fn beta(&self) -> f64 {
-        1.0 / self.rank_bandwidth()
+        self.beta_contention / self.rank_bandwidth()
     }
 
     /// β derated for bisection-limited global patterns (all-to-all).
@@ -115,5 +132,18 @@ mod tests {
     fn global_beta_is_derated() {
         let n = Network::from_machine(&MachineModel::frontier());
         assert!(n.beta_global() > n.beta());
+    }
+
+    #[test]
+    fn contention_scales_alpha_and_beta() {
+        let calm = Network::from_machine(&MachineModel::frontier());
+        let busy = calm.clone().with_contention(2.0, 3.0);
+        assert_eq!(busy.alpha(), calm.alpha() * 2.0);
+        assert!((busy.beta() - calm.beta() * 3.0).abs() < 1e-24);
+        assert!((busy.beta_global() - calm.beta_global() * 3.0).abs() < 1e-24);
+        assert!(busy.p2p(1 << 20) > calm.p2p(1 << 20) * 2.0);
+        // Default construction is a calm fabric.
+        assert_eq!(calm.alpha_contention, 1.0);
+        assert_eq!(calm.beta_contention, 1.0);
     }
 }

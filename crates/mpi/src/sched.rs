@@ -250,6 +250,25 @@ impl RankScheduler {
         S: Send,
         F: Fn(&mut RankCtx, &mut S) + Sync,
     {
+        self.compute_phase_skewed(comm, states, None, f)
+    }
+
+    /// [`RankScheduler::compute_phase`] with per-rank clock skew: rank `r`'s
+    /// virtual compute time (elapsed clock *and* recorded spans) is scaled
+    /// by `skew[r]` during the merge — the straggler model of the fault
+    /// scenario engine. The closure itself runs unchanged, so rank state
+    /// stays bit-identical to the unskewed run; only virtual time stretches.
+    /// `None` (or all-1.0) is exactly [`RankScheduler::compute_phase`].
+    pub fn compute_phase_skewed<S, F>(
+        &self,
+        comm: &mut Comm,
+        states: &mut [S],
+        skew: Option<&[f64]>,
+        f: F,
+    ) where
+        S: Send,
+        F: Fn(&mut RankCtx, &mut S) + Sync,
+    {
         let p = comm.size();
         assert_eq!(states.len(), p, "one state per rank");
         let starts: Vec<SimTime> = (0..p).map(|r| comm.now(r)).collect();
@@ -310,6 +329,25 @@ impl RankScheduler {
             }
             t1
         });
+        // Straggler skew: stretch each rank's virtual outcome about its
+        // phase start. Done positionally on the outcome table, before any
+        // clock or telemetry merge, so skewed runs stay thread-count
+        // deterministic for exactly the same reason unskewed runs do.
+        if let Some(skew) = skew {
+            assert_eq!(skew.len(), p, "one skew factor per rank");
+            for (r, (elapsed, events)) in outs.iter_mut().enumerate() {
+                let s = skew[r];
+                assert!(s.is_finite() && s > 0.0, "rank {r} skew {s} invalid");
+                if s == 1.0 {
+                    continue;
+                }
+                *elapsed = *elapsed * s;
+                for e in events.iter_mut() {
+                    e.start = starts[r] + (e.start - starts[r]) * s;
+                    e.end = starts[r] + (e.end - starts[r]) * s;
+                }
+            }
+        }
         // Merge step 1: clocks, in rank order — identical to the
         // sequential scheduler's charging order.
         for (r, (elapsed, _)) in outs.iter().enumerate() {
@@ -463,6 +501,31 @@ mod tests {
             collector.snapshot().to_json()
         };
         assert_eq!(run(1), run(4), "snapshot (incl. histogram) must be byte-identical");
+    }
+
+    #[test]
+    fn skewed_phase_stretches_only_the_straggler_and_stays_deterministic() {
+        let run = |threads: usize| {
+            let sched = RankScheduler::with_threads(threads);
+            let collector = TelemetryCollector::shared();
+            let mut comm =
+                Comm::new(4, Network::from_machine(&exa_machine::MachineModel::frontier()));
+            comm.attach_telemetry(&collector, "w");
+            let mut states = vec![(); 4];
+            let skew = [1.0, 1.0, 3.0, 1.0];
+            sched.compute_phase_skewed(&mut comm, &mut states, Some(&skew), |ctx, _| {
+                ctx.span("k", SpanCat::Kernel, us(2.0));
+            });
+            let clocks: Vec<SimTime> = (0..4).map(|r| comm.now(r)).collect();
+            comm.absorb_telemetry();
+            (clocks, collector.snapshot().to_json())
+        };
+        let (clocks, snap1) = run(1);
+        assert_eq!(clocks[2], us(6.0), "straggler stretched 3x");
+        assert_eq!(clocks[0], us(2.0), "nominal ranks untouched");
+        let (c4, snap4) = run(4);
+        assert_eq!(clocks, c4, "skewed clocks must be thread-count invariant");
+        assert_eq!(snap1, snap4, "skewed telemetry must be byte-identical");
     }
 
     #[test]

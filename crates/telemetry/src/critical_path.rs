@@ -153,6 +153,46 @@ impl CriticalPath {
     }
 }
 
+/// Where a fault scenario's lost time went, summed from critical-path
+/// `by_span` attribution over the scenario engine's span families.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct FaultAttribution {
+    /// Seconds in `fault/` spans (failure detection + relaunch penalty).
+    pub fault_s: f64,
+    /// Seconds in `checkpoint/` spans (periodic snapshot I/O).
+    pub checkpoint_s: f64,
+    /// Seconds in `restart/` spans (snapshot reload + lost-work replay).
+    pub restart_s: f64,
+    /// Seconds in `straggler-wait/` spans (skew-induced collective waits).
+    pub straggler_wait_s: f64,
+}
+
+impl FaultAttribution {
+    /// Total scenario-attributed seconds.
+    pub fn total_s(&self) -> f64 {
+        self.fault_s + self.checkpoint_s + self.restart_s + self.straggler_wait_s
+    }
+}
+
+/// Attribute critical-path span seconds to the scenario span families by
+/// their name prefixes (`fault/`, `checkpoint/`, `restart/`,
+/// `straggler-wait/`). Spans outside those families are ignored.
+pub fn fault_attribution(by_span: &BTreeMap<String, f64>) -> FaultAttribution {
+    let mut att = FaultAttribution::default();
+    for (name, &secs) in by_span {
+        if name.starts_with("fault/") {
+            att.fault_s += secs;
+        } else if name.starts_with("checkpoint/") {
+            att.checkpoint_s += secs;
+        } else if name.starts_with("restart/") {
+            att.restart_s += secs;
+        } else if name.starts_with("straggler-wait/") {
+            att.straggler_wait_s += secs;
+        }
+    }
+    att
+}
+
 /// Busy/idle attribution for one track — imbalance shows up as unequal
 /// idle shares across `comm_rank` tracks.
 #[derive(Debug, Clone, Serialize)]
@@ -351,6 +391,24 @@ mod tests {
         let top1 = span_profile(&tl, 1);
         assert_eq!(top1.len(), 1);
         assert!(top1.contains_key("step"));
+    }
+
+    #[test]
+    fn fault_attribution_sums_by_prefix() {
+        let by_span = BTreeMap::from([
+            ("fault/rank7".to_string(), 5.0),
+            ("checkpoint/write".to_string(), 1.5),
+            ("restart/reload".to_string(), 0.5),
+            ("restart/replay".to_string(), 2.0),
+            ("straggler-wait/allreduce".to_string(), 0.25),
+            ("chem_substep".to_string(), 40.0),
+        ]);
+        let att = fault_attribution(&by_span);
+        assert_eq!(att.fault_s, 5.0);
+        assert_eq!(att.checkpoint_s, 1.5);
+        assert_eq!(att.restart_s, 2.5);
+        assert_eq!(att.straggler_wait_s, 0.25);
+        assert!((att.total_s() - 9.25).abs() < 1e-12, "compute spans excluded");
     }
 
     #[test]

@@ -104,6 +104,10 @@ pub struct FomRecord {
     pub wall_s: f64,
     /// Git-describe-style tag of the code state that produced the run.
     pub run_tag: String,
+    /// Fault-scenario tag (empty = clean run). A tagged record ran under
+    /// injected faults/contention, so the sentinel treats its slowdowns as
+    /// "unlucky run", not "code regression".
+    pub scenario: String,
     /// FNV-1a digest of the run's full `TelemetrySnapshot` JSON.
     pub snapshot_digest: String,
     /// Span name → total seconds across the run's timeline (top entries).
@@ -112,13 +116,16 @@ pub struct FomRecord {
 
 impl FomRecord {
     /// Identity key used for merge/append deduplication: two records with
-    /// the same identity describe the same run of the same code state.
-    pub fn identity(&self) -> (String, String, &'static str, String, String) {
+    /// the same identity describe the same run of the same code state
+    /// under the same scenario (a clean run and an MTBF drill of the same
+    /// tag are distinct history entries).
+    pub fn identity(&self) -> RecordIdentity {
         (
             self.app.clone(),
             self.machine.clone(),
             self.kind.label(),
             self.run_tag.clone(),
+            self.scenario.clone(),
             self.snapshot_digest.clone(),
         )
     }
@@ -159,6 +166,12 @@ impl FomRecord {
             units: str_field("units")?,
             wall_s: num_field("wall_s")?,
             run_tag: str_field("run_tag")?,
+            // Pre-scenario ledgers have no tag: default to clean.
+            scenario: v
+                .get("scenario")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
             snapshot_digest: str_field("snapshot_digest")?,
             span_profile,
         })
@@ -303,7 +316,10 @@ impl FomLedger {
     }
 }
 
-fn id_seq(records: &[FomRecord], id: &(String, String, &'static str, String, String)) -> u64 {
+/// The deduplication key: (app, machine, kind, run_tag, scenario, digest).
+pub type RecordIdentity = (String, String, &'static str, String, String, String);
+
+fn id_seq(records: &[FomRecord], id: &RecordIdentity) -> u64 {
     records.iter().find(|r| &r.identity() == id).map(|r| r.seq).expect("identity present")
 }
 
@@ -333,6 +349,7 @@ mod tests {
             units: "widgets/s".into(),
             wall_s: 1.0 / value,
             run_tag: tag.into(),
+            scenario: String::new(),
             snapshot_digest: digest64(&format!("{app}/{tag}/{value}")),
             span_profile: BTreeMap::from([("kernel".to_string(), 0.8), ("comm".to_string(), 0.2)]),
         }
@@ -396,6 +413,39 @@ mod tests {
         assert_eq!(a.run_tag, b.run_tag);
         assert_eq!(a.snapshot_digest, b.snapshot_digest);
         assert_eq!(a.span_profile, b.span_profile);
+    }
+
+    #[test]
+    fn scenario_tag_distinguishes_identity_and_roundtrips() {
+        let mut l = FomLedger::new();
+        let clean = rec("A", "v1", 10.0);
+        let mut drill = rec("A", "v1", 7.0);
+        drill.scenario = "mtbf-seed42".into();
+        drill.snapshot_digest = clean.snapshot_digest.clone(); // same code state
+        l.append(clean);
+        l.append(drill.clone());
+        assert_eq!(l.len(), 2, "a tagged run must not dedupe against the clean run");
+        // Re-appending the tagged run is still idempotent.
+        l.append(drill);
+        assert_eq!(l.len(), 2);
+        let parsed = FomLedger::parse(&l.to_json()).unwrap();
+        assert_eq!(parsed.records[0].scenario, "");
+        assert_eq!(parsed.records[1].scenario, "mtbf-seed42");
+    }
+
+    #[test]
+    fn legacy_record_without_scenario_parses_as_clean() {
+        let doc = r#"{
+          "version": 1,
+          "records": [{
+            "seq": 0, "app": "A", "machine": "Frontier", "nodes": 9408,
+            "kind": "Throughput", "value": 10.0, "units": "w/s",
+            "wall_s": 0.1, "run_tag": "v1", "snapshot_digest": "0123456789abcdef",
+            "span_profile": {}
+          }]
+        }"#;
+        let l = FomLedger::parse(doc).expect("legacy ledger parses");
+        assert_eq!(l.records[0].scenario, "");
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod validate;
 
 pub use collector::{SpanGuard, TelemetryCollector};
 pub use critical_path::{
-    diff_profiles, max_rank_idle, rank_attribution, span_profile, CriticalPath, PathSegment,
-    RankAttribution, SpanDelta,
+    diff_profiles, fault_attribution, max_rank_idle, rank_attribution, span_profile, CriticalPath,
+    FaultAttribution, PathSegment, RankAttribution, SpanDelta,
 };
 pub use export::{
     chrome_trace, folded_stacks, hotspot_csv, prometheus_name, prometheus_text, RooflinePoint,

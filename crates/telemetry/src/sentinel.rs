@@ -8,6 +8,12 @@
 //! baseline is the *median* of the last N prior runs — robust to a single
 //! noisy outlier either way — and the verdict thresholds default to the
 //! conventional 15% warn / 50% fail bands.
+//!
+//! Scenario awareness: records produced under a fault scenario carry a
+//! non-empty `scenario` tag. Tagged records never feed the baseline (an
+//! MTBF drill is not a performance baseline), and a tagged newest record
+//! can at worst [`Verdict::Warn`] — an unlucky run under injected faults
+//! is not a code regression.
 
 use crate::critical_path::{diff_profiles, SpanDelta};
 use crate::ledger::{FomKind, FomLedger, FomRecord};
@@ -74,6 +80,9 @@ pub struct SentinelReport {
     pub run_tag: String,
     /// Run tag of the baseline record.
     pub baseline_run_tag: String,
+    /// Fault-scenario tag of the newest record (empty = clean run). When
+    /// non-empty the verdict has been capped at [`Verdict::Warn`].
+    pub scenario: String,
     /// Name of the dominant regressing span from the critical-path diff,
     /// when one grew.
     pub culprit_span: Option<String>,
@@ -88,14 +97,20 @@ impl SentinelReport {
             Some(c) => format!(" (top regressing span: {c})"),
             None => String::new(),
         };
+        let scenario = if self.scenario.is_empty() {
+            String::new()
+        } else {
+            format!(" [scenario: {}]", self.scenario)
+        };
         format!(
-            "{}: {} {:.3}x vs baseline {} on {}{}",
+            "{}: {} {:.3}x vs baseline {} on {}{}{}",
             self.verdict.label(),
             self.app,
             self.regression,
             self.baseline_run_tag,
             self.machine,
-            culprit
+            culprit,
+            scenario
         )
     }
 }
@@ -121,20 +136,31 @@ pub fn run_sentinel(
     const EPS: f64 = 1e-300;
     let series = ledger.series(app, machine, kind);
     let (newest, priors) = series.split_last()?;
-    let window_start = priors.len().saturating_sub(config.window);
-    let baseline = if priors.is_empty() { newest } else { median_record(&priors[window_start..]) };
+    // Scenario-tagged priors are not baselines: a run that survived an MTBF
+    // drill measures the drill, not the code. Fall back to the tagged
+    // priors only when the series has no clean history at all.
+    let clean_priors: Vec<&FomRecord> =
+        priors.iter().copied().filter(|r| r.scenario.is_empty()).collect();
+    let pool: &[&FomRecord] = if clean_priors.is_empty() { priors } else { &clean_priors };
+    let window_start = pool.len().saturating_sub(config.window);
+    let baseline = if pool.is_empty() { newest } else { median_record(&pool[window_start..]) };
     let regression = if kind.higher_is_better() {
         (baseline.value + EPS) / (newest.value + EPS)
     } else {
         (newest.value + EPS) / (baseline.value + EPS)
     };
-    let verdict = if regression >= config.fail_ratio {
+    let mut verdict = if regression >= config.fail_ratio {
         Verdict::Fail
     } else if regression >= config.warn_ratio {
         Verdict::Warn
     } else {
         Verdict::Pass
     };
+    // An unlucky run is not a code regression: under a fault scenario the
+    // sentinel flags, it never gates.
+    if !newest.scenario.is_empty() && verdict == Verdict::Fail {
+        verdict = Verdict::Warn;
+    }
     let mut explanation = diff_profiles(&baseline.span_profile, &newest.span_profile);
     let culprit_span = explanation
         .first()
@@ -151,6 +177,7 @@ pub fn run_sentinel(
         regression,
         run_tag: newest.run_tag.clone(),
         baseline_run_tag: baseline.run_tag.clone(),
+        scenario: newest.scenario.clone(),
         culprit_span,
         explanation,
     })
@@ -186,6 +213,7 @@ mod tests {
             units: "u".into(),
             wall_s: 1.0,
             run_tag: tag.into(),
+            scenario: String::new(),
             snapshot_digest: digest64(&format!("{app}/{tag}/{value}")),
             span_profile: spans.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
         }
@@ -286,6 +314,50 @@ mod tests {
             .unwrap();
         assert_eq!(r.verdict, Verdict::Pass);
         assert!(r.regression < 1.0);
+    }
+
+    #[test]
+    fn scenario_tagged_regression_warns_instead_of_failing() {
+        let mut l = FomLedger::new();
+        for i in 0..4 {
+            l.append(rec("A", &format!("v{i}"), FomKind::Throughput, 100.0, &[("k", 1.0)]));
+        }
+        // Identical 2x slowdowns; only the tag differs.
+        let mut unlucky = rec("A", "v9", FomKind::Throughput, 50.0, &[("k", 2.0)]);
+        unlucky.scenario = "mtbf-seed42".into();
+        let mut tagged = l.clone();
+        tagged.append(unlucky);
+        let rt = run_sentinel(&tagged, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(rt.verdict, Verdict::Warn, "unlucky run must not gate");
+        assert_eq!(rt.scenario, "mtbf-seed42");
+        assert!(rt.summary().contains("[scenario: mtbf-seed42]"));
+
+        l.append(rec("A", "v9", FomKind::Throughput, 50.0, &[("k", 2.0)]));
+        let rc = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(rc.verdict, Verdict::Fail, "the same slowdown untagged is a regression");
+        assert!(rc.scenario.is_empty());
+    }
+
+    #[test]
+    fn tagged_priors_do_not_poison_the_baseline() {
+        let mut l = FomLedger::new();
+        l.append(rec("A", "v0", FomKind::Throughput, 100.0, &[]));
+        // A string of terrible drill results...
+        for i in 0..6 {
+            let mut drill = rec("A", &format!("d{i}"), FomKind::Throughput, 20.0, &[]);
+            drill.scenario = "mtbf".into();
+            l.append(drill);
+        }
+        // ...then a genuinely regressed clean run. Against the clean
+        // baseline (100) this is a 2x fail; against the drill-polluted
+        // median (20) it would pass as an improvement.
+        l.append(rec("A", "v1", FomKind::Throughput, 50.0, &[]));
+        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Fail);
+        assert_eq!(r.baseline_run_tag, "v0");
     }
 
     #[test]

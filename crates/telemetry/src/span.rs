@@ -51,6 +51,10 @@ pub enum SpanCat {
     /// One pool task executed on a worker lane (wall-clock substrate
     /// tracks).
     Task,
+    /// Fault-scenario time: rank failures, checkpoint I/O, restart replay,
+    /// and straggler waits (`fault/`, `checkpoint/`, `restart/`,
+    /// `straggler-wait/` span families).
+    Fault,
 }
 
 impl SpanCat {
@@ -64,6 +68,7 @@ impl SpanCat {
             SpanCat::Message => "message",
             SpanCat::Phase => "phase",
             SpanCat::Task => "task",
+            SpanCat::Fault => "fault",
         }
     }
 }

@@ -29,6 +29,14 @@
 #      pool observer and histograms enabled. This script then
 #      schema-checks PROFILE_substrate.json, METRICS.prom,
 #      PROFILE_pele.folded, and BENCH_telemetry_overhead.json.
+#   8. fault scenarios: `fault_scenarios` sweeps checkpoint intervals
+#      against MTBF per Table-2 app (gating the optimum against Young/Daly),
+#      runs the 256-rank Pele campaign under an MTBF failure schedule with
+#      checkpoint/restart + stragglers (thread-deterministic, physics
+#      bit-identical, restart/ time on the critical path), proves the
+#      sentinel downgrades tagged chaos drills to warn, and re-runs GESTS
+#      on a contended fabric with the overlap engine; this script then
+#      schema-checks BENCH_fault_scenarios.json.
 #
 # Any step failing fails the flow.
 set -euo pipefail
@@ -44,12 +52,13 @@ cargo bench -q -p exa-bench --bench comm_overlap
 cargo bench -q -p exa-bench --bench sim_throughput
 EXA_THREADS=4 cargo run --release -q -p exa-bench --bin obs_export
 EXA_THREADS=4 cargo bench -q -p exa-bench --bench telemetry_overhead
+EXA_THREADS=4 cargo run --release -q -p exa-bench --bin fault_scenarios
 
 # Belt-and-braces: the gates above already validated the artifacts, but make
 # absence-of-output a hard failure too.
 for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json BENCH_comm_overlap.json \
          BENCH_sim_throughput.json PROFILE_substrate.json METRICS.prom PROFILE_pele.folded \
-         BENCH_telemetry_overhead.json; do
+         BENCH_telemetry_overhead.json BENCH_fault_scenarios.json; do
     [ -s "$f" ] || { echo "tier1: missing artifact $f" >&2; exit 1; }
 done
 
@@ -112,4 +121,23 @@ awk -v r="$ratio" 'BEGIN { exit !(r > 0.0 && r < 1.05) }' \
 grep -q '"pass": true' BENCH_telemetry_overhead.json \
     || { echo "tier1: BENCH_telemetry_overhead.json did not pass its own gate" >&2; exit 1; }
 
-echo "tier1: build + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches + observability export all green"
+# Fault-scenario schema spot-check: the bin gates itself; re-assert the
+# record carries a non-empty interval sweep with achieved <= ideal FOM,
+# valid (non-empty) scenario tags, at least one injected failure with a
+# restart, and the overall pass flag.
+grep -q '"pass": true' BENCH_fault_scenarios.json \
+    || { echo "tier1: BENCH_fault_scenarios.json did not pass its own gate" >&2; exit 1; }
+sweep_pts=$(grep -c '"interval_s":' BENCH_fault_scenarios.json)
+[ "$sweep_pts" -ge 8 ] || { echo "tier1: fault sweep has only $sweep_pts points" >&2; exit 1; }
+awk -F'[:,]' '
+    /"ideal_fom":/    { gsub(/ /, "", $2); ideal = $2 }
+    /"achieved_fom":/ { gsub(/ /, "", $2); if ($2 + 0 > ideal + 0) bad = 1 }
+    END { exit bad }' BENCH_fault_scenarios.json \
+    || { echo "tier1: BENCH_fault_scenarios.json has achieved FOM above ideal" >&2; exit 1; }
+if grep -q '"scenario": ""' BENCH_fault_scenarios.json; then
+    echo "tier1: BENCH_fault_scenarios.json carries an empty scenario tag" >&2; exit 1
+fi
+restarts=$(awk -F'[:,]' '/"restarts":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_fault_scenarios.json)
+[ "$restarts" -ge 1 ] || { echo "tier1: faulted Pele campaign restarted $restarts times (need >= 1)" >&2; exit 1; }
+
+echo "tier1: build + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches + observability export + fault scenarios all green"

@@ -34,6 +34,7 @@ fn record(app: usize, machine: usize, kind: usize, tag: usize, value: f64) -> Fo
         units: "u/s".to_string(),
         wall_s: 1.0 / value,
         run_tag: format!("v{tag}"),
+        scenario: String::new(),
         snapshot_digest: format!("{:016x}", tag as u64 * 2_654_435_761 + app as u64),
         span_profile,
     }
