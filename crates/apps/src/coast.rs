@@ -48,7 +48,7 @@ pub fn floyd_warshall_ref(dist: &mut [f32], n: usize) {
 /// the reference.
 pub fn floyd_warshall_blocked(dist: &mut [f32], n: usize, b: usize) {
     assert_eq!(dist.len(), n * n);
-    assert!(b >= 1 && n % b == 0, "tile must divide n");
+    assert!(b >= 1 && n.is_multiple_of(b), "tile must divide n");
     let nb = n / b;
     for kb in 0..nb {
         // Phase 1: diagonal tile.
@@ -147,7 +147,7 @@ pub fn autotune(gpu: &GpuModel, eff: f64) -> (Tiling, f64) {
             let p = t.profile(n, eff);
             let time = gpu.kernel_time(&p);
             let tf = p.flops / time.secs() / 1e12;
-            if best.map_or(true, |(_, b)| tf > b) {
+            if best.is_none_or(|(_, b)| tf > b) {
                 best = Some((t, tf));
             }
         }
@@ -408,7 +408,7 @@ pub fn distributed_apsp(
     let p = comm.size();
     let q = (p as f64).sqrt().round() as usize;
     assert_eq!(q * q, p, "distributed APSP needs a square process grid");
-    assert!(n % q == 0, "matrix order must divide the grid");
+    assert!(n.is_multiple_of(q), "matrix order must divide the grid");
     let tile = n / q; // per-rank block edge
     let start = comm.elapsed();
 

@@ -204,7 +204,7 @@ pub fn chemistry_campaign_faulted(
 
         // Defensive checkpoint every `interval_steps` committed substeps.
         if let Some(ck) = &scenario.checkpoint {
-            if ck.interval_steps > 0 && step % ck.interval_steps == 0 && step < cfg.substeps {
+            if ck.interval_steps > 0 && step.is_multiple_of(ck.interval_steps) && step < cfg.substeps {
                 snapshot.clone_from(&states);
                 last_ckpt_step = step;
                 checkpoints += 1;

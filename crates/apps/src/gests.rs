@@ -205,7 +205,7 @@ impl MiniPsdns {
         ifft3d(&mut phys, n, n, n);
         for z in phys.iter_mut() {
             // Mild quadratic transfer keeps the cascade surrogate stable.
-            *z = *z + C64::from_re(0.05 * dt * z.re * z.re);
+            *z += C64::from_re(0.05 * dt * z.re * z.re);
         }
         fft3d(&mut phys, n, n, n);
         let kmax = (n as f64) / 3.0;
@@ -214,8 +214,7 @@ impl MiniPsdns {
             let i1 = (idx / n) % n;
             let i2 = idx % n;
             let wave = |i: usize| -> f64 {
-                let k = if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
-                k
+                if i <= n / 2 { i as f64 } else { i as f64 - n as f64 }
             };
             let k2 = wave(i0).powi(2) + wave(i1).powi(2) + wave(i2).powi(2);
             if wave(i0).abs() > kmax || wave(i1).abs() > kmax || wave(i2).abs() > kmax {

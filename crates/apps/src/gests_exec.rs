@@ -160,7 +160,7 @@ pub fn executed_dns_step(sched: &RankScheduler, cfg: &DnsStep) -> (DnsStepResult
     let split_base = (n * n) / cfg.ranks;
     let split_rem = (n * n) % cfg.ranks;
     let (dt, nu) = (cfg.dt, cfg.viscosity);
-    sched.compute_phase(&mut comm, &mut grid_parts(&mut grid), |ctx, part| {
+    sched.compute_phase(&mut comm, grid_parts(&mut grid), |ctx, part| {
         let r = ctx.rank();
         let start = r * split_base + r.min(split_rem);
         for (li, line) in part.chunks_mut(n).enumerate() {

@@ -67,7 +67,7 @@ impl AtomSystem {
     /// Minimum-image displacement.
     pub fn delta(&self, a: usize, b: usize) -> [f64; 3] {
         let mut d = [0.0; 3];
-        for x in 0..3 {
+        for (x, slot) in d.iter_mut().enumerate() {
             let mut v = self.pos[b][x] - self.pos[a][x];
             if v > self.box_len / 2.0 {
                 v -= self.box_len;
@@ -75,7 +75,7 @@ impl AtomSystem {
             if v < -self.box_len / 2.0 {
                 v += self.box_len;
             }
-            d[x] = v;
+            *slot = v;
         }
         d
     }
@@ -182,8 +182,8 @@ pub fn torsion_naive(
 ) -> (f64, usize) {
     let mut energy = 0.0;
     let mut evaluated = 0;
-    for i in 0..sys.pos.len() {
-        for &j in &neigh[i] {
+    for (i, nbrs) in neigh.iter().enumerate().take(sys.pos.len()) {
+        for &j in nbrs {
             if !torsion_cutoff(sys, i, j, r_cut) {
                 continue;
             }
@@ -213,8 +213,8 @@ pub fn build_tuples(
     r_cut: f64,
 ) -> Vec<Tuple> {
     let mut tuples = Vec::new();
-    for i in 0..sys.pos.len() {
-        for &j in &neigh[i] {
+    for (i, nbrs) in neigh.iter().enumerate().take(sys.pos.len()) {
+        for &j in nbrs {
             if !torsion_cutoff(sys, i, j, r_cut) {
                 continue;
             }
@@ -334,12 +334,12 @@ impl CsrMatrix {
     /// `y = H x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for idx in self.rowptr[i]..self.rowptr[i + 1] {
                 acc += self.vals[idx] * x[self.cols[idx]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -402,7 +402,8 @@ pub fn cg_solve_dual(
     max_iter: usize,
 ) -> (CgResult, CgResult) {
     let n = h.n;
-    let mut state: Vec<(Vec<f64>, Vec<f64>, Vec<f64>, f64, bool, usize)> = [b1, b2]
+    type CgState = (Vec<f64>, Vec<f64>, Vec<f64>, f64, bool, usize);
+    let mut state: Vec<CgState> = [b1, b2]
         .iter()
         .map(|b| {
             let r = b.to_vec();
@@ -432,9 +433,11 @@ pub fn cg_solve_dual(
             let hp = h.matvec(&s.2);
             let php: f64 = s.2.iter().zip(&hp).map(|(a, b)| a * b).sum();
             let alpha = s.3 / php;
-            for i in 0..n {
-                s.0[i] += alpha * s.2[i];
-                s.1[i] -= alpha * hp[i];
+            for ((xi, ri), (&pi, &hi)) in
+                s.0.iter_mut().zip(s.1.iter_mut()).zip(s.2.iter().zip(&hp))
+            {
+                *xi += alpha * pi;
+                *ri -= alpha * hi;
             }
             let rs_new: f64 = s.1.iter().map(|v| v * v).sum();
             let beta = rs_new / s.3;
@@ -829,9 +832,9 @@ impl MdRun {
         }
         let neigh = self.sys.neighbor_list(self.cutoff);
         let (new_forces, _) = lj_forces(&self.sys, &neigh, self.epsilon, self.sigma);
-        for i in 0..n {
-            for x in 0..3 {
-                self.vel[i][x] += 0.5 * dt * new_forces[i][x];
+        for (v, f) in self.vel.iter_mut().zip(&new_forces).take(n) {
+            for (vx, fx) in v.iter_mut().zip(f) {
+                *vx += 0.5 * dt * fx;
             }
         }
         self.forces = new_forces;

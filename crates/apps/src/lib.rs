@@ -37,6 +37,7 @@ pub mod lsms;
 pub mod nuccor;
 pub mod pele;
 pub mod pele_exec;
+pub mod query;
 
 use exa_core::Application;
 
@@ -45,14 +46,14 @@ pub fn all_applications() -> Vec<Box<dyn Application>> {
     vec![
         Box::new(gamess::Gamess::default()),
         Box::new(lsms::Lsms::default()),
-        Box::new(gests::Gests::default()),
+        Box::new(gests::Gests),
         Box::new(exasky::ExaSky::default()),
-        Box::new(e3sm::E3sm::default()),
+        Box::new(e3sm::E3sm),
         Box::new(comet::CoMet::default()),
-        Box::new(nuccor::Nuccor::default()),
-        Box::new(pele::Pele::default()),
+        Box::new(nuccor::Nuccor),
+        Box::new(pele::Pele),
         Box::new(coast::Coast::default()),
-        Box::new(lammps::Lammps::default()),
+        Box::new(lammps::Lammps),
     ]
 }
 

@@ -218,7 +218,7 @@ pub fn gmres(apply: &dyn Fn(&[f64]) -> Vec<f64>, b: &[f64], m: usize, tol: f64) 
     }
     // Arnoldi basis.
     let mut v: Vec<Vec<f64>> = vec![b.iter().map(|x| x / bnorm).collect()];
-    let mut h = vec![vec![0.0f64; 0]; 0]; // h[j][i] = H(i, j), column j
+    let mut h: Vec<Vec<f64>> = Vec::new(); // h[j][i] = H(i, j), column j
     // Givens rotations applied to H and the rhs of the least-squares.
     let mut cs: Vec<f64> = Vec::new();
     let mut sn: Vec<f64> = Vec::new();

@@ -107,8 +107,8 @@ fn lu_solve4(m: &mut [[f64; NSPEC]; NSPEC], b: &mut [f64; NSPEC]) {
     for k in 0..NSPEC {
         let mut p = k;
         let mut pmax = m[k][k].abs();
-        for i in k + 1..NSPEC {
-            let v = m[i][k].abs();
+        for (i, row) in m.iter().enumerate().take(NSPEC).skip(k + 1) {
+            let v = row[k].abs();
             if v > pmax {
                 pmax = v;
                 p = i;
@@ -120,16 +120,17 @@ fn lu_solve4(m: &mut [[f64; NSPEC]; NSPEC], b: &mut [f64; NSPEC]) {
             m.swap(k, p);
         }
         let inv_pivot = 1.0 / m[k][k];
-        for i in k + 1..NSPEC {
-            let lik = m[i][k] * inv_pivot;
-            m[i][k] = lik;
-            for j in k + 1..NSPEC {
-                m[i][j] -= lik * m[k][j];
+        let (pivot_rows, elim_rows) = m.split_at_mut(k + 1);
+        let pivot_row = &pivot_rows[k];
+        for row in elim_rows.iter_mut() {
+            let lik = row[k] * inv_pivot;
+            row[k] = lik;
+            for (x, &pv) in row[k + 1..].iter_mut().zip(&pivot_row[k + 1..]) {
+                *x -= lik * pv;
             }
         }
     }
-    for k in 0..NSPEC {
-        let p = pivots[k];
+    for (k, &p) in pivots.iter().enumerate() {
         if p != k {
             b.swap(k, p);
         }
@@ -304,7 +305,7 @@ fn unit(h: u64) -> f64 {
 /// fraction that triggers the stiff ignition transient.
 pub(crate) fn init_cell(rank: usize, cell: usize) -> [f64; NSPEC] {
     let h = splitmix64((rank as u64) << 32 | cell as u64);
-    let hot = h % 8 == 0;
+    let hot = h.is_multiple_of(8);
     let t = if hot { 1.1 + 0.3 * unit(splitmix64(h)) } else { 0.18 + 0.1 * unit(splitmix64(h)) };
     [0.9 + 0.1 * unit(h), 0.02, 0.0, t]
 }
@@ -333,7 +334,7 @@ pub fn chemistry_campaign_observed(
     collector: &Arc<TelemetryCollector>,
 ) -> ChemCampaignResult {
     let mut comm = Comm::new(cfg.ranks, Network::from_machine(&exa_machine::MachineModel::frontier()));
-    comm.attach_telemetry(&collector, "pele_chem");
+    comm.attach_telemetry(collector, "pele_chem");
     let mech = Mechanism::ignition();
 
     struct RankState {

@@ -1,0 +1,173 @@
+//! Query adapters for the campaign service: construct applications and
+//! machine models by name, and evaluate one "app × machine × scale ×
+//! knobs × scenario" what-if question through [`Application::run_profiled`]
+//! under a scratch collector.
+//!
+//! This is the cost-model back end of the `exa-serve` crate: everything
+//! here is pure virtual-time simulation, so an evaluation is a
+//! deterministic function of its arguments — which is what makes the
+//! service's answers cacheable and its cached answers provably
+//! bit-identical to cold evaluations.
+
+use exa_core::{Application, Injection, RunContext};
+use exa_machine::MachineModel;
+use exa_telemetry::TelemetryCollector;
+use serde::Serialize;
+
+use crate::all_applications;
+
+/// Construct an application by its paper name (case-insensitive).
+pub fn app_by_name(name: &str) -> Option<Box<dyn Application>> {
+    all_applications().into_iter().find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+/// True when `name` names one of the ten applications. Allocation-free —
+/// the service's per-query validation path calls this once per request.
+pub fn is_known_app(name: &str) -> bool {
+    APP_NAMES.iter().any(|a| a.eq_ignore_ascii_case(name))
+}
+
+/// The ten application names, in paper-section order. Kept in sync with
+/// [`all_applications`] by a test.
+pub const APP_NAMES: [&str; 10] = [
+    "GAMESS", "LSMS", "GESTS", "ExaSky", "E3SM", "CoMet", "NuCCOR", "Pele", "COAST", "LAMMPS",
+];
+
+/// The machine-model names the query layer resolves, in timeline order.
+pub const MACHINE_NAMES: [&str; 10] = [
+    "Summit", "Frontier", "Poplar", "Tulip", "Spock", "Birch", "Crusher", "Cori", "Theta", "Eagle",
+];
+
+/// Construct a machine model by name (case-insensitive).
+pub fn machine_by_name(name: &str) -> Option<MachineModel> {
+    let all = [
+        MachineModel::summit(),
+        MachineModel::frontier(),
+        MachineModel::poplar(),
+        MachineModel::tulip(),
+        MachineModel::spock(),
+        MachineModel::birch(),
+        MachineModel::crusher(),
+        MachineModel::cori(),
+        MachineModel::theta(),
+        MachineModel::eagle(),
+    ];
+    all.into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+/// True when `name` names a known machine model. Allocation-free.
+pub fn is_known_machine(name: &str) -> bool {
+    MACHINE_NAMES.iter().any(|m| m.eq_ignore_ascii_case(name))
+}
+
+/// The bit-comparable answer of one query evaluation: the FOM, its
+/// orientation, the simulated wall, and span-count provenance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueryAnswer {
+    /// Application name (paper casing).
+    pub app: String,
+    /// Machine model name.
+    pub machine: String,
+    /// Node count the evaluation ran at.
+    pub nodes: u32,
+    /// Figure-of-merit value.
+    pub fom_value: f64,
+    /// FOM units.
+    pub units: String,
+    /// FOM orientation.
+    pub higher_is_better: bool,
+    /// Simulated (virtual) wall time of the challenge run, seconds.
+    pub wall_s: f64,
+    /// Spans the profiled run recorded (provenance: a zero here means the
+    /// evaluation path lost its instrumentation).
+    pub spans: u64,
+}
+
+/// Evaluate one query cold: build the app and machine, apply the node
+/// override (0 keeps the model's full scale) and knob injections, run the
+/// profiled challenge problem under a scratch collector, and return the
+/// answer. `None` when the app or machine name is unknown.
+pub fn evaluate_query(
+    app_name: &str,
+    machine_name: &str,
+    nodes: u32,
+    knobs: &[(String, f64)],
+    scenario: &str,
+) -> Option<QueryAnswer> {
+    let app = app_by_name(app_name)?;
+    let mut machine = machine_by_name(machine_name)?;
+    if nodes > 0 {
+        machine.nodes = nodes;
+    }
+    let collector = TelemetryCollector::shared();
+    let injections: Vec<Injection> =
+        knobs.iter().map(|(needle, factor)| Injection::new(needle.clone(), *factor)).collect();
+    let mut ctx = RunContext::with_injections(&collector, injections);
+    ctx.scenario = scenario.to_string();
+    let measurement = app.run_profiled(&machine, &ctx);
+    let fom = app.fom();
+    Some(QueryAnswer {
+        app: app.name().to_string(),
+        machine: machine.name.clone(),
+        nodes: machine.nodes,
+        fom_value: measurement.value,
+        units: fom.units,
+        higher_is_better: fom.higher_is_better,
+        wall_s: measurement.wall.secs(),
+        spans: collector.snapshot().spans_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_match_all_applications() {
+        let apps = all_applications();
+        assert_eq!(apps.len(), APP_NAMES.len());
+        for (app, name) in apps.iter().zip(APP_NAMES) {
+            assert_eq!(app.name(), name, "APP_NAMES out of sync with all_applications");
+            assert!(is_known_app(name));
+            assert!(app_by_name(&name.to_ascii_lowercase()).is_some(), "lookup is case-blind");
+        }
+        assert!(!is_known_app("HPL"));
+        assert!(app_by_name("HPL").is_none());
+    }
+
+    #[test]
+    fn machine_names_resolve() {
+        for name in MACHINE_NAMES {
+            let m = machine_by_name(name).expect("known machine");
+            assert_eq!(m.name, name);
+            assert!(is_known_machine(&name.to_ascii_uppercase()));
+        }
+        assert!(machine_by_name("Aurora").is_none());
+        assert!(!is_known_machine("Aurora"));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_honors_the_scale_override() {
+        let a = evaluate_query("CoMet", "Frontier", 0, &[], "").expect("valid query");
+        let b = evaluate_query("CoMet", "Frontier", 0, &[], "").expect("valid query");
+        assert_eq!(a, b, "same query, same bits");
+        assert_eq!(a.nodes, MachineModel::frontier().nodes);
+        assert!(a.fom_value.is_finite() && a.fom_value > 0.0);
+        assert!(a.spans > 0, "profiled run must record spans");
+        let half = evaluate_query("CoMet", "Frontier", 4704, &[], "").expect("valid query");
+        assert_eq!(half.nodes, 4704);
+    }
+
+    #[test]
+    fn knob_injections_perturb_the_answer() {
+        let clean = evaluate_query("COAST", "Frontier", 0, &[], "").expect("valid");
+        let knobs = vec![("block".to_string(), 2.0)];
+        let slowed = evaluate_query("COAST", "Frontier", 0, &knobs, "drill").expect("valid");
+        // The knob stretches matching spans; a knob matching nothing
+        // leaves the answer bit-identical.
+        let dead = vec![("__nonexistent_span".to_string(), 3.0)];
+        let unchanged = evaluate_query("COAST", "Frontier", 0, &dead, "").expect("valid");
+        assert_eq!(clean.fom_value.to_bits(), unchanged.fom_value.to_bits());
+        assert!(slowed.wall_s >= clean.wall_s, "a stretch never speeds the run up");
+    }
+}

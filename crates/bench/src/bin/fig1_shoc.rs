@@ -28,7 +28,7 @@ fn main() {
     );
 
     let rows = run_figure1(Scale::Full).expect("figure 1 runs");
-    println!("\n{:<18} {:>14} {:>14}  {}", "benchmark", "with transfer", "kernel only", "verified");
+    println!("\n{:<18} {:>14} {:>14}  verified", "benchmark", "with transfer", "kernel only");
     for r in &rows {
         println!(
             "{:<18} {:>14.4} {:>14.4}  {}",

@@ -1,8 +1,8 @@
 //! Unified telemetry export — the simulator's `rocprof`/Omnitrace run.
 //!
 //! Drives the three instrumented application paths (Pele Figure-2 campaign
-//! + graphed chemistry, E3SM column physics, GESTS distributed FFT) under
-//! one shared [`exa_telemetry::TelemetryCollector`], then writes:
+//! with graphed chemistry, E3SM column physics, GESTS distributed FFT)
+//! under one shared [`exa_telemetry::TelemetryCollector`], then writes:
 //!
 //! * `PROFILE_pele.json` — the unified [`TelemetrySnapshot`] (every span
 //!   track plus the merged counters/gauges from stream, graph, pool, and

@@ -44,8 +44,9 @@ fn transform(data: &mut [C64], inverse: bool) {
 /// thousands of equal-length lines back to back); entries are pure
 /// functions of `(n, inverse)`, so the cache never affects results.
 fn twiddle_table(n: usize, inverse: bool) -> Rc<Vec<C64>> {
+    type CacheEntry = (usize, bool, Rc<Vec<C64>>);
     thread_local! {
-        static CACHE: RefCell<Vec<(usize, bool, Rc<Vec<C64>>)>> = const { RefCell::new(Vec::new()) };
+        static CACHE: RefCell<Vec<CacheEntry>> = const { RefCell::new(Vec::new()) };
     }
     CACHE.with(|c| {
         let mut c = c.borrow_mut();
@@ -125,7 +126,7 @@ fn bluestein(data: &mut [C64], inverse: bool) {
     fft_pow2(&mut a, false);
     fft_pow2(&mut b, false);
     for (x, y) in a.iter_mut().zip(&b) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft_pow2(&mut a, true);
     let scale = 1.0 / m as f64;

@@ -16,7 +16,7 @@ use std::f64::consts::PI;
 /// conjugate mirror and are not stored.
 pub fn rfft(input: &[f64]) -> Vec<C64> {
     let n = input.len();
-    assert!(n >= 2 && n % 2 == 0, "rfft needs an even length, got {n}");
+    assert!(n >= 2 && n.is_multiple_of(2), "rfft needs an even length, got {n}");
     let half = n / 2;
     // Pack even/odd samples into a half-length complex signal.
     let mut z: Vec<C64> = (0..half).map(|m| C64::new(input[2 * m], input[2 * m + 1])).collect();
@@ -37,7 +37,7 @@ pub fn rfft(input: &[f64]) -> Vec<C64> {
 
 /// Inverse real FFT: `n/2 + 1` bins → `n` real samples.
 pub fn irfft(spectrum: &[C64], n: usize) -> Vec<f64> {
-    assert!(n >= 2 && n % 2 == 0, "irfft needs an even length, got {n}");
+    assert!(n >= 2 && n.is_multiple_of(2), "irfft needs an even length, got {n}");
     assert_eq!(spectrum.len(), n / 2 + 1, "spectrum must hold n/2 + 1 bins");
     // Rebuild the full Hermitian spectrum and use the complex inverse.
     let mut full = Vec::with_capacity(n);

@@ -90,7 +90,7 @@ const MAX_BLOCKS: usize = 64;
 /// count — see the module-level determinism contract.
 pub fn block_ranges(n: usize, min_len: usize) -> Vec<Range<usize>> {
     if n < par_threshold() {
-        return vec![0..n];
+        return std::iter::once(0..n).collect();
     }
     blocks(n, min_len)
 }
@@ -221,7 +221,7 @@ where
             s.spawn(move || *slot = r.fold(identity, |acc, i| reduce(acc, f(i))));
         }
     });
-    partials.into_iter().fold(identity, |acc, p| reduce(acc, p))
+    partials.into_iter().fold(identity, reduce)
 }
 
 /// Unrolled sum of one block: four independent accumulator lanes (so the

@@ -270,9 +270,9 @@ impl Stream {
     /// is evaluated. During capture, records the launch into the graph
     /// instead (as non-fusable: the engine cannot prove it pure).
     pub fn launch_modeled(&mut self, profile: &KernelProfile) -> SimTime {
-        if self.capture.is_some() {
+        if let Some(cap) = self.capture.as_mut() {
             self.host.advance(self.api.call_overhead());
-            self.capture.as_mut().expect("checked").kernel(profile.clone());
+            cap.kernel(profile.clone());
             return self.gpu.now();
         }
         let work = self.device.model.kernel_time(profile);
@@ -288,12 +288,9 @@ impl Stream {
     /// latency (what the §3.5 pool allocator avoids). During capture the
     /// allocation is recorded into the graph's memory plan instead.
     pub fn alloc<T: Copy + Default>(&mut self, len: usize) -> Result<DeviceBuffer<T>> {
-        if self.capture.is_some() {
+        if let Some(cap) = self.capture.as_mut() {
             self.host.advance(self.api.call_overhead());
-            self.capture
-                .as_mut()
-                .expect("checked")
-                .alloc((len * std::mem::size_of::<T>()) as u64);
+            cap.alloc((len * std::mem::size_of::<T>()) as u64);
             return DeviceBuffer::zeroed(&self.device, len);
         }
         self.host.advance(self.api.call_overhead() + self.device.model.alloc_latency);
@@ -307,9 +304,9 @@ impl Stream {
         }
         dst.as_mut_slice().copy_from_slice(src);
         let bytes = dst.bytes();
-        if self.capture.is_some() {
+        if let Some(cap) = self.capture.as_mut() {
             self.host.advance(self.api.call_overhead());
-            self.capture.as_mut().expect("checked").upload(bytes);
+            cap.upload(bytes);
             return Ok(self.gpu.now());
         }
         self.stats.bytes_h2d += bytes;
@@ -327,9 +324,9 @@ impl Stream {
         }
         dst.copy_from_slice(src.as_slice());
         let bytes = src.bytes();
-        if self.capture.is_some() {
+        if let Some(cap) = self.capture.as_mut() {
             self.host.advance(self.api.call_overhead());
-            self.capture.as_mut().expect("checked").download(bytes);
+            cap.download(bytes);
             return Ok(self.gpu.now());
         }
         self.stats.bytes_d2h += bytes;
@@ -362,9 +359,9 @@ impl Stream {
     /// (modeled mode, for paper-scale estimates). Recorded, not charged,
     /// during capture.
     pub fn upload_modeled(&mut self, bytes: u64) -> SimTime {
-        if self.capture.is_some() {
+        if let Some(cap) = self.capture.as_mut() {
             self.host.advance(self.api.call_overhead());
-            self.capture.as_mut().expect("checked").upload(bytes);
+            cap.upload(bytes);
             return self.gpu.now();
         }
         self.stats.bytes_h2d += bytes;
@@ -378,9 +375,9 @@ impl Stream {
     /// Recorded, not charged, during capture (a graphed download does not
     /// block the host — the ordering lives in the graph).
     pub fn download_modeled(&mut self, bytes: u64) -> SimTime {
-        if self.capture.is_some() {
+        if let Some(cap) = self.capture.as_mut() {
             self.host.advance(self.api.call_overhead());
-            self.capture.as_mut().expect("checked").download(bytes);
+            cap.download(bytes);
             return self.gpu.now();
         }
         self.stats.bytes_d2h += bytes;

@@ -132,7 +132,7 @@ impl Tracer {
         for node in graph.kernels() {
             let dur = self.gpu.kernel_time(&node.profile);
             self.record(&node.profile, start, dur);
-            start = start + dur;
+            start += dur;
         }
         end
     }
@@ -212,7 +212,7 @@ impl Tracer {
                 }
             })
             .collect();
-        out.sort_by(|a, b| b.total_time.cmp(&a.total_time));
+        out.sort_by_key(|k| std::cmp::Reverse(k.total_time));
         out
     }
 

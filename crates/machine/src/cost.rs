@@ -28,7 +28,7 @@ impl EffCurve {
     #[inline]
     pub fn at(&self, occupancy: f64) -> f64 {
         debug_assert!((0.0..=1.0).contains(&occupancy));
-        (occupancy / self.knee).min(1.0).max(1e-6)
+        (occupancy / self.knee).clamp(1e-6, 1.0)
     }
 }
 

@@ -207,13 +207,13 @@ impl GpuModel {
     pub fn occupancy(&self, k: &KernelProfile) -> (f64, bool) {
         let tpb = k.launch.threads_per_block.max(1);
         // Register limit on resident threads.
-        let by_regs = (self.regs_per_cu / k.regs_per_thread.max(1)).max(0);
-        // LDS limit: blocks per CU, converted to threads.
-        let by_lds = if k.lds_per_block == 0 {
-            self.max_threads_per_cu
-        } else {
-            (self.lds_per_cu / k.lds_per_block) * tpb
-        };
+        let by_regs = self.regs_per_cu / k.regs_per_thread.max(1);
+        // LDS limit: blocks per CU, converted to threads (no LDS use means
+        // no LDS limit).
+        let by_lds = self
+            .lds_per_cu
+            .checked_div(k.lds_per_block)
+            .map_or(self.max_threads_per_cu, |blocks| blocks * tpb);
         let resident = by_regs.min(by_lds).min(self.max_threads_per_cu);
         let wavefront = self.wavefront();
         // Spill when not even one wavefront's registers fit.

@@ -452,7 +452,7 @@ impl Comm {
     /// Nearest-neighbour halo exchange performed by every rank at once.
     pub fn halo_exchange(&mut self, neighbors: usize, bytes: u64) -> SimTime {
         let cost = coll::halo_time(&self.net, neighbors, bytes);
-        self.collective("halo_exchange", cost, bytes as u64 * neighbors as u64 * self.size() as u64)
+        self.collective("halo_exchange", cost, bytes * neighbors as u64 * self.size() as u64)
     }
 
     // ---- data-carrying collectives --------------------------------------
@@ -508,7 +508,7 @@ impl Comm {
         }
         // recv[j][i] = send[i][j]
         let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-        let mut columns: Vec<Vec<Vec<T>>> = send.into_iter().map(|row| row).collect();
+        let mut columns: Vec<Vec<Vec<T>>> = send.into_iter().collect();
         for j in 0..p {
             for row in columns.iter_mut() {
                 recv[j].push(std::mem::take(&mut row[j]));

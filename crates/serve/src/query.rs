@@ -1,0 +1,231 @@
+//! The campaign query language and its canonical cache key.
+//!
+//! A query is one what-if question against the cost models:
+//!
+//! ```text
+//! app=Pele machine=Frontier nodes=512 knob:chemistry=1.5 scenario=drill
+//! ```
+//!
+//! Whitespace-separated `key=value` tokens; `app` and `machine` are
+//! required, `nodes` defaults to the machine's full scale (0), any number
+//! of `knob:<span-substring>=<stretch-factor>` tokens perturb matching
+//! spans, and `scenario` tags the evaluation for attribution. Parsing is
+//! strict — unknown keys, duplicate fields, malformed numbers, and
+//! unknown app or machine names are errors, because a mistyped query that
+//! silently evaluated something else would poison the cache under its
+//! wrong name.
+
+use exa_apps::query::{is_known_app, is_known_machine};
+use serde::Serialize;
+
+/// One parsed campaign query. Knobs are held sorted by needle so that
+/// two queries differing only in knob order share a cache key.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Query {
+    /// Application name, as given (names are matched case-insensitively
+    /// downstream, but the key preserves the caller's casing).
+    pub app: String,
+    /// Machine model name.
+    pub machine: String,
+    /// Node-count override; 0 keeps the machine's full scale.
+    pub nodes: u32,
+    /// Span-stretch knobs `(needle, factor)`, sorted by needle.
+    pub knobs: Vec<(String, f64)>,
+    /// Scenario tag carried into metrics labels ("" = clean).
+    pub scenario: String,
+}
+
+impl Query {
+    /// Build a clean full-scale query.
+    pub fn new(app: &str, machine: &str) -> Self {
+        Query {
+            app: app.to_string(),
+            machine: machine.to_string(),
+            nodes: 0,
+            knobs: Vec::new(),
+            scenario: String::new(),
+        }
+    }
+
+    /// Add a knob, keeping the knob list sorted.
+    pub fn with_knob(mut self, needle: &str, factor: f64) -> Self {
+        self.knobs.push((needle.to_string(), factor));
+        self.knobs.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// Set the scenario tag.
+    pub fn with_scenario(mut self, scenario: &str) -> Self {
+        self.scenario = scenario.to_string();
+        self
+    }
+
+    /// Set the node-count override.
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// The canonical cache key. Knob factors are rendered as the hex of
+    /// their IEEE-754 bits so that keys are exact — no two distinct
+    /// factors ever collide through decimal formatting.
+    pub fn key(&self) -> String {
+        let mut key = format!("{}|{}|{}", self.app, self.machine, self.nodes);
+        for (needle, factor) in &self.knobs {
+            key.push('|');
+            key.push_str(needle);
+            key.push('=');
+            key.push_str(&format!("{:016x}", factor.to_bits()));
+        }
+        key.push('|');
+        key.push_str(&self.scenario);
+        key
+    }
+
+    /// Render the query back into its textual form. `parse(render(q))`
+    /// reproduces `q` exactly (factors round-trip through `f64`'s
+    /// shortest decimal representation).
+    pub fn render(&self) -> String {
+        let mut out = format!("app={} machine={}", self.app, self.machine);
+        if self.nodes > 0 {
+            out.push_str(&format!(" nodes={}", self.nodes));
+        }
+        for (needle, factor) in &self.knobs {
+            out.push_str(&format!(" knob:{needle}={factor}"));
+        }
+        if !self.scenario.is_empty() {
+            out.push_str(&format!(" scenario={}", self.scenario));
+        }
+        out
+    }
+
+    /// Parse the textual form. Returns a human-readable error naming the
+    /// offending token.
+    pub fn parse(text: &str) -> Result<Query, String> {
+        let mut app: Option<String> = None;
+        let mut machine: Option<String> = None;
+        let mut nodes: Option<u32> = None;
+        let mut scenario: Option<String> = None;
+        let mut knobs: Vec<(String, f64)> = Vec::new();
+        for token in text.split_whitespace() {
+            let (field, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("token '{token}' is not key=value"))?;
+            if value.is_empty() {
+                return Err(format!("token '{token}' has an empty value"));
+            }
+            match field {
+                "app" => set_once(&mut app, value, "app")?,
+                "machine" => set_once(&mut machine, value, "machine")?,
+                "nodes" => {
+                    let n: u32 =
+                        value.parse().map_err(|_| format!("nodes '{value}' is not a u32"))?;
+                    if nodes.replace(n).is_some() {
+                        return Err("duplicate field 'nodes'".to_string());
+                    }
+                }
+                "scenario" => set_once(&mut scenario, value, "scenario")?,
+                _ => {
+                    let needle = field
+                        .strip_prefix("knob:")
+                        .ok_or_else(|| format!("unknown field '{field}'"))?;
+                    if needle.is_empty() {
+                        return Err("knob with an empty span needle".to_string());
+                    }
+                    let factor: f64 = value
+                        .parse()
+                        .map_err(|_| format!("knob factor '{value}' is not a number"))?;
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return Err(format!("knob factor {factor} must be finite and positive"));
+                    }
+                    if knobs.iter().any(|(n, _)| n == needle) {
+                        return Err(format!("duplicate knob '{needle}'"));
+                    }
+                    knobs.push((needle.to_string(), factor));
+                }
+            }
+        }
+        let app = app.ok_or("missing required field 'app'")?;
+        let machine = machine.ok_or("missing required field 'machine'")?;
+        if !is_known_app(&app) {
+            return Err(format!("unknown application '{app}'"));
+        }
+        if !is_known_machine(&machine) {
+            return Err(format!("unknown machine '{machine}'"));
+        }
+        knobs.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Query {
+            app,
+            machine,
+            nodes: nodes.unwrap_or(0),
+            knobs,
+            scenario: scenario.unwrap_or_default(),
+        })
+    }
+}
+
+fn set_once(slot: &mut Option<String>, value: &str, name: &str) -> Result<(), String> {
+    if slot.replace(value.to_string()).is_some() {
+        return Err(format!("duplicate field '{name}'"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_full_grammar() {
+        let q = Query::parse("app=Pele machine=Frontier nodes=512 knob:chemistry=1.5 scenario=x")
+            .expect("valid");
+        assert_eq!(q.app, "Pele");
+        assert_eq!(q.machine, "Frontier");
+        assert_eq!(q.nodes, 512);
+        assert_eq!(q.knobs, vec![("chemistry".to_string(), 1.5)]);
+        assert_eq!(q.scenario, "x");
+    }
+
+    #[test]
+    fn knob_order_does_not_change_the_key() {
+        let a = Query::parse("app=LSMS machine=Summit knob:b=2 knob:a=3").unwrap();
+        let b = Query::parse("app=LSMS machine=Summit knob:a=3 knob:b=2").unwrap();
+        assert_eq!(a.key(), b.key());
+        // ...but a different factor does.
+        let c = Query::parse("app=LSMS machine=Summit knob:a=3.0000000001 knob:b=2").unwrap();
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let q = Query::new("CoMet", "Frontier")
+            .with_nodes(74)
+            .with_knob("ccc", 1.25)
+            .with_knob("comm", 0.5)
+            .with_scenario("sweep");
+        assert_eq!(Query::parse(&q.render()).unwrap(), q);
+        let clean = Query::new("GAMESS", "Summit");
+        assert_eq!(Query::parse(&clean.render()).unwrap(), clean);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_queries() {
+        for (text, needle) in [
+            ("machine=Frontier", "missing required field 'app'"),
+            ("app=Pele", "missing required field 'machine'"),
+            ("app=Pele machine=Frontier app=LSMS", "duplicate field 'app'"),
+            ("app=Pele machine=Frontier bogus=1", "unknown field 'bogus'"),
+            ("app=Pele machine=Frontier nodes=-3", "not a u32"),
+            ("app=Pele machine=Frontier knob:x=zero", "not a number"),
+            ("app=Pele machine=Frontier knob:x=0", "must be finite and positive"),
+            ("app=Pele machine=Frontier knob:x=1 knob:x=2", "duplicate knob 'x'"),
+            ("app=Hype machine=Frontier", "unknown application 'Hype'"),
+            ("app=Pele machine=Aurora", "unknown machine 'Aurora'"),
+            ("app=Pele machine=Frontier naked", "not key=value"),
+            ("app=Pele machine=", "empty value"),
+        ] {
+            let err = Query::parse(text).expect_err(text);
+            assert!(err.contains(needle), "{text}: got '{err}', wanted '{needle}'");
+        }
+    }
+}

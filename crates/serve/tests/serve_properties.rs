@@ -1,0 +1,92 @@
+//! Property tests for the campaign service (ISSUE-9 satellite): the LRU
+//! never exceeds its configured capacity under arbitrary insert
+//! sequences, cached answers stay bit-identical to cold evaluation under
+//! arbitrary knob/scale fuzz, and the query language round-trips.
+
+use exa_serve::{CacheStatus, CampaignService, Query, ServeConfig, ShardedLru};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lru_never_exceeds_capacity(
+        shards in 1usize..5,
+        per_shard in 1usize..6,
+        keys in prop::collection::vec(0u32..40, 1..120),
+    ) {
+        let mut cache: ShardedLru<u32> = ShardedLru::new(shards, per_shard);
+        for (i, k) in keys.iter().enumerate() {
+            cache.insert(&format!("key{k}"), i as u32);
+            prop_assert!(cache.len() <= cache.capacity(),
+                "len {} exceeded capacity {}", cache.len(), cache.capacity());
+            for occ in cache.shard_occupancy() {
+                prop_assert!(occ <= per_shard, "shard occupancy {occ} > {per_shard}");
+            }
+        }
+        // Everything still resident answers with the value last written.
+        let last: std::collections::HashMap<u32, u32> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (*k, i as u32))
+            .collect();
+        for (k, v) in last {
+            if let Some(got) = cache.get(&format!("key{k}")) {
+                prop_assert_eq!(got, v, "stale value for key{}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_answers_are_bit_identical_to_cold_under_fuzz(
+        app_idx in 0usize..4,
+        nodes in 0u32..2000,
+        factor in 0.5f64..4.0,
+        needle_idx in 0usize..3,
+        scenario_idx in 0usize..4,
+    ) {
+        // Cheap cost-model apps only: the property is about cache
+        // transparency, not evaluator coverage (the integration test
+        // walks all eight Table-2 apps).
+        let app = ["CoMet", "LSMS", "GAMESS", "LAMMPS"][app_idx];
+        let needle = ["comm", "transform", "__none"][needle_idx];
+        let scenario = ["", "sweep", "drill", "x1"][scenario_idx];
+        let mut q = Query::new(app, "Frontier")
+            .with_nodes(nodes)
+            .with_knob(needle, factor);
+        if !scenario.is_empty() {
+            q = q.with_scenario(scenario);
+        }
+        let text = vec![q.render()];
+        let mut svc = CampaignService::new(ServeConfig { threads: 1, ..ServeConfig::default() });
+        let cold = svc.run_batch(&text);
+        let warm = svc.run_batch(&text);
+        prop_assert_eq!(cold[0].status, CacheStatus::Miss);
+        prop_assert_eq!(warm[0].status, CacheStatus::Hit);
+        let a = cold[0].answer.as_ref().unwrap();
+        let b = warm[0].answer.as_ref().unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.fom_value.to_bits(), b.fom_value.to_bits());
+        prop_assert_eq!(a.wall_s.to_bits(), b.wall_s.to_bits());
+    }
+
+    #[test]
+    fn query_text_round_trips(
+        app_idx in 0usize..8,
+        machine_idx in 0usize..3,
+        nodes in 0u32..5000,
+        factors in prop::collection::vec(0.25f64..8.0, 0..3),
+        scenario_idx in 0usize..4,
+    ) {
+        let app = exa_apps::query::APP_NAMES[app_idx];
+        let machine = ["Frontier", "Summit", "Spock"][machine_idx];
+        let mut q = Query::new(app, machine).with_nodes(nodes);
+        for (i, f) in factors.iter().enumerate() {
+            q = q.with_knob(&format!("knob{i}"), *f);
+        }
+        q = q.with_scenario(["", "sweep", "ckpt_3", "mtbf"][scenario_idx]);
+        let parsed = Query::parse(&q.render()).expect("render always parses");
+        prop_assert_eq!(&parsed, &q);
+        prop_assert_eq!(parsed.key(), q.key());
+    }
+}

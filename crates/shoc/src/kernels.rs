@@ -127,7 +127,7 @@ impl ShocBenchmark for MaxFlops {
         s.launch(&profile, || {
             exec::par_map_inplace(x.as_mut_slice(), |_, mut v| {
                 for _ in 0..ITERS {
-                    v = v * 1.0009765625 + 0.0001;
+                    v = v * 1.000_976_6 + 0.0001;
                 }
                 v
             });
@@ -139,7 +139,7 @@ impl ShocBenchmark for MaxFlops {
         let ok = [0usize, n / 2, n - 1].iter().all(|&i| {
             let mut v = host[i];
             for _ in 0..ITERS {
-                v = v * 1.0009765625 + 0.0001;
+                v = v * 1.000_976_6 + 0.0001;
             }
             (v - out[i]).abs() < 1e-5
         });

@@ -153,6 +153,81 @@ pub fn prometheus_name(name: &str) -> String {
     s
 }
 
+/// Build a labeled registry key: `base{k="v",...}`. The label block uses
+/// Prometheus's own syntax, so [`prometheus_text`] can splice it straight
+/// into sample lines; values escape `\`, `"`, and newlines. Labels with
+/// empty values are dropped — a clean run's `scenario=""` never clutters
+/// the series — and an all-empty label list yields the bare base name.
+pub fn labeled_key(base: &str, labels: &[(&str, &str)]) -> String {
+    let live: Vec<&(&str, &str)> = labels.iter().filter(|(_, v)| !v.is_empty()).collect();
+    if live.is_empty() {
+        return base.to_string();
+    }
+    let mut s = String::with_capacity(base.len() + 16);
+    s.push_str(base);
+    s.push('{');
+    for (i, (k, v)) in live.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(k);
+        s.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => s.push_str("\\\\"),
+                '"' => s.push_str("\\\""),
+                '\n' => s.push_str("\\n"),
+                c => s.push(c),
+            }
+        }
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+/// Split a registry key into `(base, label_block)`: the block includes its
+/// braces (`{app="Pele"}`) and is `None` for unlabeled keys.
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) if key.ends_with('}') => (&key[..i], Some(&key[i..])),
+        _ => (key, None),
+    }
+}
+
+/// Group registry keys into Prometheus families: `family_name(base)` maps
+/// every key to its family, the returned map holds, per family, the label
+/// block + payload of every variant in registry (BTreeMap) order. This is
+/// what keeps the output at **one `# TYPE` line per family** even when a
+/// base name carries several label sets.
+fn group_families<'a, V: Copy>(
+    entries: impl Iterator<Item = (&'a String, V)>,
+    family_name: impl Fn(&str) -> String,
+) -> BTreeMap<String, Vec<(Option<&'a str>, V)>> {
+    let mut fams: BTreeMap<String, Vec<(Option<&'a str>, V)>> = BTreeMap::new();
+    for (key, v) in entries {
+        let (base, block) = split_key(key);
+        fams.entry(family_name(base)).or_default().push((block, v));
+    }
+    fams
+}
+
+/// Append a label block (or nothing) after a metric name.
+fn push_labels(out: &mut String, block: Option<&str>) {
+    if let Some(b) = block {
+        out.push_str(b);
+    }
+}
+
+/// Fuse a histogram variant's label block with its `le` bucket label:
+/// `{app="Pele"}` + `0.5` → `{app="Pele",le="0.5"}`.
+fn bucket_labels(block: Option<&str>, le: &str) -> String {
+    match block {
+        Some(b) => format!("{},le=\"{le}\"}}", &b[..b.len() - 1]),
+        None => format!("{{le=\"{le}\"}}"),
+    }
+}
+
 fn prom_f64(out: &mut String, v: f64) {
     if v.is_nan() {
         out.push_str("NaN");
@@ -169,8 +244,13 @@ fn prom_f64(out: &mut String, v: f64) {
 /// format: every counter as `<name>_total`, every gauge as-is, every
 /// accumulated virtual time as `<name>_seconds_total`, and every histogram
 /// as the conventional cumulative `_bucket{le=...}` / `_sum` / `_count`
-/// family. Deterministic: metric families emit in name order (the
-/// registry's `BTreeMap` order).
+/// family.
+///
+/// Registry keys built with [`labeled_key`] (`base{k="v",...}`) render as
+/// labeled series under the base name's family: all label sets of one base
+/// share a **single** `# TYPE` line, and labeled histogram variants fuse
+/// their labels with the `le` bucket label. Deterministic: families emit
+/// in name order, variants in registry (`BTreeMap` key) order.
 pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     let family = |out: &mut String, name: &str, kind: &str| {
@@ -182,44 +262,62 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
     out.push_str("exa_wall_seconds ");
     prom_f64(&mut out, snapshot.wall_s);
     out.push('\n');
-    for (k, v) in &snapshot.counters {
-        let name = format!("{}_total", prometheus_name(k));
+    for (name, variants) in group_families(snapshot.counters.iter().map(|(k, &v)| (k, v)), |b| {
+        format!("{}_total", prometheus_name(b))
+    }) {
         family(&mut out, &name, "counter");
-        writeln!(out, "{name} {v}").expect("write to String");
-    }
-    for (k, v) in &snapshot.gauges {
-        let name = prometheus_name(k);
-        family(&mut out, &name, "gauge");
-        out.push_str(&name);
-        out.push(' ');
-        prom_f64(&mut out, *v);
-        out.push('\n');
-    }
-    for (k, v) in &snapshot.times_s {
-        let name = format!("{}_seconds_total", prometheus_name(k));
-        family(&mut out, &name, "counter");
-        out.push_str(&name);
-        out.push(' ');
-        prom_f64(&mut out, *v);
-        out.push('\n');
-    }
-    for (k, h) in &snapshot.hists {
-        let name = prometheus_name(k);
-        family(&mut out, &name, "histogram");
-        let mut cum = 0u64;
-        for (edge, n) in h.buckets() {
-            cum += n;
+        for (block, v) in variants {
             out.push_str(&name);
-            out.push_str("_bucket{le=\"");
-            prom_f64(&mut out, edge);
-            writeln!(out, "\"}} {cum}").expect("write to String");
+            push_labels(&mut out, block);
+            writeln!(out, " {v}").expect("write to String");
         }
-        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count()).expect("write to String");
-        out.push_str(&name);
-        out.push_str("_sum ");
-        prom_f64(&mut out, h.sum());
-        out.push('\n');
-        writeln!(out, "{name}_count {}", h.count()).expect("write to String");
+    }
+    for (name, variants) in
+        group_families(snapshot.gauges.iter().map(|(k, &v)| (k, v)), prometheus_name)
+    {
+        family(&mut out, &name, "gauge");
+        for (block, v) in variants {
+            out.push_str(&name);
+            push_labels(&mut out, block);
+            out.push(' ');
+            prom_f64(&mut out, v);
+            out.push('\n');
+        }
+    }
+    for (name, variants) in group_families(snapshot.times_s.iter().map(|(k, &v)| (k, v)), |b| {
+        format!("{}_seconds_total", prometheus_name(b))
+    }) {
+        family(&mut out, &name, "counter");
+        for (block, v) in variants {
+            out.push_str(&name);
+            push_labels(&mut out, block);
+            out.push(' ');
+            prom_f64(&mut out, v);
+            out.push('\n');
+        }
+    }
+    for (name, variants) in group_families(snapshot.hists.iter(), prometheus_name) {
+        family(&mut out, &name, "histogram");
+        for (block, h) in variants {
+            let mut cum = 0u64;
+            for (edge, n) in h.buckets() {
+                cum += n;
+                let mut le = String::new();
+                prom_f64(&mut le, edge);
+                writeln!(out, "{name}_bucket{} {cum}", bucket_labels(block, &le))
+                    .expect("write to String");
+            }
+            writeln!(out, "{name}_bucket{} {}", bucket_labels(block, "+Inf"), h.count())
+                .expect("write to String");
+            out.push_str(&name);
+            out.push_str("_sum");
+            push_labels(&mut out, block);
+            out.push(' ');
+            prom_f64(&mut out, h.sum());
+            out.push('\n');
+            writeln!(out, "{name}_count{} {}", block.unwrap_or(""), h.count())
+                .expect("write to String");
+        }
     }
     out
 }
@@ -441,6 +539,64 @@ mod tests {
             })
             .expect("+Inf bucket");
         assert_eq!(inf.value, 4.0);
+    }
+
+    #[test]
+    fn labeled_key_builds_and_drops_empty_values() {
+        assert_eq!(labeled_key("fom.eval_s", &[("app", "Pele")]), "fom.eval_s{app=\"Pele\"}");
+        assert_eq!(
+            labeled_key("fom.eval_s", &[("app", "Pele"), ("scenario", "mtbf-7")]),
+            "fom.eval_s{app=\"Pele\",scenario=\"mtbf-7\"}"
+        );
+        assert_eq!(
+            labeled_key("fom.eval_s", &[("app", "Pele"), ("scenario", "")]),
+            "fom.eval_s{app=\"Pele\"}",
+            "empty label values are dropped"
+        );
+        assert_eq!(labeled_key("fom.eval_s", &[("scenario", "")]), "fom.eval_s");
+        assert_eq!(
+            labeled_key("x", &[("k", "a\"b\\c")]),
+            "x{k=\"a\\\"b\\\\c\"}",
+            "quotes and backslashes escape"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_renders_labeled_series_with_one_type_line() {
+        use crate::metrics::MetricsRegistry;
+        let tl = Timeline::default();
+        let mut m = MetricsRegistry::default();
+        m.counter_add("fom.evals", 3);
+        m.counter_add(&labeled_key("fom.evals", &[("app", "GESTS"), ("scenario", "mtbf-7")]), 2);
+        m.counter_add(&labeled_key("fom.evals", &[("app", "Pele")]), 1);
+        for v in [0.001, 0.002, 0.004] {
+            m.hist_record(&labeled_key("serve.latency_s", &[("app", "CoMet")]), v);
+            m.hist_record("serve.latency_s", v);
+        }
+        m.gauge_set(&labeled_key("serve.shard_occupancy", &[("shard", "0")]), 17.0);
+        let snap = TelemetrySnapshot::build(&tl, &m);
+        let text = prometheus_text(&snap);
+        // One TYPE line per family, shared by every label set.
+        assert_eq!(text.matches("# TYPE exa_fom_evals_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE exa_serve_latency_s histogram").count(), 1);
+        assert!(text.contains("exa_fom_evals_total 3\n"));
+        assert!(text.contains("exa_fom_evals_total{app=\"GESTS\",scenario=\"mtbf-7\"} 2\n"));
+        assert!(text.contains("exa_fom_evals_total{app=\"Pele\"} 1\n"));
+        assert!(text.contains("exa_serve_latency_s_bucket{app=\"CoMet\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("exa_serve_latency_s_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("exa_serve_latency_s_count{app=\"CoMet\"} 3\n"));
+        assert!(text.contains("exa_serve_shard_occupancy{shard=\"0\"} 17\n"));
+        let summary = crate::validate::validate_prometheus(&text).expect("labeled text validates");
+        assert!(summary.samples > 8);
+        // Round-trip: the parser sees the labels the exporter wrote.
+        let doc = crate::validate::parse_prometheus(&text).unwrap();
+        let labeled = doc
+            .samples
+            .iter()
+            .find(|s| s.name == "exa_fom_evals_total" && !s.labels.is_empty())
+            .expect("labeled counter sample");
+        assert_eq!(labeled.labels[0], ("app".to_string(), "GESTS".to_string()));
+        assert_eq!(labeled.labels[1], ("scenario".to_string(), "mtbf-7".to_string()));
     }
 
     #[test]

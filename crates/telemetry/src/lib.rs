@@ -42,13 +42,16 @@ pub use critical_path::{
     FaultAttribution, PathSegment, RankAttribution, SpanDelta,
 };
 pub use export::{
-    chrome_trace, folded_stacks, hotspot_csv, prometheus_name, prometheus_text, RooflinePoint,
-    RooflineReport,
+    chrome_trace, folded_stacks, hotspot_csv, labeled_key, prometheus_name, prometheus_text,
+    RooflinePoint, RooflineReport,
 };
 pub use ledger::{digest64, FomKind, FomLedger, FomRecord, LEDGER_FILE, LEDGER_VERSION};
 pub use metrics::{Counter, Histogram, MetricSource, MetricsRegistry, TelemetrySnapshot, TrackSummary};
 pub use pool_obs::PoolTelemetry;
-pub use sentinel::{run_sentinel, run_sentinel_all, SentinelConfig, SentinelReport, Verdict};
+pub use sentinel::{
+    check_slo, run_sentinel, run_sentinel_all, SentinelConfig, SentinelReport, SloConfig,
+    SloReport, Verdict,
+};
 pub use span::{Span, SpanCat, SpanId, Timeline, Track, TrackId, TrackKind};
 pub use validate::{
     parse_csv, parse_json, parse_prometheus, validate_chrome_trace, validate_folded,

@@ -105,7 +105,7 @@ impl Histogram {
     /// normal values; zero, negatives, and subnormals share the underflow
     /// bucket.
     pub fn bucket_key(v: f64) -> i64 {
-        if !(v > 0.0) || v < f64::MIN_POSITIVE {
+        if v.is_nan() || v < f64::MIN_POSITIVE {
             return HIST_UNDERFLOW;
         }
         let bits = v.to_bits();

@@ -183,6 +183,101 @@ pub fn run_sentinel(
     })
 }
 
+/// Tuning for the serve-tier SLO sentinel: wall-clock p99 latency per
+/// query class, judged against a rolling baseline of prior epochs.
+///
+/// Wall-clock latency is noisier than the virtual-time FOMs the ledger
+/// sentinel watches, so the default bands are wider (2× warn / 4× fail),
+/// and `floor_s` suppresses verdicts on epochs whose p99 is so small
+/// (cache-hit microseconds) that any ratio is measurement noise.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// How many prior epochs feed the rolling baseline.
+    pub window: usize,
+    /// p99 ratio at which the verdict becomes [`Verdict::Warn`].
+    pub warn_ratio: f64,
+    /// p99 ratio at which the verdict becomes [`Verdict::Fail`].
+    pub fail_ratio: f64,
+    /// Absolute p99 floor, seconds: a newest epoch under the floor always
+    /// passes, whatever the ratio says.
+    pub floor_s: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig { window: 8, warn_ratio: 2.0, fail_ratio: 4.0, floor_s: 1e-6 }
+    }
+}
+
+/// The SLO sentinel's judgement on one query class (one application's
+/// serve-tier latency series).
+#[derive(Debug, Clone, Serialize)]
+pub struct SloReport {
+    /// Query class under judgement (the application name the serve tier
+    /// labels its latency histograms with).
+    pub class: String,
+    /// Verdict.
+    pub verdict: Verdict,
+    /// Newest epoch's p99 latency, seconds.
+    pub newest_p99_s: f64,
+    /// Rolling-baseline p99 (median of the prior window), seconds.
+    pub baseline_p99_s: f64,
+    /// Regression factor (latency is lower-is-better, so this is
+    /// newest / baseline; > 1 is always worse).
+    pub regression: f64,
+    /// Prior epochs that fed the baseline.
+    pub baseline_epochs: u64,
+}
+
+impl SloReport {
+    /// One-line human summary naming the culprit query class.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: serve p99 SLO [{}] {:.3}x vs rolling baseline ({:.3e} s -> {:.3e} s over {} epochs)",
+            self.verdict.label(),
+            self.class,
+            self.regression,
+            self.baseline_p99_s,
+            self.newest_p99_s,
+            self.baseline_epochs
+        )
+    }
+}
+
+/// Judge the newest epoch's p99 latency for one query class against the
+/// median of the prior epochs' p99s (the same median-of-window shape as
+/// [`run_sentinel`], oriented for lower-is-better latency). With no prior
+/// history the newest epoch is its own baseline and passes.
+pub fn check_slo(class: &str, prior_p99s: &[f64], newest_p99: f64, config: &SloConfig) -> SloReport {
+    const EPS: f64 = 1e-300;
+    let window = &prior_p99s[prior_p99s.len().saturating_sub(config.window)..];
+    let baseline = if window.is_empty() {
+        newest_p99
+    } else {
+        let mut sorted = window.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted[sorted.len() / 2]
+    };
+    let regression = (newest_p99 + EPS) / (baseline + EPS);
+    let verdict = if newest_p99 < config.floor_s || window.is_empty() {
+        Verdict::Pass
+    } else if regression >= config.fail_ratio {
+        Verdict::Fail
+    } else if regression >= config.warn_ratio {
+        Verdict::Warn
+    } else {
+        Verdict::Pass
+    };
+    SloReport {
+        class: class.to_string(),
+        verdict,
+        newest_p99_s: newest_p99,
+        baseline_p99_s: baseline,
+        regression,
+        baseline_epochs: window.len() as u64,
+    }
+}
+
 /// Judge every series in the ledger; reports come back in series order.
 pub fn run_sentinel_all(ledger: &FomLedger, config: &SentinelConfig) -> Vec<SentinelReport> {
     let mut keys: Vec<(String, String, &'static str)> =
@@ -358,6 +453,47 @@ mod tests {
             .unwrap();
         assert_eq!(r.verdict, Verdict::Fail);
         assert_eq!(r.baseline_run_tag, "v0");
+    }
+
+    #[test]
+    fn slo_flags_p99_regressions_and_names_the_class() {
+        let cfg = SloConfig::default();
+        let priors = [1.1e-3, 0.9e-3, 1.0e-3, 1.05e-3];
+        let steady = check_slo("Pele", &priors, 1.2e-3, &cfg);
+        assert_eq!(steady.verdict, Verdict::Pass);
+        assert!((steady.baseline_p99_s - 1.05e-3).abs() < 1e-12, "upper median of priors");
+        let drilled = check_slo("Pele", &priors, 9.0e-3, &cfg);
+        assert_eq!(drilled.verdict, Verdict::Fail);
+        assert!(drilled.regression > cfg.fail_ratio);
+        assert!(drilled.summary().contains("[Pele]"), "{}", drilled.summary());
+        assert!(drilled.summary().contains("fail"));
+        let warned = check_slo("Pele", &priors, 2.5e-3, &cfg);
+        assert_eq!(warned.verdict, Verdict::Warn);
+    }
+
+    #[test]
+    fn slo_floor_and_empty_history_never_flag() {
+        let cfg = SloConfig::default();
+        // Sub-floor epochs are cache-hit noise: a 100x ratio still passes.
+        let noisy = check_slo("CoMet", &[5e-9, 4e-9], 5e-7, &cfg);
+        assert_eq!(noisy.verdict, Verdict::Pass, "below floor_s never flags");
+        // First epoch is its own baseline.
+        let first = check_slo("CoMet", &[], 3.0, &cfg);
+        assert_eq!(first.verdict, Verdict::Pass);
+        assert_eq!(first.baseline_epochs, 0);
+        assert!((first.regression - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_window_slides_over_old_epochs() {
+        let cfg = SloConfig { window: 3, ..SloConfig::default() };
+        // Ancient fast epochs age out of the window; the recent (slower)
+        // regime is the baseline, so the newest epoch passes.
+        let priors = [1e-4, 1e-4, 1e-4, 1e-2, 1.1e-2, 0.9e-2];
+        let r = check_slo("GESTS", &priors, 1.2e-2, &cfg);
+        assert_eq!(r.verdict, Verdict::Pass);
+        assert_eq!(r.baseline_epochs, 3);
+        assert!((r.baseline_p99_s - 1e-2).abs() < 1e-12);
     }
 
     #[test]

@@ -261,8 +261,9 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
     let doc = parse_json(s)?;
     let events = doc.as_array().ok_or("trace must be a JSON array")?;
     // Per-tid cursor: last ts, and a stack of (depth, start, end) intervals.
+    type Interval = (u64, f64, f64);
     let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
-    let mut open: BTreeMap<(u64, u64), Vec<(u64, f64, f64)>> = BTreeMap::new();
+    let mut open: BTreeMap<(u64, u64), Vec<Interval>> = BTreeMap::new();
     let mut named: BTreeMap<(u64, u64), usize> = BTreeMap::new();
     let mut n_events = 0usize;
     for (i, ev) in events.iter().enumerate() {
@@ -383,6 +384,12 @@ impl PromDoc {
     pub fn value(&self, name: &str) -> Option<f64> {
         self.samples.iter().find(|s| s.name == name && s.labels.is_empty()).map(|s| s.value)
     }
+
+    /// The value of the first sample called `name` whose labels equal
+    /// `labels` exactly (same pairs, same order).
+    pub fn value_labeled(&self, name: &str, labels: &[(String, String)]) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name && s.labels == labels).map(|s| s.value)
+    }
 }
 
 fn prom_name_ok(name: &str) -> bool {
@@ -423,6 +430,13 @@ pub fn parse_prometheus(s: &str) -> Result<PromDoc, String> {
                 }
                 if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
                     return Err(format!("line {ln}: unknown TYPE kind '{kind}'"));
+                }
+                if let Some(prev) = doc.types.get(name) {
+                    if prev != kind {
+                        return Err(format!(
+                            "line {ln}: metric '{name}' re-declared as {kind}, was {prev}"
+                        ));
+                    }
                 }
                 doc.types.insert(name.to_string(), kind.to_string());
             }
@@ -514,9 +528,12 @@ pub struct PromSummary {
 /// Validate Prometheus text output: every sample belongs to a `# TYPE`d
 /// family (histogram `_bucket`/`_sum`/`_count` series resolve to their
 /// base family), counter values are finite and non-negative, and every
-/// histogram family has strictly increasing `le` edges, non-decreasing
-/// cumulative bucket counts, a terminal `+Inf` bucket, and an `+Inf`
-/// count that equals its `_count` sample.
+/// histogram family has, **per label set**, strictly increasing `le`
+/// edges, non-decreasing cumulative bucket counts, a terminal `+Inf`
+/// bucket, and an `+Inf` count that equals the label set's `_count`
+/// sample. Labeled series (`name{app="Pele",...}`) are accepted
+/// throughout; duplicate `# TYPE` declarations with conflicting kinds are
+/// rejected at parse time.
 pub fn validate_prometheus(s: &str) -> Result<PromSummary, String> {
     let doc = parse_prometheus(s)?;
     let family_of = |name: &str| -> Option<String> {
@@ -548,38 +565,61 @@ pub fn validate_prometheus(s: &str) -> Result<PromSummary, String> {
             continue;
         }
         let bucket_name = format!("{fam}_bucket");
-        let mut prev_edge = f64::NEG_INFINITY;
-        let mut prev_cum = 0.0f64;
-        let mut saw_inf = false;
-        let mut inf_count = None;
+        // Buckets group by their labels minus `le`: each label set is an
+        // independent cumulative series with its own +Inf/_count/_sum.
+        type LabelSet = Vec<(String, String)>;
+        let mut groups: Vec<(LabelSet, f64, f64, bool, Option<f64>)> = Vec::new();
         for sample in doc.samples.iter().filter(|s| s.name == bucket_name) {
-            if saw_inf {
+            let mut le = None;
+            let mut rest: LabelSet = Vec::new();
+            for (k, v) in &sample.labels {
+                if k == "le" {
+                    if le.is_some() {
+                        return Err(format!("histogram '{fam}': bucket with two le labels"));
+                    }
+                    le = Some(v.clone());
+                } else {
+                    rest.push((k.clone(), v.clone()));
+                }
+            }
+            let le = le.ok_or(format!("histogram '{fam}': bucket without le label"))?;
+            let edge = prom_value(&le).map_err(|e| format!("histogram '{fam}': {e}"))?;
+            let group = match groups.iter_mut().find(|(g, ..)| *g == rest) {
+                Some(g) => g,
+                None => {
+                    groups.push((rest, f64::NEG_INFINITY, 0.0, false, None));
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            let (_, prev_edge, prev_cum, saw_inf, inf_count) = group;
+            if *saw_inf {
                 return Err(format!("histogram '{fam}': bucket after +Inf"));
             }
-            let le = match sample.labels.as_slice() {
-                [(k, v)] if k == "le" => v,
-                _ => return Err(format!("histogram '{fam}': bucket needs exactly one le label")),
-            };
-            let edge = prom_value(le).map_err(|e| format!("histogram '{fam}': {e}"))?;
             if edge == f64::INFINITY {
-                saw_inf = true;
-                inf_count = Some(sample.value);
-            } else if edge <= prev_edge {
+                *saw_inf = true;
+                *inf_count = Some(sample.value);
+            } else if edge <= *prev_edge {
                 return Err(format!("histogram '{fam}': le edges not increasing at {edge}"));
             }
-            if sample.value < prev_cum {
+            if sample.value < *prev_cum {
                 return Err(format!("histogram '{fam}': cumulative count decreases"));
             }
-            prev_edge = edge;
-            prev_cum = sample.value;
+            *prev_edge = edge;
+            *prev_cum = sample.value;
         }
-        let inf = inf_count.ok_or(format!("histogram '{fam}': missing +Inf bucket"))?;
-        let count = doc
-            .value(&format!("{fam}_count"))
-            .ok_or(format!("histogram '{fam}': missing _count"))?;
-        doc.value(&format!("{fam}_sum")).ok_or(format!("histogram '{fam}': missing _sum"))?;
-        if inf != count {
-            return Err(format!("histogram '{fam}': +Inf bucket {inf} != _count {count}"));
+        if groups.is_empty() {
+            return Err(format!("histogram '{fam}': missing +Inf bucket"));
+        }
+        for (labels, _, _, _, inf_count) in &groups {
+            let inf = inf_count.ok_or(format!("histogram '{fam}': missing +Inf bucket"))?;
+            let count = doc
+                .value_labeled(&format!("{fam}_count"), labels)
+                .ok_or(format!("histogram '{fam}': missing _count for a label set"))?;
+            doc.value_labeled(&format!("{fam}_sum"), labels)
+                .ok_or(format!("histogram '{fam}': missing _sum for a label set"))?;
+            if inf != count {
+                return Err(format!("histogram '{fam}': +Inf bucket {inf} != _count {count}"));
+            }
         }
     }
     Ok(PromSummary { samples: doc.samples.len(), families: doc.types.len() })
@@ -696,7 +736,7 @@ pub fn validate_hotspot_csv(s: &str) -> Result<usize, String> {
         row[2].parse::<u64>().map_err(|_| format!("row {ln}: bad calls '{}'", row[2]))?;
         let total: f64 =
             row[3].parse().map_err(|_| format!("row {ln}: bad total_us '{}'", row[3]))?;
-        if !(total >= 0.0) {
+        if total.is_nan() || total < 0.0 {
             return Err(format!("row {ln}: negative total_us {total}"));
         }
         let share: f64 =
@@ -842,6 +882,53 @@ mod tests {
         assert!(validate_prometheus(inf_mismatch).unwrap_err().contains("!= _count"));
         let neg_counter = "# TYPE exa_c counter\nexa_c -1\n";
         assert!(validate_prometheus(neg_counter).unwrap_err().contains("value -1"));
+    }
+
+    #[test]
+    fn prometheus_validator_accepts_labeled_series_per_label_set() {
+        // Two label sets under one histogram family, each with its own
+        // cumulative series, +Inf, _sum, and _count — plus a labeled
+        // counter next to its unlabeled base sample.
+        let text = "# TYPE exa_serve_latency_s histogram\n\
+                    exa_serve_latency_s_bucket{app=\"Pele\",le=\"0.001\"} 2\n\
+                    exa_serve_latency_s_bucket{app=\"Pele\",le=\"+Inf\"} 3\n\
+                    exa_serve_latency_s_sum{app=\"Pele\"} 0.004\n\
+                    exa_serve_latency_s_count{app=\"Pele\"} 3\n\
+                    exa_serve_latency_s_bucket{app=\"CoMet\",le=\"0.002\"} 1\n\
+                    exa_serve_latency_s_bucket{app=\"CoMet\",le=\"+Inf\"} 1\n\
+                    exa_serve_latency_s_sum{app=\"CoMet\"} 0.002\n\
+                    exa_serve_latency_s_count{app=\"CoMet\"} 1\n\
+                    # TYPE exa_serve_requests_total counter\n\
+                    exa_serve_requests_total 4\n\
+                    exa_serve_requests_total{app=\"Pele\",result=\"hit\"} 3\n";
+        let summary = validate_prometheus(text).expect("labeled document validates");
+        assert_eq!(summary.families, 2);
+        let doc = parse_prometheus(text).unwrap();
+        let pele = vec![("app".to_string(), "Pele".to_string())];
+        assert_eq!(doc.value_labeled("exa_serve_latency_s_count", &pele), Some(3.0));
+        // A label set whose +Inf disagrees with its _count still fails.
+        let broken = "# TYPE exa_h histogram\n\
+                      exa_h_bucket{app=\"A\",le=\"+Inf\"} 2\n\
+                      exa_h_sum{app=\"A\"} 1\nexa_h_count{app=\"A\"} 3\n\
+                      exa_h_bucket{le=\"+Inf\"} 1\nexa_h_sum 1\nexa_h_count 1\n";
+        assert!(validate_prometheus(broken).unwrap_err().contains("!= _count"));
+        // A label set missing its own _count fails even when another set
+        // has one.
+        let missing = "# TYPE exa_h histogram\n\
+                       exa_h_bucket{app=\"A\",le=\"+Inf\"} 2\n\
+                       exa_h_bucket{le=\"+Inf\"} 1\nexa_h_sum 1\nexa_h_count 1\n";
+        assert!(validate_prometheus(missing).unwrap_err().contains("missing _count"));
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_conflicting_duplicate_types() {
+        let conflicting = "# TYPE exa_x counter\nexa_x 1\n# TYPE exa_x gauge\nexa_x 2\n";
+        let err = parse_prometheus(conflicting).unwrap_err();
+        assert!(err.contains("re-declared"), "{err}");
+        assert!(validate_prometheus(conflicting).is_err());
+        // An identical re-declaration is harmless and stays accepted.
+        let harmless = "# TYPE exa_x counter\nexa_x 1\n# TYPE exa_x counter\nexa_x 2\n";
+        assert!(parse_prometheus(harmless).is_ok());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification flow.
 #
-#   1. release build of the whole workspace;
+#   1. release build of the whole workspace, then `cargo clippy -D warnings`
+#      (the workspace is lint-clean; keep it that way);
 #   2. full test suite (unit + integration + property);
 #   3. telemetry export: `profile_export` re-drives the instrumented Pele /
 #      E3SM / GESTS paths and schema-checks its own output (non-empty spans,
@@ -12,37 +13,42 @@
 #      FOM_LEDGER.json, gates on the regression sentinel, and proves the
 #      sentinel detects an injected 2x slowdown (exit 1 on any failure);
 #   5. overlap bench: the `comm_overlap` bench gates >=1.3x on its own
-#      comm-bound configuration and bit-identical FFT output, then this
-#      script re-checks the written BENCH_comm_overlap.json schema
-#      (non-empty, speedup >= 1.0, overlap efficiency in [0, 1]);
+#      comm-bound configuration and bit-identical FFT output;
 #   6. parallel substrate: the full test suite re-runs under EXA_THREADS=1
 #      and EXA_THREADS=4 (the scheduler's determinism contract says the
 #      results cannot differ), and the `sim_throughput` bench gates >=4x
 #      on the 256-rank executed Pele step plus the executed 1024-rank
-#      distributed FFT inside its wall budget; this script then
-#      schema-checks BENCH_sim_throughput.json.
+#      distributed FFT inside its wall budget;
 #   7. substrate observability: `obs_export` re-drives the 256-rank
 #      executed Pele campaign on 4 lanes with the pool/scheduler observer
 #      attached, gates worker occupancy within 10% of wall x lanes, and
 #      validates its own Prometheus + folded + Chrome-trace artifacts;
 #      the `telemetry_overhead` bench re-gates < 5% overhead with the
-#      pool observer and histograms enabled. This script then
-#      schema-checks PROFILE_substrate.json, METRICS.prom,
-#      PROFILE_pele.folded, and BENCH_telemetry_overhead.json.
+#      pool observer and histograms enabled;
 #   8. fault scenarios: `fault_scenarios` sweeps checkpoint intervals
 #      against MTBF per Table-2 app (gating the optimum against Young/Daly),
 #      runs the 256-rank Pele campaign under an MTBF failure schedule with
 #      checkpoint/restart + stragglers (thread-deterministic, physics
 #      bit-identical, restart/ time on the critical path), proves the
 #      sentinel downgrades tagged chaos drills to warn, and re-runs GESTS
-#      on a contended fabric with the overlap engine; this script then
-#      schema-checks BENCH_fault_scenarios.json.
+#      on a contended fabric with the overlap engine;
+#   9. campaign service: `campaign_load` replays a zipf mix of 1M queries
+#      over the eight Table-2 apps through the memoized `exa-serve` engine,
+#      gating on >= 1M replayed queries, hit-ratio >= 0.9, p99 <= 50 ms,
+#      >= 25k q/s, valid Prometheus/Chrome-trace surfaces, and an SLO drill
+#      that flips exactly the drilled query class from pass to fail. It
+#      rewrites METRICS.prom with the serve + pool metric surface.
+#
+# Every artifact the bins write is then re-checked here through
+# `check_artifact <file> <validator>` — the bins gate themselves, but
+# absence or schema drift of the written record is a hard failure too.
 #
 # Any step failing fails the flow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo clippy --workspace --release -- -D warnings
 for threads in 1 4; do
     EXA_THREADS=$threads cargo test -q
 done
@@ -53,91 +59,144 @@ cargo bench -q -p exa-bench --bench sim_throughput
 EXA_THREADS=4 cargo run --release -q -p exa-bench --bin obs_export
 EXA_THREADS=4 cargo bench -q -p exa-bench --bench telemetry_overhead
 EXA_THREADS=4 cargo run --release -q -p exa-bench --bin fault_scenarios
+EXA_THREADS=4 cargo run --release -q -p exa-bench --bin campaign_load
 
-# Belt-and-braces: the gates above already validated the artifacts, but make
-# absence-of-output a hard failure too.
-for f in PROFILE_pele.json PROFILE_pele.trace.json FOM_LEDGER.json BENCH_comm_overlap.json \
-         BENCH_sim_throughput.json PROFILE_substrate.json METRICS.prom PROFILE_pele.folded \
-         BENCH_telemetry_overhead.json BENCH_fault_scenarios.json; do
-    [ -s "$f" ] || { echo "tier1: missing artifact $f" >&2; exit 1; }
-done
+# --- Artifact schema validators --------------------------------------------
+# Each validator takes the artifact path, prints its own diagnostic, and
+# returns non-zero on schema drift. `check_artifact` adds the presence
+# check and uniform failure reporting.
 
-# Overlap-bench schema spot-check: the bench gates >=1.3x itself; re-assert
-# the written record is sane (speedup >= 1.0, efficiency in [0, 1], pass).
-speedup=$(awk -F'[:,]' '/"speedup":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_comm_overlap.json)
-eff=$(awk -F'[:,]' '/"overlap_efficiency":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_comm_overlap.json)
-awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }' \
-    || { echo "tier1: overlap speedup $speedup < 1.0" >&2; exit 1; }
-awk -v e="$eff" 'BEGIN { exit !(e >= 0.0 && e <= 1.0) }' \
-    || { echo "tier1: overlap efficiency $eff outside [0, 1]" >&2; exit 1; }
-grep -q '"pass": true' BENCH_comm_overlap.json \
-    || { echo "tier1: BENCH_comm_overlap.json did not pass its own gate" >&2; exit 1; }
+fail() { echo "tier1: $*" >&2; return 1; }
 
-# Ledger schema spot-check: all eight Table-2 apps present, with snapshot
-# digests for provenance.
-for app in GAMESS LSMS GESTS ExaSky CoMet NuCCOR Pele COAST; do
-    grep -q "\"app\": \"$app\"" FOM_LEDGER.json \
-        || { echo "tier1: FOM_LEDGER.json is missing $app" >&2; exit 1; }
-done
-digests=$(grep -c '"snapshot_digest"' FOM_LEDGER.json)
-[ "$digests" -ge 8 ] || { echo "tier1: FOM_LEDGER.json has only $digests digests" >&2; exit 1; }
+# First numeric value of "key": in a JSON artifact.
+json_num() { awk -F'[:,]' -v k="\"$2\":" 'index($0, k) { gsub(/ /, "", $2); print $2; exit }' "$1"; }
 
-# Substrate-bench schema spot-check: the bench gates itself; re-assert the
-# record shows the required speedup, an executed (not costed) FFT milestone
-# inside budget, and bit-identical multi-threaded output.
-sim_speedup=$(awk -F'[:,]' '/"speedup_vs_gmres":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_sim_throughput.json)
-awk -v s="$sim_speedup" 'BEGIN { exit !(s >= 4.0) }' \
-    || { echo "tier1: substrate speedup $sim_speedup < 4.0" >&2; exit 1; }
-fft_wall=$(awk -F'[:,]' '/"wall_s":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_sim_throughput.json)
-fft_budget=$(awk -F'[:,]' '/"budget_s":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_sim_throughput.json)
-awk -v w="$fft_wall" -v b="$fft_budget" 'BEGIN { exit !(w > 0.0 && w <= b) }' \
-    || { echo "tier1: executed FFT wall $fft_wall outside budget $fft_budget" >&2; exit 1; }
-grep -q '"executed": true' BENCH_sim_throughput.json \
-    || { echo "tier1: FFT milestone is not executed" >&2; exit 1; }
-bits=$(grep -c '"bit_identical": true' BENCH_sim_throughput.json)
-[ "$bits" -ge 2 ] || { echo "tier1: substrate output is not bit-identical across threads" >&2; exit 1; }
-grep -q '"pass": true' BENCH_sim_throughput.json \
-    || { echo "tier1: BENCH_sim_throughput.json did not pass its own gate" >&2; exit 1; }
+num_ok() { awk -v a="$1" -v b="$3" "BEGIN { exit !(a $2 b) }"; }
 
-# Substrate-observability schema spot-check: occupancy within the 10% gate,
-# non-empty worker tracks, and the overhead bench under its 5% ceiling with
-# the pool observer + histograms enabled.
-grep -q '"pass": true' PROFILE_substrate.json \
-    || { echo "tier1: PROFILE_substrate.json did not pass its own gate" >&2; exit 1; }
-occ=$(awk -F'[:,]' '/"occupancy":/ { gsub(/ /, "", $2); print $2; exit }' PROFILE_substrate.json)
-awk -v o="$occ" 'BEGIN { exit !(o >= 0.9 && o <= 1.1) }' \
-    || { echo "tier1: substrate occupancy $occ outside [0.9, 1.1]" >&2; exit 1; }
-wtracks=$(awk -F'[:,]' '/"worker_tracks":/ { gsub(/ /, "", $2); print $2; exit }' PROFILE_substrate.json)
-[ "$wtracks" -ge 4 ] || { echo "tier1: only $wtracks worker tracks in PROFILE_substrate.json" >&2; exit 1; }
-grep -q '^# TYPE exa_pool_tasks_total counter' METRICS.prom \
-    || { echo "tier1: METRICS.prom is missing the pool task counter family" >&2; exit 1; }
-grep -q '_bucket{le="+Inf"}' METRICS.prom \
-    || { echo "tier1: METRICS.prom carries no histogram families" >&2; exit 1; }
-grep -q ';task ' PROFILE_pele.folded \
-    || { echo "tier1: PROFILE_pele.folded carries no worker task frames" >&2; exit 1; }
-ratio=$(awk -F'[:,]' '/"amortized_ratio":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_telemetry_overhead.json)
-awk -v r="$ratio" 'BEGIN { exit !(r > 0.0 && r < 1.05) }' \
-    || { echo "tier1: telemetry overhead ratio $ratio not under 1.05 with observer enabled" >&2; exit 1; }
-grep -q '"pass": true' BENCH_telemetry_overhead.json \
-    || { echo "tier1: BENCH_telemetry_overhead.json did not pass its own gate" >&2; exit 1; }
+check_present() { :; }
 
-# Fault-scenario schema spot-check: the bin gates itself; re-assert the
-# record carries a non-empty interval sweep with achieved <= ideal FOM,
-# valid (non-empty) scenario tags, at least one injected failure with a
-# restart, and the overall pass flag.
-grep -q '"pass": true' BENCH_fault_scenarios.json \
-    || { echo "tier1: BENCH_fault_scenarios.json did not pass its own gate" >&2; exit 1; }
-sweep_pts=$(grep -c '"interval_s":' BENCH_fault_scenarios.json)
-[ "$sweep_pts" -ge 8 ] || { echo "tier1: fault sweep has only $sweep_pts points" >&2; exit 1; }
-awk -F'[:,]' '
-    /"ideal_fom":/    { gsub(/ /, "", $2); ideal = $2 }
-    /"achieved_fom":/ { gsub(/ /, "", $2); if ($2 + 0 > ideal + 0) bad = 1 }
-    END { exit bad }' BENCH_fault_scenarios.json \
-    || { echo "tier1: BENCH_fault_scenarios.json has achieved FOM above ideal" >&2; exit 1; }
-if grep -q '"scenario": ""' BENCH_fault_scenarios.json; then
-    echo "tier1: BENCH_fault_scenarios.json carries an empty scenario tag" >&2; exit 1
-fi
-restarts=$(awk -F'[:,]' '/"restarts":/ { gsub(/ /, "", $2); print $2; exit }' BENCH_fault_scenarios.json)
-[ "$restarts" -ge 1 ] || { echo "tier1: faulted Pele campaign restarted $restarts times (need >= 1)" >&2; exit 1; }
+check_comm_overlap() {
+    local speedup eff
+    speedup=$(json_num "$1" speedup)
+    eff=$(json_num "$1" overlap_efficiency)
+    num_ok "$speedup" '>=' 1.0 || fail "overlap speedup $speedup < 1.0" || return 1
+    num_ok "$eff" '>=' 0.0 && num_ok "$eff" '<=' 1.0 \
+        || fail "overlap efficiency $eff outside [0, 1]" || return 1
+    grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
+}
 
-echo "tier1: build + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches + observability export + fault scenarios all green"
+check_fom_ledger() {
+    local app digests
+    for app in GAMESS LSMS GESTS ExaSky CoMet NuCCOR Pele COAST; do
+        grep -q "\"app\": \"$app\"" "$1" || fail "$1 is missing $app" || return 1
+    done
+    digests=$(grep -c '"snapshot_digest"' "$1")
+    [ "$digests" -ge 8 ] || fail "$1 has only $digests digests" || return 1
+}
+
+check_sim_throughput() {
+    local speedup wall budget bits
+    speedup=$(json_num "$1" speedup_vs_gmres)
+    num_ok "$speedup" '>=' 4.0 || fail "substrate speedup $speedup < 4.0" || return 1
+    wall=$(json_num "$1" wall_s)
+    budget=$(json_num "$1" budget_s)
+    num_ok "$wall" '>' 0.0 && num_ok "$wall" '<=' "$budget" \
+        || fail "executed FFT wall $wall outside budget $budget" || return 1
+    grep -q '"executed": true' "$1" || fail "FFT milestone is not executed" || return 1
+    bits=$(grep -c '"bit_identical": true' "$1")
+    [ "$bits" -ge 2 ] || fail "substrate output is not bit-identical across threads" || return 1
+    grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
+}
+
+check_substrate() {
+    local occ wtracks
+    grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
+    occ=$(json_num "$1" occupancy)
+    num_ok "$occ" '>=' 0.9 && num_ok "$occ" '<=' 1.1 \
+        || fail "substrate occupancy $occ outside [0.9, 1.1]" || return 1
+    wtracks=$(json_num "$1" worker_tracks)
+    [ "$wtracks" -ge 4 ] || fail "only $wtracks worker tracks in $1" || return 1
+}
+
+check_metrics_prom() {
+    grep -q '^# TYPE exa_pool_tasks_total counter' "$1" \
+        || fail "$1 is missing the pool task counter family" || return 1
+    grep -q '_bucket{le="+Inf"}' "$1" \
+        || fail "$1 carries no histogram families" || return 1
+    grep -q '^# TYPE exa_serve_latency_s histogram' "$1" \
+        || fail "$1 is missing the serve latency histogram family" || return 1
+    grep -q '^exa_serve_requests_total ' "$1" \
+        || fail "$1 is missing the serve request counter" || return 1
+    grep -q 'exa_serve_latency_s_bucket{app=' "$1" \
+        || fail "$1 carries no per-app labeled latency series" || return 1
+}
+
+check_pele_folded() {
+    grep -q ';task ' "$1" || fail "$1 carries no worker task frames" || return 1
+}
+
+check_telemetry_overhead() {
+    local ratio
+    ratio=$(json_num "$1" amortized_ratio)
+    num_ok "$ratio" '>' 0.0 && num_ok "$ratio" '<' 1.05 \
+        || fail "telemetry overhead ratio $ratio not under 1.05 with observer enabled" || return 1
+    grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
+}
+
+check_fault_scenarios() {
+    local sweep_pts restarts
+    grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
+    sweep_pts=$(grep -c '"interval_s":' "$1")
+    [ "$sweep_pts" -ge 8 ] || fail "fault sweep has only $sweep_pts points" || return 1
+    awk -F'[:,]' '
+        /"ideal_fom":/    { gsub(/ /, "", $2); ideal = $2 }
+        /"achieved_fom":/ { gsub(/ /, "", $2); if ($2 + 0 > ideal + 0) bad = 1 }
+        END { exit bad }' "$1" \
+        || fail "$1 has achieved FOM above ideal" || return 1
+    if grep -q '"scenario": ""' "$1"; then
+        fail "$1 carries an empty scenario tag" || return 1
+    fi
+    restarts=$(json_num "$1" restarts)
+    [ "$restarts" -ge 1 ] || fail "faulted Pele campaign restarted $restarts times (need >= 1)" || return 1
+}
+
+check_campaign_service() {
+    local replayed ratio p99 qps
+    grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
+    replayed=$(json_num "$1" queries_replayed)
+    [ "$replayed" -ge 1000000 ] || fail "campaign replayed only $replayed queries (need >= 1M)" || return 1
+    ratio=$(json_num "$1" hit_ratio)
+    num_ok "$ratio" '>=' 0.9 || fail "campaign hit-ratio $ratio < 0.9" || return 1
+    p99=$(json_num "$1" p99_s)
+    num_ok "$p99" '<=' 0.05 || fail "campaign p99 $p99 s > 0.05 s" || return 1
+    qps=$(json_num "$1" qps)
+    num_ok "$qps" '>=' 25000 || fail "campaign throughput $qps q/s < 25k" || return 1
+    grep -q '"class": "CoMet"' "$1" || fail "SLO drill rows missing from $1" || return 1
+    awk '
+        /"class": "CoMet"/ { comet = 1 }
+        comet && /"drill":/ { in_drill = 1 }
+        comet && in_drill && /"verdict": "Fail"/ { flipped = 1 }
+        comet && in_drill && /}/ { comet = 0; in_drill = 0 }
+        END { exit !flipped }' "$1" \
+        || fail "SLO drill did not flip CoMet to Fail in $1" || return 1
+}
+
+check_artifact() {
+    local file=$1 validator=$2
+    [ -s "$file" ] || { echo "tier1: missing artifact $file" >&2; exit 1; }
+    "$validator" "$file" || { echo "tier1: $file failed $validator" >&2; exit 1; }
+}
+
+check_artifact PROFILE_pele.json            check_present
+check_artifact PROFILE_pele.trace.json      check_present
+check_artifact BENCH_comm_overlap.json      check_comm_overlap
+check_artifact FOM_LEDGER.json              check_fom_ledger
+check_artifact BENCH_sim_throughput.json    check_sim_throughput
+check_artifact PROFILE_substrate.json       check_substrate
+check_artifact METRICS.prom                 check_metrics_prom
+check_artifact PROFILE_pele.folded          check_pele_folded
+check_artifact BENCH_telemetry_overhead.json check_telemetry_overhead
+check_artifact BENCH_fault_scenarios.json   check_fault_scenarios
+check_artifact BENCH_campaign_service.json  check_campaign_service
+
+echo "tier1: build + clippy + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches + observability export + fault scenarios + campaign service all green"

@@ -27,6 +27,7 @@ pub use exa_hal as hal;
 pub use exa_linalg as linalg;
 pub use exa_machine as machine;
 pub use exa_mpi as mpi;
+pub use exa_serve as serve;
 pub use exa_shoc as shoc;
 pub use exa_telemetry as telemetry;
 pub use workpool;

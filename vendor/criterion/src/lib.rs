@@ -12,15 +12,11 @@ use std::time::{Duration, Instant};
 const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
 const MAX_SAMPLES: usize = 10;
 
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
-}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
