@@ -34,7 +34,12 @@ impl BoxArray {
             j = jhi + 1;
         }
         let owner = (0..boxes.len()).map(|b| b % ranks).collect();
-        BoxArray { domain, boxes, owner, ranks }
+        BoxArray {
+            domain,
+            boxes,
+            owner,
+            ranks,
+        }
     }
 
     /// Number of boxes.

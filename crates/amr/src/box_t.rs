@@ -15,7 +15,10 @@ pub struct IntBox {
 impl IntBox {
     /// Box from corners.
     pub fn new(lo: [i64; 2], hi: [i64; 2]) -> Self {
-        assert!(lo[0] <= hi[0] && lo[1] <= hi[1], "degenerate box {lo:?}..{hi:?}");
+        assert!(
+            lo[0] <= hi[0] && lo[1] <= hi[1],
+            "degenerate box {lo:?}..{hi:?}"
+        );
         IntBox { lo, hi }
     }
 
@@ -53,23 +56,35 @@ impl IntBox {
 
     /// Grow by `g` cells on every side (the ghost frame).
     pub fn grow(&self, g: i64) -> IntBox {
-        IntBox::new([self.lo[0] - g, self.lo[1] - g], [self.hi[0] + g, self.hi[1] + g])
+        IntBox::new(
+            [self.lo[0] - g, self.lo[1] - g],
+            [self.hi[0] + g, self.hi[1] + g],
+        )
     }
 
     /// Translate.
     pub fn shift(&self, di: i64, dj: i64) -> IntBox {
-        IntBox::new([self.lo[0] + di, self.lo[1] + dj], [self.hi[0] + di, self.hi[1] + dj])
+        IntBox::new(
+            [self.lo[0] + di, self.lo[1] + dj],
+            [self.hi[0] + di, self.hi[1] + dj],
+        )
     }
 
     /// Refine by ratio 2 (cell-centred).
     pub fn refine(&self) -> IntBox {
-        IntBox::new([2 * self.lo[0], 2 * self.lo[1]], [2 * self.hi[0] + 1, 2 * self.hi[1] + 1])
+        IntBox::new(
+            [2 * self.lo[0], 2 * self.lo[1]],
+            [2 * self.hi[0] + 1, 2 * self.hi[1] + 1],
+        )
     }
 
     /// Coarsen by ratio 2 (cell-centred, floor semantics).
     pub fn coarsen(&self) -> IntBox {
         let f = |x: i64| x.div_euclid(2);
-        IntBox::new([f(self.lo[0]), f(self.lo[1])], [f(self.hi[0]), f(self.hi[1])])
+        IntBox::new(
+            [f(self.lo[0]), f(self.lo[1])],
+            [f(self.hi[0]), f(self.hi[1])],
+        )
     }
 
     /// Iterate all cells, row-major.
@@ -82,7 +97,11 @@ impl IntBox {
 
 impl fmt::Display for IntBox {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}..{}]x[{}..{}]", self.lo[0], self.hi[0], self.lo[1], self.hi[1])
+        write!(
+            f,
+            "[{}..{}]x[{}..{}]",
+            self.lo[0], self.hi[0], self.lo[1], self.hi[1]
+        )
     }
 }
 

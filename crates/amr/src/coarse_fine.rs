@@ -16,7 +16,10 @@ pub struct Patch {
 impl Patch {
     /// Zeroed patch.
     pub fn new(bx: IntBox) -> Self {
-        Patch { bx, data: vec![0.0; bx.num_cells() as usize] }
+        Patch {
+            bx,
+            data: vec![0.0; bx.num_cells() as usize],
+        }
     }
 
     /// Build from a function.

@@ -25,7 +25,11 @@ impl TwoLevel {
         );
         let restricted = Patch::from_fn(fine_region, |i, j| coarse.get(i, j));
         let fine = prolong_constant(&restricted);
-        TwoLevel { coarse, fine, fine_region }
+        TwoLevel {
+            coarse,
+            fine,
+            fine_region,
+        }
     }
 
     fn coarse_at_periodic(&self, i: i64, j: i64) -> f64 {
@@ -172,7 +176,10 @@ mod tests {
         for _ in 0..8 {
             two.advance(0.05);
             let new_peak = two.fine.data.iter().cloned().fold(0.0, f64::max);
-            assert!(new_peak <= peak + 1e-9, "peak must decay: {new_peak} vs {peak}");
+            assert!(
+                new_peak <= peak + 1e-9,
+                "peak must decay: {new_peak} vs {peak}"
+            );
             peak = new_peak;
         }
         let total1: f64 = two.coarse.total();

@@ -29,7 +29,11 @@ struct Fab {
 
 impl Fab {
     fn idx(&self, i: i64, j: i64) -> usize {
-        debug_assert!(self.grown.contains(i, j), "({i},{j}) outside {}", self.grown);
+        debug_assert!(
+            self.grown.contains(i, j),
+            "({i},{j}) outside {}",
+            self.grown
+        );
         let s = self.grown.size();
         ((j - self.grown.lo[1]) * s[0] + (i - self.grown.lo[0])) as usize
     }
@@ -55,7 +59,11 @@ impl MultiFab {
             .map(|&valid| {
                 let grown = valid.grow(ghost);
                 let n = grown.num_cells() as usize;
-                Fab { valid, grown, data: vec![0.0; n] }
+                Fab {
+                    valid,
+                    grown,
+                    data: vec![0.0; n],
+                }
             })
             .collect();
         MultiFab { ba, ghost, fabs }
@@ -117,8 +125,10 @@ impl MultiFab {
         for b in 0..self.fabs.len() {
             let valid = self.fabs[b].valid;
             let grown = self.fabs[b].grown;
-            let ghost_cells: Vec<(i64, i64)> =
-                grown.cells().filter(|&(i, j)| !valid.contains(i, j)).collect();
+            let ghost_cells: Vec<(i64, i64)> = grown
+                .cells()
+                .filter(|&(i, j)| !valid.contains(i, j))
+                .collect();
             for (i, j) in ghost_cells {
                 let (wi, wj) = self.wrap(i, j);
                 let v = self.get(wi, wj);
@@ -147,7 +157,15 @@ impl MultiFab {
 
     /// Sum over valid cells.
     pub fn sum(&self) -> f64 {
-        self.fabs.iter().map(|f| f.valid.cells().map(|(i, j)| f.data[f.idx(i, j)]).sum::<f64>()).sum()
+        self.fabs
+            .iter()
+            .map(|f| {
+                f.valid
+                    .cells()
+                    .map(|(i, j)| f.data[f.idx(i, j)])
+                    .sum::<f64>()
+            })
+            .sum()
     }
 
     /// Max |value| over valid cells.
@@ -200,7 +218,12 @@ mod tests {
         m.fill(|i, j| (i * 100 + j) as f64);
         assert_eq!(m.get(3, 5), 305.0);
         assert_eq!(m.get(12, 15), 1215.0);
-        assert_eq!(m.sum(), (0..16).flat_map(|i| (0..16).map(move |j| i * 100 + j)).sum::<i64>() as f64);
+        assert_eq!(
+            m.sum(),
+            (0..16)
+                .flat_map(|i| (0..16).map(move |j| i * 100 + j))
+                .sum::<i64>() as f64
+        );
     }
 
     #[test]
@@ -246,9 +269,15 @@ mod tests {
         m2.fill(|i, j| (i + j) as f64);
         let t_async = m2.fill_boundary(&mut c2, GhostPolicy::Overlapped, work);
 
-        assert!(t_async < t_sync, "overlap must hide comm: {t_async} !< {t_sync}");
+        assert!(
+            t_async < t_sync,
+            "overlap must hide comm: {t_async} !< {t_sync}"
+        );
         // With enough interior work the exchange is fully hidden.
-        assert!((t_async - work).micros() < 1.0, "fully hidden: {t_async} vs {work}");
+        assert!(
+            (t_async - work).micros() < 1.0,
+            "fully hidden: {t_async} vs {work}"
+        );
         // And both produced identical ghost data.
         assert_eq!(m1.get_local(0, -1, 0), m2.get_local(0, -1, 0));
     }

@@ -127,12 +127,18 @@ impl Tiling {
             _ => 0.88,
         };
         let eff_total = (eff * tile_factor * tb_factor).min(0.97);
-        KernelProfile::new("minplus_gemm", LaunchConfig::cover(n * n / (self.thread_block as u64).pow(2), 256))
-            .flops(flops, DType::F32)
-            .bytes((n as f64) * (n as f64) * 4.0 * 2.0 / self.tile as f64, (n as f64) * (n as f64) * 4.0 / 8.0)
-            .lds(lds)
-            .regs(regs)
-            .compute_eff(eff_total)
+        KernelProfile::new(
+            "minplus_gemm",
+            LaunchConfig::cover(n * n / (self.thread_block as u64).pow(2), 256),
+        )
+        .flops(flops, DType::F32)
+        .bytes(
+            (n as f64) * (n as f64) * 4.0 * 2.0 / self.tile as f64,
+            (n as f64) * (n as f64) * 4.0 / 8.0,
+        )
+        .lds(lds)
+        .regs(regs)
+        .compute_eff(eff_total)
     }
 }
 
@@ -143,7 +149,10 @@ pub fn autotune(gpu: &GpuModel, eff: f64) -> (Tiling, f64) {
     let mut best: Option<(Tiling, f64)> = None;
     for &tile in &[16u32, 32, 64, 128] {
         for &tb in &[1u32, 2, 4, 8] {
-            let t = Tiling { tile, thread_block: tb };
+            let t = Tiling {
+                tile,
+                thread_block: tb,
+            };
             let p = t.profile(n, eff);
             let time = gpu.kernel_time(&p);
             let tf = p.flops / time.secs() / 1e12;
@@ -164,7 +173,9 @@ pub struct Coast {
 
 impl Default for Coast {
     fn default() -> Self {
-        Coast { vertices: 50_000_000 }
+        Coast {
+            vertices: 50_000_000,
+        }
     }
 }
 
@@ -260,7 +271,9 @@ mod tests {
         let mut d = vec![INF; n * n];
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as u32
         };
         for i in 0..n {
@@ -363,8 +376,14 @@ mod tests {
         // §3.9: 5.6 TF on one V100, 30.6 TF on one MI250X (both GCDs).
         let v100_tf = Coast::kernel_tflops_per_card(&MachineModel::summit());
         let mi250x_tf = Coast::kernel_tflops_per_card(&MachineModel::frontier());
-        assert!((v100_tf - 5.6).abs() / 5.6 < 0.25, "V100 kernel {v100_tf} TF");
-        assert!((mi250x_tf - 30.6).abs() / 30.6 < 0.25, "MI250X kernel {mi250x_tf} TF");
+        assert!(
+            (v100_tf - 5.6).abs() / 5.6 < 0.25,
+            "V100 kernel {v100_tf} TF"
+        );
+        assert!(
+            (mi250x_tf - 30.6).abs() / 30.6 < 0.25,
+            "MI250X kernel {mi250x_tf} TF"
+        );
     }
 
     #[test]
@@ -378,8 +397,14 @@ mod tests {
         // 136 PF on Summit (2020); 1.004 EF on Frontier (2022).
         let summit_pf = Coast::machine_pflops(&MachineModel::summit());
         let frontier_pf = Coast::machine_pflops(&MachineModel::frontier());
-        assert!((summit_pf - 136.0).abs() / 136.0 < 0.3, "Summit {summit_pf} PF");
-        assert!(frontier_pf > 900.0, "Frontier must be exascale-class: {frontier_pf} PF");
+        assert!(
+            (summit_pf - 136.0).abs() / 136.0 < 0.3,
+            "Summit {summit_pf} PF"
+        );
+        assert!(
+            frontier_pf > 900.0,
+            "Frontier must be exascale-class: {frontier_pf} PF"
+        );
         let speedup = frontier_pf / summit_pf;
         assert!((speedup - 7.4).abs() / 7.4 < 0.2, "COAST speedup {speedup}");
     }
@@ -414,7 +439,11 @@ pub fn distributed_apsp(
 
     // Cost per k-panel: each rank updates its tile with a min-plus product
     // over a `tile`-deep panel.
-    let panel_profile = Tiling { tile: 64, thread_block: 4 }.profile(tile as u64, kernel_eff);
+    let panel_profile = Tiling {
+        tile: 64,
+        thread_block: 4,
+    }
+    .profile(tile as u64, kernel_eff);
     let panel_time = gpu.kernel_time(&panel_profile) + gpu.launch_latency;
     let tile_bytes = (tile * tile * 4) as u64;
 
@@ -476,7 +505,7 @@ mod dist_tests {
         distributed_apsp(&mut comm, &GpuModel::mi250x_gcd(), &mut d, n, 0.5);
         // Directed ring: distance i -> j is (j - i) mod n.
         assert_eq!(d[3], 3.0);
-        assert_eq!(d[1 * n], (n - 1) as f32);
+        assert_eq!(d[n], (n - 1) as f32);
     }
 
     #[test]

@@ -117,7 +117,11 @@ pub struct CoMet {
 
 impl Default for CoMet {
     fn default() -> Self {
-        CoMet { vectors_per_gpu: 20_000, vector_len: 50_000, dtype: DType::F16 }
+        CoMet {
+            vectors_per_gpu: 20_000,
+            vector_len: 50_000,
+            dtype: DType::F16,
+        }
     }
 }
 
@@ -164,7 +168,11 @@ impl Application for CoMet {
     }
 
     fn motifs(&self) -> Vec<Motif> {
-        vec![Motif::CudaHipPorting, Motif::LibraryTuning, Motif::AlgorithmicOptimizations]
+        vec![
+            Motif::CudaHipPorting,
+            Motif::LibraryTuning,
+            Motif::AlgorithmicOptimizations,
+        ]
     }
 
     fn challenge_problem(&self) -> String {
@@ -258,7 +266,10 @@ mod tests {
     #[test]
     fn reduced_precision_increases_throughput() {
         let m = MachineModel::frontier();
-        let mk = |dtype| CoMet { dtype, ..CoMet::default() };
+        let mk = |dtype| CoMet {
+            dtype,
+            ..CoMet::default()
+        };
         let f64_rate = mk(DType::F64).comparisons_per_second_per_card(&m);
         let f32_rate = mk(DType::F32).comparisons_per_second_per_card(&m);
         let f16_rate = mk(DType::F16).comparisons_per_second_per_card(&m);
@@ -291,7 +302,10 @@ mod tests {
         let app = CoMet::default();
         let s = app.measure_speedup();
         let paper = app.paper_speedup().unwrap();
-        assert!((s - paper).abs() / paper < 0.15, "CoMet speedup {s} vs paper {paper}");
+        assert!(
+            (s - paper).abs() / paper < 0.15,
+            "CoMet speedup {s} vs paper {paper}"
+        );
     }
 }
 
@@ -321,12 +335,7 @@ pub fn ccc3_from_table(t: &[[[u32; 2]; 2]; 2]) -> f64 {
     let p111 = t[1][1][1] as f64 / n;
     let pa: f64 = (t[1].iter().flatten().sum::<u32>()) as f64 / n;
     let pb: f64 = (t[0][1].iter().sum::<u32>() + t[1][1].iter().sum::<u32>()) as f64 / n;
-    let pc: f64 = t
-        .iter()
-        .flatten()
-        .map(|row| row[1])
-        .sum::<u32>() as f64
-        / n;
+    let pc: f64 = t.iter().flatten().map(|row| row[1]).sum::<u32>() as f64 / n;
     p111 - pa * pb * pc
 }
 
@@ -369,9 +378,15 @@ mod ccc3_tests {
     fn independent_vectors_score_near_zero() {
         // Deterministic pseudo-random independent bits.
         let gen = |salt: u64| -> Vec<u8> {
-            (0..4096u64).map(|k| (((k + 1).wrapping_mul(salt) >> 17) & 1) as u8).collect()
+            (0..4096u64)
+                .map(|k| (((k + 1).wrapping_mul(salt) >> 17) & 1) as u8)
+                .collect()
         };
-        let (a, b, c) = (gen(2654435761), gen(0x9E3779B97F4A7C15), gen(0xD1B54A32D192ED03));
+        let (a, b, c) = (
+            gen(2654435761),
+            gen(0x9E3779B97F4A7C15),
+            gen(0xD1B54A32D192ED03),
+        );
         let v = ccc3_from_table(&ccc3_table(&a, &b, &c));
         assert!(v.abs() < 0.05, "independent triple should score ~0: {v}");
     }
@@ -379,7 +394,9 @@ mod ccc3_tests {
     #[test]
     fn planted_triple_is_found() {
         let gen = |salt: u64| -> Vec<u8> {
-            (0..512u64).map(|k| (((k + 1).wrapping_mul(salt) >> 13) & 1) as u8).collect()
+            (0..512u64)
+                .map(|k| (((k + 1).wrapping_mul(salt) >> 13) & 1) as u8)
+                .collect()
         };
         let mut cohort: Vec<Vec<u8>> = (0..6).map(|i| gen(1 + 2 * i as u64 * 2654435761)).collect();
         // Plant a strongly co-occurring triple at indices 1, 3, 4.
@@ -392,7 +409,11 @@ mod ccc3_tests {
             }
         }
         let ((i, j, k), score) = best_triple(&cohort);
-        assert_eq!((i, j, k), (1, 3, 4), "planted triple must win (score {score})");
+        assert_eq!(
+            (i, j, k),
+            (1, 3, 4),
+            "planted triple must win (score {score})"
+        );
         assert!(score > 0.05);
     }
 }

@@ -27,7 +27,7 @@
 use crate::calibration::e3sm as cal;
 use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
 use exa_hal::{
-    ApiSurface, Device, DType, FusionPolicy, GraphCapture, KernelGraph, KernelProfile,
+    ApiSurface, DType, Device, FusionPolicy, GraphCapture, KernelGraph, KernelProfile,
     LaunchConfig, PoolAllocator, SimTime, Stream,
 };
 use exa_machine::{GpuArch, MachineModel};
@@ -123,7 +123,10 @@ pub fn capture_step_graph(device: &Device, columns: usize, cfg: E3smConfig) -> K
                 LaunchConfig::cover(columns as u64 * 64, 128),
             )
             .flops(k.flops * columns as f64, DType::F64)
-            .bytes(k.bytes * columns as f64 * 0.7, k.bytes * columns as f64 * 0.3)
+            .bytes(
+                k.bytes * columns as f64 * 0.7,
+                k.bytes * columns as f64 * 0.3,
+            )
             .regs(k.regs)
             .compute_eff(0.55)
             .mem_eff(0.6),
@@ -167,7 +170,11 @@ pub fn step_time_profiled(
         GpuArch::Cdna1 => exa_machine::GpuModel::mi100(),
         GpuArch::Cdna2 => exa_machine::GpuModel::mi250x_gcd(),
     };
-    let api = if device_arch == GpuArch::Volta { ApiSurface::Cuda } else { ApiSurface::Hip };
+    let api = if device_arch == GpuArch::Volta {
+        ApiSurface::Cuda
+    } else {
+        ApiSurface::Hip
+    };
     let device = Device::new(gpu, 0);
     let mut stream = Stream::new(device.clone(), api).expect("api supports arch");
     stream.set_sync_launch(!cfg.async_launch);
@@ -197,9 +204,10 @@ pub fn step_time_profiled(
     let profiles: Vec<KernelProfile> = graph.kernels().map(|n| n.profile.clone()).collect();
     for profile in &profiles {
         let block = match pool.as_mut() {
-            Some(p) => {
-                Some(p.alloc(&mut stream, SCRATCH_BYTES).expect("pool sized for step"))
-            }
+            Some(p) => Some(
+                p.alloc(&mut stream, SCRATCH_BYTES)
+                    .expect("pool sized for step"),
+            ),
             None => {
                 // Runtime allocation latency.
                 stream.charge_host(stream.device().model.alloc_latency);
@@ -300,7 +308,10 @@ mod tests {
     #[test]
     fn profiled_step_accounts_kernels_pool_and_phase() {
         let collector = TelemetryCollector::shared();
-        let cfg = E3smConfig { pool_allocator: true, ..E3smConfig::naive() };
+        let cfg = E3smConfig {
+            pool_allocator: true,
+            ..E3smConfig::naive()
+        };
         let t = step_time_profiled(GpuArch::Cdna2, 64, cfg, Some((&collector, "e3sm")));
         let snap = collector.snapshot();
         // Per-kernel loop: one launch span per pipeline kernel, one pool
@@ -309,7 +320,11 @@ mod tests {
         assert_eq!(snap.counter("hal.kernels"), k);
         assert_eq!(snap.counter("hal.pool.allocs"), k);
         assert_eq!(snap.counter("hal.pool.frees"), k);
-        let phase = snap.tracks.iter().find(|tr| tr.name == "e3sm/host").expect("host track");
+        let phase = snap
+            .tracks
+            .iter()
+            .find(|tr| tr.name == "e3sm/host")
+            .expect("host track");
         assert_eq!(phase.spans, 1);
         assert!((phase.end_s - t.secs()).abs() < 1e-12);
         exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
@@ -318,12 +333,20 @@ mod tests {
     #[test]
     fn profiled_replay_is_one_graph_span() {
         let collector = TelemetryCollector::shared();
-        let t =
-            step_time_profiled(GpuArch::Cdna2, 64, E3smConfig::optimized(), Some((&collector, "e3sm")));
+        let t = step_time_profiled(
+            GpuArch::Cdna2,
+            64,
+            E3smConfig::optimized(),
+            Some((&collector, "e3sm")),
+        );
         assert!(t > SimTime::ZERO);
         let snap = collector.snapshot();
         assert_eq!(snap.counter("hal.graph_replays"), 1);
-        assert_eq!(snap.counter("hal.kernels"), 0, "replay charges no per-kernel launches");
+        assert_eq!(
+            snap.counter("hal.kernels"),
+            0,
+            "replay charges no per-kernel launches"
+        );
         assert!(snap.counter("hal.graph.fused_nodes") > 0);
     }
 
@@ -332,10 +355,34 @@ mod tests {
         let arch = GpuArch::Cdna2;
         let base = step_time(arch, cal::COLUMNS_PER_GPU, E3smConfig::naive());
         for (name, cfg) in [
-            ("fusion", E3smConfig { fuse_kernels: true, ..E3smConfig::naive() }),
-            ("fission", E3smConfig { fission_spilling: true, ..E3smConfig::naive() }),
-            ("async", E3smConfig { async_launch: true, ..E3smConfig::naive() }),
-            ("pool", E3smConfig { pool_allocator: true, ..E3smConfig::naive() }),
+            (
+                "fusion",
+                E3smConfig {
+                    fuse_kernels: true,
+                    ..E3smConfig::naive()
+                },
+            ),
+            (
+                "fission",
+                E3smConfig {
+                    fission_spilling: true,
+                    ..E3smConfig::naive()
+                },
+            ),
+            (
+                "async",
+                E3smConfig {
+                    async_launch: true,
+                    ..E3smConfig::naive()
+                },
+            ),
+            (
+                "pool",
+                E3smConfig {
+                    pool_allocator: true,
+                    ..E3smConfig::naive()
+                },
+            ),
         ] {
             let t = step_time(arch, cal::COLUMNS_PER_GPU, cfg);
             assert!(t < base, "{name} should help: {t} !< {base}");
@@ -366,7 +413,10 @@ mod tests {
             pool_allocator: false,
             graph_replay: false,
         };
-        let graphed = E3smConfig { graph_replay: true, ..base };
+        let graphed = E3smConfig {
+            graph_replay: true,
+            ..base
+        };
         let t_hand = step_time(arch, 64, base);
         let t_graph = step_time(arch, 64, graphed);
         assert!(
@@ -375,9 +425,19 @@ mod tests {
         );
         // And it is no worse than the fully hand-optimized driver beyond a
         // dispatch-noise margin.
-        let hand_opt = step_time(arch, 64, E3smConfig { graph_replay: false, ..E3smConfig::optimized() });
+        let hand_opt = step_time(
+            arch,
+            64,
+            E3smConfig {
+                graph_replay: false,
+                ..E3smConfig::optimized()
+            },
+        );
         let t_opt = step_time(arch, 64, E3smConfig::optimized());
-        assert!(t_opt < hand_opt * 1.01, "replay must not regress the optimized driver");
+        assert!(
+            t_opt < hand_opt * 1.01,
+            "replay must not regress the optimized driver"
+        );
     }
 
     #[test]
@@ -386,7 +446,10 @@ mod tests {
         // spilling kernel the trade is worth it.
         let arch = GpuArch::Cdna2;
         let spilling = E3smConfig::naive();
-        let fissioned = E3smConfig { fission_spilling: true, ..spilling };
+        let fissioned = E3smConfig {
+            fission_spilling: true,
+            ..spilling
+        };
         let t_spill = step_time(arch, cal::COLUMNS_PER_GPU, spilling);
         let t_fission = step_time(arch, cal::COLUMNS_PER_GPU, fissioned);
         assert!(t_fission < t_spill);
@@ -415,7 +478,12 @@ mod tests {
 
     #[test]
     fn throughput_is_positive_on_all_gpu_archs() {
-        for arch in [GpuArch::Volta, GpuArch::Vega20, GpuArch::Cdna1, GpuArch::Cdna2] {
+        for arch in [
+            GpuArch::Volta,
+            GpuArch::Vega20,
+            GpuArch::Cdna1,
+            GpuArch::Cdna2,
+        ] {
             assert!(E3sm::throughput(arch, E3smConfig::optimized()) > 0.0);
         }
     }
@@ -483,7 +551,14 @@ impl ArrayIR {
                 }
             }
         }
-        (ArrayIR { data: out, shape: self.shape, layout: want }, true)
+        (
+            ArrayIR {
+                data: out,
+                shape: self.shape,
+                layout: want,
+            },
+            true,
+        )
     }
 }
 
@@ -508,18 +583,31 @@ pub mod kokkos_side {
                     data[i + j * r] = f(i, j);
                 }
             }
-            View2D { data, shape: (r, c) }
+            View2D {
+                data,
+                shape: (r, c),
+            }
         }
 
         /// Export through the IR.
         pub fn to_ir(&self) -> ArrayIR {
-            ArrayIR { data: self.data.clone(), shape: self.shape, layout: Layout::Left }
+            ArrayIR {
+                data: self.data.clone(),
+                shape: self.shape,
+                layout: Layout::Left,
+            }
         }
 
         /// Adopt an IR (converting layout only if needed).
         pub fn from_ir(ir: ArrayIR) -> (Self, bool) {
             let (ir, copied) = ir.into_layout(Layout::Left);
-            (View2D { data: ir.data, shape: ir.shape }, copied)
+            (
+                View2D {
+                    data: ir.data,
+                    shape: ir.shape,
+                },
+                copied,
+            )
         }
     }
 }
@@ -545,18 +633,31 @@ pub mod yakl_side {
                     data[i * c + j] = f(i, j);
                 }
             }
-            Array2D { data, shape: (r, c) }
+            Array2D {
+                data,
+                shape: (r, c),
+            }
         }
 
         /// Export through the IR.
         pub fn to_ir(&self) -> ArrayIR {
-            ArrayIR { data: self.data.clone(), shape: self.shape, layout: Layout::Right }
+            ArrayIR {
+                data: self.data.clone(),
+                shape: self.shape,
+                layout: Layout::Right,
+            }
         }
 
         /// Adopt an IR (converting layout only if needed).
         pub fn from_ir(ir: ArrayIR) -> (Self, bool) {
             let (ir, copied) = ir.into_layout(Layout::Right);
-            (Array2D { data: ir.data, shape: ir.shape }, copied)
+            (
+                Array2D {
+                    data: ir.data,
+                    shape: ir.shape,
+                },
+                copied,
+            )
         }
     }
 }
@@ -688,7 +789,9 @@ mod weno_tests {
     use std::f64::consts::PI;
 
     fn sine(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * i as f64 / n as f64).sin())
+            .collect()
     }
 
     fn step_fn(n: usize) -> Vec<f64> {
@@ -719,7 +822,10 @@ mod weno_tests {
         let e64 = err(64);
         let e128 = err(128);
         let order = (e64 / e128).log2();
-        assert!(order > 2.5, "WENO5 should converge at high order, got {order:.2}");
+        assert!(
+            order > 2.5,
+            "WENO5 should converge at high order, got {order:.2}"
+        );
     }
 
     #[test]
@@ -747,7 +853,10 @@ mod weno_tests {
         // After a full period the profile returns (with some diffusion).
         let corr: f64 = u.iter().zip(&u0).map(|(a, b)| a * b).sum::<f64>()
             / u0.iter().map(|b| b * b).sum::<f64>();
-        assert!(corr > 0.9, "profile should survive one revolution: corr {corr}");
+        assert!(
+            corr > 0.9,
+            "profile should survive one revolution: corr {corr}"
+        );
     }
 
     #[test]
@@ -796,10 +905,18 @@ mod throughput_tests {
     #[test]
     fn optimized_pipeline_reaches_the_realtime_target() {
         let step_seconds = 180.0;
-        let optimized =
-            realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), cal::COLUMNS_PER_GPU, step_seconds);
-        let naive =
-            realtime_ratio(GpuArch::Cdna2, E3smConfig::naive(), cal::COLUMNS_PER_GPU, step_seconds);
+        let optimized = realtime_ratio(
+            GpuArch::Cdna2,
+            E3smConfig::optimized(),
+            cal::COLUMNS_PER_GPU,
+            step_seconds,
+        );
+        let naive = realtime_ratio(
+            GpuArch::Cdna2,
+            E3smConfig::naive(),
+            cal::COLUMNS_PER_GPU,
+            step_seconds,
+        );
         assert!(
             optimized >= 1000.0,
             "the latency work exists to hit 1000-2000x realtime: {optimized:.0}x"
@@ -817,7 +934,10 @@ mod throughput_tests {
         let r2048 = realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), 2048, 180.0);
         let r512 = realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), 512, 180.0);
         let r32 = realtime_ratio(GpuArch::Cdna2, E3smConfig::optimized(), 32, 180.0);
-        assert!(r512 > r2048, "halving work below 2048 columns still helps: {r512} vs {r2048}");
+        assert!(
+            r512 > r2048,
+            "halving work below 2048 columns still helps: {r512} vs {r2048}"
+        );
         assert!(
             (r32 / r512 - 1.0).abs() < 0.05,
             "below the wall, 16x less work buys nothing: {r32} vs {r512}"

@@ -136,8 +136,16 @@ pub fn chemistry_campaign_faulted(
     let mut replay_until = 0usize;
     while step < cfg.substeps {
         let replaying = step < replay_until;
-        let span_name: &'static str = if replaying { "restart/replay" } else { "chem_substep" };
-        let span_cat = if replaying { SpanCat::Fault } else { SpanCat::Kernel };
+        let span_name: &'static str = if replaying {
+            "restart/replay"
+        } else {
+            "chem_substep"
+        };
+        let span_cat = if replaying {
+            SpanCat::Fault
+        } else {
+            SpanCat::Kernel
+        };
         sched.compute_phase_skewed(
             &mut comm,
             &mut states,
@@ -204,7 +212,10 @@ pub fn chemistry_campaign_faulted(
 
         // Defensive checkpoint every `interval_steps` committed substeps.
         if let Some(ck) = &scenario.checkpoint {
-            if ck.interval_steps > 0 && step.is_multiple_of(ck.interval_steps) && step < cfg.substeps {
+            if ck.interval_steps > 0
+                && step.is_multiple_of(ck.interval_steps)
+                && step < cfg.substeps
+            {
                 snapshot.clone_from(&states);
                 last_ckpt_step = step;
                 checkpoints += 1;
@@ -250,7 +261,12 @@ mod tests {
     use exa_core::{CheckpointSpec, NetworkScenario};
 
     fn small_cfg() -> ChemCampaign {
-        ChemCampaign { ranks: 16, cells_per_rank: 4, substeps: 8, dt: 0.4 }
+        ChemCampaign {
+            ranks: 16,
+            cells_per_rank: 4,
+            substeps: 8,
+            dt: 0.4,
+        }
     }
 
     #[test]
@@ -293,8 +309,15 @@ mod tests {
         assert!(faulted.failures >= 1, "MTBF {mtbf:?} injected no failures");
         assert_eq!(faulted.restarts, faulted.failures);
         assert!(faulted.checkpoints >= 1);
-        assert!(faulted.max_lost_steps <= 2, "lost {} > interval 2", faulted.max_lost_steps);
-        assert!(faulted.elapsed > clean.elapsed, "faults must cost wall time");
+        assert!(
+            faulted.max_lost_steps <= 2,
+            "lost {} > interval 2",
+            faulted.max_lost_steps
+        );
+        assert!(
+            faulted.elapsed > clean.elapsed,
+            "faults must cost wall time"
+        );
         // Physics is unchanged by checkpoint/restart.
         assert_eq!(faulted.checksum.to_bits(), clean.checksum.to_bits());
         assert_eq!(faulted.newton_total, clean.newton_total);

@@ -40,7 +40,11 @@ impl Fragment {
     /// A fragment of `molecules` water monomers in a cc-pVDZ-like basis
     /// (5 occupied / 19 virtual / 84 auxiliary functions per water).
     pub fn waters(molecules: usize) -> Self {
-        Fragment { nocc: 5 * molecules, nvirt: 19 * molecules, naux: 84 * molecules }
+        Fragment {
+            nocc: 5 * molecules,
+            nvirt: 19 * molecules,
+            naux: 84 * molecules,
+        }
     }
 
     /// FLOPs of one fragment's RI-MP2 energy: the `(ia|jb)` assembly GEMM
@@ -93,7 +97,11 @@ pub fn rimp2_fragment(
         }
     }
     for i in 0..n {
-        fock[(i, i)] += if i < frag.nocc { -1.0 - 0.01 * i as f64 } else { 0.5 + 0.01 * i as f64 };
+        fock[(i, i)] += if i < frag.nocc {
+            -1.0 - 0.01 * i as f64
+        } else {
+            0.5 + 0.01 * i as f64
+        };
     }
 
     let eig = match solver {
@@ -128,7 +136,10 @@ pub fn rimp2_fragment(
         }
     }
 
-    FragmentResult { energy: e2, device_time: stream.device_time() }
+    FragmentResult {
+        energy: e2,
+        device_time: stream.device_time(),
+    }
 }
 
 /// The GAMESS application for the readiness harness.
@@ -141,7 +152,9 @@ pub struct Gamess {
 impl Default for Gamess {
     fn default() -> Self {
         // The §3.1 challenge systems fragment into few-molecule units.
-        Gamess { molecules_per_fragment: 4 }
+        Gamess {
+            molecules_per_fragment: 4,
+        }
     }
 }
 
@@ -237,7 +250,11 @@ mod tests {
         let r1 = rimp2_fragment(&mut s, &lib, frag, EigenSolver::DivideConquer, 7);
         let mut s2 = hip_stream();
         let r2 = rimp2_fragment(&mut s2, &lib, frag, EigenSolver::DivideConquer, 7);
-        assert!(r1.energy < 0.0, "correlation energy must be negative: {}", r1.energy);
+        assert!(
+            r1.energy < 0.0,
+            "correlation energy must be negative: {}",
+            r1.energy
+        );
         assert_eq!(r1.energy, r2.energy, "determinism");
     }
 
@@ -380,7 +397,10 @@ impl ScfProblem {
         // J = Bᵀ g, reshaped.
         Matrix::from_fn(n, n, |mu, nu| {
             let munu = mu + nu * n;
-            g.iter().enumerate().map(|(p, gp)| self.b[(p, munu)] * gp).sum()
+            g.iter()
+                .enumerate()
+                .map(|(p, gp)| self.b[(p, munu)] * gp)
+                .sum()
         })
     }
 
@@ -429,11 +449,19 @@ impl ScfProblem {
                 }
             }
             if (energy - last_energy).abs() < tol {
-                return ScfResult { energy, iterations: it, density };
+                return ScfResult {
+                    energy,
+                    iterations: it,
+                    density,
+                };
             }
             last_energy = energy;
         }
-        ScfResult { energy: last_energy, iterations: max_iter, density }
+        ScfResult {
+            energy: last_energy,
+            iterations: max_iter,
+            density,
+        }
     }
 }
 
@@ -453,7 +481,11 @@ mod scf_tests {
         let mut s = hip_stream();
         let lib = DeviceBlas::default();
         let r = prob.solve(&mut s, &lib, EigenSolver::DivideConquer, 1e-10, 200);
-        assert!(r.iterations < 200, "SCF must converge, took {}", r.iterations);
+        assert!(
+            r.iterations < 200,
+            "SCF must converge, took {}",
+            r.iterations
+        );
         assert!(r.energy < 0.0, "bound fragment energy: {}", r.energy);
     }
 
@@ -467,7 +499,11 @@ mod scf_tests {
         assert!((trace - 2.0).abs() < 1e-6, "tr(D) = nocc, got {trace}");
         // Idempotency of the converged closed-shell density: D² = D.
         let d2 = r.density.matmul_ref(&r.density);
-        assert!(d2.max_abs_diff(&r.density) < 1e-5, "{}", d2.max_abs_diff(&r.density));
+        assert!(
+            d2.max_abs_diff(&r.density) < 1e-5,
+            "{}",
+            d2.max_abs_diff(&r.density)
+        );
     }
 
     #[test]
@@ -475,9 +511,13 @@ mod scf_tests {
         let prob = ScfProblem::synthetic(9, 3, 23);
         let lib = DeviceBlas::default();
         let mut s1 = hip_stream();
-        let ej = prob.solve(&mut s1, &lib, EigenSolver::Jacobi, 1e-10, 300).energy;
+        let ej = prob
+            .solve(&mut s1, &lib, EigenSolver::Jacobi, 1e-10, 300)
+            .energy;
         let mut s2 = hip_stream();
-        let ed = prob.solve(&mut s2, &lib, EigenSolver::DivideConquer, 1e-10, 300).energy;
+        let ed = prob
+            .solve(&mut s2, &lib, EigenSolver::DivideConquer, 1e-10, 300)
+            .energy;
         // The damped iteration path differs slightly between solvers
         // (orbital phases); the fixed point agrees to SCF accuracy.
         assert!((ej - ed).abs() < 1e-3 * ej.abs(), "{ej} vs {ed}");
@@ -538,7 +578,10 @@ mod gddi_tests {
     fn nearly_ideal_scaling_to_2k_nodes() {
         let frontier = MachineModel::frontier();
         let eff = gddi_scaling_efficiency(&frontier, 2_048);
-        assert!(eff > 0.95, "GDDI fragment driver must scale nearly ideally: {eff}");
+        assert!(
+            eff > 0.95,
+            "GDDI fragment driver must scale nearly ideally: {eff}"
+        );
     }
 
     #[test]

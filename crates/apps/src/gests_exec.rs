@@ -15,8 +15,8 @@
 //! at any thread count: per-rank math is interleaving-free and the
 //! scheduler merges clocks and spans deterministically.
 
-use exa_fft::{C64, DistGrid, ExecutedFft3d};
-use exa_machine::{MachineModel, SimTime};
+use exa_fft::{DistGrid, ExecutedFft3d, C64};
+use exa_machine::{GpuModel, MachineModel, SimTime};
 use exa_mpi::{Comm, Network, RankScheduler};
 use exa_telemetry::{digest64, FomKind, FomRecord, SpanCat, TelemetryCollector};
 
@@ -39,7 +39,12 @@ impl DnsStep {
     /// count real Pencils decompositions reach at this grid size
     /// (`1024 ≤ 64² = 4096`).
     pub fn step_1024() -> Self {
-        DnsStep { n: 64, ranks: 1024, dt: 5e-4, viscosity: 0.025 }
+        DnsStep {
+            n: 64,
+            ranks: 1024,
+            dt: 5e-4,
+            viscosity: 0.025,
+        }
     }
 }
 
@@ -90,7 +95,14 @@ fn initial_field(n: usize) -> Vec<C64> {
         ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
     };
     let modes: Vec<(f64, f64, f64, f64)> = (0..6)
-        .map(|_| (unit() * 3.0 + 1.0, unit() * 3.0 + 1.0, unit() * 3.0 + 1.0, unit() * 2.0 * PI))
+        .map(|_| {
+            (
+                unit() * 3.0 + 1.0,
+                unit() * 3.0 + 1.0,
+                unit() * 3.0 + 1.0,
+                unit() * 2.0 * PI,
+            )
+        })
         .collect();
     let mut field = vec![C64::ZERO; n * n * n];
     for i0 in 0..n {
@@ -143,41 +155,12 @@ pub fn executed_dns_step(sched: &RankScheduler, cfg: &DnsStep) -> (DnsStepResult
     let mut comm = Comm::new(cfg.ranks, Network::from_machine(&machine));
     comm.attach_telemetry(&collector, "gests_dns");
 
-    let plan = ExecutedFft3d::new(cfg.n);
+    // Plan on the persisted knob table; bit-identical to the frozen plan
+    // for every physics output, span, and virtual clock.
+    let plan = ExecutedFft3d::tuned(cfg.n);
     let mut grid = DistGrid::from_global(cfg.n, cfg.ranks, &initial_field(cfg.n));
     let energy_before = energy(&mut comm, &grid);
-    let t0 = comm.elapsed();
-
-    plan.forward(sched, &mut comm, &gpu, &mut grid);
-
-    // Spectral advance in the post-forward layout: lines run along axis 0,
-    // line index is i1·n + i2 — so one pass over each rank's lines sees
-    // every (k0, k1, k2) it owns. Integrating-factor advance is exact for
-    // the viscous term. ~10 flops/point against the GPU's vector peak.
-    let n = cfg.n;
-    let decay_time =
-        SimTime::from_secs(10.0 * (n * n * n) as f64 / (cfg.ranks as f64 * gpu.peak_f64 * 0.2));
-    let split_base = (n * n) / cfg.ranks;
-    let split_rem = (n * n) % cfg.ranks;
-    let (dt, nu) = (cfg.dt, cfg.viscosity);
-    sched.compute_phase(&mut comm, grid_parts(&mut grid), |ctx, part| {
-        let r = ctx.rank();
-        let start = r * split_base + r.min(split_rem);
-        for (li, line) in part.chunks_mut(n).enumerate() {
-            let gl = start + li;
-            let (k1, k2) = (wavenumber(gl / n, n), wavenumber(gl % n, n));
-            for (i0, z) in line.iter_mut().enumerate() {
-                let k0 = wavenumber(i0, n);
-                let k2sum = k0 * k0 + k1 * k1 + k2 * k2;
-                *z = z.scale((-nu * k2sum * dt).exp());
-            }
-        }
-        ctx.span("spectral_advance", SpanCat::Kernel, decay_time);
-    });
-
-    plan.inverse(sched, &mut comm, &gpu, &mut grid);
-
-    let elapsed = comm.elapsed() - t0;
+    let elapsed = dns_step_window(sched, &mut comm, &gpu, &plan, cfg, &mut grid);
     let energy_after = energy(&mut comm, &grid);
     let digest = field_digest(&grid.gather_global());
     comm.absorb_telemetry();
@@ -218,12 +201,62 @@ fn grid_parts(grid: &mut DistGrid) -> &mut [Vec<C64>] {
     grid.parts_mut()
 }
 
+/// The step's transform window — forward transform, spectral viscous
+/// advance, inverse transform — on an explicit FFT plan. Public so the
+/// autotune bench can time exactly this window under the frozen and the
+/// tuned plan; [`executed_dns_step`] wraps it with setup, energy
+/// accounting and telemetry. Returns the window's virtual elapsed time.
+pub fn dns_step_window(
+    sched: &RankScheduler,
+    comm: &mut Comm,
+    gpu: &GpuModel,
+    plan: &ExecutedFft3d,
+    cfg: &DnsStep,
+    grid: &mut DistGrid,
+) -> SimTime {
+    let t0 = comm.elapsed();
+    plan.forward(sched, comm, gpu, grid);
+
+    // Spectral advance in the post-forward layout: lines run along axis 0,
+    // line index is i1·n + i2 — so one pass over each rank's lines sees
+    // every (k0, k1, k2) it owns. Integrating-factor advance is exact for
+    // the viscous term. ~10 flops/point against the GPU's vector peak.
+    let n = cfg.n;
+    let decay_time =
+        SimTime::from_secs(10.0 * (n * n * n) as f64 / (cfg.ranks as f64 * gpu.peak_f64 * 0.2));
+    let split_base = (n * n) / cfg.ranks;
+    let split_rem = (n * n) % cfg.ranks;
+    let (dt, nu) = (cfg.dt, cfg.viscosity);
+    sched.compute_phase(comm, grid_parts(grid), |ctx, part| {
+        let r = ctx.rank();
+        let start = r * split_base + r.min(split_rem);
+        for (li, line) in part.chunks_mut(n).enumerate() {
+            let gl = start + li;
+            let (k1, k2) = (wavenumber(gl / n, n), wavenumber(gl % n, n));
+            for (i0, z) in line.iter_mut().enumerate() {
+                let k0 = wavenumber(i0, n);
+                let k2sum = k0 * k0 + k1 * k1 + k2 * k2;
+                *z = z.scale((-nu * k2sum * dt).exp());
+            }
+        }
+        ctx.span("spectral_advance", SpanCat::Kernel, decay_time);
+    });
+
+    plan.inverse(sched, comm, gpu, grid);
+    comm.elapsed() - t0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn small() -> DnsStep {
-        DnsStep { n: 8, ranks: 12, dt: 1e-3, viscosity: 0.05 }
+        DnsStep {
+            n: 8,
+            ranks: 12,
+            dt: 1e-3,
+            viscosity: 0.05,
+        }
     }
 
     #[test]
@@ -231,8 +264,14 @@ mod tests {
         let sched = RankScheduler::new();
         let (res, rec) = executed_dns_step(&sched, &small());
         assert!(res.energy_before > 0.0);
-        assert!(res.energy_after < res.energy_before, "viscosity must dissipate energy");
-        assert!(res.energy_after > 0.5 * res.energy_before, "one small step, small decay");
+        assert!(
+            res.energy_after < res.energy_before,
+            "viscosity must dissipate energy"
+        );
+        assert!(
+            res.energy_after > 0.5 * res.energy_before,
+            "one small step, small decay"
+        );
         assert!(res.elapsed > SimTime::ZERO);
         assert_eq!(rec.app, "GESTS");
         assert!(rec.value > 0.0);

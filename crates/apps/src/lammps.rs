@@ -22,9 +22,9 @@
 //! LAMMPS since Feb. 2022".
 
 use crate::calibration::lammps as cal;
+use exa_core::Motif::*;
 use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
 use exa_hal::{DType, GraphCapture, KernelProfile, LaunchConfig, SimTime};
-use exa_core::Motif::*;
 use exa_machine::{GpuArch, MachineModel};
 
 // ---------------------------------------------------------------------------
@@ -46,7 +46,9 @@ impl AtomSystem {
         let spacing = 1.0;
         let mut s = seed;
         let mut jitter = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.15
         };
         let mut pos = Vec::with_capacity(n * n * n);
@@ -61,7 +63,10 @@ impl AtomSystem {
                 }
             }
         }
-        AtomSystem { pos, box_len: n as f64 * spacing }
+        AtomSystem {
+            pos,
+            box_len: n as f64 * spacing,
+        }
     }
 
     /// Minimum-image displacement.
@@ -102,8 +107,7 @@ impl AtomSystem {
         };
         let mut cells: Vec<Vec<usize>> =
             vec![Vec::new(); cells_per_dim * cells_per_dim * cells_per_dim];
-        let flat =
-            |c: [usize; 3]| (c[0] * cells_per_dim + c[1]) * cells_per_dim + c[2];
+        let flat = |c: [usize; 3]| (c[0] * cells_per_dim + c[1]) * cells_per_dim + c[2];
         for (i, p) in self.pos.iter().enumerate() {
             cells[flat(cell_of(p))].push(i);
         }
@@ -136,7 +140,12 @@ impl AtomSystem {
         neigh
             .iter()
             .enumerate()
-            .map(|(i, nb)| nb.iter().copied().filter(|&j| self.dist(i, j) < bond_cutoff).collect())
+            .map(|(i, nb)| {
+                nb.iter()
+                    .copied()
+                    .filter(|&j| self.dist(i, j) < bond_cutoff)
+                    .collect()
+            })
             .collect()
     }
 }
@@ -159,7 +168,11 @@ fn torsion_term(sys: &AtomSystem, t: Tuple) -> f64 {
     let b2 = sys.delta(j, k);
     let b3 = sys.delta(k, l);
     let cross = |a: [f64; 3], b: [f64; 3]| {
-        [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
+        [
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        ]
     };
     let dot = |a: [f64; 3], b: [f64; 3]| a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
     let n1 = cross(b1, b2);
@@ -328,7 +341,12 @@ impl CsrMatrix {
             }
             rowptr[i + 1] = cols.len();
         }
-        CsrMatrix { rowptr, cols, vals, n }
+        CsrMatrix {
+            rowptr,
+            cols,
+            vals,
+            n,
+        }
     }
 
     /// `y = H x`.
@@ -370,7 +388,12 @@ pub fn cg_solve(h: &CsrMatrix, b: &[f64], tol: f64, max_iter: usize) -> CgResult
     let mut comms = 1; // initial norm
     for it in 0..max_iter {
         if rs.sqrt() < tol {
-            return CgResult { x, iters: it, matrix_sweeps: sweeps, comm_rounds: comms };
+            return CgResult {
+                x,
+                iters: it,
+                matrix_sweeps: sweeps,
+                comm_rounds: comms,
+            };
         }
         let hp = h.matvec(&p);
         sweeps += 1;
@@ -388,7 +411,12 @@ pub fn cg_solve(h: &CsrMatrix, b: &[f64], tol: f64, max_iter: usize) -> CgResult
             p[i] = r[i] + beta * p[i];
         }
     }
-    CgResult { x, iters: max_iter, matrix_sweeps: sweeps, comm_rounds: comms }
+    CgResult {
+        x,
+        iters: max_iter,
+        matrix_sweeps: sweeps,
+        comm_rounds: comms,
+    }
 }
 
 /// Fused dual-RHS CG: both systems advance in lockstep, sharing each
@@ -453,7 +481,10 @@ pub fn cg_solve_dual(
         matrix_sweeps: sweeps,
         comm_rounds: comms,
     });
-    (out.next().expect("two systems"), out.next().expect("two systems"))
+    (
+        out.next().expect("two systems"),
+        out.next().expect("two systems"),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -538,11 +569,11 @@ mod tests {
     fn cell_list_matches_n_squared_scan() {
         let sys = AtomSystem::crystal(3, 5);
         let fast = sys.neighbor_list(1.4);
-        for i in 0..sys.pos.len() {
+        for (i, fast_row) in fast.iter().enumerate() {
             let slow: Vec<usize> = (0..sys.pos.len())
                 .filter(|&j| j != i && sys.dist(i, j) < 1.4)
                 .collect();
-            assert_eq!(fast[i], slow, "atom {i}");
+            assert_eq!(fast_row, &slow, "atom {i}");
         }
     }
 
@@ -563,7 +594,11 @@ mod tests {
         let (e_naive, evaluated) = torsion_naive(&sys, &neigh, &bond, r_cut);
         let tuples = build_tuples(&sys, &neigh, &bond, r_cut);
         let e_dense = torsion_dense(&sys, &tuples);
-        assert_eq!(tuples.len(), evaluated, "tuple count must match inline survivors");
+        assert_eq!(
+            tuples.len(),
+            evaluated,
+            "tuple count must match inline survivors"
+        );
         assert!(
             (e_naive - e_dense).abs() < 1e-12 * e_naive.abs().max(1.0),
             "{e_naive} vs {e_dense}"
@@ -611,7 +646,9 @@ mod tests {
         let h = CsrMatrix::qeq_matrix(&sys, &neigh, 2.0);
         let n = h.n;
         let b1: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 / 13.0 - 0.4).collect();
-        let b2: Vec<f64> = (0..n).map(|i| ((i * 11) % 17) as f64 / 17.0 - 0.6).collect();
+        let b2: Vec<f64> = (0..n)
+            .map(|i| ((i * 11) % 17) as f64 / 17.0 - 0.6)
+            .collect();
         let s1 = cg_solve(&h, &b1, 1e-10, 500);
         let s2 = cg_solve(&h, &b2, 1e-10, 500);
         let (d1, d2) = cg_solve_dual(&h, &b1, &b2, 1e-10, 500);
@@ -656,7 +693,10 @@ mod tests {
         let after = Lammps::step_time(GpuArch::Cdna2, true);
         let speedup = before / after;
         assert!(speedup > 1.5, "ReaxFF speedup {speedup} must exceed 1.5x");
-        assert!(speedup < 3.5, "whole-model speedup should stay in the >50% regime, got {speedup}");
+        assert!(
+            speedup < 3.5,
+            "whole-model speedup should stay in the >50% regime, got {speedup}"
+        );
     }
 }
 
@@ -794,7 +834,14 @@ impl MdRun {
         let neigh = sys.neighbor_list(1.6);
         let (forces, _) = lj_forces(&sys, &neigh, 0.2, 0.9);
         let natoms = sys.pos.len();
-        MdRun { sys, vel: vec![[0.0; 3]; natoms], epsilon: 0.2, sigma: 0.9, cutoff: 1.6, forces }
+        MdRun {
+            sys,
+            vel: vec![[0.0; 3]; natoms],
+            epsilon: 0.2,
+            sigma: 0.9,
+            cutoff: 1.6,
+            forces,
+        }
     }
 
     /// Total energy (kinetic + potential).
@@ -887,7 +934,10 @@ mod md_tests {
         let drift = (e1 - e0).abs() / e0.abs().max(1e-3);
         assert!(drift < 0.05, "energy drift {drift} (E {e0} -> {e1})");
         for x in 0..3 {
-            assert!((p1[x] - p0[x]).abs() < 1e-9, "momentum drift {p1:?} vs {p0:?}");
+            assert!(
+                (p1[x] - p0[x]).abs() < 1e-9,
+                "momentum drift {p1:?} vs {p0:?}"
+            );
         }
     }
 

@@ -21,7 +21,7 @@ use exa_core::{Application, FigureOfMerit, FomMeasurement, Motif};
 use exa_hal::{DType, KernelProfile, LaunchConfig, SimTime, Stream};
 use exa_linalg::block_inv::{block_lu_flops, block_lu_inverse_block};
 use exa_linalg::device::DeviceBlas;
-use exa_linalg::{C64, Matrix};
+use exa_linalg::{Matrix, C64};
 use exa_machine::{GpuArch, MachineModel};
 
 /// Angular-momentum channels per atom ((lmax+1)² with lmax = 3).
@@ -197,8 +197,8 @@ impl Lsms {
         // Both routes extract one BLOCK-wide block of the inverse: the
         // legacy algorithm by block elimination, the Frontier route by one
         // getrf plus a BLOCK-column getrs — "slightly" more flops (§3.2).
-        let lu_route_flops = exa_linalg::lu::getrf_flops::<C64>(n)
-            + exa_linalg::lu::getrs_flops::<C64>(n, BLOCK);
+        let lu_route_flops =
+            exa_linalg::lu::getrf_flops::<C64>(n) + exa_linalg::lu::getrs_flops::<C64>(n, BLOCK);
         let (flops, penalty) = match gpu.arch {
             GpuArch::Volta => (block_lu_flops::<C64>(n, BLOCK), cal::ZBLOCK_KERNEL_PENALTY),
             _ => (lu_route_flops, 1.0),
@@ -304,8 +304,8 @@ mod tests {
         let mut s2 = hip_stream();
         let (_, t_blk) = solve_tau00(&mut s2, &lib, &kkr, TauSolver::ZBlockLu);
         let n = kkr.rows();
-        let lu_route = exa_linalg::lu::getrf_flops::<C64>(n)
-            + exa_linalg::lu::getrs_flops::<C64>(n, BLOCK);
+        let lu_route =
+            exa_linalg::lu::getrf_flops::<C64>(n) + exa_linalg::lu::getrs_flops::<C64>(n, BLOCK);
         assert!(
             block_lu_flops::<C64>(n, BLOCK) < lu_route.min(full_lu_flops::<C64>(n)),
             "zblock must have fewer flops"
@@ -328,7 +328,10 @@ mod tests {
         let app = Lsms::default();
         let s = app.measure_speedup();
         let paper = app.paper_speedup().unwrap();
-        assert!((s - paper).abs() / paper < 0.15, "LSMS speedup {s} vs paper {paper}");
+        assert!(
+            (s - paper).abs() / paper < 0.15,
+            "LSMS speedup {s} vs paper {paper}"
+        );
     }
 }
 
@@ -364,7 +367,10 @@ pub fn contour_integration(
         traces.push(trace);
     }
     // DOS ∝ -Im Tr τ / π, trapezoid over the contour parameter.
-    let dos: f64 = traces.iter().map(|t| -t.im / std::f64::consts::PI).sum::<f64>()
+    let dos: f64 = traces
+        .iter()
+        .map(|t| -t.im / std::f64::consts::PI)
+        .sum::<f64>()
         / points as f64;
     (dos, traces)
 }
@@ -401,7 +407,10 @@ mod contour_tests {
         let (d_lu, _) = contour_integration(&mut s1, &lib, 4, 4, TauSolver::RocsolverLu, 7);
         let mut s2 = hip_stream();
         let (d_blk, _) = contour_integration(&mut s2, &lib, 4, 4, TauSolver::ZBlockLu, 7);
-        assert!((d_lu - d_blk).abs() < 1e-8 * d_lu.abs().max(1.0), "{d_lu} vs {d_blk}");
+        assert!(
+            (d_lu - d_blk).abs() < 1e-8 * d_lu.abs().max(1.0),
+            "{d_lu} vs {d_blk}"
+        );
     }
 
     #[test]

@@ -71,14 +71,22 @@ impl DeviceBackend {
     /// Build the CUDA plugin on a V100.
     pub fn cuda() -> Result<Self, HalError> {
         let stream = Stream::new(Device::new(GpuModel::v100(), 0), ApiSurface::Cuda)?;
-        Ok(DeviceBackend { label: "cuda-v100", stream, lib: DeviceBlas::default() })
+        Ok(DeviceBackend {
+            label: "cuda-v100",
+            stream,
+            lib: DeviceBlas::default(),
+        })
     }
 
     /// Build the HIP plugin on an MI250X GCD (the hipify + rocBLAS adapter
     /// port of §3.7).
     pub fn hip() -> Result<Self, HalError> {
         let stream = Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip)?;
-        Ok(DeviceBackend { label: "hip-mi250x", stream, lib: DeviceBlas::default() })
+        Ok(DeviceBackend {
+            label: "hip-mi250x",
+            stream,
+            lib: DeviceBlas::default(),
+        })
     }
 }
 
@@ -101,8 +109,12 @@ impl ContractionBackend for DeviceBackend {
 pub fn backend_factory(name: &str) -> Option<Box<dyn ContractionBackend>> {
     match name {
         "reference" => Some(Box::new(ReferenceBackend::default())),
-        "cuda" => DeviceBackend::cuda().ok().map(|b| Box::new(b) as Box<dyn ContractionBackend>),
-        "hip" => DeviceBackend::hip().ok().map(|b| Box::new(b) as Box<dyn ContractionBackend>),
+        "cuda" => DeviceBackend::cuda()
+            .ok()
+            .map(|b| Box::new(b) as Box<dyn ContractionBackend>),
+        "hip" => DeviceBackend::hip()
+            .ok()
+            .map(|b| Box::new(b) as Box<dyn ContractionBackend>),
         _ => None,
     }
 }
@@ -134,19 +146,31 @@ impl CcdSolver {
         // Symmetrised weak ladder interaction keeps the iteration contractive.
         // Scale by 1/pp so the ladder iteration stays contractive at any
         // basis size (spectral radius of the random block stays < 1).
-        let v_pppp =
-            Matrix::from_fn(pp, pp, |i, j| g * 0.3 / pp as f64 * (r2[(i, j)] + r2[(j, i)]));
+        let v_pppp = Matrix::from_fn(pp, pp, |i, j| {
+            g * 0.3 / pp as f64 * (r2[(i, j)] + r2[(j, i)])
+        });
         let denom = Matrix::from_fn(pp, hh, |i, j| {
             let (a, b) = (i / np, i % np);
             let (ii, jj) = (j / nh, j % nh);
             // ε_a + ε_b − ε_i − ε_j with a gap.
             2.0 + 0.1 * (a + b) as f64 + 0.05 * (ii + jj) as f64
         });
-        CcdSolver { np, nh, v_phhp, v_pppp, denom }
+        CcdSolver {
+            np,
+            nh,
+            v_phhp,
+            v_pppp,
+            denom,
+        }
     }
 
     /// Iterate to tolerance; returns (correlation energy, iterations).
-    pub fn solve(&self, backend: &mut dyn ContractionBackend, tol: f64, max_iter: usize) -> (f64, usize) {
+    pub fn solve(
+        &self,
+        backend: &mut dyn ContractionBackend,
+        tol: f64,
+        max_iter: usize,
+    ) -> (f64, usize) {
         let pp = self.np * self.np;
         let hh = self.nh * self.nh;
         let mut t = Matrix::<f64>::zeros(pp, hh);
@@ -308,7 +332,10 @@ mod tests {
         let app = Nuccor;
         let s = app.measure_speedup();
         let paper = app.paper_speedup().unwrap();
-        assert!((s - paper).abs() / paper < 0.15, "NuCCOR speedup {s} vs paper {paper}");
+        assert!(
+            (s - paper).abs() / paper < 0.15,
+            "NuCCOR speedup {s} vs paper {paper}"
+        );
     }
 }
 
@@ -330,8 +357,7 @@ impl CcdSolverFull {
         let inner = CcdSolver::new(np, nh, g, seed);
         let hh = nh * nh;
         let r = Matrix::<f64>::seeded_random(hh, hh, seed + 2);
-        let v_hhhh =
-            Matrix::from_fn(hh, hh, |i, j| g * 0.3 / hh as f64 * (r[(i, j)] + r[(j, i)]));
+        let v_hhhh = Matrix::from_fn(hh, hh, |i, j| g * 0.3 / hh as f64 * (r[(i, j)] + r[(j, i)]));
         CcdSolverFull { inner, v_hhhh }
     }
 
@@ -352,10 +378,9 @@ impl CcdSolverFull {
             let mut t_new = Matrix::<f64>::zeros(pp, hh);
             for j in 0..hh {
                 for i in 0..pp {
-                    t_new[(i, j)] = (self.inner.v_phhp[(i, j)]
-                        + pp_ladder[(i, j)]
-                        + hh_ladder[(i, j)])
-                        / self.inner.denom[(i, j)];
+                    t_new[(i, j)] =
+                        (self.inner.v_phhp[(i, j)] + pp_ladder[(i, j)] + hh_ladder[(i, j)])
+                            / self.inner.denom[(i, j)];
                 }
             }
             let e: f64 = (0..hh)
@@ -428,10 +453,22 @@ mod factory_tests {
 
     #[test]
     fn machines_select_their_native_plugin() {
-        assert_eq!(backend_for_machine(&MachineModel::frontier()).name(), "hip-mi250x");
-        assert_eq!(backend_for_machine(&MachineModel::summit()).name(), "cuda-v100");
-        assert_eq!(backend_for_machine(&MachineModel::crusher()).name(), "hip-mi250x");
-        assert_eq!(backend_for_machine(&MachineModel::cori()).name(), "reference-cpu");
+        assert_eq!(
+            backend_for_machine(&MachineModel::frontier()).name(),
+            "hip-mi250x"
+        );
+        assert_eq!(
+            backend_for_machine(&MachineModel::summit()).name(),
+            "cuda-v100"
+        );
+        assert_eq!(
+            backend_for_machine(&MachineModel::crusher()).name(),
+            "hip-mi250x"
+        );
+        assert_eq!(
+            backend_for_machine(&MachineModel::cori()).name(),
+            "reference-cpu"
+        );
     }
 
     #[test]
@@ -442,7 +479,11 @@ mod factory_tests {
         for machine in [MachineModel::summit(), MachineModel::frontier()] {
             let mut b = backend_for_machine(&machine);
             let (e, _) = solver.solve(b.as_mut(), 1e-12, 300);
-            assert!((e - e_ref).abs() < 1e-12, "{}: {e} vs {e_ref}", machine.name);
+            assert!(
+                (e - e_ref).abs() < 1e-12,
+                "{}: {e} vs {e_ref}",
+                machine.name
+            );
         }
     }
 }

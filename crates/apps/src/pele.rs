@@ -48,7 +48,11 @@ pub struct Mechanism {
 impl Mechanism {
     /// A stiff two-step ignition mechanism.
     pub fn ignition() -> Self {
-        Mechanism { a: [4.0e8, 9.0e6], ea: [15.0, 9.0], q: [1.8, 0.9] }
+        Mechanism {
+            a: [4.0e8, 9.0e6],
+            ea: [15.0, 9.0],
+            q: [1.8, 0.9],
+        }
     }
 
     fn rates(&self, u: &[f64; NSPEC]) -> [f64; 2] {
@@ -173,7 +177,9 @@ fn bdf1_step_inner(
                         up[i] += eps * v[i];
                     }
                     let fp = mech.rhs(&up);
-                    (0..NSPEC).map(|i| v[i] - dt * (fp[i] - f[i]) / eps).collect()
+                    (0..NSPEC)
+                        .map(|i| v[i] - dt * (fp[i] - f[i]) / eps)
+                        .collect()
                 };
                 let sol = gmres(&apply, &r, 30, 1e-12);
                 [sol[0], sol[1], sol[2], sol[3]]
@@ -219,7 +225,7 @@ pub fn gmres(apply: &dyn Fn(&[f64]) -> Vec<f64>, b: &[f64], m: usize, tol: f64) 
     // Arnoldi basis.
     let mut v: Vec<Vec<f64>> = vec![b.iter().map(|x| x / bnorm).collect()];
     let mut h: Vec<Vec<f64>> = Vec::new(); // h[j][i] = H(i, j), column j
-    // Givens rotations applied to H and the rhs of the least-squares.
+                                           // Givens rotations applied to H and the rhs of the least-squares.
     let mut cs: Vec<f64> = Vec::new();
     let mut sn: Vec<f64> = Vec::new();
     let mut g = vec![bnorm];
@@ -244,7 +250,11 @@ pub fn gmres(apply: &dyn Fn(&[f64]) -> Vec<f64>, b: &[f64], m: usize, tol: f64) 
         }
         // New rotation to annihilate hj[j+1].
         let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
-        let (c, s) = if denom == 0.0 { (1.0, 0.0) } else { (hj[j] / denom, hj[j + 1] / denom) };
+        let (c, s) = if denom == 0.0 {
+            (1.0, 0.0)
+        } else {
+            (hj[j] / denom, hj[j + 1] / denom)
+        };
         cs.push(c);
         sn.push(s);
         hj[j] = c * hj[j] + s * hj[j + 1];
@@ -324,7 +334,14 @@ impl AmrFlow {
                 (dx * dx + dy * dy).sqrt() < n as f64 * 0.07
             })
             .collect();
-        AmrFlow { n, state, mech: Mechanism::ignition(), kappa: 0.18, eb_mask, refined: vec![false; n * n] }
+        AmrFlow {
+            n,
+            state,
+            mech: Mechanism::ignition(),
+            kappa: 0.18,
+            eb_mask,
+            refined: vec![false; n * n],
+        }
     }
 
     /// Regrid: flag cells whose temperature gradient exceeds `tol`.
@@ -503,13 +520,16 @@ pub fn time_per_cell_step(machine: &MachineModel, state: CodeState) -> SimTime {
         let sw = state.software_gain() / cal::STATE_GAINS[0];
         let rate = gpu.peak_f64 * eff * node.gpus_per_node as f64 * sw;
         let t_flops = FLOPS_PER_CELL_STEP / rate;
-        let t_bytes =
-            BYTES_PER_CELL_STEP / (gpu.mem_bw * 0.6 * node.gpus_per_node as f64);
+        let t_bytes = BYTES_PER_CELL_STEP / (gpu.mem_bw * 0.6 * node.gpus_per_node as f64);
         SimTime::from_secs(t_flops.max(t_bytes))
     } else {
         // CPU path: the 2018 baseline everywhere, plus the "2x faster on
         // CPUs" single-language rewrite for later states (§3.8).
-        let rewrite = if state == CodeState::Baseline2018 { 1.0 } else { 2.0 };
+        let rewrite = if state == CodeState::Baseline2018 {
+            1.0
+        } else {
+            2.0
+        };
         let w = CpuWork::new("pelec cell", FLOPS_PER_CELL_STEP, BYTES_PER_CELL_STEP)
             .compute_eff((cal::CPU_BASELINE_EFF * rewrite).min(1.0))
             .mem_eff(0.5);
@@ -572,10 +592,18 @@ impl Application for Pele {
     }
 
     fn run(&self, machine: &MachineModel) -> FomMeasurement {
-        let state =
-            if machine.node.has_gpus() { CodeState::Async2023 } else { CodeState::Baseline2018 };
+        let state = if machine.node.has_gpus() {
+            CodeState::Async2023
+        } else {
+            CodeState::Baseline2018
+        };
         let t = time_per_cell_step(machine, state);
-        FomMeasurement::new(machine.name.clone(), format!("{state:?}, 1 node"), t.secs(), t)
+        FomMeasurement::new(
+            machine.name.clone(),
+            format!("{state:?}, 1 node"),
+            t.secs(),
+            t,
+        )
     }
 
     fn paper_speedup(&self) -> Option<f64> {
@@ -608,7 +636,11 @@ impl Application for Pele {
         let clean = self.run(machine);
         let observed =
             exa_core::record_phases(ctx, "pele/host", clean.wall, &self.profile_phases());
-        let ratio = if clean.wall.is_zero() { 1.0 } else { observed / clean.wall };
+        let ratio = if clean.wall.is_zero() {
+            1.0
+        } else {
+            observed / clean.wall
+        };
         exa_core::perturb_measurement(clean, self.fom().higher_is_better, ratio)
     }
 }
@@ -643,7 +675,12 @@ mod tests {
         let (lu, _) = bdf1_step(&mech, &u0, dt, ChemLinearSolver::BatchedLu);
         let (gm, _) = bdf1_step(&mech, &u0, dt, ChemLinearSolver::MatrixFreeGmres);
         for i in 0..NSPEC {
-            assert!((lu[i] - gm[i]).abs() < 1e-8, "component {i}: {} vs {}", lu[i], gm[i]);
+            assert!(
+                (lu[i] - gm[i]).abs() < 1e-8,
+                "component {i}: {} vs {}",
+                lu[i],
+                gm[i]
+            );
         }
     }
 
@@ -685,7 +722,10 @@ mod tests {
             flow.step(2e-3, ChemLinearSolver::BatchedLu);
             flow.regrid(0.05);
         }
-        assert!((flow.total_mass() - mass0).abs() < 1e-6 * mass0, "mass conservation");
+        assert!(
+            (flow.total_mass() - mass0).abs() < 1e-6 * mass0,
+            "mass conservation"
+        );
         assert!(flow.burned_cells() > burned0, "flame must consume fuel");
         assert!(flow.max_temp() > 1.0, "heat release");
     }
@@ -722,7 +762,10 @@ mod tests {
         let start = time_per_cell_step(&MachineModel::cori(), CodeState::Baseline2018);
         let end = time_per_cell_step(&MachineModel::frontier(), CodeState::Async2023);
         let gain = start / end;
-        assert!(gain > 50.0 && gain < 110.0, "project gain {gain} (target ~75x)");
+        assert!(
+            gain > 50.0 && gain < 110.0,
+            "project gain {gain} (target ~75x)"
+        );
     }
 
     #[test]
@@ -730,7 +773,10 @@ mod tests {
         let frontier = MachineModel::frontier();
         let sync_eff = weak_scaling_efficiency(&frontier, CodeState::Fused2022, 4096);
         let async_eff = weak_scaling_efficiency(&frontier, CodeState::Async2023, 4096);
-        assert!(async_eff > 0.80, "§3.8: ≥80% weak scaling to 4096 nodes: {async_eff}");
+        assert!(
+            async_eff > 0.80,
+            "§3.8: ≥80% weak scaling to 4096 nodes: {async_eff}"
+        );
         assert!(sync_eff < async_eff);
     }
 
@@ -739,7 +785,10 @@ mod tests {
         let app = Pele;
         let s = app.measure_speedup();
         let paper = app.paper_speedup().unwrap();
-        assert!((s - paper).abs() / paper < 0.2, "Pele speedup {s} vs paper {paper}");
+        assert!(
+            (s - paper).abs() / paper < 0.2,
+            "Pele speedup {s} vs paper {paper}"
+        );
     }
 }
 
@@ -789,16 +838,18 @@ pub fn chemistry_kernels(cells: usize) -> Vec<exa_hal::KernelProfile> {
     use exa_hal::{DType, KernelProfile, LaunchConfig};
     let c = cells as f64;
     let launch = LaunchConfig::cover(cells as u64, 256);
-    ["rates", "jac", "lu", "solve", "update", "errnorm", "tempfix", "copyback"]
-        .iter()
-        .map(|name| {
-            KernelProfile::new(format!("chem_{name}"), launch)
-                .flops(c * 50.0, DType::F64)
-                .bytes(c * 8.0, c * 8.0)
-                .regs(96)
-                .mem_eff(0.6)
-        })
-        .collect()
+    [
+        "rates", "jac", "lu", "solve", "update", "errnorm", "tempfix", "copyback",
+    ]
+    .iter()
+    .map(|name| {
+        KernelProfile::new(format!("chem_{name}"), launch)
+            .flops(c * 50.0, DType::F64)
+            .bytes(c * 8.0, c * 8.0)
+            .regs(96)
+            .mem_eff(0.6)
+    })
+    .collect()
 }
 
 /// Time `steps` chemistry substeps on the tuned explicit-copy path, either
@@ -888,11 +939,20 @@ pub fn fig2_campaign_profiled(
             c.complete(tk, state.label(), SpanCat::Phase, cursor, cursor + step);
             cursor += step;
         }
-        samples.push(Fig2Sample { state, time_per_cell_step: t });
+        samples.push(Fig2Sample {
+            state,
+            time_per_cell_step: t,
+        });
     }
     if let Some(c) = telemetry {
-        let first = samples.first().expect("timeline non-empty").time_per_cell_step;
-        let last = samples.last().expect("timeline non-empty").time_per_cell_step;
+        let first = samples
+            .first()
+            .expect("timeline non-empty")
+            .time_per_cell_step;
+        let last = samples
+            .last()
+            .expect("timeline non-empty")
+            .time_per_cell_step;
         c.metrics(|m| {
             m.gauge_set("pele.fig2.speedup", first / last);
             m.gauge_set("pele.fig2.code_states", samples.len() as f64);
@@ -933,13 +993,15 @@ mod uvm_tests {
     #[test]
     fn fig2_campaign_phases_cover_the_timeline() {
         let collector = TelemetryCollector::shared();
-        let samples =
-            fig2_campaign_profiled(&MachineModel::frontier(), 1, Some(&collector));
+        let samples = fig2_campaign_profiled(&MachineModel::frontier(), 1, Some(&collector));
         assert_eq!(samples.len(), CodeState::timeline().len());
         let snap = collector.snapshot();
         assert_eq!(snap.spans_total, samples.len() as u64);
         let speedup = snap.gauges.get("pele.fig2.speedup").copied().unwrap_or(0.0);
-        assert!(speedup > 1.0, "code states must improve over the port: {speedup}");
+        assert!(
+            speedup > 1.0,
+            "code states must improve over the port: {speedup}"
+        );
         exa_telemetry::validate_chrome_trace(&collector.chrome_trace()).expect("valid trace");
     }
 
@@ -1028,16 +1090,16 @@ mod amr_tests {
     use exa_machine::MachineModel;
     use exa_mpi::{Comm, Network};
 
-    fn global_diffusion_step(u: &mut Vec<f64>, n: usize, kappa_dt: f64) {
-        let old = u.clone();
+    fn global_diffusion_step(u: &mut [f64], n: usize, kappa_dt: f64) {
+        let old = u.to_vec();
         let at = |i: isize, j: isize| -> f64 {
             let m = n as isize;
             old[(i.rem_euclid(m) as usize) * n + j.rem_euclid(m) as usize]
         };
         for i in 0..n as isize {
             for j in 0..n as isize {
-                let lap = at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1)
-                    - 4.0 * at(i, j);
+                let lap =
+                    at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1) - 4.0 * at(i, j);
                 u[i as usize * n + j as usize] += kappa_dt * lap;
             }
         }
@@ -1052,8 +1114,9 @@ mod amr_tests {
         field.fill(init);
         let mut comm = Comm::new(4, Network::from_machine(&MachineModel::frontier()));
 
-        let mut global: Vec<f64> =
-            (0..n).flat_map(|i| (0..n).map(move |j| init(i, j))).collect();
+        let mut global: Vec<f64> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| init(i, j)))
+            .collect();
 
         for _ in 0..5 {
             multifab_diffusion_step(
@@ -1119,9 +1182,20 @@ impl GeneralMechanism {
     pub fn chain(nspecies: usize) -> Self {
         assert!(nspecies >= 2);
         let reactions = (0..nspecies - 1)
-            .map(|r| (r, r + 1, 1.0e6 * (1.0 + r as f64), 6.0 + 0.7 * r as f64, 0.4))
+            .map(|r| {
+                (
+                    r,
+                    r + 1,
+                    1.0e6 * (1.0 + r as f64),
+                    6.0 + 0.7 * r as f64,
+                    0.4,
+                )
+            })
             .collect();
-        GeneralMechanism { nspecies, reactions }
+        GeneralMechanism {
+            nspecies,
+            reactions,
+        }
     }
 
     /// Interpreted right-hand side (the oracle).
@@ -1143,9 +1217,18 @@ impl GeneralMechanism {
     pub fn compile(&self) -> CompiledMechanism {
         let mut ops = Vec::with_capacity(self.reactions.len());
         for &(re, pr, a, ea, q) in &self.reactions {
-            ops.push(UnrolledOp { src: re, dst: pr, prefactor: a, activation: ea, heat: q });
+            ops.push(UnrolledOp {
+                src: re,
+                dst: pr,
+                prefactor: a,
+                activation: ea,
+                heat: q,
+            });
         }
-        CompiledMechanism { nspecies: self.nspecies, ops }
+        CompiledMechanism {
+            nspecies: self.nspecies,
+            ops,
+        }
     }
 
     /// Emit the unrolled source text the generator would write — one block
@@ -1231,7 +1314,10 @@ mod codegen_tests {
         let u: Vec<f64> = (0..9).map(|i| 0.1 + 0.05 * i as f64).collect();
         let dudt = mech.rhs_interpreted(&u);
         let mass_rate: f64 = dudt[..8].iter().sum();
-        assert!(mass_rate.abs() < 1e-12, "species source terms must cancel: {mass_rate}");
+        assert!(
+            mass_rate.abs() < 1e-12,
+            "species source terms must cancel: {mass_rate}"
+        );
         assert!(dudt[8] >= 0.0, "exothermic chain heats up");
     }
 
@@ -1259,7 +1345,10 @@ mod codegen_tests {
         .flops(1e10, exa_machine::DType::F64)
         .regs(big.unrolled_registers());
         let (_, spilled) = gpu.occupancy(&profile);
-        assert!(spilled, "the generated monster kernel must spill, as §3.8 reports");
+        assert!(
+            spilled,
+            "the generated monster kernel must spill, as §3.8 reports"
+        );
     }
 
     #[test]
@@ -1280,11 +1369,7 @@ mod codegen_tests {
                 for i in 0..next.len() {
                     next[i] = u[i] + dt * f[i];
                 }
-                if next
-                    .iter()
-                    .zip(&guess)
-                    .all(|(a, b)| (a - b).abs() < 1e-14)
-                {
+                if next.iter().zip(&guess).all(|(a, b)| (a - b).abs() < 1e-14) {
                     guess = next;
                     break;
                 }

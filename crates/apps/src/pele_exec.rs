@@ -57,7 +57,11 @@ fn eval_fused(mech: &Mechanism, u: &[f64; NSPEC]) -> FusedEval {
     let k2 = mech.a[1] * (-mech.ea[1] / t).exp();
     let r1 = k1 * u[0].max(0.0);
     let r2 = k2 * u[1].max(0.0);
-    FusedEval { k1, k2, f: [-r1, r1 - r2, r2, mech.q[0] * r1 + mech.q[1] * r2] }
+    FusedEval {
+        k1,
+        k2,
+        f: [-r1, r1 - r2, r2, mech.q[0] * r1 + mech.q[1] * r2],
+    }
 }
 
 /// Jacobian from a cached evaluation: zero `exp` calls. Entry-for-entry
@@ -268,7 +272,12 @@ impl ChemCampaign {
     /// chemistry integrators actually live in (and where the iterative
     /// baseline pays for every extra rhs evaluation).
     pub fn pele_step_256() -> Self {
-        ChemCampaign { ranks: 256, cells_per_rank: 24, substeps: 3, dt: 1.5 }
+        ChemCampaign {
+            ranks: 256,
+            cells_per_rank: 24,
+            substeps: 3,
+            dt: 1.5,
+        }
     }
 }
 
@@ -306,7 +315,11 @@ fn unit(h: u64) -> f64 {
 pub(crate) fn init_cell(rank: usize, cell: usize) -> [f64; NSPEC] {
     let h = splitmix64((rank as u64) << 32 | cell as u64);
     let hot = h.is_multiple_of(8);
-    let t = if hot { 1.1 + 0.3 * unit(splitmix64(h)) } else { 0.18 + 0.1 * unit(splitmix64(h)) };
+    let t = if hot {
+        1.1 + 0.3 * unit(splitmix64(h))
+    } else {
+        0.18 + 0.1 * unit(splitmix64(h))
+    };
     [0.9 + 0.1 * unit(h), 0.02, 0.0, t]
 }
 
@@ -333,7 +346,10 @@ pub fn chemistry_campaign_observed(
     cfg: &ChemCampaign,
     collector: &Arc<TelemetryCollector>,
 ) -> ChemCampaignResult {
-    let mut comm = Comm::new(cfg.ranks, Network::from_machine(&exa_machine::MachineModel::frontier()));
+    let mut comm = Comm::new(
+        cfg.ranks,
+        Network::from_machine(&exa_machine::MachineModel::frontier()),
+    );
     comm.attach_telemetry(collector, "pele_chem");
     let mech = Mechanism::ignition();
 
@@ -349,20 +365,24 @@ pub fn chemistry_campaign_observed(
         .collect();
 
     for _sub in 0..cfg.substeps {
-        sched.compute_phase(&mut comm, &mut states, |ctx: &mut RankCtx, st: &mut RankState| {
-            let mut newton_here = 0u64;
-            for u in st.cells.iter_mut() {
-                let (next, iters) = kernel.step(&mech, u, cfg.dt);
-                *u = next;
-                newton_here += iters as u64;
-            }
-            st.newton += newton_here;
-            ctx.span(
-                "chem_substep",
-                SpanCat::Kernel,
-                SimTime::from_secs(newton_here as f64 * NEWTON_ITER_COST),
-            );
-        });
+        sched.compute_phase(
+            &mut comm,
+            &mut states,
+            |ctx: &mut RankCtx, st: &mut RankState| {
+                let mut newton_here = 0u64;
+                for u in st.cells.iter_mut() {
+                    let (next, iters) = kernel.step(&mech, u, cfg.dt);
+                    *u = next;
+                    newton_here += iters as u64;
+                }
+                st.newton += newton_here;
+                ctx.span(
+                    "chem_substep",
+                    SpanCat::Kernel,
+                    SimTime::from_secs(newton_here as f64 * NEWTON_ITER_COST),
+                );
+            },
+        );
         // Ghost-cell/reduction sync between substeps (cost-only).
         comm.allreduce((NSPEC * 8) as u64);
     }
@@ -431,11 +451,19 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic_across_thread_counts() {
-        let cfg = ChemCampaign { ranks: 24, cells_per_rank: 4, substeps: 2, dt: 0.4 };
+        let cfg = ChemCampaign {
+            ranks: 24,
+            cells_per_rank: 4,
+            substeps: 2,
+            dt: 0.4,
+        };
         let seq = chemistry_campaign(&RankScheduler::sequential(), ChemKernel::FusedLu, &cfg);
         for threads in [2, 4] {
-            let par =
-                chemistry_campaign(&RankScheduler::with_threads(threads), ChemKernel::FusedLu, &cfg);
+            let par = chemistry_campaign(
+                &RankScheduler::with_threads(threads),
+                ChemKernel::FusedLu,
+                &cfg,
+            );
             assert_eq!(seq, par, "campaign diverges at {threads} threads");
         }
         assert!(seq.newton_total > 0);
@@ -444,7 +472,12 @@ mod tests {
 
     #[test]
     fn fused_and_baseline_campaigns_agree_on_physics() {
-        let cfg = ChemCampaign { ranks: 8, cells_per_rank: 4, substeps: 1, dt: 0.4 };
+        let cfg = ChemCampaign {
+            ranks: 8,
+            cells_per_rank: 4,
+            substeps: 1,
+            dt: 0.4,
+        };
         let sched = RankScheduler::sequential();
         let lu = chemistry_campaign(&sched, ChemKernel::BatchedLu, &cfg);
         let fused = chemistry_campaign(&sched, ChemKernel::FusedLu, &cfg);

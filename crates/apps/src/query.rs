@@ -18,7 +18,9 @@ use crate::all_applications;
 
 /// Construct an application by its paper name (case-insensitive).
 pub fn app_by_name(name: &str) -> Option<Box<dyn Application>> {
-    all_applications().into_iter().find(|a| a.name().eq_ignore_ascii_case(name))
+    all_applications()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
 /// True when `name` names one of the ten applications. Allocation-free —
@@ -100,8 +102,10 @@ pub fn evaluate_query(
         machine.nodes = nodes;
     }
     let collector = TelemetryCollector::shared();
-    let injections: Vec<Injection> =
-        knobs.iter().map(|(needle, factor)| Injection::new(needle.clone(), *factor)).collect();
+    let injections: Vec<Injection> = knobs
+        .iter()
+        .map(|(needle, factor)| Injection::new(needle.clone(), *factor))
+        .collect();
     let mut ctx = RunContext::with_injections(&collector, injections);
     ctx.scenario = scenario.to_string();
     let measurement = app.run_profiled(&machine, &ctx);
@@ -127,9 +131,16 @@ mod tests {
         let apps = all_applications();
         assert_eq!(apps.len(), APP_NAMES.len());
         for (app, name) in apps.iter().zip(APP_NAMES) {
-            assert_eq!(app.name(), name, "APP_NAMES out of sync with all_applications");
+            assert_eq!(
+                app.name(),
+                name,
+                "APP_NAMES out of sync with all_applications"
+            );
             assert!(is_known_app(name));
-            assert!(app_by_name(&name.to_ascii_lowercase()).is_some(), "lookup is case-blind");
+            assert!(
+                app_by_name(&name.to_ascii_lowercase()).is_some(),
+                "lookup is case-blind"
+            );
         }
         assert!(!is_known_app("HPL"));
         assert!(app_by_name("HPL").is_none());
@@ -168,6 +179,9 @@ mod tests {
         let dead = vec![("__nonexistent_span".to_string(), 3.0)];
         let unchanged = evaluate_query("COAST", "Frontier", 0, &dead, "").expect("valid");
         assert_eq!(clean.fom_value.to_bits(), unchanged.fom_value.to_bits());
-        assert!(slowed.wall_s >= clean.wall_s, "a stretch never speeds the run up");
+        assert!(
+            slowed.wall_s >= clean.wall_s,
+            "a stretch never speeds the run up"
+        );
     }
 }

@@ -6,13 +6,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exa_apps::coast::{floyd_warshall_blocked, floyd_warshall_ref, INF};
 use exa_apps::comet::{ccc_tables_gemm, ccc_tables_naive};
-use exa_apps::lammps::{
-    build_tuples, cg_solve, cg_solve_dual, torsion_dense, torsion_naive, AtomSystem, CsrMatrix,
-};
 use exa_apps::e3sm::{advect, upwind_faces, weno5_faces};
 use exa_apps::exasky::PmSolver;
 use exa_apps::gamess::{EigenSolver, ScfProblem};
 use exa_apps::lammps::MdRun;
+use exa_apps::lammps::{
+    build_tuples, cg_solve, cg_solve_dual, torsion_dense, torsion_naive, AtomSystem, CsrMatrix,
+};
 use exa_apps::pele::{bdf1_step, chemistry_data_time, ChemLinearSolver, Mechanism};
 use exa_linalg::device::DeviceBlas;
 use std::hint::black_box;
@@ -24,7 +24,10 @@ fn bench_gamess_scf(c: &mut Criterion) {
     let lib = DeviceBlas::default();
     let mut g = c.benchmark_group("gamess/scf");
     g.sample_size(10);
-    for (name, solver) in [("jacobi", EigenSolver::Jacobi), ("syevd", EigenSolver::DivideConquer)] {
+    for (name, solver) in [
+        ("jacobi", EigenSolver::Jacobi),
+        ("syevd", EigenSolver::DivideConquer),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut s =
@@ -41,8 +44,12 @@ fn bench_e3sm_weno(c: &mut Criterion) {
         .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 4096.0).sin())
         .collect();
     let mut g = c.benchmark_group("e3sm/reconstruction");
-    g.bench_function("upwind", |b| b.iter(|| black_box(advect(&u, 0.4, upwind_faces))));
-    g.bench_function("weno5", |b| b.iter(|| black_box(advect(&u, 0.4, weno5_faces))));
+    g.bench_function("upwind", |b| {
+        b.iter(|| black_box(advect(&u, 0.4, upwind_faces)))
+    });
+    g.bench_function("weno5", |b| {
+        b.iter(|| black_box(advect(&u, 0.4, weno5_faces)))
+    });
     g.finish();
 }
 
@@ -64,7 +71,11 @@ fn bench_exasky_pm(c: &mut Criterion) {
     let particles: Vec<[f64; 3]> = (0..512)
         .map(|i| {
             let t = i as f64 * 0.0137;
-            [(t.sin() + 1.0) / 2.0 % 1.0, (t.cos() + 1.0) / 2.0 % 1.0, (2.0 * t).fract().abs()]
+            [
+                (t.sin() + 1.0) / 2.0 % 1.0,
+                (t.cos() + 1.0) / 2.0 % 1.0,
+                (2.0 * t).fract().abs(),
+            ]
         })
         .collect();
     let mut g = c.benchmark_group("exasky/pm");
@@ -82,8 +93,12 @@ fn bench_exasky_pm(c: &mut Criterion) {
 fn bench_pele_uvm_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("pele/uvm_sim");
     g.sample_size(10);
-    g.bench_function("uvm_path", |b| b.iter(|| black_box(chemistry_data_time(4096, 4, true))));
-    g.bench_function("explicit_path", |b| b.iter(|| black_box(chemistry_data_time(4096, 4, false))));
+    g.bench_function("uvm_path", |b| {
+        b.iter(|| black_box(chemistry_data_time(4096, 4, true)))
+    });
+    g.bench_function("explicit_path", |b| {
+        b.iter(|| black_box(chemistry_data_time(4096, 4, false)))
+    });
     g.finish();
 }
 
@@ -135,7 +150,14 @@ fn bench_pele_chemistry(c: &mut Criterion) {
         b.iter(|| black_box(bdf1_step(&mech, &u0, 1e-4, ChemLinearSolver::BatchedLu)))
     });
     g.bench_function("bdf1_matrix_free_gmres", |b| {
-        b.iter(|| black_box(bdf1_step(&mech, &u0, 1e-4, ChemLinearSolver::MatrixFreeGmres)))
+        b.iter(|| {
+            black_box(bdf1_step(
+                &mech,
+                &u0,
+                1e-4,
+                ChemLinearSolver::MatrixFreeGmres,
+            ))
+        })
     });
     g.finish();
 }
@@ -176,10 +198,16 @@ fn bench_coast_tilings(c: &mut Criterion) {
 
 fn bench_comet_counting(c: &mut Criterion) {
     let vectors: Vec<Vec<u8>> = (0..32u64)
-        .map(|i| (0..256u64).map(|k| (((i + 1) * (k + 3) * 2654435761) >> 7 & 1) as u8).collect())
+        .map(|i| {
+            (0..256u64)
+                .map(|k| (((i + 1) * (k + 3) * 2654435761) >> 7 & 1) as u8)
+                .collect()
+        })
         .collect();
     let mut g = c.benchmark_group("comet/ccc");
-    g.bench_function("naive_counting", |b| b.iter(|| black_box(ccc_tables_naive(&vectors))));
+    g.bench_function("naive_counting", |b| {
+        b.iter(|| black_box(ccc_tables_naive(&vectors)))
+    });
     g.bench_function("int8_gemm_formulation", |b| {
         b.iter(|| black_box(ccc_tables_gemm(&vectors)))
     });

@@ -75,14 +75,17 @@ struct Record {
 fn check_bit_identity() -> bool {
     let n = 8;
     let gpu = GpuModel::mi250x_gcd();
-    let orig: Vec<C64> =
-        (0..n * n * n).map(|i| C64::new((i % 13) as f64 - 6.0, (i % 7) as f64)).collect();
+    let orig: Vec<C64> = (0..n * n * n)
+        .map(|i| C64::new((i % 13) as f64 - 6.0, (i % 7) as f64))
+        .collect();
     let plan = DistFft3d::new(n, Decomp::Slabs);
     let mut blocking = orig.clone();
     let mut overlapped = orig;
     let net = Network::from_machine(&MachineModel::frontier());
     plan.forward(&mut Comm::new(4, net.clone()), &gpu, &mut blocking);
-    plan.clone().with_overlap(4).forward(&mut Comm::new(4, net), &gpu, &mut overlapped);
+    plan.clone()
+        .with_overlap(4)
+        .forward(&mut Comm::new(4, net), &gpu, &mut overlapped);
     blocking
         .iter()
         .zip(&overlapped)
@@ -100,7 +103,10 @@ fn bench_comm_overlap(c: &mut Criterion) {
     let mut best: Option<(usize, SimTime, f64)> = None;
     for k in CHUNK_SWEEP {
         let mut co = comm_bound_comm();
-        let t = blocking_plan.clone().with_overlap(k).charge_transform(&mut co, &gpu);
+        let t = blocking_plan
+            .clone()
+            .with_overlap(k)
+            .charge_transform(&mut co, &gpu);
         let eff = co.stats().overlap_efficiency();
         sweep.push(ChunkPoint {
             chunks: k,

@@ -37,12 +37,9 @@ fn capture_chain() -> GraphCapture {
     for s in 0..N_KERNELS {
         let a = 0.995 - 0.001 * s as f64;
         let b = 0.01 + 0.002 * s as f64;
-        let profile = KernelProfile::new(
-            format!("elem{s}"),
-            LaunchConfig::cover(N as u64, 256),
-        )
-        .flops(N as f64 * 2.0, DType::F64)
-        .bytes(N as f64 * 8.0, N as f64 * 8.0);
+        let profile = KernelProfile::new(format!("elem{s}"), LaunchConfig::cover(N as u64, 256))
+            .flops(N as f64 * 2.0, DType::F64)
+            .bytes(N as f64 * 8.0, N as f64 * 8.0);
         cap.elementwise(profile, move |_, chunk| {
             for x in chunk {
                 *x = *x * a + b;

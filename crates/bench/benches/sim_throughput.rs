@@ -165,8 +165,14 @@ fn bench_sim_throughput(c: &mut Criterion) {
         bit_identical && fft_identical,
     );
     write_root_json("BENCH_sim_throughput", &record);
-    assert!(bit_identical, "pooled Pele campaign must be bit-identical to sequential");
-    assert!(fft_identical, "executed FFT milestone must be bit-identical across thread counts");
+    assert!(
+        bit_identical,
+        "pooled Pele campaign must be bit-identical to sequential"
+    );
+    assert!(
+        fft_identical,
+        "executed FFT milestone must be bit-identical across thread counts"
+    );
     assert!(
         record.pass,
         "substrate must clear {SPEEDUP_REQUIRED}x on the 256-rank Pele step: {speedup_vs_gmres:.2}x"

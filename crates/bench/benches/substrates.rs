@@ -45,9 +45,11 @@ fn bench_lu_and_block_inverse(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("zblock_lu_16", n), &n, |bench, _| {
             bench.iter(|| black_box(block_lu_inverse_block(&a, 16).unwrap()))
         });
-        g.bench_with_input(BenchmarkId::new("lu_inverse_block_16", n), &n, |bench, _| {
-            bench.iter(|| black_box(lu_inverse_block(&a, 16).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lu_inverse_block_16", n),
+            &n,
+            |bench, _| bench.iter(|| black_box(lu_inverse_block(&a, 16).unwrap())),
+        );
     }
     g.finish();
 }
@@ -62,16 +64,21 @@ fn bench_eigen(c: &mut Criterion) {
             a[(i, j)] = 0.5 * (r[(i, j)] + r[(j, i)]);
         }
     }
-    g.bench_function("jacobi_48", |bench| bench.iter(|| black_box(jacobi_eigen(&a, 1e-12, 40))));
-    g.bench_function("tridiag_48", |bench| bench.iter(|| black_box(tridiag_eigen(&a, 60))));
+    g.bench_function("jacobi_48", |bench| {
+        bench.iter(|| black_box(jacobi_eigen(&a, 1e-12, 40)))
+    });
+    g.bench_function("tridiag_48", |bench| {
+        bench.iter(|| black_box(tridiag_eigen(&a, 60)))
+    });
     g.finish();
 }
 
 fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft");
     for n in [1024usize, 4096] {
-        let base: Vec<C64> =
-            (0..n).map(|i| C64::new((i % 17) as f64 - 8.0, (i % 5) as f64)).collect();
+        let base: Vec<C64> = (0..n)
+            .map(|i| C64::new((i % 17) as f64 - 8.0, (i % 5) as f64))
+            .collect();
         g.bench_with_input(BenchmarkId::new("fft1d", n), &n, |bench, _| {
             bench.iter(|| {
                 let mut x = base.clone();
@@ -81,7 +88,9 @@ fn bench_fft(c: &mut Criterion) {
         });
     }
     let n3 = 32;
-    let cube: Vec<C64> = (0..n3 * n3 * n3).map(|i| C64::from_re((i % 11) as f64)).collect();
+    let cube: Vec<C64> = (0..n3 * n3 * n3)
+        .map(|i| C64::from_re((i % 11) as f64))
+        .collect();
     g.bench_function("fft3d_32", |bench| {
         bench.iter(|| {
             let mut x = cube.clone();

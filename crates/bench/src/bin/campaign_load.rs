@@ -112,8 +112,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// The query universe: every Table-2 app crossed with two machines,
 /// three scales, and four knob settings — 192 distinct cache keys.
 fn build_universe() -> Vec<String> {
-    let knob_options: [Option<(&str, f64)>; 4] =
-        [None, Some(("comm", 1.25)), Some(("transform", 1.5)), Some(("kernel", 2.0))];
+    let knob_options: [Option<(&str, f64)>; 4] = [
+        None,
+        Some(("comm", 1.25)),
+        Some(("transform", 1.5)),
+        Some(("kernel", 2.0)),
+    ];
     let mut universe = Vec::new();
     for app in exa_apps::table2_applications() {
         for machine in ["Frontier", "Summit"] {
@@ -181,7 +185,9 @@ fn main() {
         while batch.len() < BATCH && issued < TOTAL_QUERIES {
             issued += 1;
             if issued.is_multiple_of(ERROR_EVERY) {
-                batch.push(bad_queries[(issued / ERROR_EVERY) as usize % bad_queries.len()].to_string());
+                batch.push(
+                    bad_queries[(issued / ERROR_EVERY) as usize % bad_queries.len()].to_string(),
+                );
             } else {
                 let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
                 let rank = cdf.partition_point(|c| *c < u).min(universe.len() - 1);
@@ -218,8 +224,10 @@ fn main() {
     // Baseline epochs evaluate every app cold (dead knobs bust the cache
     // without touching the answer); the drill epoch slows only DRILL_APP.
     header("SLO sentinel drill");
-    let apps: Vec<String> =
-        exa_apps::table2_applications().iter().map(|a| a.name().to_string()).collect();
+    let apps: Vec<String> = exa_apps::table2_applications()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
     let mut p99s: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
     for epoch in 0..BASELINE_EPOCHS {
         for app in &apps {
@@ -234,10 +242,15 @@ fn main() {
             p99s.entry(app).or_default().push(hist.p99());
         }
     }
-    svc.set_drill(Some(SloDrill { app: DRILL_APP.into(), extra_evals: DRILL_EXTRA_EVALS }));
+    svc.set_drill(Some(SloDrill {
+        app: DRILL_APP.into(),
+        extra_evals: DRILL_EXTRA_EVALS,
+    }));
     for app in &apps {
         for rep in 0..EPOCH_REPS {
-            let q = vec![format!("app={app} machine=Frontier knob:__slo_drill_r{rep}=1.0")];
+            let q = vec![format!(
+                "app={app} machine=Frontier knob:__slo_drill_r{rep}=1.0"
+            )];
             svc.run_batch(&q);
         }
     }
@@ -255,7 +268,11 @@ fn main() {
         let drill = check_slo(app, prior, drilled[app].p99(), &slo_config);
         println!("  pre   {}", pre.summary());
         println!("  drill {}", drill.summary());
-        slo_rows.push(SloRow { class: app.clone(), pre, drill });
+        slo_rows.push(SloRow {
+            class: app.clone(),
+            pre,
+            drill,
+        });
     }
 
     // --- Export + gates ----------------------------------------------------
@@ -277,21 +294,41 @@ fn main() {
     );
     must(
         replay_stats.hit_ratio() >= MIN_HIT_RATIO,
-        format!("hit-ratio {:.4} < {MIN_HIT_RATIO}", replay_stats.hit_ratio()),
+        format!(
+            "hit-ratio {:.4} < {MIN_HIT_RATIO}",
+            replay_stats.hit_ratio()
+        ),
     );
-    must(p99_s <= MAX_P99_S, format!("p99 {p99_s:.3e} s > {MAX_P99_S} s"));
-    must(qps >= MIN_QPS, format!("throughput {qps:.0} q/s < {MIN_QPS} q/s"));
+    must(
+        p99_s <= MAX_P99_S,
+        format!("p99 {p99_s:.3e} s > {MAX_P99_S} s"),
+    );
+    must(
+        qps >= MIN_QPS,
+        format!("throughput {qps:.0} q/s < {MIN_QPS} q/s"),
+    );
     must(replay_stats.errors > 0, "error path never exercised".into());
-    must(pool_tasks > 0, "pool observer saw no evaluation tasks".into());
+    must(
+        pool_tasks > 0,
+        "pool observer saw no evaluation tasks".into(),
+    );
     for row in &slo_rows {
         if row.class == DRILL_APP {
             must(
                 row.pre.verdict != Verdict::Fail,
-                format!("{}: baseline already failing: {}", row.class, row.pre.summary()),
+                format!(
+                    "{}: baseline already failing: {}",
+                    row.class,
+                    row.pre.summary()
+                ),
             );
             must(
                 row.drill.verdict == Verdict::Fail,
-                format!("{}: drill did not trip the SLO: {}", row.class, row.drill.summary()),
+                format!(
+                    "{}: drill did not trip the SLO: {}",
+                    row.class,
+                    row.drill.summary()
+                ),
             );
             must(
                 row.drill.summary().contains(DRILL_APP),
@@ -300,16 +337,26 @@ fn main() {
         } else {
             must(
                 row.drill.verdict != Verdict::Fail,
-                format!("{}: undrilled class failed: {}", row.class, row.drill.summary()),
+                format!(
+                    "{}: undrilled class failed: {}",
+                    row.class,
+                    row.drill.summary()
+                ),
             );
         }
     }
     match validate_prometheus(&prom) {
-        Ok(s) => println!("prometheus: {} families, {} samples — valid", s.families, s.samples),
+        Ok(s) => println!(
+            "prometheus: {} families, {} samples — valid",
+            s.families, s.samples
+        ),
         Err(e) => must(false, format!("prometheus text invalid: {e}")),
     }
     match validate_chrome_trace(&trace) {
-        Ok(s) => println!("chrome trace: {} events on {} tracks — valid", s.events, s.tracks),
+        Ok(s) => println!(
+            "chrome trace: {} events on {} tracks — valid",
+            s.events, s.tracks
+        ),
         Err(e) => must(false, format!("chrome trace invalid: {e}")),
     }
     must(

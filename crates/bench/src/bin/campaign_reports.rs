@@ -21,7 +21,11 @@ fn main() {
             report.application,
             report.paper_section,
             report.measured_speedup,
-            if report.target_met { "MET    " } else { "not met" },
+            if report.target_met {
+                "MET    "
+            } else {
+                "not met"
+            },
             report
                 .paper_speedup
                 .map(|p| format!("{p}x"))
@@ -30,6 +34,9 @@ fn main() {
         reports.push(report);
     }
     let met = reports.iter().filter(|r| r.target_met).count();
-    println!("\n{met}/{} campaigns meet the CAAR 4x target", reports.len());
+    println!(
+        "\n{met}/{} campaigns meet the CAAR 4x target",
+        reports.len()
+    );
     write_json("campaign_reports", &reports);
 }

@@ -61,7 +61,10 @@ fn main() {
     println!("\nfull-machine APSP sustained rate:");
     println!("  Summit   (GB 2020): {}", vs_paper(summit_pf, 136.0));
     println!("  Frontier (GB 2022): {frontier_pf:.0} PF  [paper: 1004 PF = 1.004 EF]");
-    println!("  speed-up          : {}", vs_paper(frontier_pf / summit_pf, 7.4));
+    println!(
+        "  speed-up          : {}",
+        vs_paper(frontier_pf / summit_pf, 7.4)
+    );
 
     write_json(
         "coast_apsp",

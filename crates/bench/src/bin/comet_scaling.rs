@@ -3,8 +3,8 @@
 //! Run with `cargo run -p exa-bench --bin comet_scaling`.
 
 use exa_apps::comet::CoMet;
-use exa_core::Application;
 use exa_bench::{header, write_json};
+use exa_core::Application;
 use exa_hal::DType;
 use exa_machine::MachineModel;
 use serde::Serialize;
@@ -22,9 +22,15 @@ fn main() {
 
     println!("precision sweep (per-card comparison rate, Frontier):");
     for dtype in [DType::F64, DType::F32, DType::F16, DType::I8] {
-        let app = CoMet { dtype, ..CoMet::default() };
+        let app = CoMet {
+            dtype,
+            ..CoMet::default()
+        };
         let rate = app.comparisons_per_second_per_card(&frontier);
-        println!("  {:>5}: {rate:.3e} vector-pair comparisons/s", format!("{dtype:?}"));
+        println!(
+            "  {:>5}: {rate:.3e} vector-pair comparisons/s",
+            format!("{dtype:?}")
+        );
     }
     println!("(reduced precision \"mak[es] it possible to solve much larger problems\")");
 
@@ -35,8 +41,15 @@ fn main() {
     for nodes in [64u32, 512, 2048, 4096, 9_074] {
         let ef = app.machine_exaflops(&frontier, nodes);
         let eff = ef / (base * nodes as f64);
-        println!("  {nodes:>6} nodes: {ef:>7.2} EF   (weak-scaling eff {:.1}%)", eff * 100.0);
-        rows.push(ScalingRow { nodes, exaflops: ef, weak_scaling_efficiency: eff });
+        println!(
+            "  {nodes:>6} nodes: {ef:>7.2} EF   (weak-scaling eff {:.1}%)",
+            eff * 100.0
+        );
+        rows.push(ScalingRow {
+            nodes,
+            exaflops: ef,
+            weak_scaling_efficiency: eff,
+        });
     }
     let full = app.machine_exaflops(&frontier, 9_074);
     println!(

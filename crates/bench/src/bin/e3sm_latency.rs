@@ -25,10 +25,34 @@ fn main() {
     let arch = GpuArch::Cdna2;
     let configs: Vec<(&str, E3smConfig)> = vec![
         ("naive", E3smConfig::naive()),
-        ("+fusion", E3smConfig { fuse_kernels: true, ..E3smConfig::naive() }),
-        ("+fission", E3smConfig { fission_spilling: true, ..E3smConfig::naive() }),
-        ("+async", E3smConfig { async_launch: true, ..E3smConfig::naive() }),
-        ("+pool", E3smConfig { pool_allocator: true, ..E3smConfig::naive() }),
+        (
+            "+fusion",
+            E3smConfig {
+                fuse_kernels: true,
+                ..E3smConfig::naive()
+            },
+        ),
+        (
+            "+fission",
+            E3smConfig {
+                fission_spilling: true,
+                ..E3smConfig::naive()
+            },
+        ),
+        (
+            "+async",
+            E3smConfig {
+                async_launch: true,
+                ..E3smConfig::naive()
+            },
+        ),
+        (
+            "+pool",
+            E3smConfig {
+                pool_allocator: true,
+                ..E3smConfig::naive()
+            },
+        ),
         ("all (shipped)", E3smConfig::optimized()),
     ];
 
@@ -38,7 +62,12 @@ fn main() {
         let base = step_time(arch, columns, E3smConfig::naive());
         for (name, cfg) in &configs {
             let t = step_time(arch, columns, *cfg);
-            println!("  {:<14} {:>12.1} µs   {:>6.2}x", name, t.micros(), base / t);
+            println!(
+                "  {:<14} {:>12.1} µs   {:>6.2}x",
+                name,
+                t.micros(),
+                base / t
+            );
             rows.push(AblationRow {
                 config: name.to_string(),
                 columns,

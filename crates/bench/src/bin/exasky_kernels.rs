@@ -7,8 +7,8 @@
 //! Run with `cargo run -p exa-bench --bin exasky_kernels`.
 
 use exa_apps::exasky::ExaSky;
-use exa_core::Application;
 use exa_bench::{header, vs_paper, write_json};
+use exa_core::Application;
 use exa_machine::MachineModel;
 use serde::Serialize;
 
@@ -28,10 +28,17 @@ fn main() {
 
     let on_spock = app.kernel_speedups(&summit, &spock);
     let on_frontier = app.kernel_speedups(&summit, &frontier);
-    println!("{:<16} {:>16} {:>16}", "kernel", "Spock (MI100)", "Frontier (GCD)");
+    println!(
+        "{:<16} {:>16} {:>16}",
+        "kernel", "Spock (MI100)", "Frontier (GCD)"
+    );
     let mut rows = Vec::new();
     for ((name, s_spock), (_, s_frontier)) in on_spock.iter().zip(&on_frontier) {
-        let mark = if *s_spock < 1.0 { "  <- regression (wavefront 32 tuning)" } else { "" };
+        let mark = if *s_spock < 1.0 {
+            "  <- regression (wavefront 32 tuning)"
+        } else {
+            ""
+        };
         println!("{name:<16} {s_spock:>15.2}x {s_frontier:>15.2}x{mark}");
         rows.push(KernelRow {
             kernel: name.clone(),
@@ -49,9 +56,7 @@ fn main() {
     println!("\nfull FOM Summit -> Frontier: {}", vs_paper(speedup, 4.2));
     let frontier_fom = app.machine_fom(&frontier);
     println!("Frontier machine FOM: {frontier_fom:.3e} particle-steps/s");
-    println!(
-        "(paper: measured 4.2x vs the 4x target; FOM ~230x vs the original Theta baseline)"
-    );
+    println!("(paper: measured 4.2x vs the 4x target; FOM ~230x vs the original Theta baseline)");
 
     write_json("exasky_kernels", &rows);
 }

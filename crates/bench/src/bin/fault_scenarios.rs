@@ -138,12 +138,20 @@ fn main() {
     };
 
     // --- 1. Analytic MTBF sweep per Table-2 app ---------------------------
-    println!("\n-- checkpoint-interval sweep ({} h campaign, Orion-class I/O) --", 24);
+    println!(
+        "\n-- checkpoint-interval sweep ({} h campaign, Orion-class I/O) --",
+        24
+    );
     let work = SimTime::from_secs(CAMPAIGN_WORK_S);
     let mut apps = Vec::new();
     for (i, app) in table2_applications().into_iter().enumerate() {
         let scratch = TelemetryCollector::shared();
-        let rec = measure_record(app.as_ref(), &frontier, &RunContext::new(&scratch), "fault_sweep");
+        let rec = measure_record(
+            app.as_ref(),
+            &frontier,
+            &RunContext::new(&scratch),
+            "fault_sweep",
+        );
         // Defensive state grows with the app index just to vary δ; MTBF
         // spans the half-day .. two-day band the paper's machines live in.
         let ckpt = CheckpointSpec::orion(0, (1u64 << 32) + (i as u64) * (1 << 30));
@@ -170,9 +178,16 @@ fn main() {
         must(!sweep.is_empty(), format!("{}: empty sweep", rec.app));
         must(
             (ratio - 1.0).abs() <= YOUNG_TOL,
-            format!("{}: best interval {best:.1}s vs Young {:.1}s (ratio {ratio:.3})", rec.app, young.secs()),
+            format!(
+                "{}: best interval {best:.1}s vs Young {:.1}s (ratio {ratio:.3})",
+                rec.app,
+                young.secs()
+            ),
         );
-        must(efficiency <= 1.0 && efficiency > 0.5, format!("{}: efficiency {efficiency:.3} implausible", rec.app));
+        must(
+            efficiency <= 1.0 && efficiency > 0.5,
+            format!("{}: efficiency {efficiency:.3} implausible", rec.app),
+        );
         must(
             sweep.iter().all(|p| p.achieved_over_ideal <= 1.0 + 1e-12),
             format!("{}: sweep point with achieved > ideal", rec.app),
@@ -198,7 +213,10 @@ fn main() {
     // --- 2. Executed 256-rank faulted Pele campaign -----------------------
     println!("\n-- executed faulted Pele campaign (256 ranks) --");
     let base = ChemCampaign::pele_step_256();
-    let cfg = ChemCampaign { substeps: base.substeps * 4, ..base };
+    let cfg = ChemCampaign {
+        substeps: base.substeps * 4,
+        ..base
+    };
     let sched = RankScheduler::with_threads(4);
     let clean = chemistry_campaign(&sched, ChemKernel::FusedLu, &cfg);
     // Size the MTBF to a sixth of the clean virtual wall so the schedule
@@ -250,19 +268,49 @@ fn main() {
         fa.restart_s * 1e6,
         fa.straggler_wait_s * 1e6
     );
-    must(faulted.failures >= 1, "MTBF schedule injected no rank failure".into());
-    must(faulted.restarts == faulted.failures, "every failure must restart".into());
-    must(faulted.checkpoints >= 1, "campaign wrote no checkpoints".into());
+    must(
+        faulted.failures >= 1,
+        "MTBF schedule injected no rank failure".into(),
+    );
+    must(
+        faulted.restarts == faulted.failures,
+        "every failure must restart".into(),
+    );
+    must(
+        faulted.checkpoints >= 1,
+        "campaign wrote no checkpoints".into(),
+    );
     must(
         faulted.max_lost_steps <= interval_steps,
-        format!("lost {} steps > interval {interval_steps}", faulted.max_lost_steps),
+        format!(
+            "lost {} steps > interval {interval_steps}",
+            faulted.max_lost_steps
+        ),
     );
-    must(physics_identical, "faulted physics diverged from the clean run".into());
-    must(thread_deterministic, "faulted campaign not thread-deterministic".into());
-    must(faulted.elapsed > clean.elapsed, "faults must cost virtual wall time".into());
-    must(fa.restart_s > 0.0, "critical path attributes no restart/ time".into());
-    must(fa.fault_s > 0.0, "critical path attributes no fault/ time".into());
-    must(fa.checkpoint_s > 0.0, "critical path attributes no checkpoint/ time".into());
+    must(
+        physics_identical,
+        "faulted physics diverged from the clean run".into(),
+    );
+    must(
+        thread_deterministic,
+        "faulted campaign not thread-deterministic".into(),
+    );
+    must(
+        faulted.elapsed > clean.elapsed,
+        "faults must cost virtual wall time".into(),
+    );
+    must(
+        fa.restart_s > 0.0,
+        "critical path attributes no restart/ time".into(),
+    );
+    must(
+        fa.fault_s > 0.0,
+        "critical path attributes no fault/ time".into(),
+    );
+    must(
+        fa.checkpoint_s > 0.0,
+        "critical path attributes no checkpoint/ time".into(),
+    );
 
     let pele_campaign = PeleCampaignRecord {
         ranks: cfg.ranks as u64,
@@ -324,11 +372,17 @@ fn main() {
     println!("  tagged:   {}", rep_tagged.summary());
     must(
         rep_untagged.verdict == Verdict::Fail,
-        format!("untagged 2x regression should fail, got {:?}", rep_untagged.verdict),
+        format!(
+            "untagged 2x regression should fail, got {:?}",
+            rep_untagged.verdict
+        ),
     );
     must(
         rep_tagged.verdict == Verdict::Warn,
-        format!("tagged 2x regression should warn, got {:?}", rep_tagged.verdict),
+        format!(
+            "tagged 2x regression should warn, got {:?}",
+            rep_tagged.verdict
+        ),
     );
     must(
         rep_tagged.scenario == drill_scen.tag,
@@ -348,10 +402,16 @@ fn main() {
     let cb = TelemetryCollector::shared();
     let t_block = rep.clone().step_time_observed(&frontier, Some(&cb), &[]);
     let co = TelemetryCollector::shared();
-    let t_over = rep.with_overlap(4).step_time_observed(&frontier, Some(&co), &[]);
+    let t_over = rep
+        .with_overlap(4)
+        .step_time_observed(&frontier, Some(&co), &[]);
     let snap = co.snapshot();
     let hidden_s = snap.times_s.get("mpi.hidden").copied().unwrap_or(0.0);
-    let overlap_eff = snap.gauges.get("mpi.overlap_efficiency").copied().unwrap_or(0.0);
+    let overlap_eff = snap
+        .gauges
+        .get("mpi.overlap_efficiency")
+        .copied()
+        .unwrap_or(0.0);
     println!(
         "  blocking {:.3} ms vs overlapped {:.3} ms; hidden {:.3} ms, efficiency {:.3}",
         t_block.secs() * 1e3,
@@ -359,9 +419,18 @@ fn main() {
         hidden_s * 1e3,
         overlap_eff
     );
-    must(t_over <= t_block, "overlap slower than blocking on a degraded fabric".into());
-    must(hidden_s > 0.0, "overlap engine hid no communication time".into());
-    must(overlap_eff > 0.0, "mpi.overlap_efficiency gauge missing or zero".into());
+    must(
+        t_over <= t_block,
+        "overlap slower than blocking on a degraded fabric".into(),
+    );
+    must(
+        hidden_s > 0.0,
+        "overlap engine hid no communication time".into(),
+    );
+    must(
+        overlap_eff > 0.0,
+        "mpi.overlap_efficiency gauge missing or zero".into(),
+    );
     let degraded_gests = DegradedGestsRecord {
         scenario: "slingshot-contended".to_string(),
         alpha_factor: net.alpha_factor,

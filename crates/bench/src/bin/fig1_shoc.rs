@@ -28,7 +28,10 @@ fn main() {
     );
 
     let rows = run_figure1(Scale::Full).expect("figure 1 runs");
-    println!("\n{:<18} {:>14} {:>14}  verified", "benchmark", "with transfer", "kernel only");
+    println!(
+        "\n{:<18} {:>14} {:>14}  verified",
+        "benchmark", "with transfer", "kernel only"
+    );
     for r in &rows {
         println!(
             "{:<18} {:>14.4} {:>14.4}  {}",
@@ -41,14 +44,17 @@ fn main() {
     let (with_t, without_t) = summary(&rows);
     println!("\ngeometric mean (with transfers)    : {with_t:.4}  [paper: 0.998]");
     println!("geometric mean (without transfers) : {without_t:.4}  [paper: 0.999]");
-    println!("Figure 1 band check (0.90..=1.05)  : {}", if rows
-        .iter()
-        .all(|r| r.ratio_with_transfer > 0.90 && r.ratio_with_transfer <= 1.05)
-    {
-        "all benchmarks in band"
-    } else {
-        "OUT OF BAND"
-    });
+    println!(
+        "Figure 1 band check (0.90..=1.05)  : {}",
+        if rows
+            .iter()
+            .all(|r| r.ratio_with_transfer > 0.90 && r.ratio_with_transfer <= 1.05)
+        {
+            "all benchmarks in band"
+        } else {
+            "OUT OF BAND"
+        }
+    );
 
     write_json("fig1_shoc", &rows);
 }

@@ -6,7 +6,9 @@
 //!
 //! Run with `cargo run -p exa-bench --bin fig2_pele`.
 
-use exa_apps::pele::{time_per_cell_step, time_per_cell_step_at_scale, weak_scaling_efficiency, CodeState};
+use exa_apps::pele::{
+    time_per_cell_step, time_per_cell_step_at_scale, weak_scaling_efficiency, CodeState,
+};
 use exa_bench::{header, write_json};
 use exa_machine::MachineModel;
 use serde::Serialize;
@@ -37,7 +39,10 @@ fn main() {
     header("Figure 2: PeleC time per cell per timestep (single node + 4096 nodes)");
     let mut points = Vec::new();
 
-    println!("{:<16} {:<10} {:>16} {:>16}", "code state", "machine", "1 node [s]", "4096 nodes [s]");
+    println!(
+        "{:<16} {:<10} {:>16} {:>16}",
+        "code state", "machine", "1 node [s]", "4096 nodes [s]"
+    );
     for (state, machine) in timeline() {
         let t1 = time_per_cell_step(&machine, state);
         let t4096 = time_per_cell_step_at_scale(&machine, state, 4096);

@@ -75,7 +75,10 @@ fn check_saved_ledger(path: &std::path::Path, expected_apps: &[String]) -> Vec<S
         if r.snapshot_digest.len() != 16
             || !r.snapshot_digest.chars().all(|c| c.is_ascii_hexdigit())
         {
-            bad.push(format!("{}: snapshot digest {:?} is not 16 hex chars", r.app, r.snapshot_digest));
+            bad.push(format!(
+                "{}: snapshot digest {:?} is not 16 hex chars",
+                r.app, r.snapshot_digest
+            ));
         }
         if r.span_profile.is_empty() {
             bad.push(format!("{}: empty span profile", r.app));
@@ -126,7 +129,10 @@ fn main() {
 
     // --- Sentinel gate over the real history -----------------------------
     let config = SentinelConfig::default();
-    println!("\nsentinel ({} series):", run_sentinel_all(&ledger, &config).len());
+    println!(
+        "\nsentinel ({} series):",
+        run_sentinel_all(&ledger, &config).len()
+    );
     for report in run_sentinel_all(&ledger, &config) {
         println!("  {}", report.summary());
         if report.verdict == Verdict::Fail {
@@ -149,7 +155,10 @@ fn main() {
     match run_sentinel(&drill, "GESTS", &frontier.name, kind, &config) {
         None => failures.push("drill: sentinel produced no report for injected GESTS run".into()),
         Some(report) => {
-            println!("\ninjection drill (GESTS transforms 2x): {}", report.summary());
+            println!(
+                "\ninjection drill (GESTS transforms 2x): {}",
+                report.summary()
+            );
             if report.verdict != Verdict::Fail {
                 failures.push(format!(
                     "drill: 2x transform injection must trip the sentinel, got {} ({:.3}x)",
@@ -175,5 +184,9 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("\nfom ledger: all gates pass ({} apps, {} records)", app_names.len(), ledger.len());
+    println!(
+        "\nfom ledger: all gates pass ({} apps, {} records)",
+        app_names.len(),
+        ledger.len()
+    );
 }

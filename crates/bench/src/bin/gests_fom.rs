@@ -58,9 +58,11 @@ fn main() {
 
     // Slabs vs pencils ablation at fixed rank count on Frontier.
     println!("\nslabs-vs-pencils ablation (N = 8192, Frontier):");
-    for (ranks, decomp) in
-        [(4096, Decomp::Slabs), (4096, Decomp::Pencils), (65536, Decomp::Pencils)]
-    {
+    for (ranks, decomp) in [
+        (4096, Decomp::Slabs),
+        (4096, Decomp::Pencils),
+        (65536, Decomp::Pencils),
+    ] {
         let run = PsdnsRun::new(8192, ranks, decomp);
         record(&frontier, &run);
     }

@@ -35,7 +35,10 @@ fn main() {
     header("hipify conversion study (§2.1)");
     let mut rows = Vec::new();
 
-    println!("{:<22} {:>9} {:>10} {:>8} {:>12}", "source", "API lines", "auto %", "manual", "diagnostics");
+    println!(
+        "{:<22} {:>9} {:>10} {:>8} {:>12}",
+        "source", "API lines", "auto %", "manual", "diagnostics"
+    );
     for b in all_benchmarks() {
         let r = hipify_source(b.cuda_source());
         println!(
@@ -73,7 +76,10 @@ fn main() {
     });
     println!("\nlegacy diagnostics:");
     for d in &legacy.diagnostics {
-        println!("  line {:>2} [{:?}] {}: {}", d.line, d.kind, d.construct, d.note);
+        println!(
+            "  line {:>2} [{:?}] {}: {}",
+            d.line, d.kind, d.construct, d.note
+        );
     }
 
     println!(

@@ -47,8 +47,14 @@ fn main() {
     let t_spill = torsion_kernel_time(&gpu, atoms, prod_tuples, true, false);
     println!("\ntorsion kernel, 100k atoms on one GCD:");
     println!("  Algorithm 1 (divergent)         : {t_naive}");
-    println!("  preprocessed tuple list (dense) : {t_dense}   ({:.1}x)", t_naive / t_dense);
-    println!("  dense but register-spilling     : {t_spill}   (spill fix: {:.2}x)", t_spill / t_dense);
+    println!(
+        "  preprocessed tuple list (dense) : {t_dense}   ({:.1}x)",
+        t_naive / t_dense
+    );
+    println!(
+        "  dense but register-spilling     : {t_spill}   (spill fix: {:.2}x)",
+        t_spill / t_dense
+    );
 
     // QEq dual-CG study on the real mini-system.
     let h = CsrMatrix::qeq_matrix(&sys, &neigh, 2.0);

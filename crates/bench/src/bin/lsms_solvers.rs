@@ -42,7 +42,10 @@ fn main() {
     let (tau_lu, t_lu) = solve_tau00(&mut s1, &lib, &kkr, TauSolver::RocsolverLu);
     let mut s2 = hip_stream();
     let (tau_blk, t_blk) = solve_tau00(&mut s2, &lib, &kkr, TauSolver::ZBlockLu);
-    println!("tau00 agreement (order {n}): max |Δ| = {:.2e}", tau_lu.max_abs_diff(&tau_blk));
+    println!(
+        "tau00 agreement (order {n}): max |Δ| = {:.2e}",
+        tau_lu.max_abs_diff(&tau_blk)
+    );
 
     let zb_flops = block_lu_flops::<C64>(n, BLOCK);
     let lu_flops = getrf_flops::<C64>(n) + getrs_flops::<C64>(n, BLOCK);
@@ -51,7 +54,11 @@ fn main() {
     println!(
         "-> \"the zblock_lu algorithm has a slightly lower total floating point operation \
          count, [but] we observe better performance for the direct solution\" : {}",
-        if zb_flops < lu_flops && t_lu < t_blk { "reproduced" } else { "NOT reproduced" }
+        if zb_flops < lu_flops && t_lu < t_blk {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
 
     // Index-rearrangement ablation on the assembly kernels.
@@ -66,7 +73,10 @@ fn main() {
     );
 
     let speedup = Lsms::default().measure_speedup();
-    println!("\nper-GPU FePt speed-up Summit -> Frontier: {}", vs_paper(speedup, 7.5));
+    println!(
+        "\nper-GPU FePt speed-up Summit -> Frontier: {}",
+        vs_paper(speedup, 7.5)
+    );
 
     write_json(
         "lsms_solvers",

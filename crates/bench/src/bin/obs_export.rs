@@ -156,7 +156,13 @@ fn main() {
         let record = measure_record(app.as_ref(), &frontier, &ctx, "obs_export");
         let dt = t0.elapsed().as_secs_f64();
         collector.metrics(|m| m.hist_record("fom.eval_s", dt));
-        println!("  fom {:<8} {:>12.4e} {:<22} eval {:>8.3} ms", record.app, record.value, record.units, dt * 1e3);
+        println!(
+            "  fom {:<8} {:>12.4e} {:<22} eval {:>8.3} ms",
+            record.app,
+            record.value,
+            record.units,
+            dt * 1e3
+        );
         fom_apps += 1;
     }
 
@@ -179,19 +185,30 @@ fn main() {
         .iter()
         .filter(|t| t.kind == "worker" && t.name.starts_with("pool/") && t.spans > 0)
         .count() as u64;
-    must(worker_tracks >= LANES as u64, format!("expected >= {LANES} non-empty pool worker tracks, got {worker_tracks}"));
     must(
-        snapshot.tracks.iter().any(|t| t.name == "pool/scheduler" && t.spans > 0),
+        worker_tracks >= LANES as u64,
+        format!("expected >= {LANES} non-empty pool worker tracks, got {worker_tracks}"),
+    );
+    must(
+        snapshot
+            .tracks
+            .iter()
+            .any(|t| t.name == "pool/scheduler" && t.spans > 0),
         "scheduler phase track is empty".into(),
     );
     must(tasks > 0, "pool observer saw no tasks".into());
     must(
         landing.phases == cfg.substeps as u64,
-        format!("expected {} scheduler phases, landed {}", cfg.substeps, landing.phases),
+        format!(
+            "expected {} scheduler phases, landed {}",
+            cfg.substeps, landing.phases
+        ),
     );
     must(
         (occupancy - 1.0).abs() <= OCC_TOL,
-        format!("occupancy {occupancy:.3} outside 1.0 +/- {OCC_TOL} (busy vs fan-out wall x lanes)"),
+        format!(
+            "occupancy {occupancy:.3} outside 1.0 +/- {OCC_TOL} (busy vs fan-out wall x lanes)"
+        ),
     );
     for (hist, min_count) in [
         ("pool.task_run_s", tasks),
@@ -202,23 +219,35 @@ fn main() {
             None => must(false, format!("histogram {hist} missing from snapshot")),
             Some(h) => must(
                 h.count() >= min_count,
-                format!("histogram {hist}: count {} < expected {min_count}", h.count()),
+                format!(
+                    "histogram {hist}: count {} < expected {min_count}",
+                    h.count()
+                ),
             ),
         }
     }
     match validate_chrome_trace(&trace) {
-        Ok(s) => println!("chrome trace: {} events on {} tracks — valid", s.events, s.tracks),
+        Ok(s) => println!(
+            "chrome trace: {} events on {} tracks — valid",
+            s.events, s.tracks
+        ),
         Err(e) => must(false, format!("chrome trace invalid: {e}")),
     }
     match validate_prometheus(&prom) {
-        Ok(s) => println!("prometheus: {} families, {} samples — valid", s.families, s.samples),
+        Ok(s) => println!(
+            "prometheus: {} families, {} samples — valid",
+            s.families, s.samples
+        ),
         Err(e) => must(false, format!("prometheus text invalid: {e}")),
     }
     match validate_folded(&folded) {
         Ok(n) => println!("folded stacks: {n} lines — valid"),
         Err(e) => must(false, format!("folded stacks invalid: {e}")),
     }
-    must(result.newton_total > 0, "campaign did no Newton iterations".into());
+    must(
+        result.newton_total > 0,
+        "campaign did no Newton iterations".into(),
+    );
     let pass = failures.is_empty();
 
     let record = SubstrateRecord {
@@ -245,11 +274,17 @@ fn main() {
     let root = repo_root();
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
     fs::write(root.join("PROFILE_substrate.json"), json).expect("can write PROFILE_substrate.json");
-    println!("\n[wrote {}]", root.join("PROFILE_substrate.json").display());
+    println!(
+        "\n[wrote {}]",
+        root.join("PROFILE_substrate.json").display()
+    );
     fs::write(root.join("METRICS.prom"), &prom).expect("can write METRICS.prom");
     println!("[wrote {}]", root.join("METRICS.prom").display());
     fs::write(root.join("PROFILE_pele.folded"), &folded).expect("can write PROFILE_pele.folded");
-    println!("[wrote {}]  (flamegraph.pl or speedscope.app)", root.join("PROFILE_pele.folded").display());
+    println!(
+        "[wrote {}]  (flamegraph.pl or speedscope.app)",
+        root.join("PROFILE_pele.folded").display()
+    );
 
     if !pass {
         for f in &failures {

@@ -73,14 +73,35 @@ fn check_snapshot(snap: &TelemetrySnapshot) -> Vec<String> {
     must(snap.spans_total > 0, "snapshot has no spans");
     must(snap.wall_s > 0.0, "snapshot wall time is zero");
     must(!snap.tracks.is_empty(), "snapshot has no tracks");
-    must(snap.counter("hal.graph_replays") >= CHEM_STEPS as u64, "chemistry replays missing");
-    must(snap.counter("hal.kernels") > 0, "no per-kernel launches recorded");
-    must(snap.counter("mpi.collectives") > 0, "no collectives recorded");
-    must(snap.counter("mpi.bytes") > 0, "no communication bytes recorded");
-    must(snap.counter("hal.pool.allocs") > 0, "no pool allocations recorded");
-    must(snap.gauges.contains_key("pele.fig2.speedup"), "fig2 speedup gauge missing");
+    must(
+        snap.counter("hal.graph_replays") >= CHEM_STEPS as u64,
+        "chemistry replays missing",
+    );
+    must(
+        snap.counter("hal.kernels") > 0,
+        "no per-kernel launches recorded",
+    );
+    must(
+        snap.counter("mpi.collectives") > 0,
+        "no collectives recorded",
+    );
+    must(
+        snap.counter("mpi.bytes") > 0,
+        "no communication bytes recorded",
+    );
+    must(
+        snap.counter("hal.pool.allocs") > 0,
+        "no pool allocations recorded",
+    );
+    must(
+        snap.gauges.contains_key("pele.fig2.speedup"),
+        "fig2 speedup gauge missing",
+    );
     let span_sum: u64 = snap.tracks.iter().map(|t| t.spans).sum();
-    must(span_sum == snap.spans_total, "per-track span counts disagree with total");
+    must(
+        span_sum == snap.spans_total,
+        "per-track span counts disagree with total",
+    );
     bad
 }
 
@@ -96,10 +117,22 @@ fn main() {
 
     // E3SM: the pre-graph pool-allocator driver (per-kernel spans) and the
     // fully optimized graph replay.
-    let naive_pool = E3smConfig { pool_allocator: true, ..E3smConfig::naive() };
-    let e3sm_naive = step_time_profiled(GpuArch::Cdna2, E3SM_COLUMNS, naive_pool, Some((&collector, "e3sm_naive")));
-    let e3sm_opt =
-        step_time_profiled(GpuArch::Cdna2, E3SM_COLUMNS, E3smConfig::optimized(), Some((&collector, "e3sm_opt")));
+    let naive_pool = E3smConfig {
+        pool_allocator: true,
+        ..E3smConfig::naive()
+    };
+    let e3sm_naive = step_time_profiled(
+        GpuArch::Cdna2,
+        E3SM_COLUMNS,
+        naive_pool,
+        Some((&collector, "e3sm_naive")),
+    );
+    let e3sm_opt = step_time_profiled(
+        GpuArch::Cdna2,
+        E3SM_COLUMNS,
+        E3smConfig::optimized(),
+        Some((&collector, "e3sm_opt")),
+    );
 
     // GESTS: one PSDNS step over per-rank comm tracks.
     let gests = PsdnsRun::new(GESTS_N, GESTS_RANKS, Decomp::Slabs);
@@ -108,8 +141,8 @@ fn main() {
     // Roofline: trace the chemistry pipeline kernels against the MI250X
     // ceilings (rocprof's counter-derived arithmetic-intensity view).
     let mut tracer = Tracer::new(GpuModel::mi250x_gcd());
-    let mut stream = Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip)
-        .expect("hip on cdna2");
+    let mut stream =
+        Stream::new(Device::new(GpuModel::mi250x_gcd(), 0), ApiSurface::Hip).expect("hip on cdna2");
     for k in chemistry_kernels(CHEM_CELLS) {
         tracer.launch_traced_modeled(&mut stream, &k);
     }
@@ -136,7 +169,10 @@ fn main() {
     // --- Acceptance gates -------------------------------------------------
     let mut failures = check_snapshot(&snapshot);
     match validate_chrome_trace(&trace) {
-        Ok(s) => println!("chrome trace: {} events on {} tracks — valid", s.events, s.tracks),
+        Ok(s) => println!(
+            "chrome trace: {} events on {} tracks — valid",
+            s.events, s.tracks
+        ),
         Err(e) => failures.push(format!("chrome trace invalid: {e}")),
     }
     if roofline.points.is_empty() {
@@ -169,7 +205,10 @@ fn main() {
     println!("\n[wrote {}]", root.join("PROFILE_pele.json").display());
     fs::write(root.join("PROFILE_pele.trace.json"), &trace)
         .expect("can write PROFILE_pele.trace.json");
-    println!("[wrote {}]  (open at ui.perfetto.dev)", root.join("PROFILE_pele.trace.json").display());
+    println!(
+        "[wrote {}]  (open at ui.perfetto.dev)",
+        root.join("PROFILE_pele.trace.json").display()
+    );
     let csv_path = experiments_dir().join("profile_pele_hotspots.csv");
     fs::write(&csv_path, &hotspots).expect("can write hotspot csv");
     println!("[wrote {}]", csv_path.display());

@@ -8,7 +8,7 @@
 
 use exa_bench::{header, write_json};
 use exa_hal::trace::Tracer;
-use exa_hal::{ApiSurface, Device, DType, KernelProfile, LaunchConfig, Stream};
+use exa_hal::{ApiSurface, DType, Device, KernelProfile, LaunchConfig, Stream};
 use exa_machine::GpuModel;
 
 fn main() {

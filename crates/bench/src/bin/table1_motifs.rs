@@ -20,11 +20,23 @@ struct Table1Row {
 /// The paper's Table 1, for comparison.
 fn paper_table() -> Vec<(&'static str, Vec<&'static str>)> {
     vec![
-        ("CUDA/HIP Porting", vec!["GAMESS", "CoMet", "NuCCOR", "Coast"]),
-        ("Library Tuning", vec!["GAMESS", "LSMS", "GESTS", "CoMet", "LAMMPS"]),
-        ("Performance Portability", vec!["GESTS", "ExaSky", "E3SM", "NuCCOR", "Pele"]),
+        (
+            "CUDA/HIP Porting",
+            vec!["GAMESS", "CoMet", "NuCCOR", "Coast"],
+        ),
+        (
+            "Library Tuning",
+            vec!["GAMESS", "LSMS", "GESTS", "CoMet", "LAMMPS"],
+        ),
+        (
+            "Performance Portability",
+            vec!["GESTS", "ExaSky", "E3SM", "NuCCOR", "Pele"],
+        ),
         ("Kernel Fusion/Fission", vec!["E3SM", "Pele", "LAMMPS"]),
-        ("Algorithmic Optimizations", vec!["LSMS", "ExaSky", "E3SM", "CoMet", "Pele", "LAMMPS"]),
+        (
+            "Algorithmic Optimizations",
+            vec!["LSMS", "ExaSky", "E3SM", "CoMet", "Pele", "LAMMPS"],
+        ),
     ]
 }
 
@@ -47,16 +59,26 @@ fn main() {
                 // The paper writes "Coast"; we normalise case.
                 let found = ours.iter().any(|o| o.eq_ignore_ascii_case(e));
                 if !found {
-                    println!("    !! paper lists {e} under {} — missing here", motif.label());
+                    println!(
+                        "    !! paper lists {e} under {} — missing here",
+                        motif.label()
+                    );
                     mismatches += 1;
                 }
             }
         }
-        rows.push(Table1Row { motif: motif.label().to_string(), applications: ours });
+        rows.push(Table1Row {
+            motif: motif.label().to_string(),
+            applications: ours,
+        });
     }
     println!(
         "\npaper-row coverage: {}",
-        if mismatches == 0 { "every paper entry reproduced".into() } else { format!("{mismatches} entries missing") }
+        if mismatches == 0 {
+            "every paper entry reproduced".into()
+        } else {
+            format!("{mismatches} entries missing")
+        }
     );
     write_json("table1_motifs", &rows);
 }

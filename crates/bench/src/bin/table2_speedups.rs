@@ -30,10 +30,7 @@ fn main() {
     let frontier = MachineModel::frontier();
     let mut rows = Vec::new();
 
-    println!(
-        "{:<10} {:<40} {:>10}",
-        "app", "figure of merit", "speed-up"
-    );
+    println!("{:<10} {:<40} {:>10}", "app", "figure of merit", "speed-up");
     for app in table2_applications() {
         let fom = app.fom();
         let s = app.run(&summit);
@@ -60,11 +57,17 @@ fn main() {
 
     let worst = rows.iter().map(|r| r.rel_error).fold(0.0, f64::max);
     let mean = rows.iter().map(|r| r.rel_error).sum::<f64>() / rows.len() as f64;
-    println!("\nmean |error| vs paper: {:.1}%   worst: {:.1}%", mean * 100.0, worst * 100.0);
+    println!(
+        "\nmean |error| vs paper: {:.1}%   worst: {:.1}%",
+        mean * 100.0,
+        worst * 100.0
+    );
     println!(
         "paper's summary band (§6): \"performance improvements between 5x and 7x ... being \
          typical\" — measured range {:.1}x ..= {:.1}x",
-        rows.iter().map(|r| r.measured_speedup).fold(f64::INFINITY, f64::min),
+        rows.iter()
+            .map(|r| r.measured_speedup)
+            .fold(f64::INFINITY, f64::min),
         rows.iter().map(|r| r.measured_speedup).fold(0.0, f64::max),
     );
     write_json("table2_speedups", &rows);

@@ -60,7 +60,11 @@ pub trait Application {
         let clean = self.run(machine);
         let track = format!("{}/host", self.name().to_ascii_lowercase());
         let observed = record_phases(ctx, &track, clean.wall, &self.profile_phases());
-        let ratio = if clean.wall.is_zero() { 1.0 } else { observed / clean.wall };
+        let ratio = if clean.wall.is_zero() {
+            1.0
+        } else {
+            observed / clean.wall
+        };
         perturb_measurement(clean, self.fom().higher_is_better, ratio)
     }
 }
@@ -91,7 +95,12 @@ mod tests {
         }
         fn run(&self, machine: &MachineModel) -> FomMeasurement {
             let per_gpu = machine.node.gpu().peak_f64;
-            FomMeasurement::new(machine.name.clone(), "1 GPU", per_gpu, SimTime::from_secs(1.0))
+            FomMeasurement::new(
+                machine.name.clone(),
+                "1 GPU",
+                per_gpu,
+                SimTime::from_secs(1.0),
+            )
         }
         fn paper_speedup(&self) -> Option<f64> {
             None

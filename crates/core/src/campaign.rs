@@ -35,7 +35,11 @@ pub struct PortingCampaign<'a> {
 impl<'a> PortingCampaign<'a> {
     /// Start a campaign for `app` against `target`.
     pub fn new(app: &'a dyn Application, target: SpeedupTarget) -> Self {
-        PortingCampaign { app, target, stages: Vec::new() }
+        PortingCampaign {
+            app,
+            target,
+            stages: Vec::new(),
+        }
     }
 
     /// Run the application's challenge problem on `machine` and record it.
@@ -54,7 +58,10 @@ impl<'a> PortingCampaign<'a> {
     /// generation, then Frontier.
     pub fn run_standard_timeline(&mut self) {
         self.run_stage(&MachineModel::summit(), "CUDA baseline (OLCF-5)");
-        self.run_stage(&MachineModel::poplar(), "first HIP port, gen-1 early access");
+        self.run_stage(
+            &MachineModel::poplar(),
+            "first HIP port, gen-1 early access",
+        );
         self.run_stage(&MachineModel::spock(), "tuning, gen-2 early access");
         self.run_stage(&MachineModel::crusher(), "Frontier-node tuning");
         self.run_stage(&MachineModel::frontier(), "full-scale challenge run");
@@ -80,7 +87,12 @@ impl<'a> PortingCampaign<'a> {
             application: self.app.name().to_string(),
             paper_section: self.app.paper_section().to_string(),
             challenge_problem: self.app.challenge_problem(),
-            motifs: self.app.motifs().iter().map(|m| m.label().to_string()).collect(),
+            motifs: self
+                .app
+                .motifs()
+                .iter()
+                .map(|m| m.label().to_string())
+                .collect(),
             baseline_machine: baseline.machine.clone(),
             final_machine: last.machine.clone(),
             measured_speedup: measured,
@@ -130,7 +142,11 @@ impl ReadinessReport {
 
 impl fmt::Display for ReadinessReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== Readiness report: {} (§{}) ===", self.application, self.paper_section)?;
+        writeln!(
+            f,
+            "=== Readiness report: {} (§{}) ===",
+            self.application, self.paper_section
+        )?;
         writeln!(f, "challenge problem : {}", self.challenge_problem)?;
         writeln!(f, "motifs            : {}", self.motifs.join(", "))?;
         for s in &self.stages {

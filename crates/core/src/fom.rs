@@ -21,12 +21,20 @@ pub struct FigureOfMerit {
 impl FigureOfMerit {
     /// A throughput-style FOM (higher is better).
     pub fn throughput(name: impl Into<String>, units: impl Into<String>) -> Self {
-        FigureOfMerit { name: name.into(), units: units.into(), higher_is_better: true }
+        FigureOfMerit {
+            name: name.into(),
+            units: units.into(),
+            higher_is_better: true,
+        }
     }
 
     /// A time-style FOM (lower is better), e.g. time per cell per step.
     pub fn time(name: impl Into<String>, units: impl Into<String>) -> Self {
-        FigureOfMerit { name: name.into(), units: units.into(), higher_is_better: false }
+        FigureOfMerit {
+            name: name.into(),
+            units: units.into(),
+            higher_is_better: false,
+        }
     }
 
     /// Speed-up of `new` over `baseline` under this FOM's orientation
@@ -62,7 +70,12 @@ impl FomMeasurement {
         value: f64,
         wall: SimTime,
     ) -> Self {
-        FomMeasurement { machine: machine.into(), config: config.into(), value, wall }
+        FomMeasurement {
+            machine: machine.into(),
+            config: config.into(),
+            value,
+            wall,
+        }
     }
 }
 

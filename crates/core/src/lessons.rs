@@ -177,15 +177,22 @@ pub fn lessons() -> Vec<Lesson> {
 pub fn render_user_guide() -> String {
     let mut out = String::new();
     use fmt::Write;
-    writeln!(out, "# Early-access system quick-start: lessons from the COE\n").expect("write");
+    writeln!(
+        out,
+        "# Early-access system quick-start: lessons from the COE\n"
+    )
+    .expect("write");
     for topic in [Topic::Hardware, Topic::Software, Topic::SystemOperations] {
-        let mut section: Vec<Lesson> =
-            lessons().into_iter().filter(|l| l.topic == topic).collect();
+        let mut section: Vec<Lesson> = lessons().into_iter().filter(|l| l.topic == topic).collect();
         section.sort_by_key(|l| l.class);
         writeln!(out, "## {topic:?}\n").expect("write");
         for l in section {
-            writeln!(out, "### {} (§{}, {:?})\n\n{}\n", l.title, l.section, l.class, l.guidance)
-                .expect("write");
+            writeln!(
+                out,
+                "### {} (§{}, {:?})\n\n{}\n",
+                l.title, l.section, l.class, l.guidance
+            )
+            .expect("write");
         }
     }
     out
@@ -202,8 +209,11 @@ mod tests {
         for topic in [Topic::Hardware, Topic::Software, Topic::SystemOperations] {
             assert!(all.iter().any(|l| l.topic == topic), "{topic:?} uncovered");
         }
-        for class in [IssueClass::Functionality, IssueClass::MissingFeature, IssueClass::Performance]
-        {
+        for class in [
+            IssueClass::Functionality,
+            IssueClass::MissingFeature,
+            IssueClass::Performance,
+        ] {
             assert!(all.iter().any(|l| l.class == class), "{class:?} uncovered");
         }
     }
@@ -307,14 +317,26 @@ impl IssueTracker {
 
     /// Counts per class (open, resolved).
     pub fn stats(&self) -> Vec<(IssueClass, usize, usize)> {
-        [IssueClass::Functionality, IssueClass::MissingFeature, IssueClass::Performance]
-            .iter()
-            .map(|&c| {
-                let open = self.tickets.iter().filter(|t| t.class == c && !t.resolved).count();
-                let done = self.tickets.iter().filter(|t| t.class == c && t.resolved).count();
-                (c, open, done)
-            })
-            .collect()
+        [
+            IssueClass::Functionality,
+            IssueClass::MissingFeature,
+            IssueClass::Performance,
+        ]
+        .iter()
+        .map(|&c| {
+            let open = self
+                .tickets
+                .iter()
+                .filter(|t| t.class == c && !t.resolved)
+                .count();
+            let done = self
+                .tickets
+                .iter()
+                .filter(|t| t.class == c && t.resolved)
+                .count();
+            (c, open, done)
+        })
+        .collect()
     }
 
     /// Distil every *resolved* ticket class into how many lessons the
@@ -322,10 +344,14 @@ impl IssueTracker {
     /// pipeline end to end.
     pub fn guide_coverage(&self) -> Vec<(IssueClass, usize)> {
         let reg = lessons();
-        [IssueClass::Functionality, IssueClass::MissingFeature, IssueClass::Performance]
-            .iter()
-            .map(|&c| (c, reg.iter().filter(|l| l.class == c).count()))
-            .collect()
+        [
+            IssueClass::Functionality,
+            IssueClass::MissingFeature,
+            IssueClass::Performance,
+        ]
+        .iter()
+        .map(|&c| (c, reg.iter().filter(|l| l.class == c).count()))
+        .collect()
     }
 }
 
@@ -336,9 +362,21 @@ mod tracker_tests {
     #[test]
     fn triage_orders_functionality_first() {
         let mut tr = IssueTracker::new();
-        tr.file("GESTS", IssueClass::Performance, "FFT transpose slow at 4096 nodes");
-        tr.file("LAMMPS", IssueClass::Functionality, "intermittent segfault in ReaxFF");
-        tr.file("GAMESS", IssueClass::MissingFeature, "need D&C eigensolver in rocSOLVER");
+        tr.file(
+            "GESTS",
+            IssueClass::Performance,
+            "FFT transpose slow at 4096 nodes",
+        );
+        tr.file(
+            "LAMMPS",
+            IssueClass::Functionality,
+            "intermittent segfault in ReaxFF",
+        );
+        tr.file(
+            "GAMESS",
+            IssueClass::MissingFeature,
+            "need D&C eigensolver in rocSOLVER",
+        );
         let q = tr.triage_queue();
         assert_eq!(q.len(), 3);
         assert_eq!(q[0].team, "LAMMPS");
@@ -349,7 +387,11 @@ mod tracker_tests {
     #[test]
     fn resolution_updates_stats() {
         let mut tr = IssueTracker::new();
-        let id = tr.file("Pele", IssueClass::Functionality, "HIP+OpenMP same TU fails");
+        let id = tr.file(
+            "Pele",
+            IssueClass::Functionality,
+            "HIP+OpenMP same TU fails",
+        );
         tr.file("Pele", IssueClass::Performance, "UVM paging slow");
         assert!(tr.resolve(id));
         assert!(!tr.resolve(99));

@@ -42,7 +42,11 @@ pub struct RunContext<'a> {
 impl<'a> RunContext<'a> {
     /// A clean profiled run.
     pub fn new(telemetry: &'a Arc<TelemetryCollector>) -> Self {
-        RunContext { telemetry, injections: Vec::new(), scenario: String::new() }
+        RunContext {
+            telemetry,
+            injections: Vec::new(),
+            scenario: String::new(),
+        }
     }
 
     /// A drill run: stretch spans matching `needle` by `factor`. Shim over
@@ -61,7 +65,11 @@ impl<'a> RunContext<'a> {
         telemetry: &'a Arc<TelemetryCollector>,
         injections: Vec<Injection>,
     ) -> Self {
-        RunContext { telemetry, injections, scenario: String::new() }
+        RunContext {
+            telemetry,
+            injections,
+            scenario: String::new(),
+        }
     }
 
     /// A run under a full [`ScenarioSpec`]: takes the spec's injections
@@ -102,17 +110,29 @@ pub struct Phase {
 impl Phase {
     /// A host-phase entry.
     pub fn new(name: &'static str, weight: f64) -> Phase {
-        Phase { name, cat: SpanCat::Phase, weight }
+        Phase {
+            name,
+            cat: SpanCat::Phase,
+            weight,
+        }
     }
 
     /// A device-kernel entry.
     pub fn kernel(name: &'static str, weight: f64) -> Phase {
-        Phase { name, cat: SpanCat::Kernel, weight }
+        Phase {
+            name,
+            cat: SpanCat::Kernel,
+            weight,
+        }
     }
 
     /// A collective-communication entry.
     pub fn collective(name: &'static str, weight: f64) -> Phase {
-        Phase { name, cat: SpanCat::Collective, weight }
+        Phase {
+            name,
+            cat: SpanCat::Collective,
+            weight,
+        }
     }
 }
 
@@ -136,7 +156,8 @@ pub fn record_phases(
         let clean = SimTime::from_secs(wall.secs() * p.weight / total_weight);
         let observed = SimTime::from_secs(clean.secs() * ctx.stretch(p.name));
         let end = cursor + observed;
-        ctx.telemetry.complete(track, p.name.to_string(), p.cat, cursor, end);
+        ctx.telemetry
+            .complete(track, p.name.to_string(), p.cat, cursor, end);
         cursor = end;
     }
     cursor
@@ -153,7 +174,9 @@ pub fn measure_record(
     let measurement = app.run_profiled(machine, ctx);
     let fom = app.fom();
     let snapshot = ctx.telemetry.snapshot();
-    let profile = ctx.telemetry.with_timeline(|tl| span_profile(tl, SPAN_PROFILE_TOP));
+    let profile = ctx
+        .telemetry
+        .with_timeline(|tl| span_profile(tl, SPAN_PROFILE_TOP));
     FomRecord {
         seq: 0, // assigned on append
         app: app.name().to_string(),
@@ -212,13 +235,21 @@ mod tests {
             FigureOfMerit::throughput("flops", "FLOP/s")
         }
         fn run(&self, machine: &MachineModel) -> FomMeasurement {
-            FomMeasurement::new(machine.name.clone(), "1 node", 100.0, SimTime::from_secs(10.0))
+            FomMeasurement::new(
+                machine.name.clone(),
+                "1 node",
+                100.0,
+                SimTime::from_secs(10.0),
+            )
         }
         fn paper_speedup(&self) -> Option<f64> {
             None
         }
         fn profile_phases(&self) -> Vec<Phase> {
-            vec![Phase::kernel("fma", 0.8), Phase::collective("allreduce", 0.2)]
+            vec![
+                Phase::kernel("fma", 0.8),
+                Phase::collective("allreduce", 0.2),
+            ]
         }
     }
 
@@ -246,7 +277,11 @@ mod tests {
         let ctx = RunContext::with_injection(&c, "fma", 2.0);
         let m = ToyApp.run_profiled(&MachineModel::frontier(), &ctx);
         // 8s -> 16s, total 10 -> 18: ratio 1.8.
-        assert!((m.wall.secs() - 18.0).abs() < 1e-9, "wall {}", m.wall.secs());
+        assert!(
+            (m.wall.secs() - 18.0).abs() < 1e-9,
+            "wall {}",
+            m.wall.secs()
+        );
         assert!((m.value - 100.0 / 1.8).abs() < 1e-9, "value {}", m.value);
         c.with_timeline(|tl| {
             let spans = tl.tracks()[0].spans();
@@ -275,17 +310,23 @@ mod tests {
         let c = TelemetryCollector::shared();
         let ctx = RunContext::with_injections(
             &c,
-            vec![Injection::new("fma", 2.0), Injection::new("fm", 1.5), Injection::new("x", 9.0)],
+            vec![
+                Injection::new("fma", 2.0),
+                Injection::new("fm", 1.5),
+                Injection::new("x", 9.0),
+            ],
         );
-        assert!((ctx.stretch("fma") - 3.0).abs() < 1e-12, "both needles match fma");
+        assert!(
+            (ctx.stretch("fma") - 3.0).abs() < 1e-12,
+            "both needles match fma"
+        );
         assert!((ctx.stretch("allreduce") - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn scenario_context_stamps_the_ledger_record() {
         let c = TelemetryCollector::shared();
-        let spec =
-            crate::scenario::ScenarioSpec::named("mtbf-drill", 7).with_injection("fma", 2.0);
+        let spec = crate::scenario::ScenarioSpec::named("mtbf-drill", 7).with_injection("fma", 2.0);
         let ctx = RunContext::for_scenario(&c, &spec);
         assert_eq!(ctx.scenario, "mtbf-drill");
         assert!((ctx.stretch("fma") - 2.0).abs() < 1e-12);
@@ -293,7 +334,12 @@ mod tests {
         assert_eq!(r.scenario, "mtbf-drill");
         // A clean context leaves the tag empty.
         let c2 = TelemetryCollector::shared();
-        let clean = measure_record(&ToyApp, &MachineModel::frontier(), &RunContext::new(&c2), "v");
+        let clean = measure_record(
+            &ToyApp,
+            &MachineModel::frontier(),
+            &RunContext::new(&c2),
+            "v",
+        );
         assert!(clean.scenario.is_empty());
     }
 

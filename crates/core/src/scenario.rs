@@ -42,7 +42,10 @@ pub struct Injection {
 impl Injection {
     /// Build one injection.
     pub fn new(needle: impl Into<String>, factor: f64) -> Self {
-        Injection { needle: needle.into(), factor }
+        Injection {
+            needle: needle.into(),
+            factor,
+        }
     }
 }
 
@@ -116,14 +119,30 @@ pub struct NetworkScenario {
 impl NetworkScenario {
     /// A calm fabric (all factors neutral).
     pub fn calm() -> Self {
-        NetworkScenario { alpha_factor: 1.0, beta_factor: 1.0, jitter_amp: 0.0, jitter_seed: 0 }
+        NetworkScenario {
+            alpha_factor: 1.0,
+            beta_factor: 1.0,
+            jitter_amp: 0.0,
+            jitter_seed: 0,
+        }
     }
 
     /// A contended fabric: α and β scaled, with seeded jitter.
     pub fn contended(alpha_factor: f64, beta_factor: f64, jitter_amp: f64, seed: u64) -> Self {
-        assert!(alpha_factor >= 1.0 && beta_factor >= 1.0, "contention cannot speed the fabric up");
-        assert!((0.0..1.0).contains(&jitter_amp), "jitter amplitude must be in [0, 1)");
-        NetworkScenario { alpha_factor, beta_factor, jitter_amp, jitter_seed: seed }
+        assert!(
+            alpha_factor >= 1.0 && beta_factor >= 1.0,
+            "contention cannot speed the fabric up"
+        );
+        assert!(
+            (0.0..1.0).contains(&jitter_amp),
+            "jitter amplitude must be in [0, 1)"
+        );
+        NetworkScenario {
+            alpha_factor,
+            beta_factor,
+            jitter_amp,
+            jitter_seed: seed,
+        }
     }
 }
 
@@ -177,7 +196,12 @@ impl ScenarioSpec {
 
     /// A named scenario seeded with `seed`.
     pub fn named(tag: impl Into<String>, seed: u64) -> Self {
-        ScenarioSpec { tag: tag.into(), seed, max_failures: 16, ..ScenarioSpec::default() }
+        ScenarioSpec {
+            tag: tag.into(),
+            seed,
+            max_failures: 16,
+            ..ScenarioSpec::default()
+        }
     }
 
     /// Add a span-stretch injection.
@@ -195,7 +219,10 @@ impl ScenarioSpec {
 
     /// Enable checkpoint/restart.
     pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
-        assert!(spec.interval_steps >= 1, "checkpoint interval must be at least one step");
+        assert!(
+            spec.interval_steps >= 1,
+            "checkpoint interval must be at least one step"
+        );
         self.checkpoint = Some(spec);
         self
     }
@@ -242,12 +269,16 @@ impl ScenarioSpec {
     /// over `ranks`, every draw a hash of the scenario seed. An unset
     /// MTBF yields an empty schedule.
     pub fn failure_schedule(&self, ranks: usize, horizon: SimTime) -> Vec<FailureEvent> {
-        let Some(mtbf) = self.mtbf_s else { return Vec::new() };
+        let Some(mtbf) = self.mtbf_s else {
+            return Vec::new();
+        };
         let mut events = Vec::new();
         let mut t = 0.0f64;
         let mut i = 0u64;
         while events.len() < self.max_failures {
-            let u = unit(splitmix64(self.seed.wrapping_add(0x9e37).wrapping_add(i * 2)));
+            let u = unit(splitmix64(
+                self.seed.wrapping_add(0x9e37).wrapping_add(i * 2),
+            ));
             // Exponential inter-arrival, clamped away from ln(0).
             t += -mtbf * (1.0 - u).max(1e-12).ln();
             if t >= horizon.secs() {
@@ -255,7 +286,10 @@ impl ScenarioSpec {
             }
             let rank = (splitmix64(self.seed.wrapping_add(VICTIM_SALT).wrapping_add(i * 2 + 1))
                 % ranks.max(1) as u64) as usize;
-            events.push(FailureEvent { at: SimTime::from_secs(t), rank });
+            events.push(FailureEvent {
+                at: SimTime::from_secs(t),
+                rank,
+            });
             i += 1;
         }
         events
@@ -372,7 +406,10 @@ mod tests {
         let a = spec.failure_schedule(256, SimTime::from_secs(100.0));
         let b = spec.failure_schedule(256, SimTime::from_secs(100.0));
         assert_eq!(a, b, "same seed must replay the same failures");
-        assert!(!a.is_empty(), "100 s horizon at 10 s MTBF must fail at least once");
+        assert!(
+            !a.is_empty(),
+            "100 s horizon at 10 s MTBF must fail at least once"
+        );
         assert!(a.len() <= spec.max_failures);
         for w in a.windows(2) {
             assert!(w[0].at < w[1].at, "failures must be time-ordered");
@@ -389,17 +426,24 @@ mod tests {
     fn clean_spec_has_no_failures_or_skew() {
         let spec = ScenarioSpec::clean();
         assert!(spec.is_clean());
-        assert!(spec.failure_schedule(64, SimTime::from_secs(1e6)).is_empty());
+        assert!(spec
+            .failure_schedule(64, SimTime::from_secs(1e6))
+            .is_empty());
         assert!(spec.skew_table(64).is_none());
     }
 
     #[test]
     fn skew_table_marks_only_the_stragglers() {
-        let spec = ScenarioSpec::named("slow", 1).with_straggler(3, 2.5).with_straggler(7, 1.5);
+        let spec = ScenarioSpec::named("slow", 1)
+            .with_straggler(3, 2.5)
+            .with_straggler(7, 1.5);
         let t = spec.skew_table(8).unwrap();
         assert_eq!(t[3], 2.5);
         assert_eq!(t[7], 1.5);
-        assert!(t.iter().enumerate().all(|(r, &f)| f == 1.0 || r == 3 || r == 7));
+        assert!(t
+            .iter()
+            .enumerate()
+            .all(|(r, &f)| f == 1.0 || r == 3 || r == 7));
     }
 
     #[test]
@@ -420,7 +464,10 @@ mod tests {
         let y = young_interval(ckpt, mtbf);
         let d = daly_interval(ckpt, mtbf);
         assert!((y.secs() - (2.0f64 * 10_000.0).sqrt()).abs() < 1e-9);
-        assert!((y.secs() - d.secs() - 1.0).abs() < 1e-9, "Daly = Young − δ here");
+        assert!(
+            (y.secs() - d.secs() - 1.0).abs() < 1e-9,
+            "Daly = Young − δ here"
+        );
     }
 
     #[test]
@@ -438,8 +485,11 @@ mod tests {
             "empirical optimum {best} vs Young {young} (ratio {ratio})"
         );
         // The curve is a genuine trade-off: both extremes cost more.
-        let best_wall =
-            sweep.iter().map(|p| p.wall_s).min_by(f64::total_cmp).unwrap();
+        let best_wall = sweep
+            .iter()
+            .map(|p| p.wall_s)
+            .min_by(f64::total_cmp)
+            .unwrap();
         assert!(sweep.first().unwrap().wall_s > best_wall * 1.05);
         assert!(sweep.last().unwrap().wall_s > best_wall * 1.05);
         // Achieved FOM can never beat the failure-free ideal.

@@ -78,7 +78,13 @@ impl DistFft3d {
     /// Plan for an `n³` grid.
     pub fn new(n: usize, decomp: Decomp) -> Self {
         assert!(n >= 2);
-        DistFft3d { n, decomp, mem_eff: 0.70, compute_eff: 0.18, overlap_chunks: None }
+        DistFft3d {
+            n,
+            decomp,
+            mem_eff: 0.70,
+            compute_eff: 0.18,
+            overlap_chunks: None,
+        }
     }
 
     /// Pipeline the transposes over `chunks` chunks (clamped internally so
@@ -111,15 +117,12 @@ impl DistFft3d {
         let flops = self.transform_flops() / ranks as f64;
         // Three passes read+write the local data each.
         let bytes = 3.0 * 2.0 * local_points * 16.0;
-        KernelProfile::new(
-            "fft3d_local",
-            LaunchConfig::cover(local_points as u64, 256),
-        )
-        .flops(flops, DType::C64)
-        .bytes(bytes, bytes / 2.0)
-        .regs(64)
-        .compute_eff(self.compute_eff)
-        .mem_eff(self.mem_eff)
+        KernelProfile::new("fft3d_local", LaunchConfig::cover(local_points as u64, 256))
+            .flops(flops, DType::C64)
+            .bytes(bytes, bytes / 2.0)
+            .regs(64)
+            .compute_eff(self.compute_eff)
+            .mem_eff(self.mem_eff)
     }
 
     /// Per-partner payloads of one transpose as seen by `rank`: the rank's
@@ -131,7 +134,9 @@ impl DistFft3d {
     pub fn transpose_pair_bytes(&self, ranks: usize, group: usize, rank: usize) -> Vec<u64> {
         assert!(group >= 1 && rank < ranks);
         let local_bytes = split_bytes(self.total_points() * 16, ranks, rank);
-        (0..group).map(|g| split_bytes(local_bytes, group, g)).collect()
+        (0..group)
+            .map(|g| split_bytes(local_bytes, group, g))
+            .collect()
     }
 
     /// The transpose group size for `ranks` ranks: everyone for slabs, a
@@ -196,7 +201,10 @@ impl DistFft3d {
                 // 2-D stage produces the next chunk and the 1-D stage
                 // consumes the previous one.
                 let k = k.min(remote.len()).max(1);
-                let (produce, consume) = (local * (2.0 / 3.0) / k as f64, local * (1.0 / 3.0) / k as f64);
+                let (produce, consume) = (
+                    local * (2.0 / 3.0) / k as f64,
+                    local * (1.0 / 3.0) / k as f64,
+                );
                 Overlap::pipeline(
                     comm,
                     k,
@@ -279,18 +287,27 @@ mod tests {
         let plan = DistFft3d::new(n, Decomp::Pencils);
         let mut c = comm(4);
         let g = gpu();
-        let orig: Vec<C64> =
-            (0..n * n * n).map(|i| C64::new((i % 13) as f64 - 6.0, (i % 7) as f64)).collect();
+        let orig: Vec<C64> = (0..n * n * n)
+            .map(|i| C64::new((i % 13) as f64 - 6.0, (i % 7) as f64))
+            .collect();
         let mut x = orig.clone();
         plan.forward(&mut c, &g, &mut x);
 
         let mut reference = orig.clone();
         fft3d(&mut reference, n, n, n);
-        let err = x.iter().zip(&reference).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err = x
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-10);
 
         plan.inverse(&mut c, &g, &mut x);
-        let err = x.iter().zip(&orig).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err = x
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-10);
     }
 
@@ -319,7 +336,10 @@ mod tests {
         let mut large = comm(16384);
         let t_small = pencils.charge_transform(&mut small, &gpu());
         let t_large = pencils.charge_transform(&mut large, &gpu());
-        assert!(t_large < t_small, "scaling out should still win: {t_large} vs {t_small}");
+        assert!(
+            t_large < t_small,
+            "scaling out should still win: {t_large} vs {t_small}"
+        );
         assert!(!DistFft3d::new(n, Decomp::Slabs).supports_ranks(16384));
     }
 
@@ -355,7 +375,10 @@ mod tests {
             let t_blocking = blocking.charge_transform(&mut cb, &gpu());
             for k in [1, 2, 4, 8, 32] {
                 let mut co = comm(p);
-                let t_over = blocking.clone().with_overlap(k).charge_transform(&mut co, &gpu());
+                let t_over = blocking
+                    .clone()
+                    .with_overlap(k)
+                    .charge_transform(&mut co, &gpu());
                 assert!(
                     t_over <= t_blocking,
                     "{decomp:?} K={k}: overlapped {t_over} > blocking {t_blocking}"
@@ -366,7 +389,9 @@ mod tests {
         // communication.
         for decomp in [Decomp::Slabs, Decomp::Pencils] {
             let mut co = comm(16);
-            DistFft3d::new(512, decomp).with_overlap(4).charge_transform(&mut co, &gpu());
+            DistFft3d::new(512, decomp)
+                .with_overlap(4)
+                .charge_transform(&mut co, &gpu());
             let eff = co.stats().overlap_efficiency();
             assert!(eff > 0.0 && eff <= 1.0, "{decomp:?} eff {eff}");
         }
@@ -375,8 +400,9 @@ mod tests {
     #[test]
     fn overlapped_forward_is_bit_identical_to_blocking() {
         let n = 8;
-        let orig: Vec<C64> =
-            (0..n * n * n).map(|i| C64::new((i % 11) as f64 - 5.0, (i % 5) as f64)).collect();
+        let orig: Vec<C64> = (0..n * n * n)
+            .map(|i| C64::new((i % 11) as f64 - 5.0, (i % 5) as f64))
+            .collect();
         let blocking = DistFft3d::new(n, Decomp::Slabs);
         let overlapped = blocking.clone().with_overlap(4);
         let mut xb = orig.clone();

@@ -16,11 +16,42 @@
 //! gathered global array (same per-line [`fft`] on the same values, axes
 //! in the same order) — a property the tests assert with `to_bits`.
 
-use crate::fft1d::{fft, fft_flops, ifft};
+use crate::fft1d::{fft, fft_batch, fft_flops, ifft, ifft_batch};
 use exa_linalg::C64;
 use exa_machine::{GpuModel, SimTime};
 use exa_mpi::{Comm, RankScheduler};
 use exa_telemetry::SpanCat;
+
+/// How a repartition gathers each destination rank's lines
+/// (`fft.gather` knob). Both strategies move the *same elements to the
+/// same places* — the gather is a pure permutation — so they are
+/// interchangeable bit for bit; they differ only in address-computation
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherStrategy {
+    /// The frozen baseline: recompute the full coordinate map and owner
+    /// lookup per element.
+    Element,
+    /// Run-hoisted: for a fixed destination line, the source line index
+    /// is affine in the destination offset (`sl = sl0 + off·step`,
+    /// `step ∈ {1, n}`), so the gather walks whole owner runs with one
+    /// owner lookup per run and strided copies inside it. Also reuses
+    /// the previous repartition's buffers as scratch (every element is
+    /// overwritten, so no zeroing is needed).
+    Run,
+}
+
+impl GatherStrategy {
+    /// Decode the `fft.gather` knob value (0 = element, 1 = run;
+    /// anything else falls back to the frozen strategy).
+    pub fn from_knob(v: i64) -> Self {
+        if v == 1 {
+            GatherStrategy::Run
+        } else {
+            GatherStrategy::Element
+        }
+    }
+}
 
 /// Which axis the distributed lines run along. The layout names follow
 /// the transform schedule: a pass along axis `a` requires layout
@@ -66,7 +97,10 @@ struct LineSplit {
 
 impl LineSplit {
     fn new(total: usize, ranks: usize) -> Self {
-        LineSplit { base: total / ranks, rem: total % ranks }
+        LineSplit {
+            base: total / ranks,
+            rem: total % ranks,
+        }
     }
 
     fn start(&self, rank: usize) -> usize {
@@ -94,6 +128,12 @@ pub struct DistGrid {
     axis: LineAxis,
     /// `parts[r]` holds rank `r`'s lines back to back, `n` points each.
     parts: Vec<Vec<C64>>,
+    /// Retired buffers from the previous repartition, reused as the next
+    /// destination under [`GatherStrategy::Run`]. The per-rank split
+    /// depends only on `(n², ranks)`, so the shapes always match, and
+    /// the gather overwrites every element, so stale contents are
+    /// harmless. Never read as data.
+    scratch: Vec<Vec<C64>>,
 }
 
 impl DistGrid {
@@ -110,7 +150,12 @@ impl DistGrid {
                 data[s * n..(s + c) * n].to_vec()
             })
             .collect();
-        DistGrid { n, axis: LineAxis::Axis2, parts }
+        DistGrid {
+            n,
+            axis: LineAxis::Axis2,
+            parts,
+            scratch: Vec::new(),
+        }
     }
 
     /// Grid size per dimension.
@@ -162,13 +207,41 @@ pub struct ExecutedFft3d {
     /// Fraction of vector-FP64 peak the line FFTs achieve (matches the
     /// costed plan's strided-pass efficiency).
     pub compute_eff: f64,
+    /// Repartition gather strategy (`fft.gather`).
+    gather: GatherStrategy,
+    /// Lines per batched butterfly group (`fft.line_batch`); 1 = the
+    /// frozen per-line loop.
+    line_batch: usize,
 }
 
 impl ExecutedFft3d {
-    /// Plan for an `n³` grid.
+    /// Plan for an `n³` grid on the frozen constants (element gather,
+    /// per-line passes) — the untuned baseline.
     pub fn new(n: usize) -> Self {
+        Self::with_tuning(n, GatherStrategy::Element, 1)
+    }
+
+    /// Plan on the persisted knob table: `fft.gather` and
+    /// `fft.line_batch` from `TUNED.json` (env-overridable), falling
+    /// back to the frozen constants when untuned.
+    pub fn tuned(n: usize) -> Self {
+        Self::with_tuning(
+            n,
+            GatherStrategy::from_knob(exa_tune::knob_i64("fft.gather", 0)),
+            exa_tune::knob("fft.line_batch", 1).max(1),
+        )
+    }
+
+    /// Plan with explicit knob values — what the autotuner's micro-runs
+    /// and the bench baselines use.
+    pub fn with_tuning(n: usize, gather: GatherStrategy, line_batch: usize) -> Self {
         assert!(n >= 2);
-        ExecutedFft3d { n, compute_eff: 0.10 }
+        ExecutedFft3d {
+            n,
+            compute_eff: 0.10,
+            gather,
+            line_batch: line_batch.max(1),
+        }
     }
 
     /// Virtual time one rank spends transforming `lines` local lines.
@@ -194,12 +267,25 @@ impl ExecutedFft3d {
             (LineAxis::Axis1, true) => "ifft_lines_axis1",
             (LineAxis::Axis0, true) => "ifft_lines_axis0",
         };
+        let batch = self.line_batch;
         sched.compute_phase(comm, &mut grid.parts, |ctx, part| {
-            for line in part.chunks_mut(n) {
-                if inverse {
-                    ifft(line);
-                } else {
-                    fft(line);
+            if batch > 1 {
+                // Batched butterflies share the twiddle walk across
+                // `batch` lines; bit-identical to the per-line loop.
+                for group in part.chunks_mut(n * batch) {
+                    if inverse {
+                        ifft_batch(group, n);
+                    } else {
+                        fft_batch(group, n);
+                    }
+                }
+            } else {
+                for line in part.chunks_mut(n) {
+                    if inverse {
+                        ifft(line);
+                    } else {
+                        fft(line);
+                    }
                 }
             }
             ctx.span(span, SpanCat::Kernel, self.pass_time(gpu, part.len() / n));
@@ -222,18 +308,48 @@ impl ExecutedFft3d {
         let split = LineSplit::new(n * n, ranks);
         let from = grid.axis;
         let src = std::mem::take(&mut grid.parts);
-        let mut dst: Vec<Vec<C64>> = (0..ranks).map(|r| vec![C64::ZERO; split.count(r) * n]).collect();
+        let mut dst: Vec<Vec<C64>> = match self.gather {
+            // Frozen baseline: fresh zeroed buffers every repartition.
+            GatherStrategy::Element => (0..ranks)
+                .map(|r| vec![C64::ZERO; split.count(r) * n])
+                .collect(),
+            // Tuned: reuse the previous repartition's retired buffers —
+            // shapes depend only on (n², ranks), and the gather writes
+            // every element, so neither zeroing nor reallocation is
+            // needed after the first use.
+            GatherStrategy::Run => {
+                let scr = std::mem::take(&mut grid.scratch);
+                if scr.len() == ranks
+                    && scr
+                        .iter()
+                        .enumerate()
+                        .all(|(r, v)| v.len() == split.count(r) * n)
+                {
+                    scr
+                } else {
+                    (0..ranks)
+                        .map(|r| vec![C64::ZERO; split.count(r) * n])
+                        .collect()
+                }
+            }
+        };
         let src_ref = &src;
+        let gather = self.gather;
         sched.compute_phase(comm, &mut dst, |ctx, buf| {
             let d = ctx.rank();
-            let start = split.start(d);
-            for li in 0..split.count(d) {
-                for off in 0..n {
-                    let (i0, i1, i2) = to.coords(n, start + li, off);
-                    let (sl, so) = from.index(n, i0, i1, i2);
-                    let s = split.owner(sl);
-                    buf[li * n + off] = src_ref[s][(sl - split.start(s)) * n + so];
+            match gather {
+                GatherStrategy::Element => {
+                    let start = split.start(d);
+                    for li in 0..split.count(d) {
+                        for off in 0..n {
+                            let (i0, i1, i2) = to.coords(n, start + li, off);
+                            let (sl, so) = from.index(n, i0, i1, i2);
+                            let s = split.owner(sl);
+                            buf[li * n + off] = src_ref[s][(sl - split.start(s)) * n + so];
+                        }
+                    }
                 }
+                GatherStrategy::Run => gather_runs(n, &split, from, to, src_ref, d, buf),
             }
         });
         // Per-peer transpose volume, measured on rank 0's actual reads
@@ -250,6 +366,9 @@ impl ExecutedFft3d {
             }
         }
         comm.alltoallv(&peer_bytes);
+        if self.gather == GatherStrategy::Run {
+            grid.scratch = src;
+        }
         grid.parts = dst;
         grid.axis = to;
     }
@@ -266,14 +385,55 @@ impl ExecutedFft3d {
         grid: &mut DistGrid,
     ) -> SimTime {
         assert_eq!(grid.n, self.n);
-        assert_eq!(grid.ranks(), comm.size(), "one communicator rank per grid rank");
-        assert_eq!(grid.axis, LineAxis::Axis2, "forward starts from the initial layout");
+        assert_eq!(
+            grid.ranks(),
+            comm.size(),
+            "one communicator rank per grid rank"
+        );
+        assert_eq!(
+            grid.axis,
+            LineAxis::Axis2,
+            "forward starts from the initial layout"
+        );
         let t0 = comm.elapsed();
         self.fft_pass(sched, comm, gpu, grid, false);
         self.repartition(sched, comm, grid, LineAxis::Axis1);
         self.fft_pass(sched, comm, gpu, grid, false);
         self.repartition(sched, comm, grid, LineAxis::Axis0);
         self.fft_pass(sched, comm, gpu, grid, false);
+        comm.elapsed() - t0
+    }
+
+    /// Drive the grid through one full repartition cycle — the transpose
+    /// (all-to-all) phase of the transform with the butterfly passes
+    /// skipped: initial → axis 1 → axis 0 → axis 1 → initial. Every hop
+    /// is a pure permutation, so the grid returns to its starting layout
+    /// bit-for-bit; what remains is exactly the data movement the
+    /// `fft.gather` knob governs, the way the transpose benchmarks of
+    /// production FFT libraries isolate their all-to-all phase. Returns
+    /// the virtual time the cycle took.
+    pub fn transpose_cycle(
+        &self,
+        sched: &RankScheduler,
+        comm: &mut Comm,
+        grid: &mut DistGrid,
+    ) -> SimTime {
+        assert_eq!(grid.n, self.n);
+        assert_eq!(
+            grid.ranks(),
+            comm.size(),
+            "one communicator rank per grid rank"
+        );
+        assert_eq!(
+            grid.axis,
+            LineAxis::Axis2,
+            "the cycle starts from the initial layout"
+        );
+        let t0 = comm.elapsed();
+        self.repartition(sched, comm, grid, LineAxis::Axis1);
+        self.repartition(sched, comm, grid, LineAxis::Axis0);
+        self.repartition(sched, comm, grid, LineAxis::Axis1);
+        self.repartition(sched, comm, grid, LineAxis::Axis2);
         comm.elapsed() - t0
     }
 
@@ -288,8 +448,16 @@ impl ExecutedFft3d {
         grid: &mut DistGrid,
     ) -> SimTime {
         assert_eq!(grid.n, self.n);
-        assert_eq!(grid.ranks(), comm.size(), "one communicator rank per grid rank");
-        assert_eq!(grid.axis, LineAxis::Axis0, "inverse starts where forward finished");
+        assert_eq!(
+            grid.ranks(),
+            comm.size(),
+            "one communicator rank per grid rank"
+        );
+        assert_eq!(
+            grid.axis,
+            LineAxis::Axis0,
+            "inverse starts where forward finished"
+        );
         let t0 = comm.elapsed();
         self.fft_pass(sched, comm, gpu, grid, true);
         self.repartition(sched, comm, grid, LineAxis::Axis1);
@@ -297,6 +465,156 @@ impl ExecutedFft3d {
         self.repartition(sched, comm, grid, LineAxis::Axis2);
         self.fft_pass(sched, comm, gpu, grid, true);
         comm.elapsed() - t0
+    }
+}
+
+/// Run-hoisted gather of destination rank `d`'s lines
+/// ([`GatherStrategy::Run`]). For every layout transition the schedule
+/// performs, the source line index is affine in the destination offset:
+/// `sl = sl0 + off·step` with `step ∈ {1, n}` and the source offset
+/// constant along the line. That collapses the per-element coordinate
+/// map + owner division into one probe per line (or line segment) and a
+/// strided copy per owner run.
+fn gather_runs(
+    n: usize,
+    split: &LineSplit,
+    from: LineAxis,
+    to: LineAxis,
+    src: &[Vec<C64>],
+    d: usize,
+    buf: &mut [C64],
+) {
+    let start = split.start(d);
+    let count = split.count(d);
+    if count == 0 {
+        return;
+    }
+    let probe = |line: usize, off: usize| {
+        let (i0, i1, i2) = to.coords(n, line, off);
+        from.index(n, i0, i1, i2)
+    };
+    let (sl00, _) = probe(start, 0);
+    let (sl01, _) = probe(start, 1);
+    let off_step = sl01 - sl00;
+    if off_step == 1 {
+        // Source lines advance with the destination offset, and within
+        // one `line / n` block the source line is independent of the
+        // destination line while the source offset advances with it
+        // (both such transitions map `(l, o)` to source `(sl0 + o,
+        // so0 + l - l0)`). Each owner run is therefore a dense
+        // `len × seg` transpose — `src[base + j·n + lj] → buf[(li0+lj)·n
+        // + o + j]` — walked in 8×8 tiles so both sides use whole cache
+        // lines instead of paying one miss per element.
+        let mut l0 = start;
+        let l_end = start + count;
+        while l0 < l_end {
+            let seg_end = ((l0 / n + 1) * n).min(l_end);
+            let seg = seg_end - l0;
+            let (sl0, so0) = probe(l0, 0);
+            let li0 = l0 - start;
+            let mut sl = sl0;
+            let mut o = 0;
+            while o < n {
+                let s = split.owner(sl);
+                let s_start = split.start(s);
+                let len = (s_start + split.count(s) - sl).min(n - o);
+                let srow = &src[s];
+                let base = (sl - s_start) * n + so0;
+                const T: usize = 8;
+                let mut j0 = 0;
+                while j0 < len {
+                    let j1 = (j0 + T).min(len);
+                    let mut lj0 = 0;
+                    while lj0 < seg {
+                        let lj1 = (lj0 + T).min(seg);
+                        for j in j0..j1 {
+                            let sb = base + j * n;
+                            let db = (li0 + lj0) * n + o + j;
+                            for (k, lj) in (lj0..lj1).enumerate() {
+                                buf[db + k * n] = srow[sb + lj];
+                            }
+                        }
+                        lj0 = lj1;
+                    }
+                    j0 = j1;
+                }
+                o += len;
+                sl += len;
+            }
+            l0 = seg_end;
+        }
+    } else if split.rem == 0
+        && split.base <= n
+        && n.is_multiple_of(split.base)
+        && probe(start, 0).0.is_multiple_of(split.base)
+    {
+        // Uniform split whose per-rank line count divides `n`: every
+        // owner run along the destination lines starts at a rank
+        // boundary and spans the whole segment, for every offset. Walk
+        // offsets in tiles of 8 so destination writes land 8-contiguous
+        // per line (the strided source reads are inherent to this
+        // transition — no destination-local order can make them dense).
+        let base_lines = split.base;
+        let mut l0 = start;
+        let l_end = start + count;
+        while l0 < l_end {
+            let seg_end = ((l0 / n + 1) * n).min(l_end);
+            let seg = seg_end - l0;
+            let (sl_base, so) = probe(l0, 0);
+            let li0 = l0 - start;
+            const T: usize = 8;
+            let mut o0 = 0;
+            while o0 < n {
+                let o1 = (o0 + T).min(n);
+                // Per-offset source run bases for this tile of offsets.
+                let mut bases = [(0usize, 0usize); T];
+                for (k, off) in (o0..o1).enumerate() {
+                    let sl = sl_base + off * off_step;
+                    let s = sl / base_lines;
+                    bases[k] = (s, (sl - split.start(s)) * n + so);
+                }
+                for j in 0..seg {
+                    let db = (li0 + j) * n + o0;
+                    for (k, &(s, b)) in bases[..o1 - o0].iter().enumerate() {
+                        buf[db + k] = src[s][b + j * n];
+                    }
+                }
+                o0 = o1;
+            }
+            l0 = seg_end;
+        }
+    } else {
+        // Source lines jump by `n` per offset but advance by 1 per
+        // destination line — as long as the lines share `line / n`.
+        // Segment at those boundaries (unaligned splits cross them),
+        // then iterate offset-outer / line-run-inner so each run needs
+        // one owner lookup and reads stay inside one rank's buffer.
+        let mut l0 = start;
+        let l_end = start + count;
+        while l0 < l_end {
+            let seg_end = ((l0 / n + 1) * n).min(l_end);
+            let seg = seg_end - l0;
+            let (sl_base, so) = probe(l0, 0);
+            let li0 = l0 - start;
+            for off in 0..n {
+                let mut j = 0;
+                let mut sl = sl_base + off * off_step;
+                while j < seg {
+                    let s = split.owner(sl);
+                    let s_start = split.start(s);
+                    let s_end = s_start + split.count(s);
+                    let len = (s_end - sl).min(seg - j);
+                    let srow = &src[s];
+                    let base = (sl - s_start) * n + so;
+                    for q in 0..len {
+                        buf[(li0 + j + q) * n + off] = srow[base + q * n];
+                    }
+                    j += len;
+                    sl += len;
+                }
+            }
+            l0 = seg_end;
+        }
     }
 }
 
@@ -311,7 +629,9 @@ mod tests {
         let mut s = seed;
         (0..n * n * n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 C64::new(re, re * 0.25 + 0.1)
             })
@@ -361,7 +681,11 @@ mod tests {
             let plan = ExecutedFft3d::new(n);
             let dt = plan.forward(&sched, &mut comm, &gpu, &mut grid);
             assert!(dt > SimTime::ZERO);
-            assert_eq!(bits(&grid.gather_global()), bits(&reference), "{ranks} ranks");
+            assert_eq!(
+                bits(&grid.gather_global()),
+                bits(&reference),
+                "{ranks} ranks"
+            );
         }
     }
 
@@ -383,6 +707,93 @@ mod tests {
             .map(|(a, b)| (*a - *b).abs())
             .fold(0.0, f64::max);
         assert!(err < 1e-10, "round-trip error {err}");
+    }
+
+    #[test]
+    fn run_gather_matches_element_gather_all_transitions() {
+        let n = 8;
+        let orig = signal(n, 17);
+        // Unaligned rank counts (7, 13, 61) force owner runs that cross
+        // `line % n == 0` segment boundaries in the blocked branch.
+        for ranks in [1, 3, 7, 13, 61, 64] {
+            let sched = RankScheduler::sequential();
+            let (mut comm_e, _) = setup(ranks);
+            let (mut comm_r, _) = setup(ranks);
+            let mut ge = DistGrid::from_global(n, ranks, &orig);
+            let mut gr = DistGrid::from_global(n, ranks, &orig);
+            let elem = ExecutedFft3d::new(n);
+            let run = ExecutedFft3d::with_tuning(n, GatherStrategy::Run, 1);
+            // Forward and inverse transitions: A2->A1->A0->A1->A2.
+            for to in [
+                LineAxis::Axis1,
+                LineAxis::Axis0,
+                LineAxis::Axis1,
+                LineAxis::Axis2,
+            ] {
+                elem.repartition(&sched, &mut comm_e, &mut ge, to);
+                run.repartition(&sched, &mut comm_r, &mut gr, to);
+                assert_eq!(ge.parts, gr.parts, "{ranks} ranks -> {to:?}");
+            }
+            assert_eq!(
+                comm_e.stats(),
+                comm_r.stats(),
+                "transpose accounting must not depend on gather strategy"
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_cycle_is_a_bitwise_identity() {
+        let n = 8;
+        let orig = signal(n, 41);
+        for ranks in [1, 7, 13, 64] {
+            for plan in [
+                ExecutedFft3d::new(n),
+                ExecutedFft3d::with_tuning(n, GatherStrategy::Run, 1),
+            ] {
+                let sched = RankScheduler::sequential();
+                let (mut comm, _) = setup(ranks);
+                let mut grid = DistGrid::from_global(n, ranks, &orig);
+                let dt = plan.transpose_cycle(&sched, &mut comm, &mut grid);
+                // A single rank owns everything — no peers, no comm charge.
+                assert!(if ranks > 1 {
+                    dt > SimTime::ZERO
+                } else {
+                    dt == SimTime::ZERO
+                });
+                assert_eq!(grid.axis(), LineAxis::Axis2);
+                assert_eq!(bits(&grid.gather_global()), bits(&orig), "{ranks} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_plan_is_bitwise_equal_to_frozen() {
+        let n = 8;
+        let orig = signal(n, 23);
+        for ranks in [5, 13, 64] {
+            let run_plan = |plan: ExecutedFft3d| {
+                let sched = RankScheduler::new();
+                let (mut comm, gpu) = setup(ranks);
+                let mut grid = DistGrid::from_global(n, ranks, &orig);
+                let fwd = plan.forward(&sched, &mut comm, &gpu, &mut grid);
+                let spectrum = grid.gather_global();
+                let inv = plan.inverse(&sched, &mut comm, &gpu, &mut grid);
+                (
+                    bits(&spectrum),
+                    bits(&grid.gather_global()),
+                    fwd,
+                    inv,
+                    comm.stats(),
+                )
+            };
+            let frozen = run_plan(ExecutedFft3d::new(n));
+            let tuned = run_plan(ExecutedFft3d::with_tuning(n, GatherStrategy::Run, 4));
+            assert_eq!(
+                frozen, tuned,
+                "tuned transform must match frozen bit for bit at {ranks} ranks"
+            );
+        }
     }
 
     #[test]

@@ -55,7 +55,9 @@ fn twiddle_table(n: usize, inverse: bool) -> Rc<Vec<C64>> {
         }
         let sign = if inverse { 1.0 } else { -1.0 };
         let table: Rc<Vec<C64>> = Rc::new(
-            (0..n / 2).map(|k| C64::cis(sign * 2.0 * PI * k as f64 / n as f64)).collect(),
+            (0..n / 2)
+                .map(|k| C64::cis(sign * 2.0 * PI * k as f64 / n as f64))
+                .collect(),
         );
         if c.len() >= 16 {
             c.remove(0);
@@ -135,6 +137,68 @@ fn bluestein(data: &mut [C64], inverse: bool) {
     }
 }
 
+/// Forward DFT of `lines.len() / n` contiguous length-`n` lines, bit-for-bit
+/// identical to calling [`fft`] per line.
+///
+/// For power-of-two lengths the butterfly stages run line-inside-stage:
+/// the bit-reversal pass and each stage's twiddle-table walk are shared
+/// across the whole batch instead of re-fetched per line. Every
+/// per-line floating-point operation and its order are unchanged (lines
+/// are independent), so batching is purely a locality knob
+/// (`fft.line_batch`) — never a numerics one.
+pub fn fft_batch(lines: &mut [C64], n: usize) {
+    batch_transform(lines, n, false);
+}
+
+/// Inverse counterpart of [`fft_batch`], bit-identical to per-line [`ifft`].
+pub fn ifft_batch(lines: &mut [C64], n: usize) {
+    batch_transform(lines, n, true);
+    let scale = 1.0 / n as f64;
+    for z in lines.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+fn batch_transform(lines: &mut [C64], n: usize, inverse: bool) {
+    assert_eq!(lines.len() % n.max(1), 0, "batch must hold whole lines");
+    if n <= 1 {
+        return;
+    }
+    if !n.is_power_of_two() {
+        for line in lines.chunks_mut(n) {
+            bluestein(line, inverse);
+        }
+        return;
+    }
+    // Shared bit-reversal pass.
+    let bits = n.trailing_zeros();
+    for line in lines.chunks_mut(n) {
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if j > i {
+                line.swap(i, j);
+            }
+        }
+    }
+    // Stages outermost, lines inside: one table fetch per stage.
+    let tw = twiddle_table(n, inverse);
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        for chunk in lines.chunks_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            for k in 0..half {
+                let u = lo[k];
+                let v = hi[k] * tw[k * stride];
+                lo[k] = u + v;
+                hi[k] = u - v;
+            }
+        }
+        len <<= 1;
+    }
+}
+
 /// Reference O(n²) DFT, the oracle for property tests.
 pub fn dft_naive(input: &[C64], inverse: bool) -> Vec<C64> {
     let n = input.len();
@@ -166,9 +230,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let im = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 C64::new(re, im)
             })
@@ -176,7 +244,10 @@ mod tests {
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -186,7 +257,11 @@ mod tests {
             let mut x = orig.clone();
             fft(&mut x);
             ifft(&mut x);
-            assert!(max_err(&x, &orig) < 1e-10, "n = {n}: {}", max_err(&x, &orig));
+            assert!(
+                max_err(&x, &orig) < 1e-10,
+                "n = {n}: {}",
+                max_err(&x, &orig)
+            );
         }
     }
 
@@ -215,8 +290,9 @@ mod tests {
     fn pure_tone_lands_in_one_bin() {
         let n = 64;
         let f = 5;
-        let mut x: Vec<C64> =
-            (0..n).map(|j| C64::cis(2.0 * PI * (f * j) as f64 / n as f64)).collect();
+        let mut x: Vec<C64> = (0..n)
+            .map(|j| C64::cis(2.0 * PI * (f * j) as f64 / n as f64))
+            .collect();
         fft(&mut x);
         for (k, z) in x.iter().enumerate() {
             if k == f {
@@ -235,7 +311,10 @@ mod tests {
             let mut freq = x.clone();
             fft(&mut freq);
             let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
-            assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0), "n = {n}");
+            assert!(
+                (time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0),
+                "n = {n}"
+            );
         }
     }
 
@@ -253,6 +332,39 @@ mod tests {
         fft(&mut fs);
         let combined: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
         assert!(max_err(&fs, &combined) < 1e-10);
+    }
+
+    #[test]
+    fn batch_is_bitwise_per_line() {
+        for n in [4usize, 64, 256, 12, 100] {
+            for batch in [1usize, 2, 5, 16] {
+                let orig = signal(n * batch, (n * 31 + batch) as u64);
+                let mut per_line = orig.clone();
+                for line in per_line.chunks_mut(n) {
+                    fft(line);
+                }
+                let mut batched = orig.clone();
+                fft_batch(&mut batched, n);
+                let same = per_line.iter().zip(&batched).all(|(a, b)| {
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()
+                });
+                assert!(
+                    same,
+                    "fft_batch differs from per-line fft at n={n} batch={batch}"
+                );
+                for line in per_line.chunks_mut(n) {
+                    ifft(line);
+                }
+                ifft_batch(&mut batched, n);
+                let same = per_line.iter().zip(&batched).all(|(a, b)| {
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()
+                });
+                assert!(
+                    same,
+                    "ifft_batch differs from per-line ifft at n={n} batch={batch}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! C order). The transform applies 1-D FFTs along each axis in turn.
 
 use crate::fft1d::{fft, ifft};
-use exa_linalg::C64;
 use exa_hal::exec;
+use exa_linalg::C64;
 
 /// Forward 3-D FFT over an `n0 × n1 × n2` array.
 pub fn fft3d(data: &mut [C64], n0: usize, n1: usize, n2: usize) {
@@ -79,7 +79,9 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 C64::new(re, re * 0.5 - 0.1)
             })
@@ -87,7 +89,10 @@ mod tests {
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -16,10 +16,15 @@ use std::f64::consts::PI;
 /// conjugate mirror and are not stored.
 pub fn rfft(input: &[f64]) -> Vec<C64> {
     let n = input.len();
-    assert!(n >= 2 && n.is_multiple_of(2), "rfft needs an even length, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "rfft needs an even length, got {n}"
+    );
     let half = n / 2;
     // Pack even/odd samples into a half-length complex signal.
-    let mut z: Vec<C64> = (0..half).map(|m| C64::new(input[2 * m], input[2 * m + 1])).collect();
+    let mut z: Vec<C64> = (0..half)
+        .map(|m| C64::new(input[2 * m], input[2 * m + 1]))
+        .collect();
     fft(&mut z);
     // Untangle: X[k] = E[k] + e^{-2πik/n} O[k], with
     //   E[k] = (Z[k] + conj(Z[half-k]))/2, O[k] = (Z[k] - conj(Z[half-k]))/(2i).
@@ -37,7 +42,10 @@ pub fn rfft(input: &[f64]) -> Vec<C64> {
 
 /// Inverse real FFT: `n/2 + 1` bins → `n` real samples.
 pub fn irfft(spectrum: &[C64], n: usize) -> Vec<f64> {
-    assert!(n >= 2 && n.is_multiple_of(2), "irfft needs an even length, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "irfft needs an even length, got {n}"
+    );
     assert_eq!(spectrum.len(), n / 2 + 1, "spectrum must hold n/2 + 1 bins");
     // Rebuild the full Hermitian spectrum and use the complex inverse.
     let mut full = Vec::with_capacity(n);
@@ -69,7 +77,9 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect()
@@ -80,7 +90,10 @@ mod tests {
         for n in [2usize, 4, 8, 16, 64, 100] {
             let x = real_signal(n, n as u64);
             let packed = rfft(&x);
-            let full = dft_naive(&x.iter().map(|&r| C64::from_re(r)).collect::<Vec<_>>(), false);
+            let full = dft_naive(
+                &x.iter().map(|&r| C64::from_re(r)).collect::<Vec<_>>(),
+                false,
+            );
             for k in 0..=n / 2 {
                 assert!(
                     (packed[k] - full[k]).abs() < 1e-9 * n as f64,
@@ -126,8 +139,9 @@ mod tests {
     fn pure_cosine_lands_in_one_bin() {
         let n = 64;
         let f = 5;
-        let x: Vec<f64> =
-            (0..n).map(|j| (2.0 * PI * (f * j) as f64 / n as f64).cos()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * PI * (f * j) as f64 / n as f64).cos())
+            .collect();
         let sp = rfft(&x);
         for (k, z) in sp.iter().enumerate() {
             if k == f {

@@ -25,7 +25,11 @@ impl<T: Copy + Default> DeviceBuffer<T> {
     pub fn zeroed(device: &Arc<Device>, len: usize) -> Result<Self> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         device.reserve(bytes)?;
-        Ok(DeviceBuffer { data: vec![T::default(); len], device: Arc::clone(device), bytes })
+        Ok(DeviceBuffer {
+            data: vec![T::default(); len],
+            device: Arc::clone(device),
+            bytes,
+        })
     }
 
     /// Allocate and fill from a host slice (still untimed; see
@@ -75,7 +79,10 @@ impl<T> DeviceBuffer<T> {
         if Arc::ptr_eq(&self.device, &other.device) {
             Ok(())
         } else {
-            Err(HalError::DeviceMismatch { expected: self.device.id, found: other.device.id })
+            Err(HalError::DeviceMismatch {
+                expected: self.device.id,
+                found: other.device.id,
+            })
         }
     }
 }

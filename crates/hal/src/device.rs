@@ -34,7 +34,13 @@ impl Device {
             Cdna1 => (LinkModel::pcie4(), LinkModel::pcie4()),
             Cdna2 => (LinkModel::infinity_fabric_host(), LinkModel::xgmi_peer()),
         };
-        Arc::new(Device { id, model, host_link, peer_link, mem_used: AtomicU64::new(0) })
+        Arc::new(Device {
+            id,
+            model,
+            host_link,
+            peer_link,
+            mem_used: AtomicU64::new(0),
+        })
     }
 
     /// Create device `id` of a node model (links come from the node).
@@ -116,7 +122,10 @@ mod tests {
         d.reserve(15 << 30).unwrap();
         let err = d.reserve(2 << 30).unwrap_err();
         match err {
-            HalError::OutOfMemory { requested, available } => {
+            HalError::OutOfMemory {
+                requested,
+                available,
+            } => {
                 assert_eq!(requested, 2 << 30);
                 assert_eq!(available, 1 << 30);
             }
@@ -165,7 +174,9 @@ mod tests {
 /// paper uses.
 pub fn node_devices(node: &NodeModel) -> Vec<Arc<Device>> {
     assert!(node.has_gpus(), "node {} has no GPUs", node.name);
-    (0..node.gpus_per_node).map(|id| Device::from_node(node, id)).collect()
+    (0..node.gpus_per_node)
+        .map(|id| Device::from_node(node, id))
+        .collect()
 }
 
 #[cfg(test)]
@@ -213,6 +224,9 @@ mod node_pool_tests {
         };
 
         let speedup = single / split;
-        assert!(speedup > 7.0 && speedup < 8.5, "node-level split speedup {speedup}");
+        assert!(
+            speedup > 7.0 && speedup < 8.5,
+            "node-level split speedup {speedup}"
+        );
     }
 }

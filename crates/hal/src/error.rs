@@ -51,20 +51,38 @@ pub enum HalError {
 impl fmt::Display for HalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HalError::OutOfMemory { requested, available } => {
-                write!(f, "device out of memory: requested {requested} B, {available} B free")
+            HalError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, {available} B free"
+                )
             }
             HalError::UnsupportedFeature { api, feature } => {
                 write!(f, "{feature:?} is not supported by the {api:?} API surface")
             }
             HalError::DeviceMismatch { expected, found } => {
-                write!(f, "buffers span devices: expected device {expected}, found {found}")
+                write!(
+                    f,
+                    "buffers span devices: expected device {expected}, found {found}"
+                )
             }
             HalError::SizeMismatch { dst, src } => {
-                write!(f, "copy size mismatch: dst has {dst} elements, src has {src}")
+                write!(
+                    f,
+                    "copy size mismatch: dst has {dst} elements, src has {src}"
+                )
             }
-            HalError::PoolExhausted { requested, largest_free } => {
-                write!(f, "pool exhausted: requested {requested} B, largest free block {largest_free} B")
+            HalError::PoolExhausted {
+                requested,
+                largest_free,
+            } => {
+                write!(
+                    f,
+                    "pool exhausted: requested {requested} B, largest free block {largest_free} B"
+                )
             }
             HalError::InvalidFree => write!(f, "invalid pool free (double free or foreign block)"),
         }

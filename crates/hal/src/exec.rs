@@ -81,6 +81,19 @@ pub fn unobserve_global_pool() {
 /// while the per-block closure cost stays amortized by `min_len`.
 const MAX_BLOCKS: usize = 64;
 
+/// Block clamp for *map* decompositions (`exec.max_blocks` knob, frozen
+/// at [`MAX_BLOCKS`]). Only elementwise paths ([`par_map_inplace`],
+/// [`par_fill`], [`par_chunks_mut`]) read it — each element's result is
+/// positional, so the clamp can move without touching any bits.
+/// Reduction paths ([`par_reduce`], [`par_sum_f64`], [`block_ranges`])
+/// stay on the frozen constant: their block count fixes the partial
+/// fold order, which is a frozen bit-contract. Resolved per call (not
+/// cached) so tuned-vs-frozen comparisons can flip the env override
+/// within one process.
+fn map_max_blocks() -> usize {
+    exa_tune::knob("exec.max_blocks", MAX_BLOCKS).max(1)
+}
+
 /// The deterministic block decomposition [`par_scatter_blocks`] uses for a
 /// given `(n, min_len)` — public so multi-phase algorithms (histogram →
 /// offsets → scatter, the radix-sort shape) can precompute per-block state
@@ -98,8 +111,13 @@ pub fn block_ranges(n: usize, min_len: usize) -> Vec<Range<usize>> {
 /// Split `0..n` into at most [`MAX_BLOCKS`] ranges of at least `min_len`
 /// items each. Thread-count-independent by construction.
 fn blocks(n: usize, min_len: usize) -> Vec<Range<usize>> {
+    blocks_capped(n, min_len, MAX_BLOCKS)
+}
+
+/// [`blocks`] with an explicit block-count clamp.
+fn blocks_capped(n: usize, min_len: usize, max_blocks: usize) -> Vec<Range<usize>> {
     let min_len = min_len.max(1);
-    let nblocks = (n / min_len).clamp(1, MAX_BLOCKS);
+    let nblocks = (n / min_len).clamp(1, max_blocks);
     let base = n / nblocks;
     let extra = n % nblocks;
     let mut out = Vec::with_capacity(nblocks);
@@ -119,7 +137,7 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    let ranges = blocks(data.len(), min_len);
+    let ranges = blocks_capped(data.len(), min_len, map_max_blocks());
     if ranges.len() <= 1 {
         f(0, data);
         return;
@@ -281,7 +299,7 @@ where
         return;
     }
     let nchunks = data.len().div_ceil(chunk);
-    let ranges = blocks(nchunks, 1);
+    let ranges = blocks_capped(nchunks, 1, map_max_blocks());
     if ranges.len() <= 1 {
         for (i, c) in data.chunks_mut(chunk).enumerate() {
             f(i, c);
@@ -426,8 +444,12 @@ mod tests {
         let collector = exa_telemetry::TelemetryCollector::new();
         let busy = obs.land(&collector, "exec");
         let snap = collector.snapshot();
-        let track_busy: f64 =
-            snap.tracks.iter().filter(|t| t.kind == "worker").map(|t| t.busy_s).sum();
+        let track_busy: f64 = snap
+            .tracks
+            .iter()
+            .filter(|t| t.kind == "worker")
+            .map(|t| t.busy_s)
+            .sum();
         assert!((track_busy - busy as f64 / 1e9).abs() < 1e-9);
     }
 
@@ -436,7 +458,10 @@ mod tests {
         let mut v = vec![0u64; PAR_THRESHOLD * 2];
         par_fill(&mut v, |i| (i * i) as u64);
         assert_eq!(v[123], 123 * 123);
-        assert_eq!(v[PAR_THRESHOLD + 7], ((PAR_THRESHOLD + 7) * (PAR_THRESHOLD + 7)) as u64);
+        assert_eq!(
+            v[PAR_THRESHOLD + 7],
+            ((PAR_THRESHOLD + 7) * (PAR_THRESHOLD + 7)) as u64
+        );
     }
 
     #[test]

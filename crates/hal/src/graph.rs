@@ -231,13 +231,24 @@ impl FusionPolicy {
     /// Policy with an explicit fan-in cap and FLOP cutoff.
     pub fn new(max_fuse: u32, flops_cutoff: f64) -> Self {
         assert!(max_fuse >= 2, "fusing fewer than two kernels is a no-op");
-        FusionPolicy { max_fuse, flops_cutoff }
+        FusionPolicy {
+            max_fuse,
+            flops_cutoff,
+        }
     }
 }
 
 impl Default for FusionPolicy {
+    /// Fan-in cap from the `hal.max_fuse` knob (frozen at 8), clamped to
+    /// the ≥ 2 invariant [`FusionPolicy::new`] asserts. Fusion only
+    /// merges launch overheads — which kernels end up in one node never
+    /// changes any computed value.
     fn default() -> Self {
-        FusionPolicy { max_fuse: 8, flops_cutoff: f64::INFINITY }
+        let max_fuse = exa_tune::knob("hal.max_fuse", 8).clamp(2, 1 << 20) as u32;
+        FusionPolicy {
+            max_fuse,
+            flops_cutoff: f64::INFINITY,
+        }
     }
 }
 
@@ -294,7 +305,10 @@ impl KernelGraph {
 
     /// Shape summary.
     pub fn stats(&self) -> GraphStats {
-        let mut s = GraphStats { nodes: self.ops.len(), ..GraphStats::default() };
+        let mut s = GraphStats {
+            nodes: self.ops.len(),
+            ..GraphStats::default()
+        };
         for op in &self.ops {
             match op {
                 GraphOp::Kernel(n) => {
@@ -378,8 +392,11 @@ impl KernelGraph {
                 // parts (contiguously, preserving order), so executing the
                 // parts in sequence applies exactly the original compute.
                 let n_stages = node.stages.len();
-                for (p, profile) in
-                    node.profile.fission(parts, regs_per_part).into_iter().enumerate()
+                for (p, profile) in node
+                    .profile
+                    .fission(parts, regs_per_part)
+                    .into_iter()
+                    .enumerate()
                 {
                     let lo = p * n_stages / parts as usize;
                     let hi = (p + 1) * n_stages / parts as usize;
@@ -439,15 +456,19 @@ mod tests {
     use exa_machine::{DType, LaunchConfig};
 
     fn small(name: &str) -> KernelProfile {
-        KernelProfile::new(name, LaunchConfig::new(256, 128)).flops(1e5, DType::F64).bytes(
-            1e6, 1e6,
-        )
+        KernelProfile::new(name, LaunchConfig::new(256, 128))
+            .flops(1e5, DType::F64)
+            .bytes(1e6, 1e6)
     }
 
     #[test]
     fn capture_records_ops_in_order() {
         let mut cap = GraphCapture::new();
-        cap.alloc(4096).upload(1024).kernel(small("k0")).kernel_fusable(small("k1")).download(512);
+        cap.alloc(4096)
+            .upload(1024)
+            .kernel(small("k0"))
+            .kernel_fusable(small("k1"))
+            .download(512);
         assert_eq!(cap.len(), 5);
         let g = cap.end();
         let s = g.stats();
@@ -483,7 +504,9 @@ mod tests {
     #[test]
     fn fusion_skips_unfusable_neighbours() {
         let mut cap = GraphCapture::new();
-        cap.kernel_fusable(small("a")).kernel(small("opaque")).kernel_fusable(small("b"));
+        cap.kernel_fusable(small("a"))
+            .kernel(small("opaque"))
+            .kernel_fusable(small("b"));
         let mut g = cap.end();
         assert_eq!(g.fuse_elementwise(&FusionPolicy::default()), 0);
         assert_eq!(g.stats().kernels, 3);
@@ -587,6 +610,10 @@ mod tests {
         }
         let mut data = vec![0.0f64; 1000];
         g.execute_fused(&mut data);
-        assert!(data.iter().all(|&x| x == 2.0), "each stage must run exactly once: {:?}", &data[..3]);
+        assert!(
+            data.iter().all(|&x| x == 2.0),
+            "each stage must run exactly once: {:?}",
+            &data[..3]
+        );
     }
 }

@@ -306,7 +306,10 @@ mod tests {
     #[test]
     fn runtime_calls_convert() {
         let r = hipify_source("cudaMalloc(&d, n);\ncudaMemcpy(d, h, n, cudaMemcpyHostToDevice);");
-        assert_eq!(r.output, "hipMalloc(&d, n);\nhipMemcpy(d, h, n, hipMemcpyHostToDevice);");
+        assert_eq!(
+            r.output,
+            "hipMalloc(&d, n);\nhipMemcpy(d, h, n, hipMemcpyHostToDevice);"
+        );
         assert_eq!(r.api_lines, 2);
         assert_eq!(r.converted_lines, 2);
         assert_eq!(r.auto_fraction(), 1.0);
@@ -322,13 +325,19 @@ mod tests {
     #[test]
     fn kernel_launch_becomes_launchkernelggl() {
         let r = hipify_source("  myKernel<<<grid, block>>>(a, b, n);");
-        assert_eq!(r.output, "  hipLaunchKernelGGL(myKernel, dim3(grid), dim3(block), 0, 0, a, b, n);");
+        assert_eq!(
+            r.output,
+            "  hipLaunchKernelGGL(myKernel, dim3(grid), dim3(block), 0, 0, a, b, n);"
+        );
     }
 
     #[test]
     fn kernel_launch_with_shmem_and_stream() {
         let r = hipify_source("k<<<g, b, 1024, s>>>(x);");
-        assert_eq!(r.output, "hipLaunchKernelGGL(k, dim3(g), dim3(b), 1024, s, x);");
+        assert_eq!(
+            r.output,
+            "hipLaunchKernelGGL(k, dim3(g), dim3(b), 1024, s, x);"
+        );
     }
 
     #[test]
@@ -374,7 +383,8 @@ mod tests {
 
     #[test]
     fn non_api_identifiers_untouched() {
-        let r = hipify_source("int cumulative = cur + custom; // cuda in a comment boundary: xcuda");
+        let r =
+            hipify_source("int cumulative = cur + custom; // cuda in a comment boundary: xcuda");
         assert!(r.output.contains("cumulative"));
         assert!(r.output.contains("custom"));
         assert!(r.output.contains("xcuda")); // not at identifier boundary
@@ -533,7 +543,10 @@ mod compat_tests {
     fn macro_path_respects_identifier_boundaries() {
         let src = "int mycudaMalloc = 0; cudaMallocHost(&p, n);";
         let out = apply_compat_header(src);
-        assert!(out.contains("mycudaMalloc"), "prefix inside identifier untouched");
+        assert!(
+            out.contains("mycudaMalloc"),
+            "prefix inside identifier untouched"
+        );
         // cudaMallocHost is not in the table; boundary check must not match
         // the shorter cudaMalloc inside it.
         assert!(out.contains("cudaMallocHost"), "{out}");

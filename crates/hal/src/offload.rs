@@ -66,7 +66,8 @@ impl TargetData {
             }
             MapDir::From => stream.device_time(),
         };
-        self.entries.insert(name.to_string(), MapEntry { bytes, dir });
+        self.entries
+            .insert(name.to_string(), MapEntry { bytes, dir });
         t
     }
 
@@ -184,7 +185,10 @@ mod tests {
         let t_good = good.synchronize();
 
         // 1 GiB over 36 GB/s IF is ~28 ms each way: 20x vs 1x round trips.
-        assert!(t_naive / t_good > 5.0, "naive {t_naive} vs structured {t_good}");
+        assert!(
+            t_naive / t_good > 5.0,
+            "naive {t_naive} vs structured {t_good}"
+        );
     }
 
     #[test]

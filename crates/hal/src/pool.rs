@@ -100,18 +100,22 @@ impl PoolAllocator {
     pub fn alloc(&mut self, stream: &mut Stream, bytes: u64) -> Result<PoolBlock> {
         stream.charge_host(self.op_latency);
         let need = align_up(bytes.max(1));
-        let idx = self
-            .free
-            .iter()
-            .position(|&(_, size)| size >= need)
-            .ok_or(HalError::PoolExhausted { requested: need, largest_free: self.largest_free() })?;
+        let idx = self.free.iter().position(|&(_, size)| size >= need).ok_or(
+            HalError::PoolExhausted {
+                requested: need,
+                largest_free: self.largest_free(),
+            },
+        )?;
         let (off, size) = self.free[idx];
         if size == need {
             self.free.remove(idx);
         } else {
             self.free[idx] = (off + need, size - need);
         }
-        let block = PoolBlock { offset: off, size: need };
+        let block = PoolBlock {
+            offset: off,
+            size: need,
+        };
         self.live_blocks.push(block);
         self.stats.allocs += 1;
         self.stats.live += need;
@@ -211,7 +215,9 @@ mod tests {
     #[test]
     fn blocks_are_aligned_and_disjoint() {
         let (mut p, mut s) = setup();
-        let blocks: Vec<_> = (0..10).map(|i| p.alloc(&mut s, 100 + i * 37).unwrap()).collect();
+        let blocks: Vec<_> = (0..10)
+            .map(|i| p.alloc(&mut s, 100 + i * 37).unwrap())
+            .collect();
         for b in &blocks {
             assert_eq!(b.offset % POOL_ALIGN, 0);
             assert_eq!(b.size % POOL_ALIGN, 0);
@@ -275,7 +281,10 @@ mod tests {
         }
         let t_pool = s2.host_time();
         // §3.5: pool allocations are "very cheap" — order-of-magnitude wins.
-        assert!(t_runtime / t_pool > 10.0, "runtime {t_runtime} vs pool {t_pool}");
+        assert!(
+            t_runtime / t_pool > 10.0,
+            "runtime {t_runtime} vs pool {t_pool}"
+        );
     }
 
     #[test]

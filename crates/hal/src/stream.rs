@@ -219,7 +219,13 @@ impl Stream {
     #[inline]
     fn note(&mut self, name: Cow<'static, str>, cat: SpanCat, work: SimTime, done: SimTime) {
         if let Some(t) = self.telemetry.as_mut() {
-            t.pending.push(Span { name, cat, start: done - work, end: done, depth: 0 });
+            t.pending.push(Span {
+                name,
+                cat,
+                start: done - work,
+                end: done,
+                depth: 0,
+            });
         }
     }
 
@@ -279,7 +285,12 @@ impl Stream {
         self.stats.kernels += 1;
         let done = self.enqueue_device_work(self.device.model.launch_latency, work);
         if self.telemetry.is_some() {
-            self.note(Cow::Owned(profile.name.clone()), SpanCat::Kernel, work, done);
+            self.note(
+                Cow::Owned(profile.name.clone()),
+                SpanCat::Kernel,
+                work,
+                done,
+            );
         }
         done
     }
@@ -293,14 +304,18 @@ impl Stream {
             cap.alloc((len * std::mem::size_of::<T>()) as u64);
             return DeviceBuffer::zeroed(&self.device, len);
         }
-        self.host.advance(self.api.call_overhead() + self.device.model.alloc_latency);
+        self.host
+            .advance(self.api.call_overhead() + self.device.model.alloc_latency);
         DeviceBuffer::zeroed(&self.device, len)
     }
 
     /// Copy host → device (stream-ordered DMA).
     pub fn upload<T: Copy>(&mut self, src: &[T], dst: &mut DeviceBuffer<T>) -> Result<SimTime> {
         if src.len() != dst.len() {
-            return Err(HalError::SizeMismatch { dst: dst.len(), src: src.len() });
+            return Err(HalError::SizeMismatch {
+                dst: dst.len(),
+                src: src.len(),
+            });
         }
         dst.as_mut_slice().copy_from_slice(src);
         let bytes = dst.bytes();
@@ -320,7 +335,10 @@ impl Stream {
     /// synchronous `Memcpy` of both runtimes does.
     pub fn download<T: Copy>(&mut self, src: &DeviceBuffer<T>, dst: &mut [T]) -> Result<SimTime> {
         if src.len() != dst.len() {
-            return Err(HalError::SizeMismatch { dst: dst.len(), src: src.len() });
+            return Err(HalError::SizeMismatch {
+                dst: dst.len(),
+                src: src.len(),
+            });
         }
         dst.copy_from_slice(src.as_slice());
         let bytes = src.bytes();
@@ -344,7 +362,10 @@ impl Stream {
         dst: &mut DeviceBuffer<T>,
     ) -> Result<SimTime> {
         if src.len() != dst.len() {
-            return Err(HalError::SizeMismatch { dst: dst.len(), src: src.len() });
+            return Err(HalError::SizeMismatch {
+                dst: dst.len(),
+                src: src.len(),
+            });
         }
         dst.as_mut_slice().copy_from_slice(src.as_slice());
         let bytes = src.bytes();
@@ -410,7 +431,10 @@ impl Stream {
     /// Finish recording and return the captured graph.
     pub fn end_capture(&mut self) -> KernelGraph {
         self.host.advance(self.api.call_overhead());
-        self.capture.take().expect("end_capture without begin_capture").end()
+        self.capture
+            .take()
+            .expect("end_capture without begin_capture")
+            .end()
     }
 
     /// Replay a captured graph: the host pays **one** submission (API call +
@@ -449,7 +473,12 @@ impl Stream {
         // One span per replay (static name, no allocation): per-node
         // attribution stays with `Tracer::replay_traced`, keeping the
         // enabled-collector overhead on replay loops inside the <5% gate.
-        self.note(Cow::Borrowed("graph_replay"), SpanCat::GraphReplay, work, done);
+        self.note(
+            Cow::Borrowed("graph_replay"),
+            SpanCat::GraphReplay,
+            work,
+            done,
+        );
         done
     }
 

@@ -80,7 +80,10 @@ pub struct Tracer {
 impl Tracer {
     /// New tracer for a device model.
     pub fn new(gpu: GpuModel) -> Self {
-        Tracer { gpu, events: Vec::new() }
+        Tracer {
+            gpu,
+            events: Vec::new(),
+        }
     }
 
     /// Classify a profile on this tracer's device.
@@ -113,7 +116,11 @@ impl Tracer {
     }
 
     /// Cost-only traced launch.
-    pub fn launch_traced_modeled(&mut self, stream: &mut Stream, profile: &KernelProfile) -> SimTime {
+    pub fn launch_traced_modeled(
+        &mut self,
+        stream: &mut Stream,
+        profile: &KernelProfile,
+    ) -> SimTime {
         let start = stream.device_time();
         let end = stream.launch_modeled(profile);
         self.record(profile, start, end - start);
@@ -204,7 +211,11 @@ impl Tracer {
                     calls: a.calls,
                     total_time: a.time,
                     time_share: if total.is_zero() { 0.0 } else { a.time / total },
-                    gflops: if a.time.is_zero() { 0.0 } else { a.flops / a.time.secs() / 1e9 },
+                    gflops: if a.time.is_zero() {
+                        0.0
+                    } else {
+                        a.flops / a.time.secs() / 1e9
+                    },
                     bytes: a.bytes,
                     occupancy: a.occ_sum / a.calls as f64,
                     bound: BOUNDS[dominant],
@@ -288,7 +299,10 @@ mod tests {
     fn setup() -> (Tracer, Stream) {
         let gpu = GpuModel::mi250x_gcd();
         let device = Device::new(gpu.clone(), 0);
-        (Tracer::new(gpu), Stream::new(device, ApiSurface::Hip).unwrap())
+        (
+            Tracer::new(gpu),
+            Stream::new(device, ApiSurface::Hip).unwrap(),
+        )
     }
 
     fn big() -> LaunchConfig {
@@ -298,8 +312,12 @@ mod tests {
     #[test]
     fn classification_matches_roofline_intuition() {
         let (t, _) = setup();
-        let compute = KernelProfile::new("gemm", big()).flops(1e13, DType::F64).bytes(1e9, 1e9);
-        let memory = KernelProfile::new("triad", big()).flops(1e9, DType::F64).bytes(1e12, 1e11);
+        let compute = KernelProfile::new("gemm", big())
+            .flops(1e13, DType::F64)
+            .bytes(1e9, 1e9);
+        let memory = KernelProfile::new("triad", big())
+            .flops(1e9, DType::F64)
+            .bytes(1e12, 1e11);
         let tiny = KernelProfile::new("empty", LaunchConfig::new(1, 64)).flops(64.0, DType::F32);
         assert_eq!(t.classify(&compute), Bound::Compute);
         assert_eq!(t.classify(&memory), Bound::Memory);
@@ -329,7 +347,9 @@ mod tests {
         // Same kernel name, two regimes: one launch in the latency-bound
         // regime (tiny work), then the bulk of the time memory-bound.
         let tiny = KernelProfile::new("chem_rhs", LaunchConfig::new(1, 64)).flops(64.0, DType::F64);
-        let fat = KernelProfile::new("chem_rhs", big()).flops(1e9, DType::F64).bytes(1e12, 1e11);
+        let fat = KernelProfile::new("chem_rhs", big())
+            .flops(1e9, DType::F64)
+            .bytes(1e12, 1e11);
         assert_eq!(tracer.classify(&tiny), Bound::Latency);
         assert_eq!(tracer.classify(&fat), Bound::Memory);
         tracer.launch_traced_modeled(&mut stream, &tiny); // first seen: Latency
@@ -339,14 +359,23 @@ mod tests {
         let stats = tracer.hotspots();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].calls, 4);
-        assert_eq!(stats[0].bound, Bound::Memory, "bound must follow the time, not launch order");
-        assert!(stats[0].bytes > 3e12, "aggregated bytes surface for the roofline");
+        assert_eq!(
+            stats[0].bound,
+            Bound::Memory,
+            "bound must follow the time, not launch order"
+        );
+        assert!(
+            stats[0].bytes > 3e12,
+            "aggregated bytes surface for the roofline"
+        );
     }
 
     #[test]
     fn roofline_report_has_ceilings_and_points() {
         let (mut tracer, mut stream) = setup();
-        let k = KernelProfile::new("triad", big()).flops(1e9, DType::F64).bytes(1e10, 1e9);
+        let k = KernelProfile::new("triad", big())
+            .flops(1e9, DType::F64)
+            .bytes(1e10, 1e9);
         tracer.launch_traced_modeled(&mut stream, &k);
         let r = tracer.roofline();
         assert!(r.peak_gflops > 0.0 && r.mem_bw_gbs > 0.0);
@@ -354,7 +383,11 @@ mod tests {
         let p = &r.points[0];
         assert_eq!(p.name, "triad");
         // intensity = flops / bytes
-        assert!((p.intensity - 1e9 / 1.1e10).abs() / (1e9 / 1.1e10) < 0.05, "{}", p.intensity);
+        assert!(
+            (p.intensity - 1e9 / 1.1e10).abs() / (1e9 / 1.1e10) < 0.05,
+            "{}",
+            p.intensity
+        );
         assert!(exa_telemetry::parse_json(&r.to_json()).is_ok());
     }
 
@@ -372,11 +405,16 @@ mod tests {
     #[test]
     fn spills_are_flagged_in_the_report() {
         let (mut tracer, mut stream) = setup();
-        let monster = KernelProfile::new("jacobian", big()).flops(1e11, DType::F64).regs(18_000);
+        let monster = KernelProfile::new("jacobian", big())
+            .flops(1e11, DType::F64)
+            .regs(18_000);
         tracer.launch_traced_modeled(&mut stream, &monster);
         let report = tracer.report();
         assert!(report.contains("jacobian"));
-        assert!(report.contains("YES"), "spill column must flag the 18k-register kernel:\n{report}");
+        assert!(
+            report.contains("YES"),
+            "spill column must flag the 18k-register kernel:\n{report}"
+        );
     }
 
     #[test]
@@ -384,8 +422,16 @@ mod tests {
         use crate::graph::{FusionPolicy, GraphCapture};
         let (mut tracer, mut stream) = setup();
         let mut cap = GraphCapture::new();
-        cap.kernel_fusable(KernelProfile::new("a", big()).flops(1e9, DType::F64).bytes(1e9, 1e9));
-        cap.kernel_fusable(KernelProfile::new("b", big()).flops(1e9, DType::F64).bytes(1e9, 1e9));
+        cap.kernel_fusable(
+            KernelProfile::new("a", big())
+                .flops(1e9, DType::F64)
+                .bytes(1e9, 1e9),
+        );
+        cap.kernel_fusable(
+            KernelProfile::new("b", big())
+                .flops(1e9, DType::F64)
+                .bytes(1e9, 1e9),
+        );
         let mut g = cap.end();
         g.fuse_elementwise(&FusionPolicy::default());
         tracer.replay_traced(&mut stream, &g);
@@ -398,7 +444,10 @@ mod tests {
     #[test]
     fn reset_clears_events() {
         let (mut tracer, mut stream) = setup();
-        tracer.launch_traced_modeled(&mut stream, &KernelProfile::new("k", big()).flops(1e9, DType::F32));
+        tracer.launch_traced_modeled(
+            &mut stream,
+            &KernelProfile::new("k", big()).flops(1e9, DType::F32),
+        );
         tracer.reset();
         assert!(tracer.events().is_empty());
         assert!(tracer.hotspots().is_empty());

@@ -71,10 +71,10 @@ mod tests {
     #[test]
     fn batched_solve_round_trip() {
         let a = batch(8, 16);
-        let xs: Vec<Matrix<f64>> =
-            (0..16).map(|s| Matrix::<f64>::seeded_random(8, 2, 100 + s as u64)).collect();
-        let mut rhs: Vec<Matrix<f64>> =
-            a.iter().zip(&xs).map(|(m, x)| m.matmul_ref(x)).collect();
+        let xs: Vec<Matrix<f64>> = (0..16)
+            .map(|s| Matrix::<f64>::seeded_random(8, 2, 100 + s as u64))
+            .collect();
+        let mut rhs: Vec<Matrix<f64>> = a.iter().zip(&xs).map(|(m, x)| m.matmul_ref(x)).collect();
         let factors = batched_getrf(&a).unwrap();
         batched_getrs(&factors, &mut rhs);
         for (sol, x) in rhs.iter().zip(&xs) {

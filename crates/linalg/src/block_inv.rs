@@ -24,7 +24,10 @@ use crate::scalar::Scalar;
 pub fn block_lu_inverse_block<S: Scalar>(a: &Matrix<S>, b: usize) -> Result<Matrix<S>, Singular> {
     assert!(a.is_square(), "block inversion requires a square matrix");
     let n = a.rows();
-    assert!(b > 0 && n.is_multiple_of(b), "order {n} not divisible by block size {b}");
+    assert!(
+        b > 0 && n.is_multiple_of(b),
+        "order {n} not divisible by block size {b}"
+    );
     let nb = n / b;
 
     // Work on an owned copy, shrinking one block per step.

@@ -40,13 +40,19 @@ impl C64 {
     /// `e^{iθ}` — the FFT twiddle factor.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²`.
@@ -71,13 +77,19 @@ impl C64 {
     #[inline]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        C64 { re: self.re / d, im: -self.im / d }
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -85,7 +97,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, o: C64) -> C64 {
-        C64 { re: self.re + o.re, im: self.im + o.im }
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -93,7 +108,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, o: C64) -> C64 {
-        C64 { re: self.re - o.re, im: self.im - o.im }
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -101,7 +119,10 @@ impl Mul for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, o: C64) -> C64 {
-        C64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
 }
 
@@ -118,7 +139,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -190,7 +214,10 @@ mod tests {
         let z = C64::new(3.0, -4.0);
         let w = C64::new(-1.0, 2.0);
         assert!(close(z + w, C64::new(2.0, -2.0)));
-        assert!(close(z * w, C64::new(3.0 * -1.0 - (-4.0) * 2.0, 3.0 * 2.0 + (-4.0) * -1.0)));
+        assert!(close(
+            z * w,
+            C64::new(3.0 * -1.0 - (-4.0) * 2.0, 3.0 * 2.0 + (-4.0) * -1.0)
+        ));
         assert!(close(z * C64::ONE, z));
         assert!(close(z + C64::ZERO, z));
         assert!(close(z * z.recip(), C64::ONE));
@@ -213,15 +240,19 @@ mod tests {
             let theta = k as f64 * std::f64::consts::PI / 8.0;
             let z = C64::cis(theta);
             assert!((z.abs() - 1.0).abs() < EPS);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs() < EPS
-                || (z.arg() + 2.0 * std::f64::consts::PI
-                    - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                    < EPS);
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs() < EPS
+                    || (z.arg() + 2.0 * std::f64::consts::PI
+                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                        < EPS
+            );
         }
         // i^2 = -1 through cis.
-        assert!(close(C64::cis(std::f64::consts::FRAC_PI_2) * C64::cis(std::f64::consts::FRAC_PI_2),
-            C64::from_re(-1.0)));
+        assert!(close(
+            C64::cis(std::f64::consts::FRAC_PI_2) * C64::cis(std::f64::consts::FRAC_PI_2),
+            C64::from_re(-1.0)
+        ));
     }
 
     #[test]

@@ -45,7 +45,9 @@ impl TuningTable {
     /// A table tuned for the given characteristic sizes — what application
     /// teams handed library developers on the early-access systems.
     pub fn for_sizes(sizes: &[usize]) -> Self {
-        TuningTable { sizes: sizes.to_vec() }
+        TuningTable {
+            sizes: sizes.to_vec(),
+        }
     }
 
     /// Is dimension `n` covered (within 2× of a tuned size)?
@@ -144,17 +146,16 @@ impl DeviceBlas {
     }
 
     /// `zgetrf`: factor a complex matrix on the device (rocSOLVER analogue).
-    pub fn zgetrf(
-        &self,
-        stream: &mut Stream,
-        a: &Matrix<C64>,
-    ) -> Result<LuFactors<C64>, Singular> {
+    pub fn zgetrf(&self, stream: &mut Stream, a: &Matrix<C64>) -> Result<LuFactors<C64>, Singular> {
         let n = a.rows();
-        let p = KernelProfile::new("zgetrf", LaunchConfig::cover((n as u64 * n as u64).max(1), 256))
-            .flops(getrf_flops::<C64>(n), DType::C64)
-            .bytes((n * n * 16) as f64 * 2.0, (n * n * 16) as f64)
-            .regs(128)
-            .compute_eff(self.lu_eff(n));
+        let p = KernelProfile::new(
+            "zgetrf",
+            LaunchConfig::cover((n as u64 * n as u64).max(1), 256),
+        )
+        .flops(getrf_flops::<C64>(n), DType::C64)
+        .bytes((n * n * 16) as f64 * 2.0, (n * n * 16) as f64)
+        .regs(128)
+        .compute_eff(self.lu_eff(n));
         let mut out = None;
         stream.launch(&p, || out = Some(getrf(a)));
         out.expect("kernel body ran")
@@ -164,11 +165,14 @@ impl DeviceBlas {
     pub fn zgetrs(&self, stream: &mut Stream, f: &LuFactors<C64>, rhs: &mut Matrix<C64>) {
         let n = f.n();
         let nrhs = rhs.cols();
-        let p = KernelProfile::new("zgetrs", LaunchConfig::cover((n as u64 * nrhs as u64).max(1), 256))
-            .flops(getrs_flops::<C64>(n, nrhs), DType::C64)
-            .bytes((n * n * 16 + n * nrhs * 16) as f64, (n * nrhs * 16) as f64)
-            .regs(96)
-            .compute_eff(self.lu_eff(n));
+        let p = KernelProfile::new(
+            "zgetrs",
+            LaunchConfig::cover((n as u64 * nrhs as u64).max(1), 256),
+        )
+        .flops(getrs_flops::<C64>(n, nrhs), DType::C64)
+        .bytes((n * n * 16 + n * nrhs * 16) as f64, (n * nrhs * 16) as f64)
+        .regs(96)
+        .compute_eff(self.lu_eff(n));
         stream.launch(&p, || f.getrs(rhs));
     }
 
@@ -176,11 +180,14 @@ impl DeviceBlas {
     pub fn syev_jacobi(&self, stream: &mut Stream, a: &Matrix<f64>) -> EigenDecomp {
         let n = a.rows();
         let sweeps = 8;
-        let p = KernelProfile::new("syev_jacobi", LaunchConfig::cover((n as u64 * n as u64).max(1), 256))
-            .flops(jacobi_flops(n, sweeps), DType::F64)
-            .bytes((n * n * 8) as f64 * sweeps as f64, (n * n * 8) as f64)
-            .regs(64)
-            .compute_eff(0.35);
+        let p = KernelProfile::new(
+            "syev_jacobi",
+            LaunchConfig::cover((n as u64 * n as u64).max(1), 256),
+        )
+        .flops(jacobi_flops(n, sweeps), DType::F64)
+        .bytes((n * n * 8) as f64 * sweeps as f64, (n * n * 8) as f64)
+        .regs(64)
+        .compute_eff(0.35);
         let mut out = None;
         stream.launch(&p, || out = Some(jacobi_eigen(a, 1e-12, sweeps * 4)));
         out.expect("kernel body ran")
@@ -190,11 +197,14 @@ impl DeviceBlas {
     /// ... symmetric eigen solver" MAGMA gave GAMESS with ROCm 5.4, §3.1).
     pub fn syevd(&self, stream: &mut Stream, a: &Matrix<f64>) -> EigenDecomp {
         let n = a.rows();
-        let p = KernelProfile::new("syevd", LaunchConfig::cover((n as u64 * n as u64).max(1), 256))
-            .flops(tridiag_flops(n), DType::F64)
-            .bytes((n * n * 8) as f64 * 3.0, (n * n * 8) as f64)
-            .regs(96)
-            .compute_eff(0.55);
+        let p = KernelProfile::new(
+            "syevd",
+            LaunchConfig::cover((n as u64 * n as u64).max(1), 256),
+        )
+        .flops(tridiag_flops(n), DType::F64)
+        .bytes((n * n * 8) as f64 * 3.0, (n * n * 8) as f64)
+        .regs(96)
+        .compute_eff(0.55);
         let mut out = None;
         stream.launch(&p, || out = Some(tridiag_eigen(a, 80)));
         out.expect("kernel body ran")
@@ -241,7 +251,13 @@ mod tests {
         DeviceBlas::new(TuningTable::untuned()).gemm_modeled(&mut s3, 8192, 8192, 8192, DType::F64);
         let generic_big = s3.synchronize();
         let mut s4 = hip_stream();
-        DeviceBlas::new(TuningTable::for_sizes(&[8192])).gemm_modeled(&mut s4, 8192, 8192, 8192, DType::F64);
+        DeviceBlas::new(TuningTable::for_sizes(&[8192])).gemm_modeled(
+            &mut s4,
+            8192,
+            8192,
+            8192,
+            DType::F64,
+        );
         let tuned_big = s4.synchronize();
 
         assert!(tuned <= generic);

@@ -72,7 +72,10 @@ pub fn jacobi_eigen(a: &Matrix<f64>, tol: f64, max_sweeps: usize) -> EigenDecomp
     }
 
     sort_decomposition(&mut m, &mut v);
-    EigenDecomp { values: (0..n).map(|i| m[(i, i)]).collect(), vectors: v }
+    EigenDecomp {
+        values: (0..n).map(|i| m[(i, i)]).collect(),
+        vectors: v,
+    }
 }
 
 /// Householder tridiagonalisation + implicit QL with shifts.
@@ -80,7 +83,10 @@ pub fn tridiag_eigen(a: &Matrix<f64>, max_iter: usize) -> EigenDecomp {
     assert!(a.is_square());
     let n = a.rows();
     if n == 0 {
-        return EigenDecomp { values: vec![], vectors: Matrix::identity(0) };
+        return EigenDecomp {
+            values: vec![],
+            vectors: Matrix::identity(0),
+        };
     }
     // --- Householder reduction to tridiagonal (Numerical Recipes tred2). ---
     let mut z = a.clone();
@@ -239,7 +245,11 @@ fn off_diag_norm(m: &Matrix<f64>) -> f64 {
 fn sort_decomposition(m: &mut Matrix<f64>, v: &mut Matrix<f64>) {
     let n = m.rows();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite eigenvalues"));
+    idx.sort_by(|&i, &j| {
+        m[(i, i)]
+            .partial_cmp(&m[(j, j)])
+            .expect("finite eigenvalues")
+    });
     let md = m.clone();
     let vd = v.clone();
     for (newj, &oldj) in idx.iter().enumerate() {

@@ -10,14 +10,30 @@ use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use exa_hal::exec;
 
-/// Cache block in the k dimension.
+/// Cache block in the k dimension (frozen default of `linalg.gemm_kblock`).
 const KBLOCK: usize = 64;
-/// Column panel width per parallel task.
+/// Column panel width per parallel task (frozen default of
+/// `linalg.gemm_jpanel`).
 const JPANEL: usize = 8;
 /// Cache block in the m (row) dimension: one `MB`-row tile of a C column
 /// (2 KiB at f64) stays L1-resident across a whole k-block instead of
-/// streaming the full column once per k iteration.
+/// streaming the full column once per k iteration (frozen default of
+/// `linalg.gemm_mb`).
 const MB: usize = 256;
+
+/// The three blocking knobs, resolved per GEMM call (an env lookup —
+/// noise next to the multiply) so tuned-vs-frozen comparisons can flip
+/// the overrides within one process. Re-blocking only reorders
+/// independent axpy spans — every C element still accumulates its k
+/// terms in ascending order — so any values are bit-identical to the
+/// frozen constants.
+fn gemm_blocking() -> (usize, usize, usize) {
+    (
+        exa_tune::knob("linalg.gemm_kblock", KBLOCK).max(1),
+        exa_tune::knob("linalg.gemm_jpanel", JPANEL).max(1),
+        exa_tune::knob("linalg.gemm_mb", MB).max(1),
+    )
+}
 
 /// General matrix multiply: `c ← alpha * a * b + beta * c`.
 ///
@@ -37,41 +53,43 @@ pub fn gemm<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut 
     let b_data = b.as_slice();
     let c_cols = c.as_mut_slice();
 
-    // Each panel of JPANEL columns of C is independent.
-    exec::par_chunks_mut(c_cols, m * JPANEL, |panel, c_panel| {
-            let j0 = panel * JPANEL;
-            let ncols = c_panel.len() / m;
-            // Scale C by beta once.
-            for x in c_panel.iter_mut() {
-                *x = beta * *x;
-            }
-            // k-blocked, row-blocked accumulation. Splitting the row loop
-            // into MB tiles only reorders independent axpy spans — every
-            // C element still accumulates its k terms in ascending order,
-            // so results are bit-identical to the unblocked kernel.
-            let mut k0 = 0;
-            while k0 < k {
-                let kend = (k0 + KBLOCK).min(k);
-                for (jj, c_col) in c_panel.chunks_mut(m).enumerate().take(ncols) {
-                    let j = j0 + jj;
-                    let mut i0 = 0;
-                    while i0 < m {
-                        let iend = (i0 + MB).min(m);
-                        let c_blk = &mut c_col[i0..iend];
-                        for kk in k0..kend {
-                            let bkj = alpha * b_data[kk + j * k];
-                            let a_blk = &a_data[kk * m + i0..kk * m + iend];
-                            for (ci, &aik) in c_blk.iter_mut().zip(a_blk) {
-                                let prod = aik * bkj;
-                                *ci += prod;
-                            }
+    let (kblock, jpanel, mb) = gemm_blocking();
+
+    // Each panel of `jpanel` columns of C is independent.
+    exec::par_chunks_mut(c_cols, m * jpanel, |panel, c_panel| {
+        let j0 = panel * jpanel;
+        let ncols = c_panel.len() / m;
+        // Scale C by beta once.
+        for x in c_panel.iter_mut() {
+            *x = beta * *x;
+        }
+        // k-blocked, row-blocked accumulation. Splitting the row loop
+        // into MB tiles only reorders independent axpy spans — every
+        // C element still accumulates its k terms in ascending order,
+        // so results are bit-identical to the unblocked kernel.
+        let mut k0 = 0;
+        while k0 < k {
+            let kend = (k0 + kblock).min(k);
+            for (jj, c_col) in c_panel.chunks_mut(m).enumerate().take(ncols) {
+                let j = j0 + jj;
+                let mut i0 = 0;
+                while i0 < m {
+                    let iend = (i0 + mb).min(m);
+                    let c_blk = &mut c_col[i0..iend];
+                    for kk in k0..kend {
+                        let bkj = alpha * b_data[kk + j * k];
+                        let a_blk = &a_data[kk * m + i0..kk * m + iend];
+                        for (ci, &aik) in c_blk.iter_mut().zip(a_blk) {
+                            let prod = aik * bkj;
+                            *ci += prod;
                         }
-                        i0 = iend;
                     }
+                    i0 = iend;
                 }
-                k0 = kend;
             }
-        });
+            k0 = kend;
+        }
+    });
 }
 
 /// Convenience: `A * B` with fresh output.
@@ -226,7 +244,13 @@ mod tests {
 
     #[test]
     fn gemm_matches_reference_f64() {
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 17, 17), (64, 32, 48), (100, 3, 200)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 17, 17),
+            (64, 32, 48),
+            (100, 3, 200),
+        ] {
             assert_gemm_matches_ref::<f64>(m, n, k, 11, 1e-11);
         }
     }

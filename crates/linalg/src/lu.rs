@@ -15,7 +15,11 @@ pub struct Singular {
 
 impl std::fmt::Display for Singular {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is singular (zero pivot at column {})", self.at_col)
+        write!(
+            f,
+            "matrix is singular (zero pivot at column {})",
+            self.at_col
+        )
     }
 }
 

@@ -15,7 +15,11 @@ pub struct Matrix<S> {
 impl<S: Scalar> Matrix<S> {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![S::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::zero(); rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -97,7 +101,10 @@ impl<S: Scalar> Matrix<S> {
 
     /// Copy a contiguous block into a new matrix.
     pub fn block(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix<S> {
-        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols, "block out of range");
+        assert!(
+            row0 + rows <= self.rows && col0 + cols <= self.cols,
+            "block out of range"
+        );
         Matrix::from_fn(rows, cols, |i, j| self[(row0 + i, col0 + j)])
     }
 
@@ -113,7 +120,11 @@ impl<S: Scalar> Matrix<S> {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x.abs() * x.abs()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|x| x.abs() * x.abs())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Largest elementwise |aᵢⱼ − bᵢⱼ|.

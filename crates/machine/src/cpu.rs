@@ -140,7 +140,9 @@ mod tests {
     #[test]
     fn fully_parallel_roofline() {
         let cpu = CpuModel::knl_7250();
-        let w = CpuWork::new("stencil", 1e12, 1e10).compute_eff(1.0).mem_eff(1.0);
+        let w = CpuWork::new("stencil", 1e12, 1e10)
+            .compute_eff(1.0)
+            .mem_eff(1.0);
         let t = cpu.work_time(&w);
         // Compute bound: 1e12 / 3.05e12.
         assert!((t.secs() - 1e12 / 3.05e12).abs() < 1e-4);

@@ -219,7 +219,10 @@ impl GpuModel {
         // Spill when not even one wavefront's registers fit.
         let spilled = by_regs < wavefront;
         let resident = resident.max(wavefront); // hardware always runs ≥ 1 wave
-        ((resident as f64 / self.max_threads_per_cu as f64).min(1.0), spilled)
+        (
+            (resident as f64 / self.max_threads_per_cu as f64).min(1.0),
+            spilled,
+        )
     }
 
     /// Simulated execution time of one kernel launch, excluding launch
@@ -262,14 +265,12 @@ impl GpuModel {
         // Divergence wastes memory throughput more gently than compute
         // (coalescing still salvages some of each line): split the penalty.
         let mem_lanes = lanes.sqrt();
-        let t_mem =
-            (k.total_bytes() / mem_lanes + spill_bytes) / (self.mem_bw * k.mem_eff * eff_m);
+        let t_mem = (k.total_bytes() / mem_lanes + spill_bytes) / (self.mem_bw * k.mem_eff * eff_m);
 
         // Wave quantisation / device fill: the device executes whole rounds
         // of resident wavefronts, so partial rounds (tail effect) and
         // underfilled launches stretch the roofline time.
-        let waves_per_block =
-            (k.launch.threads_per_block as u64).div_ceil(self.wavefront() as u64);
+        let waves_per_block = (k.launch.threads_per_block as u64).div_ceil(self.wavefront() as u64);
         let total_waves = (k.launch.grid_blocks * waves_per_block).max(1);
         let resident_waves_per_cu =
             ((occ * self.max_threads_per_cu as f64) / self.wavefront() as f64).max(1.0);
@@ -365,7 +366,9 @@ mod tests {
 
     #[test]
     fn register_pressure_reduces_occupancy() {
-        let light = KernelProfile::new("light", big_launch()).flops(1e12, DType::F64).regs(32);
+        let light = KernelProfile::new("light", big_launch())
+            .flops(1e12, DType::F64)
+            .regs(32);
         let heavy = light.clone().regs(256);
         let g = GpuModel::v100();
         let (occ_l, sp_l) = g.occupancy(&light);
@@ -380,7 +383,9 @@ mod tests {
 
     #[test]
     fn spilled_kernel_is_slower() {
-        let base = KernelProfile::new("jac", big_launch()).flops(1e11, DType::F64).regs(128);
+        let base = KernelProfile::new("jac", big_launch())
+            .flops(1e11, DType::F64)
+            .regs(128);
         let spilling = base.clone().regs(8192);
         let g = GpuModel::mi250x_gcd();
         assert!(g.kernel_time(&spilling) > g.kernel_time(&base));

@@ -81,7 +81,10 @@ impl LaunchConfig {
     pub fn new(grid_blocks: u64, threads_per_block: u32) -> Self {
         assert!(threads_per_block > 0, "block size must be positive");
         assert!(grid_blocks > 0, "grid must contain at least one block");
-        LaunchConfig { grid_blocks, threads_per_block }
+        LaunchConfig {
+            grid_blocks,
+            threads_per_block,
+        }
     }
 
     /// A launch sized so `total_threads` are covered by blocks of `tpb`.
@@ -98,7 +101,10 @@ impl LaunchConfig {
 
 impl Default for LaunchConfig {
     fn default() -> Self {
-        LaunchConfig { grid_blocks: 1024, threads_per_block: 256 }
+        LaunchConfig {
+            grid_blocks: 1024,
+            threads_per_block: 256,
+        }
     }
 }
 
@@ -242,15 +248,16 @@ impl KernelProfile {
             name: format!("{}+{}", self.name, other.name),
             launch: LaunchConfig::new(
                 self.launch.grid_blocks.max(other.launch.grid_blocks),
-                self.launch.threads_per_block.max(other.launch.threads_per_block),
+                self.launch
+                    .threads_per_block
+                    .max(other.launch.threads_per_block),
             ),
             flops: self.flops + other.flops,
             dtype: self.dtype,
             uses_matrix_units: self.uses_matrix_units || other.uses_matrix_units,
             bytes_read: self.bytes_read.max(other.bytes_read),
             bytes_written: self.bytes_written.max(other.bytes_written),
-            regs_per_thread: self.regs_per_thread.max(other.regs_per_thread)
-                + FUSION_REG_OVERHEAD,
+            regs_per_thread: self.regs_per_thread.max(other.regs_per_thread) + FUSION_REG_OVERHEAD,
             lds_per_block: self.lds_per_block.max(other.lds_per_block),
             active_lane_frac: self.active_lane_frac.min(other.active_lane_frac),
             tuned_wavefront: self.tuned_wavefront.or(other.tuned_wavefront),

@@ -141,7 +141,13 @@ impl MachineModel {
     /// The three early-access generations plus the production machines, in
     /// deployment order — the hardware timeline of §4.
     pub fn early_access_timeline() -> Vec<MachineModel> {
-        vec![Self::poplar(), Self::tulip(), Self::spock(), Self::birch(), Self::crusher()]
+        vec![
+            Self::poplar(),
+            Self::tulip(),
+            Self::spock(),
+            Self::birch(),
+            Self::crusher(),
+        ]
     }
 
     /// Total schedulable GPU devices across the machine.
@@ -163,7 +169,10 @@ mod tests {
     fn frontier_is_exascale_summit_is_not() {
         let f = MachineModel::frontier();
         let s = MachineModel::summit();
-        assert!(f.machine_peak_f64() > 1e18, "Frontier FP64 peak must exceed 1 EF");
+        assert!(
+            f.machine_peak_f64() > 1e18,
+            "Frontier FP64 peak must exceed 1 EF"
+        );
         assert!(s.machine_peak_f64() < 1e18);
         assert!(s.machine_peak_f64() > 1.5e17); // Summit ≈ 200 PF
     }

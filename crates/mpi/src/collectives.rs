@@ -66,8 +66,7 @@ pub fn alltoall_time(net: &Network, p: usize, bytes_per_pair: u64) -> SimTime {
         return SimTime::ZERO;
     }
     let rounds = p as f64 - 1.0;
-    net.alpha() * rounds
-        + SimTime::from_secs(rounds * bytes_per_pair as f64 * net.beta_global())
+    net.alpha() * rounds + SimTime::from_secs(rounds * bytes_per_pair as f64 * net.beta_global())
 }
 
 /// All-to-all with variable per-pair payloads: pairwise exchange where round
@@ -121,8 +120,7 @@ pub fn halo_time(net: &Network, neighbors: usize, bytes: u64) -> SimTime {
     if neighbors == 0 {
         return SimTime::ZERO;
     }
-    net.alpha()
-        + SimTime::from_secs(neighbors as f64 * bytes as f64 * net.beta())
+    net.alpha() + SimTime::from_secs(neighbors as f64 * bytes as f64 * net.beta())
 }
 
 #[cfg(test)]
@@ -158,8 +156,7 @@ mod tests {
         let p = 1024;
         let bytes = 8 << 20;
         let t = allreduce_time(&n, p, bytes);
-        let expect = n.alpha().secs() * 20.0
-            + 2.0 * 1023.0 / 1024.0 * bytes as f64 * n.beta();
+        let expect = n.alpha().secs() * 20.0 + 2.0 * 1023.0 / 1024.0 * bytes as f64 * n.beta();
         assert!((t.secs() - expect).abs() / expect < 1e-12);
     }
 

@@ -3,7 +3,9 @@
 use crate::collectives as coll;
 use crate::network::Network;
 use exa_machine::{Clock, SimTime};
-use exa_telemetry::{MetricSource, MetricsRegistry, SpanCat, TelemetryCollector, TrackId, TrackKind};
+use exa_telemetry::{
+    MetricSource, MetricsRegistry, SpanCat, TelemetryCollector, TrackId, TrackKind,
+};
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -134,7 +136,10 @@ impl Comm {
     /// (Nonblocking operations are shaped by [`Network::with_contention`]
     /// instead: their posted costs come straight from the α–β models.)
     pub fn set_jitter(&mut self, amp: f64, seed: u64) {
-        assert!((0.0..1.0).contains(&amp), "jitter amplitude must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&amp),
+            "jitter amplitude must be in [0, 1)"
+        );
         self.jitter = (amp > 0.0).then_some(Jitter { amp, seed, seq: 0 });
     }
 
@@ -163,7 +168,10 @@ impl Comm {
         let tracks = (0..self.size())
             .map(|r| collector.track(&format!("{name}/rank{r}"), TrackKind::CommRank))
             .collect();
-        self.telemetry = Some(CommTelemetry { collector: Arc::clone(collector), tracks });
+        self.telemetry = Some(CommTelemetry {
+            collector: Arc::clone(collector),
+            tracks,
+        });
     }
 
     /// Drop the collector attachment.
@@ -180,8 +188,7 @@ impl Comm {
             t.collector.absorb(&self.stats);
             let max = self.max_wait().secs();
             let mean = self.stats.wait.secs() / self.size() as f64;
-            let overlap = (!self.stats.inflight.is_zero())
-                .then(|| self.stats.overlap_efficiency());
+            let overlap = (!self.stats.inflight.is_zero()).then(|| self.stats.overlap_efficiency());
             t.collector.metrics(|m| {
                 m.gauge_max("mpi.wait_max_s", max);
                 m.gauge_max("mpi.wait_mean_s", mean);
@@ -214,7 +221,11 @@ impl Comm {
 
     /// Latest clock across ranks — the job's wall time.
     pub fn elapsed(&self) -> SimTime {
-        self.clocks.iter().map(|c| c.now()).max().unwrap_or(SimTime::ZERO)
+        self.clocks
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Charge local (compute) time to one rank.
@@ -294,7 +305,8 @@ impl Comm {
         if let Some(tel) = self.telemetry.as_ref() {
             // Every rank sees the operation over the same (post-skew)
             // interval, so per-track spans stay non-overlapping.
-            tel.collector.complete_on_tracks(&tel.tracks, name, SpanCat::Collective, start, t);
+            tel.collector
+                .complete_on_tracks(&tel.tracks, name, SpanCat::Collective, start, t);
         }
         self.net_free = t;
         t
@@ -318,7 +330,8 @@ impl Comm {
         self.stats.bytes += bytes;
         if let Some(tel) = self.telemetry.as_ref() {
             let tracks = [tel.tracks[src], tel.tracks[dst]];
-            tel.collector.complete_on_tracks(&tracks, "send", SpanCat::Message, start, done);
+            tel.collector
+                .complete_on_tracks(&tracks, "send", SpanCat::Message, start, done);
         }
         done
     }
@@ -351,7 +364,11 @@ impl Comm {
     pub fn alltoall(&mut self, bytes_per_pair: u64) -> SimTime {
         let p = self.size();
         let cost = coll::alltoall_time(&self.net, p, bytes_per_pair);
-        self.collective("alltoall", cost, bytes_per_pair * (p as u64) * (p as u64 - 1))
+        self.collective(
+            "alltoall",
+            cost,
+            bytes_per_pair * (p as u64) * (p as u64 - 1),
+        )
     }
 
     /// Cost-only gather of `bytes` per rank to a root.
@@ -423,7 +440,11 @@ impl Comm {
         assert!(group >= 1 && group <= self.size());
         let cost = coll::alltoall_time(&self.net, group, bytes_per_pair);
         let groups = (self.size() / group.max(1)) as u64;
-        self.collective("alltoall_grouped", cost, bytes_per_pair * group as u64 * (group as u64 - 1) * groups)
+        self.collective(
+            "alltoall_grouped",
+            cost,
+            bytes_per_pair * group as u64 * (group as u64 - 1) * groups,
+        )
     }
 
     /// Cost-only all-to-all with variable per-pair payloads as seen by one
@@ -432,7 +453,10 @@ impl Comm {
     /// run the same schedule, so the charge is one rank's sum of rounds and
     /// the volume is `Σ pair_bytes × size`.
     pub fn alltoallv(&mut self, pair_bytes: &[u64]) -> SimTime {
-        assert!(pair_bytes.len() < self.size(), "more peers than remote ranks");
+        assert!(
+            pair_bytes.len() < self.size(),
+            "more peers than remote ranks"
+        );
         let cost = coll::alltoallv_time(&self.net, pair_bytes);
         let vol: u64 = pair_bytes.iter().sum::<u64>() * self.size() as u64;
         self.collective("alltoallv", cost, vol)
@@ -443,7 +467,10 @@ impl Comm {
     /// groups proceed in parallel, so the charge is one group's cost.
     pub fn alltoallv_grouped(&mut self, group: usize, pair_bytes: &[u64]) -> SimTime {
         assert!(group >= 1 && group <= self.size());
-        assert!(pair_bytes.len() < group, "more peers than remote group members");
+        assert!(
+            pair_bytes.len() < group,
+            "more peers than remote group members"
+        );
         let cost = coll::alltoallv_time(&self.net, pair_bytes);
         let vol: u64 = pair_bytes.iter().sum::<u64>() * self.size() as u64;
         self.collective("alltoallv_grouped", cost, vol)
@@ -452,7 +479,11 @@ impl Comm {
     /// Nearest-neighbour halo exchange performed by every rank at once.
     pub fn halo_exchange(&mut self, neighbors: usize, bytes: u64) -> SimTime {
         let cost = coll::halo_time(&self.net, neighbors, bytes);
-        self.collective("halo_exchange", cost, bytes * neighbors as u64 * self.size() as u64)
+        self.collective(
+            "halo_exchange",
+            cost,
+            bytes * neighbors as u64 * self.size() as u64,
+        )
     }
 
     // ---- data-carrying collectives --------------------------------------
@@ -571,8 +602,7 @@ mod tests {
     #[test]
     fn allreduce_sum_produces_global_sum_everywhere() {
         let mut c = comm(4);
-        let mut data: Vec<Vec<f64>> =
-            (0..4).map(|r| vec![r as f64, 10.0 * r as f64]).collect();
+        let mut data: Vec<Vec<f64>> = (0..4).map(|r| vec![r as f64, 10.0 * r as f64]).collect();
         c.allreduce_sum_f64(&mut data);
         for v in &data {
             assert_eq!(v, &vec![6.0, 60.0]);
@@ -584,7 +614,11 @@ mod tests {
         let mut c = comm(3);
         // send[i][j] = vec of tagged values i*10 + j
         let send: Vec<Vec<Vec<u32>>> = (0..3)
-            .map(|i| (0..3).map(|j| vec![(i * 10 + j) as u32; i + j + 1]).collect())
+            .map(|i| {
+                (0..3)
+                    .map(|j| vec![(i * 10 + j) as u32; i + j + 1])
+                    .collect()
+            })
             .collect();
         let total_in: usize = send.iter().flatten().map(|v| v.len()).sum();
         let recv = c.alltoallv_data(send);
@@ -623,7 +657,10 @@ mod tests {
         let mut c = comm(1024);
         c.barrier();
         let t = c.elapsed();
-        assert!(t.micros() < 100.0, "barrier should be microseconds, got {t}");
+        assert!(
+            t.micros() < 100.0,
+            "barrier should be microseconds, got {t}"
+        );
         assert_eq!(c.stats().bytes, 0);
     }
 
@@ -689,7 +726,11 @@ mod tests {
         // Collectives land on every rank track; the send only on ranks 0, 3.
         assert_eq!(snap.tracks.len(), 4);
         for t in &snap.tracks {
-            let expect = if t.name == "world/rank0" || t.name == "world/rank3" { 3 } else { 2 };
+            let expect = if t.name == "world/rank0" || t.name == "world/rank3" {
+                3
+            } else {
+                2
+            };
             assert_eq!(t.spans, expect, "track {}", t.name);
         }
         // Per-track spans must be well-formed Chrome trace material.
@@ -717,7 +758,12 @@ mod tests {
         c.advance(0, SimTime::from_micros(40.0));
         let before = c.wait(1);
         c.send(0, 1, 1 << 10);
-        assert!((c.wait(1) - before - SimTime::from_micros(40.0)).secs().abs() < 1e-12);
+        assert!(
+            (c.wait(1) - before - SimTime::from_micros(40.0))
+                .secs()
+                .abs()
+                < 1e-12
+        );
         assert_eq!(c.wait(0), skew, "the late arriver paid nothing extra");
 
         c.absorb_telemetry();
@@ -752,7 +798,10 @@ mod tests {
         assert_eq!(a, run(42), "same seed must replay the same jitter");
         assert_ne!(a, run(43), "different seed, different noise");
         assert!(a > calm, "jitter can only slow the fabric");
-        assert!(a < calm * 1.3 + SimTime::from_secs(1e-12), "bounded by the amplitude");
+        assert!(
+            a < calm * 1.3 + SimTime::from_secs(1e-12),
+            "bounded by the amplitude"
+        );
         // reset() restarts the draw sequence.
         let mut c = comm(8);
         c.set_jitter(0.3, 42);
@@ -780,7 +829,10 @@ mod tests {
             collector.snapshot()
         };
         let off = run(false);
-        assert!(off.tracks.iter().all(|t| t.spans == 1), "clean traces unchanged");
+        assert!(
+            off.tracks.iter().all(|t| t.spans == 1),
+            "clean traces unchanged"
+        );
         let on = run(true);
         // Ranks 0, 1, 3 waited on rank 2: one extra fault-cat span each.
         for t in &on.tracks {

@@ -24,7 +24,11 @@ impl Network {
     /// Build a network view from a machine model with the common
     /// one-rank-per-GPU mapping.
     pub fn from_machine(m: &MachineModel) -> Self {
-        let ranks = if m.node.has_gpus() { m.node.gpus_per_node } else { m.node.cpu.cores };
+        let ranks = if m.node.has_gpus() {
+            m.node.gpus_per_node
+        } else {
+            m.node.cpu.cores
+        };
         Network {
             model: m.interconnect.clone(),
             nics_per_node: m.node.nics,
@@ -39,7 +43,10 @@ impl Network {
     /// `beta_factor` (a congested fabric costs more per message and per
     /// byte). Factors must be ≥ 1.
     pub fn with_contention(mut self, alpha_factor: f64, beta_factor: f64) -> Self {
-        assert!(alpha_factor >= 1.0 && beta_factor >= 1.0, "contention cannot speed the fabric up");
+        assert!(
+            alpha_factor >= 1.0 && beta_factor >= 1.0,
+            "contention cannot speed the fabric up"
+        );
         self.alpha_contention = alpha_factor;
         self.beta_contention = beta_factor;
         self

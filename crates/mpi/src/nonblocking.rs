@@ -136,7 +136,13 @@ impl Comm {
             Participants::All => self.stats.collectives += 1,
             Participants::Pair(..) => self.stats.messages += 1,
         }
-        Request { name, participants, start, finish, cost }
+        Request {
+            name,
+            participants,
+            start,
+            finish,
+            cost,
+        }
     }
 
     /// Complete a posted request: charge each participant the residue of
@@ -149,7 +155,11 @@ impl Comm {
         };
         for &r in &ranks {
             let now = self.clocks[r].now();
-            let residue = if req.finish > now { req.finish - now } else { SimTime::ZERO };
+            let residue = if req.finish > now {
+                req.finish - now
+            } else {
+                SimTime::ZERO
+            };
             self.waits[r] += residue;
             self.stats.wait += residue;
             self.stats.hidden += req.cost - residue.min(req.cost);
@@ -164,7 +174,8 @@ impl Comm {
                     Participants::Pair(..) => SpanCat::Message,
                 };
                 let tracks: Vec<_> = ranks.iter().map(|&r| tel.tracks[r]).collect();
-                tel.collector.complete_on_tracks(&tracks, req.name, cat, req.start, req.finish);
+                tel.collector
+                    .complete_on_tracks(&tracks, req.name, cat, req.start, req.finish);
             }
         }
     }
@@ -210,7 +221,10 @@ impl Comm {
 
     /// Split-phase variable-size all-to-all ([`Comm::alltoallv`]).
     pub fn ialltoallv(&mut self, pair_bytes: &[u64]) -> Request {
-        assert!(pair_bytes.len() < self.size(), "more peers than remote ranks");
+        assert!(
+            pair_bytes.len() < self.size(),
+            "more peers than remote ranks"
+        );
         let cost = coll::alltoallv_time(&self.net, pair_bytes);
         let vol = pair_bytes.iter().sum::<u64>() * self.size() as u64;
         self.post("ialltoallv", Participants::All, cost, vol)
@@ -219,7 +233,10 @@ impl Comm {
     /// Split-phase grouped variable-size all-to-all.
     pub fn ialltoallv_grouped(&mut self, group: usize, pair_bytes: &[u64]) -> Request {
         assert!(group >= 1 && group <= self.size());
-        assert!(pair_bytes.len() < group, "more peers than remote group members");
+        assert!(
+            pair_bytes.len() < group,
+            "more peers than remote group members"
+        );
         let cost = coll::alltoallv_time(&self.net, pair_bytes);
         let vol = pair_bytes.iter().sum::<u64>() * self.size() as u64;
         self.post("ialltoallv_grouped", Participants::All, cost, vol)

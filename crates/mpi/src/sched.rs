@@ -28,6 +28,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use workpool::ThreadPool;
 
+/// Target pool-task count per compute phase (`sched.task_chunks` knob,
+/// frozen at 64). Pure load-balance granularity: the per-rank outcome
+/// table is positional, so any value yields identical results. Resolved
+/// per phase so tuned-vs-frozen comparisons can flip the env override
+/// within one process.
+fn task_chunks() -> usize {
+    exa_tune::knob("sched.task_chunks", 64).max(1)
+}
+
 /// One span recorded by a rank inside a compute phase, in rank-local
 /// virtual time.
 #[derive(Debug, Clone)]
@@ -70,7 +79,12 @@ impl RankCtx {
     pub fn span(&mut self, name: impl Into<Cow<'static, str>>, cat: SpanCat, dt: SimTime) {
         let start = self.now;
         self.now += dt;
-        self.events.push(RankEvent { name: name.into(), cat, start, end: self.now });
+        self.events.push(RankEvent {
+            name: name.into(),
+            cat,
+            start,
+            end: self.now,
+        });
     }
 }
 
@@ -149,14 +163,20 @@ impl Default for RankScheduler {
 impl RankScheduler {
     /// A scheduler on the process-wide pool (`EXA_THREADS`, 0 ⇒ auto).
     pub fn new() -> Self {
-        RankScheduler { pool: PoolRef::Global, observer: None }
+        RankScheduler {
+            pool: PoolRef::Global,
+            observer: None,
+        }
     }
 
     /// A scheduler with an explicit lane count (tests and benches pin
     /// concurrency without touching the environment). `1` is the
     /// sequential schedule: every rank closure runs inline, in rank order.
     pub fn with_threads(threads: usize) -> Self {
-        RankScheduler { pool: PoolRef::Owned(ThreadPool::new(threads)), observer: None }
+        RankScheduler {
+            pool: PoolRef::Owned(ThreadPool::new(threads)),
+            observer: None,
+        }
     }
 
     /// The sequential reference schedule (`with_threads(1)`).
@@ -229,7 +249,8 @@ impl RankScheduler {
             }),
         );
         let phases = obs.phases.load(Ordering::Relaxed);
-        obs.collector.metrics(|m| m.counter_add("sched.phases", phases));
+        obs.collector
+            .metrics(|m| m.counter_add("sched.phases", phases));
         Some(SchedLanding {
             busy_ns,
             fanout_wall_ns: obs.fanout_wall_ns.load(Ordering::Relaxed),
@@ -275,9 +296,10 @@ impl RankScheduler {
         // Rank-indexed outcome table: (elapsed virtual time, span log).
         let mut outs: Vec<(SimTime, Vec<RankEvent>)> = Vec::new();
         outs.resize_with(p, || (SimTime::ZERO, Vec::new()));
-        // Chunk ranks into at most 64 pool tasks; the chunking affects
-        // only load balance, never results (the table is positional).
-        let chunk = p.div_ceil(64).max(1);
+        // Chunk ranks into at most `sched.task_chunks` pool tasks (frozen
+        // at 64); the chunking affects only load balance, never results
+        // (the table is positional).
+        let chunk = p.div_ceil(task_chunks()).max(1);
         // Wall-clock phase marking (observer attached only): the window
         // from here to the end of the scope is the fan-out (ranks in
         // flight); the gap since the previous phase ended is idle.
@@ -285,10 +307,11 @@ impl RankScheduler {
             let t0 = self.pool().now_ns();
             let prev = obs.last_end_ns.load(Ordering::Relaxed);
             if prev > 0 && t0 > prev {
-                obs.marks
-                    .lock()
-                    .expect("scheduler marks")
-                    .push(PhaseMark { name: "idle", start_ns: prev, end_ns: t0 });
+                obs.marks.lock().expect("scheduler marks").push(PhaseMark {
+                    name: "idle",
+                    start_ns: prev,
+                    end_ns: t0,
+                });
             }
             t0
         });
@@ -321,11 +344,13 @@ impl RankScheduler {
         let merge_start = self.observer.as_ref().map(|obs| {
             let t1 = self.pool().now_ns();
             if let Some(t0) = fanout_start {
-                obs.fanout_wall_ns.fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
-                obs.marks
-                    .lock()
-                    .expect("scheduler marks")
-                    .push(PhaseMark { name: "fanout", start_ns: t0, end_ns: t1 });
+                obs.fanout_wall_ns
+                    .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                obs.marks.lock().expect("scheduler marks").push(PhaseMark {
+                    name: "fanout",
+                    start_ns: t0,
+                    end_ns: t1,
+                });
             }
             t1
         });
@@ -368,20 +393,20 @@ impl RankScheduler {
             for (r, (_, events)) in outs.into_iter().enumerate() {
                 merged.extend(events.into_iter().map(|e| (r, e)));
             }
-            merged.sort_by(|a, b| {
-                a.1.start.cmp(&b.1.start).then(a.0.cmp(&b.0))
-            });
+            merged.sort_by(|a, b| a.1.start.cmp(&b.1.start).then(a.0.cmp(&b.0)));
             for (r, e) in merged {
-                tel.collector.complete(tel.tracks[r], e.name, e.cat, e.start, e.end);
+                tel.collector
+                    .complete(tel.tracks[r], e.name, e.cat, e.start, e.end);
             }
         }
         if let Some(obs) = self.observer.as_ref() {
             let t2 = self.pool().now_ns();
             if let Some(t1) = merge_start {
-                obs.marks
-                    .lock()
-                    .expect("scheduler marks")
-                    .push(PhaseMark { name: "merge", start_ns: t1, end_ns: t2 });
+                obs.marks.lock().expect("scheduler marks").push(PhaseMark {
+                    name: "merge",
+                    start_ns: t1,
+                    end_ns: t2,
+                });
             }
             obs.last_end_ns.store(t2, Ordering::Relaxed);
             obs.phases.fetch_add(1, Ordering::Relaxed);
@@ -404,7 +429,10 @@ mod tests {
     fn run(threads: usize, ranks: usize) -> (Vec<SimTime>, String, u64) {
         let sched = RankScheduler::with_threads(threads);
         let collector = TelemetryCollector::shared();
-        let mut comm = Comm::new(ranks, Network::from_machine(&exa_machine::MachineModel::frontier()));
+        let mut comm = Comm::new(
+            ranks,
+            Network::from_machine(&exa_machine::MachineModel::frontier()),
+        );
         comm.attach_telemetry(&collector, "world");
         let mut sums = vec![0.0f64; ranks];
         sched.compute_phase(&mut comm, &mut sums, |ctx, sum| {
@@ -423,7 +451,11 @@ mod tests {
         comm.absorb_telemetry();
         let clocks: Vec<SimTime> = (0..ranks).map(|r| comm.now(r)).collect();
         let digest = exa_telemetry::digest64(&format!("{sums:?}"));
-        (clocks, collector.chrome_trace(), u64::from_str_radix(&digest, 16).unwrap())
+        (
+            clocks,
+            collector.chrome_trace(),
+            u64::from_str_radix(&digest, 16).unwrap(),
+        )
     }
 
     #[test]
@@ -440,7 +472,10 @@ mod tests {
     #[test]
     fn phase_advances_each_rank_by_its_own_elapsed_time() {
         let sched = RankScheduler::with_threads(3);
-        let mut comm = Comm::new(4, Network::from_machine(&exa_machine::MachineModel::frontier()));
+        let mut comm = Comm::new(
+            4,
+            Network::from_machine(&exa_machine::MachineModel::frontier()),
+        );
         let mut states = vec![(); 4];
         sched.compute_phase(&mut comm, &mut states, |ctx, _| {
             ctx.advance(us((ctx.rank() + 1) as f64));
@@ -455,7 +490,10 @@ mod tests {
     fn observer_lands_worker_tracks_phase_spans_and_histograms() {
         let mut sched = RankScheduler::with_threads(4);
         let collector = TelemetryCollector::shared();
-        let mut comm = Comm::new(32, Network::from_machine(&exa_machine::MachineModel::frontier()));
+        let mut comm = Comm::new(
+            32,
+            Network::from_machine(&exa_machine::MachineModel::frontier()),
+        );
         comm.attach_telemetry(&collector, "world");
         let obs = sched.attach_observer(&collector, "pool");
         let mut states = vec![0.0f64; 32];
@@ -475,10 +513,15 @@ mod tests {
         assert_eq!(landing.lanes, 4);
         assert!(landing.occupancy() > 0.0 && landing.occupancy() <= 1.0 + 1e-9);
         let snap = collector.snapshot();
-        assert!(snap.tracks.iter().any(|t| t.kind == "worker" && t.name.starts_with("pool/")));
+        assert!(snap
+            .tracks
+            .iter()
+            .any(|t| t.kind == "worker" && t.name.starts_with("pool/")));
         assert!(snap.tracks.iter().any(|t| t.name == "pool/scheduler"));
         assert_eq!(snap.counter("sched.phases"), 3);
-        let h = snap.hist("sched.rank_compute_s").expect("rank compute histogram");
+        let h = snap
+            .hist("sched.rank_compute_s")
+            .expect("rank compute histogram");
         assert_eq!(h.count(), 96, "32 ranks x 3 phases");
         assert!(h.p99() >= h.p50());
         // Wall-clock and virtual tracks coexist in one valid trace.
@@ -491,8 +534,10 @@ mod tests {
         let run = |threads: usize| {
             let sched = RankScheduler::with_threads(threads);
             let collector = TelemetryCollector::shared();
-            let mut comm =
-                Comm::new(16, Network::from_machine(&exa_machine::MachineModel::frontier()));
+            let mut comm = Comm::new(
+                16,
+                Network::from_machine(&exa_machine::MachineModel::frontier()),
+            );
             comm.attach_telemetry(&collector, "w");
             let mut states = vec![(); 16];
             sched.compute_phase(&mut comm, &mut states, |ctx, _| {
@@ -500,7 +545,11 @@ mod tests {
             });
             collector.snapshot().to_json()
         };
-        assert_eq!(run(1), run(4), "snapshot (incl. histogram) must be byte-identical");
+        assert_eq!(
+            run(1),
+            run(4),
+            "snapshot (incl. histogram) must be byte-identical"
+        );
     }
 
     #[test]
@@ -508,8 +557,10 @@ mod tests {
         let run = |threads: usize| {
             let sched = RankScheduler::with_threads(threads);
             let collector = TelemetryCollector::shared();
-            let mut comm =
-                Comm::new(4, Network::from_machine(&exa_machine::MachineModel::frontier()));
+            let mut comm = Comm::new(
+                4,
+                Network::from_machine(&exa_machine::MachineModel::frontier()),
+            );
             comm.attach_telemetry(&collector, "w");
             let mut states = vec![(); 4];
             let skew = [1.0, 1.0, 3.0, 1.0];
@@ -532,7 +583,10 @@ mod tests {
     fn merged_span_log_is_time_then_rank_ordered() {
         let sched = RankScheduler::new();
         let collector = TelemetryCollector::shared();
-        let mut comm = Comm::new(3, Network::from_machine(&exa_machine::MachineModel::summit()));
+        let mut comm = Comm::new(
+            3,
+            Network::from_machine(&exa_machine::MachineModel::summit()),
+        );
         comm.attach_telemetry(&collector, "w");
         let mut states = vec![(); 3];
         sched.compute_phase(&mut comm, &mut states, |ctx, _| {

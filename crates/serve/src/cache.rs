@@ -24,6 +24,24 @@ struct Shard<V> {
     tick: u64,
 }
 
+/// Shard count for a service running on `threads` workers: four shards
+/// per worker, rounded up to a power of two and clamped to `[1, 64]` —
+/// enough spread that concurrent batches rarely contend on one shard's
+/// recency clock, without fragmenting capacity at small thread counts.
+/// The `serve.shards` knob overrides the heuristic outright when a
+/// tuned table (or `EXA_TUNE_SERVE_SHARDS`) pins a positive value.
+///
+/// Shard count never changes *what* is answered — keys hash to shards
+/// deterministically and eviction is per shard — it only moves the
+/// occupancy/eviction boundaries, which the RED metrics surface.
+pub fn auto_shards(threads: usize) -> usize {
+    let pinned = exa_tune::knob_i64("serve.shards", 0);
+    if pinned > 0 {
+        return pinned as usize;
+    }
+    (threads.max(1) * 4).next_power_of_two().clamp(1, 64)
+}
+
 /// Sharded least-recently-used cache with a fixed per-shard capacity.
 pub struct ShardedLru<V> {
     shards: Vec<Shard<V>>,
@@ -36,7 +54,12 @@ impl<V: Clone> ShardedLru<V> {
     pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
         let shards = shards.max(1);
         ShardedLru {
-            shards: (0..shards).map(|_| Shard { map: HashMap::new(), tick: 0 }).collect(),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    map: HashMap::new(),
+                    tick: 0,
+                })
+                .collect(),
             capacity_per_shard: capacity_per_shard.max(1),
         }
     }
@@ -78,13 +101,22 @@ impl<V: Clone> ShardedLru<V> {
         if shard.map.len() >= capacity {
             // Ticks are unique within a shard, so the minimum is unique
             // and eviction is deterministic.
-            if let Some(victim) =
-                shard.map.iter().min_by_key(|(_, e)| e.last_use).map(|(k, _)| k.clone())
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
             {
                 shard.map.remove(&victim);
             }
         }
-        shard.map.insert(key.to_string(), Entry { value, last_use: tick });
+        shard.map.insert(
+            key.to_string(),
+            Entry {
+                value,
+                last_use: tick,
+            },
+        );
     }
 
     /// Total live entries across all shards.
@@ -152,6 +184,40 @@ mod tests {
             for (shard, occ) in cache.shard_occupancy().into_iter().enumerate() {
                 assert!(occ <= 4, "shard {shard} over capacity: {occ}");
             }
+        }
+    }
+
+    #[test]
+    fn auto_shards_tracks_thread_count() {
+        assert_eq!(auto_shards(1), 4);
+        assert_eq!(auto_shards(4), 16);
+        assert_eq!(auto_shards(3), 16, "rounds up to a power of two");
+        assert_eq!(auto_shards(0), 4, "zero threads clamps to one worker");
+        assert_eq!(auto_shards(1024), 64, "clamped to 64 shards");
+    }
+
+    #[test]
+    fn occupancy_invariants_hold_at_auto_sizes() {
+        // The shard counts a 1-thread and a 4-thread service resolve to.
+        for threads in [1usize, 4] {
+            let shards = auto_shards(threads);
+            let cap = 8;
+            let mut cache: ShardedLru<usize> = ShardedLru::new(shards, cap);
+            for i in 0..shards * cap * 4 {
+                cache.insert(&format!("key{i}"), i);
+                let occ = cache.shard_occupancy();
+                assert_eq!(occ.len(), shards, "{threads} threads");
+                assert_eq!(occ.iter().sum::<usize>(), cache.len());
+                assert!(
+                    occ.iter().all(|&o| o <= cap),
+                    "per-shard capacity respected"
+                );
+            }
+            assert!(
+                cache.shard_occupancy().iter().all(|&o| o > 0),
+                "with 4x capacity inserted every shard is populated at {threads} threads"
+            );
+            assert_eq!(cache.capacity(), shards * cap);
         }
     }
 

@@ -25,8 +25,6 @@ pub mod cache;
 pub mod query;
 pub mod service;
 
-pub use cache::ShardedLru;
+pub use cache::{auto_shards, ShardedLru};
 pub use query::Query;
-pub use service::{
-    CacheStatus, CampaignService, QueryOutcome, ServeConfig, ServeStats, SloDrill,
-};
+pub use service::{CacheStatus, CampaignService, QueryOutcome, ServeConfig, ServeStats, SloDrill};

@@ -118,8 +118,9 @@ impl Query {
                 "app" => set_once(&mut app, value, "app")?,
                 "machine" => set_once(&mut machine, value, "machine")?,
                 "nodes" => {
-                    let n: u32 =
-                        value.parse().map_err(|_| format!("nodes '{value}' is not a u32"))?;
+                    let n: u32 = value
+                        .parse()
+                        .map_err(|_| format!("nodes '{value}' is not a u32"))?;
                     if nodes.replace(n).is_some() {
                         return Err("duplicate field 'nodes'".to_string());
                     }
@@ -213,19 +214,31 @@ mod tests {
         for (text, needle) in [
             ("machine=Frontier", "missing required field 'app'"),
             ("app=Pele", "missing required field 'machine'"),
-            ("app=Pele machine=Frontier app=LSMS", "duplicate field 'app'"),
+            (
+                "app=Pele machine=Frontier app=LSMS",
+                "duplicate field 'app'",
+            ),
             ("app=Pele machine=Frontier bogus=1", "unknown field 'bogus'"),
             ("app=Pele machine=Frontier nodes=-3", "not a u32"),
             ("app=Pele machine=Frontier knob:x=zero", "not a number"),
-            ("app=Pele machine=Frontier knob:x=0", "must be finite and positive"),
-            ("app=Pele machine=Frontier knob:x=1 knob:x=2", "duplicate knob 'x'"),
+            (
+                "app=Pele machine=Frontier knob:x=0",
+                "must be finite and positive",
+            ),
+            (
+                "app=Pele machine=Frontier knob:x=1 knob:x=2",
+                "duplicate knob 'x'",
+            ),
             ("app=Hype machine=Frontier", "unknown application 'Hype'"),
             ("app=Pele machine=Aurora", "unknown machine 'Aurora'"),
             ("app=Pele machine=Frontier naked", "not key=value"),
             ("app=Pele machine=", "empty value"),
         ] {
             let err = Query::parse(text).expect_err(text);
-            assert!(err.contains(needle), "{text}: got '{err}', wanted '{needle}'");
+            assert!(
+                err.contains(needle),
+                "{text}: got '{err}', wanted '{needle}'"
+            );
         }
     }
 }

@@ -58,7 +58,9 @@ pub struct ServeConfig {
     /// Worker threads for miss evaluation; 0 picks
     /// [`workpool::default_threads`].
     pub threads: usize,
-    /// Cache shard count.
+    /// Cache shard count; 0 auto-sizes from the resolved thread count
+    /// via [`crate::cache::auto_shards`] (overridable through the
+    /// `serve.shards` knob).
     pub shards: usize,
     /// Entries per cache shard.
     pub capacity_per_shard: usize,
@@ -77,7 +79,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             threads: 0,
-            shards: 8,
+            shards: 0,
             capacity_per_shard: 512,
             lanes: 4,
             trace_sample: 1,
@@ -200,8 +202,11 @@ impl CampaignService {
     /// Build a service. The pool is owned (never the global one) so its
     /// observer and size belong to this service alone.
     pub fn new(config: ServeConfig) -> Self {
-        let threads =
-            if config.threads == 0 { workpool::default_threads() } else { config.threads };
+        let threads = if config.threads == 0 {
+            workpool::default_threads()
+        } else {
+            config.threads
+        };
         let pool = ThreadPool::new(threads);
         let pool_obs = Arc::new(PoolTelemetry::new());
         pool.set_observer(Some(pool_obs.clone() as Arc<dyn workpool::PoolObserver>));
@@ -210,7 +215,12 @@ impl CampaignService {
         let lane_tracks = (0..lanes)
             .map(|k| collector.track(&format!("serve/lane{k}"), TrackKind::Worker))
             .collect();
-        let cache = ShardedLru::new(config.shards, config.capacity_per_shard);
+        let shards = if config.shards == 0 {
+            crate::cache::auto_shards(threads)
+        } else {
+            config.shards
+        };
+        let cache = ShardedLru::new(shards, config.capacity_per_shard);
         CampaignService {
             config,
             pool,
@@ -308,7 +318,8 @@ impl CampaignService {
                 });
             }
         });
-        self.collector.metrics(|m| m.gauge_max("serve.inflight.peak", jobs.len() as f64));
+        self.collector
+            .metrics(|m| m.gauge_max("serve.inflight.peak", jobs.len() as f64));
 
         // Phase 3 — serial merge in batch order: cache inserts, RED
         // metrics, epoch histograms, and virtual-time spans.
@@ -400,11 +411,18 @@ impl CampaignService {
                     m.counter_add(
                         &labeled_key(
                             "serve.requests",
-                            &[("app", &q.app), ("cache", status_label), ("scenario", &q.scenario)],
+                            &[
+                                ("app", &q.app),
+                                ("cache", status_label),
+                                ("scenario", &q.scenario),
+                            ],
                         ),
                         1,
                     );
-                    m.hist_record(&labeled_key("serve.latency_s", &[("app", &q.app)]), latency_s);
+                    m.hist_record(
+                        &labeled_key("serve.latency_s", &[("app", &q.app)]),
+                        latency_s,
+                    );
                 }
                 if status == CacheStatus::Miss {
                     if let (Some(q), Some(a)) = (&query, &answer) {
@@ -419,7 +437,10 @@ impl CampaignService {
                 }
             });
             if let Some(q) = &query {
-                self.epoch.entry(q.app.clone()).or_default().record(latency_s);
+                self.epoch
+                    .entry(q.app.clone())
+                    .or_default()
+                    .record(latency_s);
             }
 
             // Virtual-time span tree, deterministically sampled.
@@ -467,7 +488,11 @@ impl CampaignService {
                 self.lane_cursor_s[lane] = t + STEP_S;
             }
 
-            results.push(QueryOutcome { status, answer, error });
+            results.push(QueryOutcome {
+                status,
+                answer,
+                error,
+            });
         }
 
         for (lane, spans) in lane_spans.into_iter().enumerate() {
@@ -487,7 +512,10 @@ impl CampaignService {
             m.gauge_set("serve.cache.hit_ratio", hit_ratio);
             for (shard, occ) in occupancy.iter().enumerate() {
                 m.gauge_set(
-                    &labeled_key("serve.cache.shard_occupancy", &[("shard", &shard.to_string())]),
+                    &labeled_key(
+                        "serve.cache.shard_occupancy",
+                        &[("shard", &shard.to_string())],
+                    ),
                     *occ as f64,
                 );
             }
@@ -521,5 +549,8 @@ fn evaluate_job(job: &EvalJob, drill: Option<&SloDrill>) -> EvalOut {
             }
         }
     }
-    EvalOut { answer, eval_wall_s: t0.elapsed().as_secs_f64() }
+    EvalOut {
+        answer,
+        eval_wall_s: t0.elapsed().as_secs_f64(),
+    }
 }

@@ -37,7 +37,11 @@ pub fn all_benchmarks() -> Vec<Box<dyn ShocBenchmark>> {
 }
 
 fn input_f32(n: usize, salt: u32) -> Vec<f32> {
-    (0..n).map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(salt) % 1000) as f32 / 500.0 - 1.0).collect()
+    (0..n)
+        .map(|i| {
+            ((i as u32).wrapping_mul(2654435761).wrapping_add(salt) % 1000) as f32 / 500.0 - 1.0
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -230,20 +234,26 @@ impl ShocBenchmark for FftBench {
                     .collect()
             })
             .collect();
-        let energy_before: f64 =
-            rows.iter().flat_map(|r| r.iter().map(|z| z.norm_sqr())).sum();
+        let energy_before: f64 = rows
+            .iter()
+            .flat_map(|r| r.iter().map(|z| z.norm_sqr()))
+            .sum();
 
         let mut buf = s.alloc::<f64>(2 * len * batch)?;
-        s.upload(&host.iter().map(|&x| x as f64).collect::<Vec<_>>(), &mut buf)?;
+        s.upload(
+            &host.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+            &mut buf,
+        )?;
         let flops = batch as f64 * exa_fft::fft1d::fft_flops(len);
         let bytes = (batch * len * 16) as f64;
-        let profile = KernelProfile::new("fft_batch", LaunchConfig::cover((batch * len) as u64, 256))
-            .flops(flops, DType::C64)
-            .bytes(2.0 * bytes, bytes)
-            .regs(64)
-            .lds(8 * 1024)
-            .compute_eff(0.25)
-            .mem_eff(0.7);
+        let profile =
+            KernelProfile::new("fft_batch", LaunchConfig::cover((batch * len) as u64, 256))
+                .flops(flops, DType::C64)
+                .bytes(2.0 * bytes, bytes)
+                .regs(64)
+                .lds(8 * 1024)
+                .compute_eff(0.25)
+                .mem_eff(0.7);
         let e0 = s.record_event();
         s.launch(&profile, || {
             for r in rows.iter_mut() {
@@ -253,8 +263,11 @@ impl ShocBenchmark for FftBench {
         let e1 = s.record_event();
         s.download_modeled(buf.bytes());
         // Parseval oracle (and a spot round-trip).
-        let energy_after: f64 =
-            rows.iter().flat_map(|r| r.iter().map(|z| z.norm_sqr())).sum::<f64>() / len as f64;
+        let energy_after: f64 = rows
+            .iter()
+            .flat_map(|r| r.iter().map(|z| z.norm_sqr()))
+            .sum::<f64>()
+            / len as f64;
         let mut probe = rows[0].clone();
         ifft(&mut probe);
         let ok = (energy_before - energy_after).abs() < 1e-6 * energy_before.max(1.0);
@@ -293,13 +306,15 @@ impl ShocBenchmark for GemmBench {
         s.download_modeled((n * n * 4) as u64);
         let c = c.expect("kernel ran");
         // Spot-check a few entries by dot product.
-        let ok = [(0, 0), (n / 2, n / 3), (n - 1, n - 1)].iter().all(|&(i, j)| {
-            let mut acc = 0.0f64;
-            for k in 0..n {
-                acc += a[(i, k)] as f64 * b[(k, j)] as f64;
-            }
-            (acc - c[(i, j)] as f64).abs() < 1e-2 * acc.abs().max(1.0)
-        });
+        let ok = [(0, 0), (n / 2, n / 3), (n - 1, n - 1)]
+            .iter()
+            .all(|&(i, j)| {
+                let mut acc = 0.0f64;
+                for k in 0..n {
+                    acc += a[(i, k)] as f64 * b[(k, j)] as f64;
+                }
+                (acc - c[(i, j)] as f64).abs() < 1e-2 * acc.abs().max(1.0)
+            });
         Ok(finish(self.name(), s, e1.elapsed_since(&e0), ok))
     }
 }
@@ -479,7 +494,9 @@ impl ShocBenchmark for Sort {
 
     fn run(&self, s: &mut Stream, scale: Scale) -> Result<BenchResult> {
         let n = scale.n();
-        let host: Vec<u32> = (0..n).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+        let host: Vec<u32> = (0..n)
+            .map(|i| (i as u32).wrapping_mul(2654435761))
+            .collect();
         let mut keys = s.alloc::<u32>(n)?;
         s.upload(&host, &mut keys)?;
         // 4 passes of 8-bit LSD radix: each reads + writes all keys twice.
@@ -657,10 +674,7 @@ impl ShocBenchmark for Stencil2D {
         for _ in 0..ITERS {
             oracle = step(&oracle);
         }
-        let ok = out
-            .iter()
-            .zip(&oracle)
-            .all(|(a, b)| (a - b).abs() < 1e-4);
+        let ok = out.iter().zip(&oracle).all(|(a, b)| (a - b).abs() < 1e-4);
         Ok(finish(self.name(), s, e1.elapsed_since(&e0), ok))
     }
 }
@@ -701,8 +715,9 @@ impl ShocBenchmark for Triad {
         let e1 = s.record_event();
         let mut out = vec![0.0f32; n];
         s.download(&a, &mut out)?;
-        let ok =
-            (0..n).step_by(997).all(|i| (out[i] - (b_host[i] * SCALAR + c_host[i])).abs() < 1e-5);
+        let ok = (0..n)
+            .step_by(997)
+            .all(|i| (out[i] - (b_host[i] * SCALAR + c_host[i])).abs() < 1e-5);
         Ok(finish(self.name(), s, e1.elapsed_since(&e0), ok))
     }
 }
@@ -723,8 +738,10 @@ impl ShocBenchmark for S3D {
 
     fn run(&self, s: &mut Stream, scale: Scale) -> Result<BenchResult> {
         let n = scale.n().min(1 << 16);
-        let t_host: Vec<f64> =
-            input_f32(n, 13).iter().map(|&x| 900.0 + 500.0 * (x as f64 + 1.0)).collect();
+        let t_host: Vec<f64> = input_f32(n, 13)
+            .iter()
+            .map(|&x| 900.0 + 500.0 * (x as f64 + 1.0))
+            .collect();
         let mut temp = s.alloc::<f64>(n)?;
         s.upload(&t_host, &mut temp)?;
         let mut rates = s.alloc::<f64>(n)?;
@@ -773,7 +790,11 @@ mod tests {
             let mut s = cuda_stream();
             let r = b.run(&mut s, Scale::Test).unwrap();
             assert!(r.verified, "{} failed verification", b.name());
-            assert!(r.time_total > exa_hal::SimTime::ZERO, "{} charged no time", b.name());
+            assert!(
+                r.time_total > exa_hal::SimTime::ZERO,
+                "{} charged no time",
+                b.name()
+            );
             assert!(r.time_kernel <= r.time_total, "{} kernel > total", b.name());
         }
     }
@@ -827,7 +848,11 @@ mod tests {
             );
             assert!(report.api_lines > 0, "{} has no API lines", b.name());
             assert_eq!(report.auto_fraction(), 1.0, "{}", b.name());
-            assert!(!report.output.contains("cuda"), "{} left cuda calls", b.name());
+            assert!(
+                !report.output.contains("cuda"),
+                "{} left cuda calls",
+                b.name()
+            );
         }
     }
 
@@ -850,9 +875,9 @@ mod tests {
 /// Reference MD5 of a byte message (RFC 1321, single-shot).
 pub fn md5(message: &[u8]) -> [u8; 16] {
     const S: [u32; 64] = [
-        7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20,
-        5, 9, 14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
-        6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+        7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20, 5,
+        9, 14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6, 10,
+        15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
     ];
     const K: [u32; 64] = [
         0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,

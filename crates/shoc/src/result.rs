@@ -61,7 +61,17 @@ pub trait ShocBenchmark: Sync {
 /// Helper: assemble a [`BenchResult`] from a stream whose clocks started at
 /// zero; `kernel_busy` should be the device-busy time attributable to
 /// kernels (not DMA).
-pub fn finish(name: &str, stream: &mut Stream, kernel_time: SimTime, verified: bool) -> BenchResult {
+pub fn finish(
+    name: &str,
+    stream: &mut Stream,
+    kernel_time: SimTime,
+    verified: bool,
+) -> BenchResult {
     let total = stream.synchronize();
-    BenchResult { name: name.to_string(), time_total: total, time_kernel: kernel_time, verified }
+    BenchResult {
+        name: name.to_string(),
+        time_total: total,
+        time_kernel: kernel_time,
+        verified,
+    }
 }

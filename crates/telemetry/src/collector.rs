@@ -101,7 +101,10 @@ impl TelemetryCollector {
         at: SimTime,
     ) -> SpanGuard {
         let id = self.begin(track, name, cat, at);
-        SpanGuard { collector: Arc::clone(self), id: Some(id) }
+        SpanGuard {
+            collector: Arc::clone(self),
+            id: Some(id),
+        }
     }
 
     /// Pour a stats source into the metrics registry (add semantics —

@@ -141,7 +141,13 @@ impl CriticalPath {
             cursor = start;
         }
         segments.reverse();
-        CriticalPath { wall_s: wall, busy_s: busy, idle_s: idle, segments, by_span }
+        CriticalPath {
+            wall_s: wall,
+            busy_s: busy,
+            idle_s: idle,
+            segments,
+            by_span,
+        }
     }
 
     /// The span contributing the most path time, if any.
@@ -275,10 +281,7 @@ pub struct SpanDelta {
 
 /// Diff two span profiles, worst regression first. Spans present in only
 /// one run still appear (with the missing side at zero).
-pub fn diff_profiles(
-    base: &BTreeMap<String, f64>,
-    new: &BTreeMap<String, f64>,
-) -> Vec<SpanDelta> {
+pub fn diff_profiles(base: &BTreeMap<String, f64>, new: &BTreeMap<String, f64>) -> Vec<SpanDelta> {
     const EPS: f64 = 1e-12;
     let mut names: Vec<&String> = base.keys().chain(new.keys()).collect();
     names.sort();
@@ -328,7 +331,10 @@ mod tests {
         assert!(cp.idle_s.abs() < 1e-12, "no gaps: {:?}", cp.segments);
         let names: Vec<&str> = cp.segments.iter().map(|g| g.name.as_str()).collect();
         assert_eq!(names, vec!["compute", "allreduce"]);
-        assert_eq!(cp.segments[0].track, "rank0", "path goes through the slow rank");
+        assert_eq!(
+            cp.segments[0].track, "rank0",
+            "path goes through the slow rank"
+        );
         assert_eq!(cp.dominant_span(), Some(("compute", 4.0)));
     }
 
@@ -356,7 +362,11 @@ mod tests {
         tl.end(outer, s(3.0));
         let cp = CriticalPath::compute(&tl);
         let names: Vec<&str> = cp.segments.iter().map(|g| g.name.as_str()).collect();
-        assert_eq!(names, vec!["step", "fft"], "child attributed where it covers");
+        assert_eq!(
+            names,
+            vec!["step", "fft"],
+            "child attributed where it covers"
+        );
         assert_eq!(cp.by_span["fft"], 2.0);
         assert_eq!(cp.by_span["step"], 1.0);
     }
@@ -387,7 +397,10 @@ mod tests {
         let p = span_profile(&tl, 10);
         assert_eq!(p.get("step"), Some(&3.0));
         assert_eq!(p.get("io"), Some(&0.5));
-        assert!(!p.contains_key("fft"), "nested spans are not double-counted");
+        assert!(
+            !p.contains_key("fft"),
+            "nested spans are not double-counted"
+        );
         let top1 = span_profile(&tl, 1);
         assert_eq!(top1.len(), 1);
         assert!(top1.contains_key("step"));
@@ -408,7 +421,10 @@ mod tests {
         assert_eq!(att.checkpoint_s, 1.5);
         assert_eq!(att.restart_s, 2.5);
         assert_eq!(att.straggler_wait_s, 0.25);
-        assert!((att.total_s() - 9.25).abs() < 1e-12, "compute spans excluded");
+        assert!(
+            (att.total_s() - 9.25).abs() < 1e-12,
+            "compute spans excluded"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub fn chrome_trace(timeline: &Timeline) -> String {
         }
     }
     events.sort_by(|a, b| {
-        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(b.2)).then(a.3.cmp(&b.3))
+        a.0.total_cmp(&b.0)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(b.2))
+            .then(a.3.cmp(&b.3))
     });
     for (ts, depth, name, tid, dur, cat) in events {
         sep(&mut out, &mut first);
@@ -101,21 +104,36 @@ pub fn hotspot_csv(timeline: &Timeline) -> String {
             if span.cat == SpanCat::Phase {
                 continue; // host phases are structure, not hotspots
             }
-            let e = agg.entry((&span.name, span.cat)).or_insert((0, SimTime::ZERO));
+            let e = agg
+                .entry((&span.name, span.cat))
+                .or_insert((0, SimTime::ZERO));
             e.0 += 1;
             e.1 += span.duration();
         }
     }
     let total: SimTime = agg.values().map(|(_, t)| *t).sum();
-    let mut rows: Vec<(&str, SpanCat, u64, SimTime)> =
-        agg.into_iter().map(|((n, c), (calls, t))| (n, c, calls, t)).collect();
+    let mut rows: Vec<(&str, SpanCat, u64, SimTime)> = agg
+        .into_iter()
+        .map(|((n, c), (calls, t))| (n, c, calls, t))
+        .collect();
     rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
     let mut out = String::from("name,category,calls,total_us,share_pct\n");
     for (name, cat, calls, t) in rows {
-        let share = if total.is_zero() { 0.0 } else { t / total * 100.0 };
+        let share = if total.is_zero() {
+            0.0
+        } else {
+            t / total * 100.0
+        };
         csv_field(&mut out, name);
-        writeln!(out, ",{},{},{:.3},{:.2}", cat.label(), calls, t.secs() * 1e6, share)
-            .expect("write to String");
+        writeln!(
+            out,
+            ",{},{},{:.3},{:.2}",
+            cat.label(),
+            calls,
+            t.secs() * 1e6,
+            share
+        )
+        .expect("write to String");
     }
     out
 }
@@ -272,9 +290,10 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
             writeln!(out, " {v}").expect("write to String");
         }
     }
-    for (name, variants) in
-        group_families(snapshot.gauges.iter().map(|(k, &v)| (k, v)), prometheus_name)
-    {
+    for (name, variants) in group_families(
+        snapshot.gauges.iter().map(|(k, &v)| (k, v)),
+        prometheus_name,
+    ) {
         family(&mut out, &name, "gauge");
         for (block, v) in variants {
             out.push_str(&name);
@@ -307,8 +326,13 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
                 writeln!(out, "{name}_bucket{} {cum}", bucket_labels(block, &le))
                     .expect("write to String");
             }
-            writeln!(out, "{name}_bucket{} {}", bucket_labels(block, "+Inf"), h.count())
-                .expect("write to String");
+            writeln!(
+                out,
+                "{name}_bucket{} {}",
+                bucket_labels(block, "+Inf"),
+                h.count()
+            )
+            .expect("write to String");
             out.push_str(&name);
             out.push_str("_sum");
             push_labels(&mut out, block);
@@ -330,7 +354,15 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
 /// is sorted by stack string so equal timelines fold byte-identically.
 pub fn folded_stacks(timeline: &Timeline) -> String {
     fn frame(name: &str) -> String {
-        name.chars().map(|c| if c == ';' || c == '\n' || c == '\r' { ':' } else { c }).collect()
+        name.chars()
+            .map(|c| {
+                if c == ';' || c == '\n' || c == '\r' {
+                    ':'
+                } else {
+                    c
+                }
+            })
+            .collect()
     }
     struct Open {
         path: String,
@@ -350,7 +382,10 @@ pub fn folded_stacks(timeline: &Timeline) -> String {
         // Parents sort ahead of the children they contain: earlier start
         // first, and at an equal start the smaller depth.
         spans.sort_by(|a, b| {
-            a.start.cmp(&b.start).then(a.depth.cmp(&b.depth)).then(a.name.cmp(&b.name))
+            a.start
+                .cmp(&b.start)
+                .then(a.depth.cmp(&b.depth))
+                .then(a.name.cmp(&b.name))
         });
         let mut stack: Vec<Open> = Vec::new();
         for span in spans {
@@ -362,10 +397,17 @@ pub fn folded_stacks(timeline: &Timeline) -> String {
             if let Some(parent) = stack.last_mut() {
                 parent.child_ns += dur_ns;
             }
-            let parent_path =
-                stack.last().map(|o| o.path.as_str()).unwrap_or(root.as_str()).to_string();
+            let parent_path = stack
+                .last()
+                .map(|o| o.path.as_str())
+                .unwrap_or(root.as_str())
+                .to_string();
             let path = format!("{parent_path};{}", frame(&span.name));
-            stack.push(Open { path, dur_ns, child_ns: 0 });
+            stack.push(Open {
+                path,
+                dur_ns,
+                child_ns: 0,
+            });
         }
         while let Some(top) = stack.pop() {
             flush(top, &mut weights);
@@ -489,7 +531,10 @@ mod tests {
         tl.complete(g, "setup", SpanCat::Phase, s(0.0), s(10.0)); // excluded
         let csv = hotspot_csv(&tl);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "name,category,calls,total_us,share_pct");
+        assert_eq!(
+            lines.next().unwrap(),
+            "name,category,calls,total_us,share_pct"
+        );
         assert!(lines.next().unwrap().starts_with("hot,kernel,3,"));
         assert!(lines.next().unwrap().starts_with("cold,kernel,1,"));
         assert!(!csv.contains("setup"));
@@ -503,7 +548,10 @@ mod tests {
         tl.complete(g, "plain", SpanCat::Kernel, s(1.0), s(1.5));
         let csv = hotspot_csv(&tl);
         assert!(csv.contains("\"axpy, fused \"\"hot\"\"\",kernel,1,"));
-        assert!(csv.contains("\nplain,kernel,1,"), "plain names stay unquoted");
+        assert!(
+            csv.contains("\nplain,kernel,1,"),
+            "plain names stay unquoted"
+        );
         let rows = crate::validate::validate_hotspot_csv(&csv).expect("rfc-4180 clean");
         assert_eq!(rows, 2);
     }
@@ -543,7 +591,10 @@ mod tests {
 
     #[test]
     fn labeled_key_builds_and_drops_empty_values() {
-        assert_eq!(labeled_key("fom.eval_s", &[("app", "Pele")]), "fom.eval_s{app=\"Pele\"}");
+        assert_eq!(
+            labeled_key("fom.eval_s", &[("app", "Pele")]),
+            "fom.eval_s{app=\"Pele\"}"
+        );
         assert_eq!(
             labeled_key("fom.eval_s", &[("app", "Pele"), ("scenario", "mtbf-7")]),
             "fom.eval_s{app=\"Pele\",scenario=\"mtbf-7\"}"
@@ -567,18 +618,30 @@ mod tests {
         let tl = Timeline::default();
         let mut m = MetricsRegistry::default();
         m.counter_add("fom.evals", 3);
-        m.counter_add(&labeled_key("fom.evals", &[("app", "GESTS"), ("scenario", "mtbf-7")]), 2);
+        m.counter_add(
+            &labeled_key("fom.evals", &[("app", "GESTS"), ("scenario", "mtbf-7")]),
+            2,
+        );
         m.counter_add(&labeled_key("fom.evals", &[("app", "Pele")]), 1);
         for v in [0.001, 0.002, 0.004] {
             m.hist_record(&labeled_key("serve.latency_s", &[("app", "CoMet")]), v);
             m.hist_record("serve.latency_s", v);
         }
-        m.gauge_set(&labeled_key("serve.shard_occupancy", &[("shard", "0")]), 17.0);
+        m.gauge_set(
+            &labeled_key("serve.shard_occupancy", &[("shard", "0")]),
+            17.0,
+        );
         let snap = TelemetrySnapshot::build(&tl, &m);
         let text = prometheus_text(&snap);
         // One TYPE line per family, shared by every label set.
-        assert_eq!(text.matches("# TYPE exa_fom_evals_total counter").count(), 1);
-        assert_eq!(text.matches("# TYPE exa_serve_latency_s histogram").count(), 1);
+        assert_eq!(
+            text.matches("# TYPE exa_fom_evals_total counter").count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE exa_serve_latency_s histogram").count(),
+            1
+        );
         assert!(text.contains("exa_fom_evals_total 3\n"));
         assert!(text.contains("exa_fom_evals_total{app=\"GESTS\",scenario=\"mtbf-7\"} 2\n"));
         assert!(text.contains("exa_fom_evals_total{app=\"Pele\"} 1\n"));
@@ -596,7 +659,10 @@ mod tests {
             .find(|s| s.name == "exa_fom_evals_total" && !s.labels.is_empty())
             .expect("labeled counter sample");
         assert_eq!(labeled.labels[0], ("app".to_string(), "GESTS".to_string()));
-        assert_eq!(labeled.labels[1], ("scenario".to_string(), "mtbf-7".to_string()));
+        assert_eq!(
+            labeled.labels[1],
+            ("scenario".to_string(), "mtbf-7".to_string())
+        );
     }
 
     #[test]
@@ -612,7 +678,10 @@ mod tests {
         let lines = crate::validate::validate_folded(&folded).expect("valid folded");
         assert_eq!(lines, 2);
         assert!(folded.contains("rank0;step 7000\n"), "{folded}");
-        assert!(folded.contains("rank0;step;fft:inner 3000\n"), "semicolon sanitized: {folded}");
+        assert!(
+            folded.contains("rank0;step;fft:inner 3000\n"),
+            "semicolon sanitized: {folded}"
+        );
         // Total weight equals total busy time (nothing lost or doubled).
         let total: u64 = folded
             .lines()

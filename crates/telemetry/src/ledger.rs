@@ -144,20 +144,27 @@ impl FomRecord {
                 .ok_or(format!("record missing string field '{k}'"))
         };
         let num_field = |k: &str| -> Result<f64, String> {
-            v.get(k).and_then(JsonValue::as_f64).ok_or(format!("record missing number field '{k}'"))
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("record missing number field '{k}'"))
         };
         let kind_label = str_field("kind")?;
-        let kind = FomKind::from_label(&kind_label)
-            .ok_or(format!("unknown FOM kind '{kind_label}'"))?;
+        let kind =
+            FomKind::from_label(&kind_label).ok_or(format!("unknown FOM kind '{kind_label}'"))?;
         let mut span_profile = BTreeMap::new();
         if let Some(JsonValue::Obj(m)) = v.get("span_profile") {
             for (name, val) in m {
-                let secs = val.as_f64().ok_or(format!("span_profile['{name}'] not a number"))?;
+                let secs = val
+                    .as_f64()
+                    .ok_or(format!("span_profile['{name}'] not a number"))?;
                 span_profile.insert(name.clone(), secs);
             }
         }
         Ok(FomRecord {
-            seq: v.get("seq").and_then(JsonValue::as_u64).ok_or("record missing 'seq'")?,
+            seq: v
+                .get("seq")
+                .and_then(JsonValue::as_u64)
+                .ok_or("record missing 'seq'")?,
             app: str_field("app")?,
             machine: str_field("machine")?,
             nodes: num_field("nodes")? as u32,
@@ -194,7 +201,10 @@ pub struct FomLedger {
 impl FomLedger {
     /// An empty ledger at the current schema version.
     pub fn new() -> Self {
-        FomLedger { version: LEDGER_VERSION, records: Vec::new() }
+        FomLedger {
+            version: LEDGER_VERSION,
+            records: Vec::new(),
+        }
     }
 
     /// Number of records.
@@ -218,7 +228,12 @@ impl FomLedger {
             *existing = record;
             return id_seq(&self.records, &id);
         }
-        let seq = self.records.iter().map(|r| r.seq).max().map_or(0, |s| s + 1);
+        let seq = self
+            .records
+            .iter()
+            .map(|r| r.seq)
+            .max()
+            .map_or(0, |s| s + 1);
         record.seq = seq;
         self.records.push(record);
         seq
@@ -320,7 +335,11 @@ impl FomLedger {
 pub type RecordIdentity = (String, String, &'static str, String, String, String);
 
 fn id_seq(records: &[FomRecord], id: &RecordIdentity) -> u64 {
-    records.iter().find(|r| &r.identity() == id).map(|r| r.seq).expect("identity present")
+    records
+        .iter()
+        .find(|r| &r.identity() == id)
+        .map(|r| r.seq)
+        .expect("identity present")
 }
 
 /// FNV-1a 64-bit digest rendered as 16 hex digits — the snapshot
@@ -391,8 +410,11 @@ mod tests {
         l.compact(2);
         assert_eq!(l.series("A", "Frontier", FomKind::Throughput).len(), 2);
         assert_eq!(l.series("B", "Frontier", FomKind::Throughput).len(), 1);
-        let vals: Vec<f64> =
-            l.series("A", "Frontier", FomKind::Throughput).iter().map(|r| r.value).collect();
+        let vals: Vec<f64> = l
+            .series("A", "Frontier", FomKind::Throughput)
+            .iter()
+            .map(|r| r.value)
+            .collect();
         assert_eq!(vals, vec![14.0, 15.0], "newest records survive");
         let json = l.to_json();
         l.compact(2);
@@ -424,7 +446,11 @@ mod tests {
         drill.snapshot_digest = clean.snapshot_digest.clone(); // same code state
         l.append(clean);
         l.append(drill.clone());
-        assert_eq!(l.len(), 2, "a tagged run must not dedupe against the clean run");
+        assert_eq!(
+            l.len(),
+            2,
+            "a tagged run must not dedupe against the clean run"
+        );
         // Re-appending the tagged run is still idempotent.
         l.append(drill);
         assert_eq!(l.len(), 2);
@@ -450,9 +476,18 @@ mod tests {
 
     #[test]
     fn kind_classification_and_labels() {
-        assert_eq!(FomKind::classify("s/cell/step", false), FomKind::TimePerCellStep);
-        assert_eq!(FomKind::classify("PFLOP/s (machine)", true), FomKind::GflopsPerNode);
-        assert_eq!(FomKind::classify("grid points/s", true), FomKind::Throughput);
+        assert_eq!(
+            FomKind::classify("s/cell/step", false),
+            FomKind::TimePerCellStep
+        );
+        assert_eq!(
+            FomKind::classify("PFLOP/s (machine)", true),
+            FomKind::GflopsPerNode
+        );
+        assert_eq!(
+            FomKind::classify("grid points/s", true),
+            FomKind::Throughput
+        );
         for k in [
             FomKind::TimePerCellStep,
             FomKind::GflopsPerNode,

@@ -46,7 +46,9 @@ pub use export::{
     RooflinePoint, RooflineReport,
 };
 pub use ledger::{digest64, FomKind, FomLedger, FomRecord, LEDGER_FILE, LEDGER_VERSION};
-pub use metrics::{Counter, Histogram, MetricSource, MetricsRegistry, TelemetrySnapshot, TrackSummary};
+pub use metrics::{
+    Counter, Histogram, MetricSource, MetricsRegistry, TelemetrySnapshot, TrackSummary,
+};
 pub use pool_obs::PoolTelemetry;
 pub use sentinel::{
     check_slo, run_sentinel, run_sentinel_all, SentinelConfig, SentinelReport, SloConfig,

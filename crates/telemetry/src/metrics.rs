@@ -193,7 +193,13 @@ impl Histogram {
                 return Self::bucket_edge(key);
             }
         }
-        Self::bucket_edge(*self.buckets.keys().next_back().expect("non-empty histogram"))
+        Self::bucket_edge(
+            *self
+                .buckets
+                .keys()
+                .next_back()
+                .expect("non-empty histogram"),
+        )
     }
 
     /// Shorthand for the median.
@@ -230,7 +236,9 @@ impl Histogram {
     /// Iterate `(upper_edge, count)` pairs in ascending edge order — the
     /// shape Prometheus `le`-bucket emission wants.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets.iter().map(|(&k, &n)| (Self::bucket_edge(k), n))
+        self.buckets
+            .iter()
+            .map(|(&k, &n)| (Self::bucket_edge(k), n))
     }
 }
 
@@ -417,9 +425,17 @@ impl TelemetrySnapshot {
             spans_total: timeline.total_spans() as u64,
             wall_s: timeline.wall_end().secs(),
             tracks,
-            counters: metrics.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            counters: metrics
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
             gauges: metrics.gauges.clone(),
-            times_s: metrics.times.iter().map(|(k, t)| (k.clone(), t.secs())).collect(),
+            times_s: metrics
+                .times
+                .iter()
+                .map(|(k, t)| (k.clone(), t.secs()))
+                .collect(),
             hists: metrics.hists.clone(),
         }
     }
@@ -502,7 +518,13 @@ mod tests {
     fn merge_sums_counters_and_folds_same_named_tracks() {
         let mut tl = Timeline::default();
         let h = tl.track("rank0", TrackKind::CommRank);
-        tl.complete(h, "bcast", SpanCat::Collective, SimTime::ZERO, SimTime::from_secs(1.0));
+        tl.complete(
+            h,
+            "bcast",
+            SpanCat::Collective,
+            SimTime::ZERO,
+            SimTime::from_secs(1.0),
+        );
         let mut m = MetricsRegistry::default();
         m.counter_add("mpi.collectives", 1);
         m.gauge_set("mpi.wait_max_s", 0.5);
@@ -512,12 +534,23 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&a); // same rank, second run
         assert_eq!(merged.spans_total, 2);
-        assert_eq!(merged.counter("mpi.collectives"), 2, "counters add exactly once per merge");
-        assert_eq!(merged.tracks.len(), 1, "same-named track folds instead of duplicating");
+        assert_eq!(
+            merged.counter("mpi.collectives"),
+            2,
+            "counters add exactly once per merge"
+        );
+        assert_eq!(
+            merged.tracks.len(),
+            1,
+            "same-named track folds instead of duplicating"
+        );
         assert_eq!(merged.tracks[0].spans, 2);
         assert_eq!(merged.tracks[0].busy_s, 2.0);
         assert_eq!(merged.wall_s, 1.0, "concurrent walls max, not stack");
-        assert_eq!(merged.gauges["mpi.wait_max_s"], 0.5, "gauges are high-water marks");
+        assert_eq!(
+            merged.gauges["mpi.wait_max_s"], 0.5,
+            "gauges are high-water marks"
+        );
         assert_eq!(merged.times_s["mpi.wait"], 0.5);
     }
 
@@ -525,10 +558,22 @@ mod tests {
     fn merge_unions_disjoint_ranks() {
         let mut tl0 = Timeline::default();
         let r0 = tl0.track("rank0", TrackKind::CommRank);
-        tl0.complete(r0, "work", SpanCat::Phase, SimTime::ZERO, SimTime::from_secs(2.0));
+        tl0.complete(
+            r0,
+            "work",
+            SpanCat::Phase,
+            SimTime::ZERO,
+            SimTime::from_secs(2.0),
+        );
         let mut tl1 = Timeline::default();
         let r1 = tl1.track("rank1", TrackKind::CommRank);
-        tl1.complete(r1, "work", SpanCat::Phase, SimTime::ZERO, SimTime::from_secs(3.0));
+        tl1.complete(
+            r1,
+            "work",
+            SpanCat::Phase,
+            SimTime::ZERO,
+            SimTime::from_secs(3.0),
+        );
         let m = MetricsRegistry::default();
         let mut a = TelemetrySnapshot::build(&tl0, &m);
         let b = TelemetrySnapshot::build(&tl1, &m);
@@ -540,17 +585,26 @@ mod tests {
 
     #[test]
     fn histogram_quantiles_match_sorted_oracle() {
-        let vals = [0.003, 0.0007, 0.014, 0.5, 0.25, 0.0007, 2.0, 0.031, 0.009, 0.125];
+        let vals = [
+            0.003, 0.0007, 0.014, 0.5, 0.25, 0.0007, 2.0, 0.031, 0.009, 0.125,
+        ];
         let mut h = Histogram::new();
         for v in vals {
             h.record(v);
         }
         // Oracle: sort the bucketized values, pick rank ceil(q*n).
-        let mut oracle: Vec<f64> = vals.iter().map(|&v| Histogram::bucket_edge(Histogram::bucket_key(v))).collect();
+        let mut oracle: Vec<f64> = vals
+            .iter()
+            .map(|&v| Histogram::bucket_edge(Histogram::bucket_key(v)))
+            .collect();
         oracle.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
             let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
-            assert_eq!(h.quantile(q).to_bits(), oracle[rank - 1].to_bits(), "q = {q}");
+            assert_eq!(
+                h.quantile(q).to_bits(),
+                oracle[rank - 1].to_bits(),
+                "q = {q}"
+            );
         }
         assert_eq!(h.max(), 2.0, "max is exact");
         assert_eq!(h.min(), 0.0007, "min is exact");
@@ -562,7 +616,10 @@ mod tests {
         for v in [1e-9, 3.7e-6, 0.000_25, 0.0421, 1.0, 17.3, 9_000.5] {
             let edge = Histogram::bucket_edge(Histogram::bucket_key(v));
             assert!(edge >= v, "edge {edge} below value {v}");
-            assert!(edge <= v * (1.0 + 1.0 / 16.0) * (1.0 + 1e-12), "edge {edge} too far above {v}");
+            assert!(
+                edge <= v * (1.0 + 1.0 / 16.0) * (1.0 + 1e-12),
+                "edge {edge} too far above {v}"
+            );
         }
     }
 
@@ -629,7 +686,13 @@ mod tests {
     fn snapshot_reflects_tracks_and_metrics() {
         let mut tl = Timeline::default();
         let h = tl.track("host", TrackKind::Host);
-        tl.complete(h, "a", SpanCat::Phase, SimTime::ZERO, SimTime::from_secs(2.0));
+        tl.complete(
+            h,
+            "a",
+            SpanCat::Phase,
+            SimTime::ZERO,
+            SimTime::from_secs(2.0),
+        );
         let mut m = MetricsRegistry::default();
         m.counter_add("x", 1);
         m.time_add("busy", SimTime::from_secs(2.0));

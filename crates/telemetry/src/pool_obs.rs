@@ -160,7 +160,8 @@ impl PoolObserver for PoolTelemetry {
     fn task_run(&self, lane: usize, start_ns: u64, end_ns: u64, stolen: bool) {
         let mut g = self.inner.lock().expect("pool telemetry");
         g.tasks += 1;
-        g.task_run_s.record(end_ns.saturating_sub(start_ns) as f64 / 1e9);
+        g.task_run_s
+            .record(end_ns.saturating_sub(start_ns) as f64 / 1e9);
         let log = g.lanes.entry(lane).or_default();
         log.intervals.push((start_ns, end_ns, stolen));
         log.busy_ns += end_ns.saturating_sub(start_ns);
@@ -225,11 +226,12 @@ mod tests {
             let snap = collector.snapshot();
             assert_eq!(snap.counter("pool.tasks"), 32);
             assert_eq!(snap.counter("pool.injects"), 32);
-            let h = snap.hist("pool.task_run_s").expect("task runtime histogram");
+            let h = snap
+                .hist("pool.task_run_s")
+                .expect("task runtime histogram");
             assert_eq!(h.count(), 32);
             assert!(h.p99() >= h.p50(), "quantiles monotone");
-            let worker_tracks: Vec<_> =
-                snap.tracks.iter().filter(|t| t.kind == "worker").collect();
+            let worker_tracks: Vec<_> = snap.tracks.iter().filter(|t| t.kind == "worker").collect();
             assert!(!worker_tracks.is_empty(), "threads = {threads}");
             let track_busy: f64 = worker_tracks.iter().map(|t| t.busy_s).sum();
             assert!((track_busy - busy as f64 / 1e9).abs() < 1e-9);
@@ -250,7 +252,11 @@ mod tests {
         assert_eq!(obs.tasks(), 0, "land drains");
         let busy_again = obs.land(&collector, "pool");
         assert_eq!(busy_again, 0);
-        assert_eq!(collector.snapshot().counter("pool.tasks"), 32, "no double count");
+        assert_eq!(
+            collector.snapshot().counter("pool.tasks"),
+            32,
+            "no double count"
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ pub struct SentinelConfig {
 
 impl Default for SentinelConfig {
     fn default() -> Self {
-        SentinelConfig { window: 8, warn_ratio: 1.15, fail_ratio: 1.5 }
+        SentinelConfig {
+            window: 8,
+            warn_ratio: 1.15,
+            fail_ratio: 1.5,
+        }
     }
 }
 
@@ -139,11 +143,22 @@ pub fn run_sentinel(
     // Scenario-tagged priors are not baselines: a run that survived an MTBF
     // drill measures the drill, not the code. Fall back to the tagged
     // priors only when the series has no clean history at all.
-    let clean_priors: Vec<&FomRecord> =
-        priors.iter().copied().filter(|r| r.scenario.is_empty()).collect();
-    let pool: &[&FomRecord] = if clean_priors.is_empty() { priors } else { &clean_priors };
+    let clean_priors: Vec<&FomRecord> = priors
+        .iter()
+        .copied()
+        .filter(|r| r.scenario.is_empty())
+        .collect();
+    let pool: &[&FomRecord] = if clean_priors.is_empty() {
+        priors
+    } else {
+        &clean_priors
+    };
     let window_start = pool.len().saturating_sub(config.window);
-    let baseline = if pool.is_empty() { newest } else { median_record(&pool[window_start..]) };
+    let baseline = if pool.is_empty() {
+        newest
+    } else {
+        median_record(&pool[window_start..])
+    };
     let regression = if kind.higher_is_better() {
         (baseline.value + EPS) / (newest.value + EPS)
     } else {
@@ -205,7 +220,12 @@ pub struct SloConfig {
 
 impl Default for SloConfig {
     fn default() -> Self {
-        SloConfig { window: 8, warn_ratio: 2.0, fail_ratio: 4.0, floor_s: 1e-6 }
+        SloConfig {
+            window: 8,
+            warn_ratio: 2.0,
+            fail_ratio: 4.0,
+            floor_s: 1e-6,
+        }
     }
 }
 
@@ -248,7 +268,12 @@ impl SloReport {
 /// median of the prior epochs' p99s (the same median-of-window shape as
 /// [`run_sentinel`], oriented for lower-is-better latency). With no prior
 /// history the newest epoch is its own baseline and passes.
-pub fn check_slo(class: &str, prior_p99s: &[f64], newest_p99: f64, config: &SloConfig) -> SloReport {
+pub fn check_slo(
+    class: &str,
+    prior_p99s: &[f64],
+    newest_p99: f64,
+    config: &SloConfig,
+) -> SloReport {
     const EPS: f64 = 1e-300;
     let window = &prior_p99s[prior_p99s.len().saturating_sub(config.window)..];
     let baseline = if window.is_empty() {
@@ -318,21 +343,43 @@ mod tests {
     fn steady_series_passes() {
         let mut l = FomLedger::new();
         for i in 0..5 {
-            l.append(rec("A", &format!("v{i}"), FomKind::Throughput, 100.0, &[("k", 1.0)]));
+            l.append(rec(
+                "A",
+                &format!("v{i}"),
+                FomKind::Throughput,
+                100.0,
+                &[("k", 1.0)],
+            ));
         }
-        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
+        let r = run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, Verdict::Pass);
         assert!((r.regression - 1.0).abs() < 1e-9);
-        assert!(r.culprit_span.is_none(), "nothing regressed: {:?}", r.culprit_span);
+        assert!(
+            r.culprit_span.is_none(),
+            "nothing regressed: {:?}",
+            r.culprit_span
+        );
     }
 
     #[test]
     fn single_record_is_its_own_baseline() {
         let mut l = FomLedger::new();
         l.append(rec("A", "v0", FomKind::Throughput, 100.0, &[]));
-        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
+        let r = run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, Verdict::Pass);
         assert_eq!(r.baseline_run_tag, "v0");
     }
@@ -340,8 +387,14 @@ mod tests {
     #[test]
     fn empty_series_yields_none() {
         let l = FomLedger::new();
-        assert!(run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .is_none());
+        assert!(run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -357,9 +410,21 @@ mod tests {
             ));
         }
         // 2x slowdown, driven by the comm span exploding.
-        l.append(rec("A", "v9", FomKind::Throughput, 50.0, &[("kernel", 0.8), ("comm", 1.2)]));
-        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
+        l.append(rec(
+            "A",
+            "v9",
+            FomKind::Throughput,
+            50.0,
+            &[("kernel", 0.8), ("comm", 1.2)],
+        ));
+        let r = run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, Verdict::Fail);
         assert!((r.regression - 2.0).abs() < 1e-9);
         assert_eq!(r.culprit_span.as_deref(), Some("comm"));
@@ -372,7 +437,13 @@ mod tests {
     fn time_fom_orientation_is_inverted() {
         let mut l = FomLedger::new();
         for i in 0..4 {
-            l.append(rec("P", &format!("v{i}"), FomKind::TimePerCellStep, 2.0e-9, &[]));
+            l.append(rec(
+                "P",
+                &format!("v{i}"),
+                FomKind::TimePerCellStep,
+                2.0e-9,
+                &[],
+            ));
         }
         // Time per cell per step *rose* — that's the regression.
         l.append(rec("P", "v9", FomKind::TimePerCellStep, 2.5e-9, &[]));
@@ -395,9 +466,19 @@ mod tests {
         l.append(rec("A", "v1", FomKind::Throughput, 5.0, &[])); // bad day
         l.append(rec("A", "v2", FomKind::Throughput, 100.0, &[]));
         l.append(rec("A", "v3", FomKind::Throughput, 98.0, &[]));
-        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
-        assert_eq!(r.verdict, Verdict::Pass, "median baseline ignores the outlier");
+        let r = run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            r.verdict,
+            Verdict::Pass,
+            "median baseline ignores the outlier"
+        );
     }
 
     #[test]
@@ -405,8 +486,14 @@ mod tests {
         let mut l = FomLedger::new();
         l.append(rec("A", "v0", FomKind::Throughput, 100.0, &[]));
         l.append(rec("A", "v1", FomKind::Throughput, 300.0, &[]));
-        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
+        let r = run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, Verdict::Pass);
         assert!(r.regression < 1.0);
     }
@@ -415,23 +502,45 @@ mod tests {
     fn scenario_tagged_regression_warns_instead_of_failing() {
         let mut l = FomLedger::new();
         for i in 0..4 {
-            l.append(rec("A", &format!("v{i}"), FomKind::Throughput, 100.0, &[("k", 1.0)]));
+            l.append(rec(
+                "A",
+                &format!("v{i}"),
+                FomKind::Throughput,
+                100.0,
+                &[("k", 1.0)],
+            ));
         }
         // Identical 2x slowdowns; only the tag differs.
         let mut unlucky = rec("A", "v9", FomKind::Throughput, 50.0, &[("k", 2.0)]);
         unlucky.scenario = "mtbf-seed42".into();
         let mut tagged = l.clone();
         tagged.append(unlucky);
-        let rt = run_sentinel(&tagged, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
+        let rt = run_sentinel(
+            &tagged,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
         assert_eq!(rt.verdict, Verdict::Warn, "unlucky run must not gate");
         assert_eq!(rt.scenario, "mtbf-seed42");
         assert!(rt.summary().contains("[scenario: mtbf-seed42]"));
 
         l.append(rec("A", "v9", FomKind::Throughput, 50.0, &[("k", 2.0)]));
-        let rc = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
-        assert_eq!(rc.verdict, Verdict::Fail, "the same slowdown untagged is a regression");
+        let rc = run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            rc.verdict,
+            Verdict::Fail,
+            "the same slowdown untagged is a regression"
+        );
         assert!(rc.scenario.is_empty());
     }
 
@@ -449,8 +558,14 @@ mod tests {
         // baseline (100) this is a 2x fail; against the drill-polluted
         // median (20) it would pass as an improvement.
         l.append(rec("A", "v1", FomKind::Throughput, 50.0, &[]));
-        let r = run_sentinel(&l, "A", "Frontier", FomKind::Throughput, &SentinelConfig::default())
-            .unwrap();
+        let r = run_sentinel(
+            &l,
+            "A",
+            "Frontier",
+            FomKind::Throughput,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.verdict, Verdict::Fail);
         assert_eq!(r.baseline_run_tag, "v0");
     }
@@ -461,11 +576,18 @@ mod tests {
         let priors = [1.1e-3, 0.9e-3, 1.0e-3, 1.05e-3];
         let steady = check_slo("Pele", &priors, 1.2e-3, &cfg);
         assert_eq!(steady.verdict, Verdict::Pass);
-        assert!((steady.baseline_p99_s - 1.05e-3).abs() < 1e-12, "upper median of priors");
+        assert!(
+            (steady.baseline_p99_s - 1.05e-3).abs() < 1e-12,
+            "upper median of priors"
+        );
         let drilled = check_slo("Pele", &priors, 9.0e-3, &cfg);
         assert_eq!(drilled.verdict, Verdict::Fail);
         assert!(drilled.regression > cfg.fail_ratio);
-        assert!(drilled.summary().contains("[Pele]"), "{}", drilled.summary());
+        assert!(
+            drilled.summary().contains("[Pele]"),
+            "{}",
+            drilled.summary()
+        );
         assert!(drilled.summary().contains("fail"));
         let warned = check_slo("Pele", &priors, 2.5e-3, &cfg);
         assert_eq!(warned.verdict, Verdict::Warn);
@@ -486,7 +608,10 @@ mod tests {
 
     #[test]
     fn slo_window_slides_over_old_epochs() {
-        let cfg = SloConfig { window: 3, ..SloConfig::default() };
+        let cfg = SloConfig {
+            window: 3,
+            ..SloConfig::default()
+        };
         // Ancient fast epochs age out of the window; the recent (slower)
         // regime is the baseline, so the newest epoch passes.
         let priors = [1e-4, 1e-4, 1e-4, 1e-2, 1.1e-2, 0.9e-2];

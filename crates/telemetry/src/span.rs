@@ -122,7 +122,12 @@ pub struct Track {
 
 impl Track {
     fn new(name: String, kind: TrackKind) -> Self {
-        Track { name, kind, spans: Vec::new(), open: Vec::new() }
+        Track {
+            name,
+            kind,
+            spans: Vec::new(),
+            open: Vec::new(),
+        }
     }
 
     /// Recorded spans, in start order.
@@ -132,12 +137,20 @@ impl Track {
 
     /// Sum of top-level (depth-0) span durations — the track's busy time.
     pub fn busy(&self) -> SimTime {
-        self.spans.iter().filter(|s| s.depth == 0).map(|s| s.duration()).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.duration())
+            .sum()
     }
 
     /// Latest end time on the track.
     pub fn end(&self) -> SimTime {
-        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -181,9 +194,18 @@ impl Timeline {
         let t = &mut self.tracks[track.0];
         let depth = t.open.len();
         let index = t.spans.len();
-        t.spans.push(Span { name: name.into(), cat, start: at, end: at, depth });
+        t.spans.push(Span {
+            name: name.into(),
+            cat,
+            start: at,
+            end: at,
+            depth,
+        });
         t.open.push(index);
-        SpanId { track: track.0, index }
+        SpanId {
+            track: track.0,
+            index,
+        }
     }
 
     /// Close an open span at `at`. Any spans opened after it (deeper
@@ -228,7 +250,13 @@ impl Timeline {
         let t = &mut self.tracks[track.0];
         let depth = t.open.len();
         let end = end.max(start);
-        t.spans.push(Span { name: name.into(), cat, start, end, depth });
+        t.spans.push(Span {
+            name: name.into(),
+            cat,
+            start,
+            end,
+            depth,
+        });
         if let Some(&p) = t.open.last() {
             if t.spans[p].end < end {
                 t.spans[p].end = end;
@@ -245,7 +273,11 @@ impl Timeline {
 
     /// Latest end time across every track — the profile's wall time.
     pub fn wall_end(&self) -> SimTime {
-        self.tracks.iter().map(|t| t.end()).max().unwrap_or(SimTime::ZERO)
+        self.tracks
+            .iter()
+            .map(|t| t.end())
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Drop every recorded span (tracks stay registered).

@@ -152,9 +152,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 >= self.b.len() {
                                 return self.err("truncated \\u escape");
                             }
-                            let hex =
-                                std::str::from_utf8(&self.b[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(&self.b[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
@@ -228,7 +227,10 @@ impl<'a> Parser<'a> {
 
 /// Parse a complete JSON document.
 pub fn parse_json(s: &str) -> Result<JsonValue, String> {
-    let mut p = Parser { b: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        b: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.b.len() {
@@ -271,10 +273,18 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
             .get("ph")
             .and_then(JsonValue::as_str)
             .ok_or(format!("event {i}: missing ph"))?;
-        let name =
-            ev.get("name").and_then(JsonValue::as_str).ok_or(format!("event {i}: missing name"))?;
-        let pid = ev.get("pid").and_then(JsonValue::as_u64).ok_or(format!("event {i}: missing pid"))?;
-        let tid = ev.get("tid").and_then(JsonValue::as_u64).ok_or(format!("event {i}: missing tid"))?;
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("event {i}: missing name"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("event {i}: missing pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("event {i}: missing tid"))?;
         match ph {
             "M" => {
                 if name == "thread_name" {
@@ -297,19 +307,24 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
         let key = (pid, tid);
         if let Some(&prev) = last_ts.get(&key) {
             if ts < prev {
-                return Err(format!("event {i}: ts {ts} goes backwards (prev {prev}) on tid {tid}"));
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards (prev {prev}) on tid {tid}"
+                ));
             }
         }
         last_ts.insert(key, ts);
         if ph == "X" {
-            let dur = ev
-                .get("dur")
-                .and_then(JsonValue::as_f64)
-                .ok_or(format!("event {i}: X event with missing or non-numeric dur (NaN serializes to null)"))?;
+            let dur = ev.get("dur").and_then(JsonValue::as_f64).ok_or(format!(
+                "event {i}: X event with missing or non-numeric dur (NaN serializes to null)"
+            ))?;
             if dur < 0.0 {
                 return Err(format!("event {i}: negative dur {dur}"));
             }
-            if let Some(depth) = ev.get("args").and_then(|a| a.get("depth")).and_then(JsonValue::as_u64) {
+            if let Some(depth) = ev
+                .get("args")
+                .and_then(|a| a.get("depth"))
+                .and_then(JsonValue::as_u64)
+            {
                 let stack = open.entry(key).or_default();
                 while stack.last().is_some_and(|&(d, _, _)| d >= depth) {
                     stack.pop();
@@ -344,8 +359,8 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
             match named.get(&(pid, tid)) {
                 None => {
                     return Err(format!(
-                        "track (pid {pid}, tid {tid}) has duration events but no thread_name metadata"
-                    ))
+                    "track (pid {pid}, tid {tid}) has duration events but no thread_name metadata"
+                ))
                 }
                 Some(&n) if n > 1 => {
                     return Err(format!(
@@ -356,7 +371,10 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
             }
         }
     }
-    Ok(ChromeTraceSummary { events: n_events, tracks: last_ts.len() })
+    Ok(ChromeTraceSummary {
+        events: n_events,
+        tracks: last_ts.len(),
+    })
 }
 
 /// One parsed Prometheus sample line.
@@ -382,13 +400,19 @@ pub struct PromDoc {
 impl PromDoc {
     /// The value of the first unlabelled sample called `name`.
     pub fn value(&self, name: &str) -> Option<f64> {
-        self.samples.iter().find(|s| s.name == name && s.labels.is_empty()).map(|s| s.value)
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
     }
 
     /// The value of the first sample called `name` whose labels equal
     /// `labels` exactly (same pairs, same order).
     pub fn value_labeled(&self, name: &str, labels: &[(String, String)]) -> Option<f64> {
-        self.samples.iter().find(|s| s.name == name && s.labels == labels).map(|s| s.value)
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .map(|s| s.value)
     }
 }
 
@@ -406,7 +430,9 @@ fn prom_value(tok: &str) -> Result<f64, String> {
         "+Inf" | "Inf" => Ok(f64::INFINITY),
         "-Inf" => Ok(f64::NEG_INFINITY),
         "NaN" => Ok(f64::NAN),
-        t => t.parse::<f64>().map_err(|_| format!("bad sample value '{t}'")),
+        t => t
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value '{t}'")),
     }
 }
 
@@ -428,7 +454,10 @@ pub fn parse_prometheus(s: &str) -> Result<PromDoc, String> {
                 if !prom_name_ok(name) {
                     return Err(format!("line {ln}: illegal metric name '{name}'"));
                 }
-                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
                     return Err(format!("line {ln}: unknown TYPE kind '{kind}'"));
                 }
                 if let Some(prev) = doc.types.get(name) {
@@ -445,8 +474,9 @@ pub fn parse_prometheus(s: &str) -> Result<PromDoc, String> {
         // Sample line: name, optional {labels}, value.
         let (head, labels) = match line.find('{') {
             None => {
-                let (name, value) =
-                    line.split_once(' ').ok_or(format!("line {ln}: sample without value"))?;
+                let (name, value) = line
+                    .split_once(' ')
+                    .ok_or(format!("line {ln}: sample without value"))?;
                 (name.to_string(), (Vec::new(), value))
             }
             Some(brace) => {
@@ -501,8 +531,9 @@ pub fn parse_prometheus(s: &str) -> Result<PromDoc, String> {
                     }
                 };
                 let after = &rest[close + 1..];
-                let value =
-                    after.strip_prefix(' ').ok_or(format!("line {ln}: sample without value"))?;
+                let value = after
+                    .strip_prefix(' ')
+                    .ok_or(format!("line {ln}: sample without value"))?;
                 (name.to_string(), (labels, value))
             }
         };
@@ -511,7 +542,11 @@ pub fn parse_prometheus(s: &str) -> Result<PromDoc, String> {
             return Err(format!("line {ln}: illegal metric name '{head}'"));
         }
         let value = prom_value(value_tok.trim()).map_err(|e| format!("line {ln}: {e}"))?;
-        doc.samples.push(PromSample { name: head, labels, value });
+        doc.samples.push(PromSample {
+            name: head,
+            labels,
+            value,
+        });
     }
     Ok(doc)
 }
@@ -550,11 +585,16 @@ pub fn validate_prometheus(s: &str) -> Result<PromSummary, String> {
         None
     };
     for sample in &doc.samples {
-        let fam = family_of(&sample.name)
-            .ok_or(format!("sample '{}' has no # TYPE declaration", sample.name))?;
+        let fam = family_of(&sample.name).ok_or(format!(
+            "sample '{}' has no # TYPE declaration",
+            sample.name
+        ))?;
         let kind = doc.types[&fam].as_str();
         if kind == "counter" && !(sample.value.is_finite() && sample.value >= 0.0) {
-            return Err(format!("counter '{}' has value {}", sample.name, sample.value));
+            return Err(format!(
+                "counter '{}' has value {}",
+                sample.name, sample.value
+            ));
         }
         if kind == "gauge" && sample.value.is_nan() {
             return Err(format!("gauge '{}' is NaN", sample.name));
@@ -599,7 +639,9 @@ pub fn validate_prometheus(s: &str) -> Result<PromSummary, String> {
                 *saw_inf = true;
                 *inf_count = Some(sample.value);
             } else if edge <= *prev_edge {
-                return Err(format!("histogram '{fam}': le edges not increasing at {edge}"));
+                return Err(format!(
+                    "histogram '{fam}': le edges not increasing at {edge}"
+                ));
             }
             if sample.value < *prev_cum {
                 return Err(format!("histogram '{fam}': cumulative count decreases"));
@@ -618,11 +660,16 @@ pub fn validate_prometheus(s: &str) -> Result<PromSummary, String> {
             doc.value_labeled(&format!("{fam}_sum"), labels)
                 .ok_or(format!("histogram '{fam}': missing _sum for a label set"))?;
             if inf != count {
-                return Err(format!("histogram '{fam}': +Inf bucket {inf} != _count {count}"));
+                return Err(format!(
+                    "histogram '{fam}': +Inf bucket {inf} != _count {count}"
+                ));
             }
         }
     }
-    Ok(PromSummary { samples: doc.samples.len(), families: doc.types.len() })
+    Ok(PromSummary {
+        samples: doc.samples.len(),
+        families: doc.types.len(),
+    })
 }
 
 /// Validate collapsed flamegraph stacks: every line is
@@ -635,16 +682,20 @@ pub fn validate_folded(s: &str) -> Result<usize, String> {
         if raw.is_empty() {
             continue;
         }
-        let (stack, weight) =
-            raw.rsplit_once(' ').ok_or(format!("line {ln}: no weight field"))?;
-        let w: u64 =
-            weight.parse().map_err(|_| format!("line {ln}: bad weight '{weight}'"))?;
+        let (stack, weight) = raw
+            .rsplit_once(' ')
+            .ok_or(format!("line {ln}: no weight field"))?;
+        let w: u64 = weight
+            .parse()
+            .map_err(|_| format!("line {ln}: bad weight '{weight}'"))?;
         if w == 0 {
             return Err(format!("line {ln}: zero-weight stack"));
         }
         let frames: Vec<&str> = stack.split(';').collect();
         if frames.len() < 2 {
-            return Err(format!("line {ln}: want at least track;span, got '{stack}'"));
+            return Err(format!(
+                "line {ln}: want at least track;span, got '{stack}'"
+            ));
         }
         if frames.iter().any(|f| f.is_empty()) {
             return Err(format!("line {ln}: empty frame in '{stack}'"));
@@ -725,22 +776,32 @@ pub fn parse_csv(s: &str) -> Result<Vec<Vec<String>>, String> {
 /// `share_pct` within [0, 100]. Returns the number of data rows.
 pub fn validate_hotspot_csv(s: &str) -> Result<usize, String> {
     let rows = parse_csv(s)?;
-    let header: Vec<&str> = rows.first().map(|r| r.iter().map(String::as_str).collect()).unwrap_or_default();
+    let header: Vec<&str> = rows
+        .first()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .unwrap_or_default();
     if header != ["name", "category", "calls", "total_us", "share_pct"] {
         return Err(format!("bad header {header:?}"));
     }
     for (ln, row) in rows.iter().enumerate().skip(1) {
         if row.len() != 5 {
-            return Err(format!("row {ln}: {} fields (want 5) — unescaped name?", row.len()));
+            return Err(format!(
+                "row {ln}: {} fields (want 5) — unescaped name?",
+                row.len()
+            ));
         }
-        row[2].parse::<u64>().map_err(|_| format!("row {ln}: bad calls '{}'", row[2]))?;
-        let total: f64 =
-            row[3].parse().map_err(|_| format!("row {ln}: bad total_us '{}'", row[3]))?;
+        row[2]
+            .parse::<u64>()
+            .map_err(|_| format!("row {ln}: bad calls '{}'", row[2]))?;
+        let total: f64 = row[3]
+            .parse()
+            .map_err(|_| format!("row {ln}: bad total_us '{}'", row[3]))?;
         if total.is_nan() || total < 0.0 {
             return Err(format!("row {ln}: negative total_us {total}"));
         }
-        let share: f64 =
-            row[4].parse().map_err(|_| format!("row {ln}: bad share_pct '{}'", row[4]))?;
+        let share: f64 = row[4]
+            .parse()
+            .map_err(|_| format!("row {ln}: bad share_pct '{}'", row[4]))?;
         if !(0.0..=100.000001).contains(&share) {
             return Err(format!("row {ln}: share_pct {share} outside [0, 100]"));
         }
@@ -864,24 +925,39 @@ mod tests {
         let doc = parse_prometheus(text).unwrap();
         assert_eq!(doc.value("exa_tasks_total"), Some(42.0));
         assert_eq!(doc.value("exa_occupancy"), Some(0.93));
-        let buckets: Vec<_> = doc.samples.iter().filter(|s| s.name == "exa_task_run_s_bucket").collect();
+        let buckets: Vec<_> = doc
+            .samples
+            .iter()
+            .filter(|s| s.name == "exa_task_run_s_bucket")
+            .collect();
         assert_eq!(buckets.len(), 3);
-        assert_eq!(buckets[0].labels, vec![("le".to_string(), "0.001".to_string())]);
+        assert_eq!(
+            buckets[0].labels,
+            vec![("le".to_string(), "0.001".to_string())]
+        );
     }
 
     #[test]
     fn prometheus_validator_rejects_broken_histograms() {
         let no_type = "exa_x 1\n";
-        assert!(validate_prometheus(no_type).unwrap_err().contains("no # TYPE"));
+        assert!(validate_prometheus(no_type)
+            .unwrap_err()
+            .contains("no # TYPE"));
         let decreasing = "# TYPE exa_h histogram\n\
                           exa_h_bucket{le=\"1\"} 5\nexa_h_bucket{le=\"2\"} 3\n\
                           exa_h_bucket{le=\"+Inf\"} 5\nexa_h_sum 1\nexa_h_count 5\n";
-        assert!(validate_prometheus(decreasing).unwrap_err().contains("decreases"));
+        assert!(validate_prometheus(decreasing)
+            .unwrap_err()
+            .contains("decreases"));
         let inf_mismatch = "# TYPE exa_h histogram\n\
                             exa_h_bucket{le=\"+Inf\"} 4\nexa_h_sum 1\nexa_h_count 5\n";
-        assert!(validate_prometheus(inf_mismatch).unwrap_err().contains("!= _count"));
+        assert!(validate_prometheus(inf_mismatch)
+            .unwrap_err()
+            .contains("!= _count"));
         let neg_counter = "# TYPE exa_c counter\nexa_c -1\n";
-        assert!(validate_prometheus(neg_counter).unwrap_err().contains("value -1"));
+        assert!(validate_prometheus(neg_counter)
+            .unwrap_err()
+            .contains("value -1"));
     }
 
     #[test]
@@ -905,19 +981,26 @@ mod tests {
         assert_eq!(summary.families, 2);
         let doc = parse_prometheus(text).unwrap();
         let pele = vec![("app".to_string(), "Pele".to_string())];
-        assert_eq!(doc.value_labeled("exa_serve_latency_s_count", &pele), Some(3.0));
+        assert_eq!(
+            doc.value_labeled("exa_serve_latency_s_count", &pele),
+            Some(3.0)
+        );
         // A label set whose +Inf disagrees with its _count still fails.
         let broken = "# TYPE exa_h histogram\n\
                       exa_h_bucket{app=\"A\",le=\"+Inf\"} 2\n\
                       exa_h_sum{app=\"A\"} 1\nexa_h_count{app=\"A\"} 3\n\
                       exa_h_bucket{le=\"+Inf\"} 1\nexa_h_sum 1\nexa_h_count 1\n";
-        assert!(validate_prometheus(broken).unwrap_err().contains("!= _count"));
+        assert!(validate_prometheus(broken)
+            .unwrap_err()
+            .contains("!= _count"));
         // A label set missing its own _count fails even when another set
         // has one.
         let missing = "# TYPE exa_h histogram\n\
                        exa_h_bucket{app=\"A\",le=\"+Inf\"} 2\n\
                        exa_h_bucket{le=\"+Inf\"} 1\nexa_h_sum 1\nexa_h_count 1\n";
-        assert!(validate_prometheus(missing).unwrap_err().contains("missing _count"));
+        assert!(validate_prometheus(missing)
+            .unwrap_err()
+            .contains("missing _count"));
     }
 
     #[test]
@@ -935,10 +1018,18 @@ mod tests {
     fn folded_validator_accepts_stacks_and_rejects_damage() {
         let ok = "pool/worker0;chem_substep;lu4 1200\npool/worker0;chem_substep 40\n";
         assert_eq!(validate_folded(ok).unwrap(), 2);
-        assert!(validate_folded("lonely 5\n").unwrap_err().contains("at least"));
-        assert!(validate_folded("a;;b 5\n").unwrap_err().contains("empty frame"));
-        assert!(validate_folded("a;b zero\n").unwrap_err().contains("bad weight"));
-        assert!(validate_folded("a;b 0\n").unwrap_err().contains("zero-weight"));
+        assert!(validate_folded("lonely 5\n")
+            .unwrap_err()
+            .contains("at least"));
+        assert!(validate_folded("a;;b 5\n")
+            .unwrap_err()
+            .contains("empty frame"));
+        assert!(validate_folded("a;b zero\n")
+            .unwrap_err()
+            .contains("bad weight"));
+        assert!(validate_folded("a;b 0\n")
+            .unwrap_err()
+            .contains("zero-weight"));
     }
 
     #[test]
@@ -953,7 +1044,9 @@ mod tests {
         // a sixth field.
         let unescaped = "name,category,calls,total_us,share_pct\n\
                          axpy, fused,kernel,3,10.000,80.00\n";
-        assert!(validate_hotspot_csv(unescaped).unwrap_err().contains("unescaped"));
+        assert!(validate_hotspot_csv(unescaped)
+            .unwrap_err()
+            .contains("unescaped"));
         // A raw quote mid-field is also rejected.
         let raw_quote = "name,category,calls,total_us,share_pct\n\
                          axpy \"hot\",kernel,3,10.000,80.00\n";

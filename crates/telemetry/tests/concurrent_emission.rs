@@ -29,7 +29,11 @@ fn track_spans(t: usize) -> Vec<(&'static str, SpanCat, SimTime, SimTime)> {
     (0..SPANS_PER_TRACK)
         .map(|i| {
             let start = us((i * TRACKS + t) as f64);
-            let cat = if i % 5 == 0 { SpanCat::Collective } else { SpanCat::Kernel };
+            let cat = if i % 5 == 0 {
+                SpanCat::Collective
+            } else {
+                SpanCat::Kernel
+            };
             (names[(t + i) % names.len()], cat, start, start + us(0.75))
         })
         .collect()
@@ -88,7 +92,11 @@ fn concurrent(round: usize) -> (String, String, Arc<PoolTelemetry>) {
         }
     });
     pool.set_observer(None);
-    (collector.chrome_trace(), collector.snapshot().to_json(), observer)
+    (
+        collector.chrome_trace(),
+        collector.snapshot().to_json(),
+        observer,
+    )
 }
 
 #[test]
@@ -101,9 +109,19 @@ fn concurrent_emission_is_order_independent() {
     );
     for round in 0..8 {
         let (trace, snap, observer) = concurrent(round);
-        assert_eq!(trace, ref_trace, "chrome trace depends on interleaving (round {round})");
-        assert_eq!(snap, ref_snap, "snapshot depends on interleaving (round {round})");
+        assert_eq!(
+            trace, ref_trace,
+            "chrome trace depends on interleaving (round {round})"
+        );
+        assert_eq!(
+            snap, ref_snap,
+            "snapshot depends on interleaving (round {round})"
+        );
         // The observer really watched the run — it just never landed.
-        assert_eq!(observer.tasks(), TRACKS as u64, "observer missed tasks (round {round})");
+        assert_eq!(
+            observer.tasks(),
+            TRACKS as u64,
+            "observer missed tasks (round {round})"
+        );
     }
 }

@@ -42,7 +42,11 @@ fn main() {
         dist[b * n + a] = w; // treat as undirected for discovery
     }
 
-    println!("--- SPOKE-like knowledge graph: {} concepts, {} relationships ---", n, edges.len());
+    println!(
+        "--- SPOKE-like knowledge graph: {} concepts, {} relationships ---",
+        n,
+        edges.len()
+    );
     floyd_warshall_blocked(&mut dist, n, 4);
 
     println!("\ndiscovered indirect links (shortest paths > 1 hop):");
@@ -50,7 +54,10 @@ fn main() {
         for j in i + 1..n {
             let d = dist[i * n + j];
             if d.is_finite() && d > 1.5 {
-                println!("  {:<24} ~ {:<24} (path length {d:.1})", CONCEPTS[i], CONCEPTS[j]);
+                println!(
+                    "  {:<24} ~ {:<24} (path length {d:.1})",
+                    CONCEPTS[i], CONCEPTS[j]
+                );
             }
         }
     }

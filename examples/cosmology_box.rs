@@ -19,7 +19,12 @@ fn main() {
         if step % 4 == 0 {
             let m = sim.momentum();
             let pmag = (m[0] * m[0] + m[1] * m[1] + m[2] * m[2]).sqrt();
-            println!("{:>5} {:>14.6} {:>14.2e}", step, sim.density_variance(), pmag);
+            println!(
+                "{:>5} {:>14.6} {:>14.2e}",
+                step,
+                sim.density_variance(),
+                pmag
+            );
         }
         sim.step(0.02);
     }

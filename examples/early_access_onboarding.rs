@@ -39,16 +39,36 @@ fn main() {
         println!(
             "  {:?}: CUDA {} | HIP {}",
             f,
-            if f.supported_on(ApiSurface::Cuda) { "yes" } else { "no" },
-            if f.supported_on(ApiSurface::Hip) { "yes" } else { "NO — redesign needed" }
+            if f.supported_on(ApiSurface::Cuda) {
+                "yes"
+            } else {
+                "no"
+            },
+            if f.supported_on(ApiSurface::Hip) {
+                "yes"
+            } else {
+                "NO — redesign needed"
+            }
         );
     }
 
     println!("\n== file the tickets the audit surfaced ==");
     let mut tracker = IssueTracker::new();
-    tracker.file("NewTeam", IssueClass::Functionality, "port does not build: CUDA Graph dependency");
-    tracker.file("NewTeam", IssueClass::Performance, "warp-32 reduction idles half of each wavefront");
-    let shuffle = tracker.file("NewTeam", IssueClass::Functionality, "__shfl semantics differ at width 64");
+    tracker.file(
+        "NewTeam",
+        IssueClass::Functionality,
+        "port does not build: CUDA Graph dependency",
+    );
+    tracker.file(
+        "NewTeam",
+        IssueClass::Performance,
+        "warp-32 reduction idles half of each wavefront",
+    );
+    let shuffle = tracker.file(
+        "NewTeam",
+        IssueClass::Functionality,
+        "__shfl semantics differ at width 64",
+    );
     println!("triage queue (functionality first, §6):");
     for t in tracker.triage_queue() {
         println!("  #{} [{:?}] {}", t.id, t.class, t.summary);

@@ -28,7 +28,9 @@ fn main() {
     let len = 2048;
     let n = 10;
     // A cohort of independent SNPs...
-    let mut cohort: Vec<Vec<u8>> = (0..n).map(|i| snp(2654435761 * (i as u64 + 3), len)).collect();
+    let mut cohort: Vec<Vec<u8>> = (0..n)
+        .map(|i| snp(2654435761 * (i as u64 + 3), len))
+        .collect();
     // ...with a planted correlated pair (2, 7)...
     let driver = snp(99991, len);
     for idx in [2usize, 7] {
@@ -50,7 +52,11 @@ fn main() {
 
     // 2-way screen through the GEMM formulation.
     let gemm_tables = ccc_tables_gemm(&cohort);
-    assert_eq!(gemm_tables, ccc_tables_naive(&cohort), "the GEMM *is* the counting");
+    assert_eq!(
+        gemm_tables,
+        ccc_tables_naive(&cohort),
+        "the GEMM *is* the counting"
+    );
     let mut best_pair = ((0, 0), f64::NEG_INFINITY);
     println!("2-way CCC screen ({} SNPs x {len} samples):", n);
     for i in 0..n {
@@ -61,7 +67,10 @@ fn main() {
             }
         }
     }
-    println!("  strongest pair: SNP{} ~ SNP{}  (CCC {:.3})", best_pair.0 .0, best_pair.0 .1, best_pair.1);
+    println!(
+        "  strongest pair: SNP{} ~ SNP{}  (CCC {:.3})",
+        best_pair.0 .0, best_pair.0 .1, best_pair.1
+    );
     // Both planted structures correlate pairs; the winner must be planted.
     let planted_pairs = [(2, 7), (1, 4), (1, 8), (4, 8)];
     assert!(

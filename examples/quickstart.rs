@@ -22,7 +22,10 @@ cudaFree(d_x);";
 
     // 2. hipify it, as the COE did for SHOC (§2.1).
     let report = hipify_source(cuda_src);
-    println!("--- hipified source ({}% automatic) ---", (report.auto_fraction() * 100.0) as u32);
+    println!(
+        "--- hipified source ({}% automatic) ---",
+        (report.auto_fraction() * 100.0) as u32
+    );
     println!("{}\n", report.output);
 
     // 3. Run the same (real!) saxpy on a Summit V100 under CUDA and on a
@@ -34,7 +37,11 @@ cudaFree(d_x);";
     let mut results = Vec::new();
     for (label, node, api) in [
         ("Summit (V100, CUDA)", NodeModel::summit(), ApiSurface::Cuda),
-        ("Frontier (MI250X GCD, HIP)", NodeModel::frontier(), ApiSurface::Hip),
+        (
+            "Frontier (MI250X GCD, HIP)",
+            NodeModel::frontier(),
+            ApiSurface::Hip,
+        ),
     ] {
         let device = Device::from_node(&node, 0);
         let mut stream = Stream::new(device, api).expect("surface supports device");
@@ -50,14 +57,17 @@ cudaFree(d_x);";
         stream.launch(&profile, || {
             let xs = x.as_slice();
             for (yi, xi) in y.as_mut_slice().iter_mut().zip(xs) {
-                *yi = a * xi + *yi;
+                *yi += a * xi;
             }
         });
 
         let after_kernel = stream.record_event();
         let mut h_y = vec![0.0f32; n];
         stream.download(&y, &mut h_y).unwrap();
-        assert!((h_y[12345] - a * h_x[12345]).abs() < 1e-6, "the math is real");
+        assert!(
+            (h_y[12345] - a * h_x[12345]).abs() < 1e-6,
+            "the math is real"
+        );
 
         let elapsed = stream.synchronize();
         let kernel = after_kernel.elapsed_since(&before_kernel);

@@ -30,9 +30,18 @@ fn main() {
     let target = Gests::frontier_target();
     let fom_ref = reference.fom(&summit);
     let fom_target = target.fom(&frontier);
-    println!("Summit   reference: N = {:>6}, FOM = {:.3e} pts/s", reference.n, fom_ref);
-    println!("Frontier target   : N = {:>6}, FOM = {:.3e} pts/s", target.n, fom_target);
-    println!("improvement       : {:.2}x  (CAAR target 4x; paper: 'in excess of 5x')\n", fom_target / fom_ref);
+    println!(
+        "Summit   reference: N = {:>6}, FOM = {:.3e} pts/s",
+        reference.n, fom_ref
+    );
+    println!(
+        "Frontier target   : N = {:>6}, FOM = {:.3e} pts/s",
+        target.n, fom_target
+    );
+    println!(
+        "improvement       : {:.2}x  (CAAR target 4x; paper: 'in excess of 5x')\n",
+        fom_target / fom_ref
+    );
 
     // Decomposition study on Frontier.
     println!("--- slabs vs pencils on Frontier, N = 8192 ---");

@@ -32,7 +32,17 @@
 #      bit-identical, restart/ time on the critical path), proves the
 #      sentinel downgrades tagged chaos drills to warn, and re-runs GESTS
 #      on a contended fabric with the overlap engine;
-#   9. campaign service: `campaign_load` replays a zipf mix of 1M queries
+#   9. formatting: `cargo fmt --all -- --check` keeps the workspace
+#      byte-stable under rustfmt, next to the clippy wall;
+#  10. autotuner: the `autotune` bench runs the exa-tune pipeline over
+#      every knob, proves TUNED.json is byte-identical across 1- and
+#      4-thread confirmation pools, gates >= 1.25x measured wall on the
+#      1024-rank 128^3 executed FFT round trip and its repartition
+#      (transpose) cycle with bit-identical output, records the 4096-rank
+#      DNS window against a no-dilution floor, and guards the untouched
+#      Pele/GEMM paths; every BENCH_* write also appends a timestamped
+#      line to BENCH_HISTORY.jsonl, schema-checked below;
+#  11. campaign service: `campaign_load` replays a zipf mix of 1M queries
 #      over the eight Table-2 apps through the memoized `exa-serve` engine,
 #      gating on >= 1M replayed queries, hit-ratio >= 0.9, p99 <= 50 ms,
 #      >= 25k q/s, valid Prometheus/Chrome-trace surfaces, and an SLO drill
@@ -49,6 +59,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo clippy --workspace --release -- -D warnings
+cargo fmt --all -- --check
 for threads in 1 4; do
     EXA_THREADS=$threads cargo test -q
 done
@@ -56,6 +67,7 @@ cargo run --release -q -p exa-bench --bin profile_export
 cargo run --release -q -p exa-bench --bin fom_ledger
 cargo bench -q -p exa-bench --bench comm_overlap
 cargo bench -q -p exa-bench --bench sim_throughput
+cargo bench -q -p exa-bench --bench autotune
 EXA_THREADS=4 cargo run --release -q -p exa-bench --bin obs_export
 EXA_THREADS=4 cargo bench -q -p exa-bench --bench telemetry_overhead
 EXA_THREADS=4 cargo run --release -q -p exa-bench --bin fault_scenarios
@@ -160,6 +172,41 @@ check_fault_scenarios() {
     [ "$restarts" -ge 1 ] || fail "faulted Pele campaign restarted $restarts times (need >= 1)" || return 1
 }
 
+check_autotune() {
+    local fft transpose dns bits
+    grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
+    grep -q '"table_identical": true' "$1" \
+        || fail "TUNED.json differed across thread counts" || return 1
+    fft=$(json_num "$1" speedup_fft)
+    num_ok "$fft" '>=' 1.25 || fail "autotuned FFT speedup $fft < 1.25" || return 1
+    transpose=$(json_num "$1" speedup_transpose)
+    num_ok "$transpose" '>=' 1.25 || fail "autotuned transpose speedup $transpose < 1.25" || return 1
+    dns=$(json_num "$1" speedup_dns)
+    num_ok "$dns" '>=' 1.05 || fail "autotuned DNS window ratio $dns < 1.05" || return 1
+    bits=$(grep -c '"bit_identical": true' "$1")
+    [ "$bits" -ge 5 ] || fail "only $bits bit-identical paths in $1 (need 5)" || return 1
+}
+
+check_tuned_table() {
+    grep -q '"knobs"' "$1" || fail "$1 carries no knob table" || return 1
+    grep -q '"fft.gather"' "$1" || fail "$1 is missing the fft.gather knob" || return 1
+    grep -q '"serve.shards": 0' "$1" \
+        || fail "serve.shards must persist as 0 (auto) for thread-count purity" || return 1
+}
+
+check_bench_history() {
+    local lines
+    lines=$(wc -l < "$1")
+    [ "$lines" -ge 1 ] || fail "$1 is empty" || return 1
+    # Explicit digit repetitions: mawk has no {n} interval expressions.
+    awk '
+        !/^\{"ts": [0-9]+, "date": "[0-9][0-9][0-9][0-9]-[0-9][0-9]-[0-9][0-9]T[0-9][0-9]:[0-9][0-9]:[0-9][0-9]Z", "artifact": "[A-Za-z_]+", "record": \{/ { bad = 1 }
+        END { exit bad }' "$1" \
+        || fail "$1 has lines outside the history schema" || return 1
+    grep -q '"artifact": "BENCH_autotune"' "$1" \
+        || fail "$1 never recorded the autotune gate" || return 1
+}
+
 check_campaign_service() {
     local replayed ratio p99 qps
     grep -q '"pass": true' "$1" || fail "$1 did not pass its own gate" || return 1
@@ -198,5 +245,8 @@ check_artifact PROFILE_pele.folded          check_pele_folded
 check_artifact BENCH_telemetry_overhead.json check_telemetry_overhead
 check_artifact BENCH_fault_scenarios.json   check_fault_scenarios
 check_artifact BENCH_campaign_service.json  check_campaign_service
+check_artifact BENCH_autotune.json          check_autotune
+check_artifact TUNED.json                   check_tuned_table
+check_artifact BENCH_HISTORY.jsonl          check_bench_history
 
-echo "tier1: build + clippy + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches + observability export + fault scenarios + campaign service all green"
+echo "tier1: build + clippy + fmt + tests (EXA_THREADS=1,4) + telemetry export + fom ledger + overlap + substrate benches + autotune + observability export + fault scenarios + campaign service all green"

@@ -7,10 +7,10 @@
 use exaready::apps::gests::PsdnsRun;
 use exaready::apps::pele::diffusion_campaign_profiled;
 use exaready::fft::{Decomp, DistFft3d};
+use exaready::linalg::C64;
 use exaready::machine::{GpuModel, MachineModel, SimTime};
 use exaready::mpi::{collectives, Comm, Network, Overlap};
 use exaready::telemetry::{rank_attribution, TelemetryCollector, TrackKind};
-use exaready::linalg::C64;
 use proptest::prelude::*;
 
 fn frontier_comm(p: usize) -> Comm {
@@ -122,15 +122,19 @@ proptest! {
 fn overlapped_forward_is_bit_identical() {
     let n = 8;
     let gpu = GpuModel::mi250x_gcd();
-    let orig: Vec<C64> =
-        (0..n * n * n).map(|i| C64::new((i % 13) as f64 - 6.0, (i % 7) as f64)).collect();
+    let orig: Vec<C64> = (0..n * n * n)
+        .map(|i| C64::new((i % 13) as f64 - 6.0, (i % 7) as f64))
+        .collect();
     for decomp in [Decomp::Slabs, Decomp::Pencils] {
         let blocking = DistFft3d::new(n, decomp);
         for k in [1, 2, 4, 8] {
             let mut xb = orig.clone();
             let mut xo = orig.clone();
             blocking.forward(&mut frontier_comm(4), &gpu, &mut xb);
-            blocking.clone().with_overlap(k).forward(&mut frontier_comm(4), &gpu, &mut xo);
+            blocking
+                .clone()
+                .with_overlap(k)
+                .forward(&mut frontier_comm(4), &gpu, &mut xo);
             for (a, b) in xb.iter().zip(&xo) {
                 assert_eq!(a.re.to_bits(), b.re.to_bits(), "{decomp:?} K={k}");
                 assert_eq!(a.im.to_bits(), b.im.to_bits(), "{decomp:?} K={k}");
@@ -170,11 +174,23 @@ fn pele_prepost_strictly_shrinks_comm_idle() {
     let work = SimTime::from_micros(300.0);
     let cb = TelemetryCollector::shared();
     let tb = diffusion_campaign_profiled(
-        64, 8, 16, 4, exaready::amr::GhostPolicy::Synchronous, work, &cb,
+        64,
+        8,
+        16,
+        4,
+        exaready::amr::GhostPolicy::Synchronous,
+        work,
+        &cb,
     );
     let co = TelemetryCollector::shared();
     let to = diffusion_campaign_profiled(
-        64, 8, 16, 4, exaready::amr::GhostPolicy::Overlapped, work, &co,
+        64,
+        8,
+        16,
+        4,
+        exaready::amr::GhostPolicy::Overlapped,
+        work,
+        &co,
     );
     assert!(to < tb, "prepost must strictly help here: {to} vs {tb}");
     assert!(
@@ -202,7 +218,10 @@ fn overlap_efficiency_gauge_reaches_the_snapshot() {
     let blocking = TelemetryCollector::shared();
     PsdnsRun::new(512, 16, Decomp::Slabs).step_time_profiled(&machine, Some(&blocking));
     assert!(
-        !blocking.snapshot().gauges.contains_key("mpi.overlap_efficiency"),
+        !blocking
+            .snapshot()
+            .gauges
+            .contains_key("mpi.overlap_efficiency"),
         "blocking runs must not report an overlap gauge"
     );
 }

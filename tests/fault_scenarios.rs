@@ -13,7 +13,12 @@ use exaready::telemetry::TelemetryCollector;
 use proptest::prelude::*;
 
 fn small_cfg(ranks: usize, substeps: usize) -> ChemCampaign {
-    ChemCampaign { ranks, cells_per_rank: 3, substeps, dt: 0.4 }
+    ChemCampaign {
+        ranks,
+        cells_per_rank: 3,
+        substeps,
+        dt: 0.4,
+    }
 }
 
 /// A scenario with µs-scale checkpoint I/O matched to the campaign's
@@ -28,7 +33,9 @@ fn drill_scenario(seed: u64, interval: usize, mtbf_frac: f64, clean_wall: SimTim
         restart_penalty_s: 10e-6,
     };
     ScenarioSpec::named("prop-drill", seed)
-        .with_mtbf(SimTime::from_secs((clean_wall.secs() * mtbf_frac).max(1e-9)))
+        .with_mtbf(SimTime::from_secs(
+            (clean_wall.secs() * mtbf_frac).max(1e-9),
+        ))
         .with_checkpoint(ckpt)
 }
 

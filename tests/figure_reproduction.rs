@@ -38,7 +38,11 @@ fn shoc_corpus_hipifies_automatically() {
     for b in all_benchmarks() {
         let report = exaready::hal::hipify_source(b.cuda_source());
         assert_eq!(report.manual_fix_lines(), 0, "{}", b.name());
-        assert!(!report.output.contains("cudaM"), "{} left CUDA calls", b.name());
+        assert!(
+            !report.output.contains("cudaM"),
+            "{} left CUDA calls",
+            b.name()
+        );
     }
 }
 
@@ -100,7 +104,10 @@ fn table1_motif_matrix_covers_paper() {
         ("LAMMPS", Motif::AlgorithmicOptimizations),
     ];
     for (name, motif) in expect {
-        let app = apps.iter().find(|a| a.name().eq_ignore_ascii_case(name)).expect("app exists");
+        let app = apps
+            .iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+            .expect("app exists");
         assert!(
             app.motifs().contains(motif),
             "paper lists {name} under {motif} — missing in the app metadata"

@@ -15,8 +15,11 @@ use std::collections::BTreeMap;
 
 const APPS: [&str; 3] = ["GAMESS", "GESTS", "Pele"];
 const MACHINES: [&str; 2] = ["Summit", "Frontier"];
-const KINDS: [FomKind; 3] =
-    [FomKind::TimePerCellStep, FomKind::GflopsPerNode, FomKind::Throughput];
+const KINDS: [FomKind; 3] = [
+    FomKind::TimePerCellStep,
+    FomKind::GflopsPerNode,
+    FomKind::Throughput,
+];
 
 /// Build a record from small generator indices so identities collide often
 /// enough to exercise the dedup path.
@@ -140,7 +143,12 @@ fn sentinel_catches_injected_gests_regression() {
 
     let mut ledger = FomLedger::new();
     let clean_c = TelemetryCollector::shared();
-    let clean = measure_record(gests.as_ref(), &frontier, &RunContext::new(&clean_c), "base");
+    let clean = measure_record(
+        gests.as_ref(),
+        &frontier,
+        &RunContext::new(&clean_c),
+        "base",
+    );
     let kind = clean.kind;
     ledger.append(clean);
 
@@ -148,13 +156,34 @@ fn sentinel_catches_injected_gests_regression() {
     let ctx = RunContext::with_injection(&hurt_c, "transform", 2.0);
     ledger.append(measure_record(gests.as_ref(), &frontier, &ctx, "regressed"));
 
-    let report = run_sentinel(&ledger, "GESTS", "Frontier", kind, &SentinelConfig::default())
-        .expect("two-entry series produces a report");
-    assert_eq!(report.verdict, Verdict::Fail, "2x injection must fail: {}", report.summary());
-    assert!(report.regression > 1.5, "regression {:.3} too small", report.regression);
+    let report = run_sentinel(
+        &ledger,
+        "GESTS",
+        "Frontier",
+        kind,
+        &SentinelConfig::default(),
+    )
+    .expect("two-entry series produces a report");
+    assert_eq!(
+        report.verdict,
+        Verdict::Fail,
+        "2x injection must fail: {}",
+        report.summary()
+    );
+    assert!(
+        report.regression > 1.5,
+        "regression {:.3} too small",
+        report.regression
+    );
     let culprit = report.culprit_span.as_deref().expect("culprit span named");
-    assert!(culprit.contains("transform"), "culprit {culprit:?} should be the transforms");
-    assert!(!report.explanation.is_empty(), "explanation carries the span diff");
+    assert!(
+        culprit.contains("transform"),
+        "culprit {culprit:?} should be the transforms"
+    );
+    assert!(
+        !report.explanation.is_empty(),
+        "explanation carries the span diff"
+    );
 }
 
 /// The same drill through a clean run twice must pass — no false alarms.
@@ -174,7 +203,18 @@ fn sentinel_passes_on_a_stable_series() {
         kind = rec.kind;
         ledger.append(rec);
     }
-    let report = run_sentinel(&ledger, "GESTS", "Frontier", kind, &SentinelConfig::default())
-        .expect("report");
-    assert_eq!(report.verdict, Verdict::Pass, "stable series must pass: {}", report.summary());
+    let report = run_sentinel(
+        &ledger,
+        "GESTS",
+        "Frontier",
+        kind,
+        &SentinelConfig::default(),
+    )
+    .expect("report");
+    assert_eq!(
+        report.verdict,
+        Verdict::Pass,
+        "stable series must pass: {}",
+        report.summary()
+    );
 }

@@ -5,7 +5,7 @@
 //! graph submission.
 
 use exaready::hal::{
-    ApiSurface, Device, DType, FusionPolicy, GraphCapture, KernelProfile, LaunchConfig, Stream,
+    ApiSurface, DType, Device, FusionPolicy, GraphCapture, KernelProfile, LaunchConfig, Stream,
 };
 use exaready::machine::GpuModel;
 use proptest::prelude::*;
@@ -24,12 +24,9 @@ fn chain_strategy() -> impl Strategy<Value = Vec<(u8, f64, f64)>> {
 fn capture_chain(ops: &[(u8, f64, f64)], n: usize) -> GraphCapture {
     let mut cap = GraphCapture::new();
     for (s, &(kind, a, b)) in ops.iter().enumerate() {
-        let profile = KernelProfile::new(
-            format!("elem{s}"),
-            LaunchConfig::cover(n as u64, 256),
-        )
-        .flops(n as f64 * 4.0, DType::F64)
-        .bytes(n as f64 * 8.0, n as f64 * 8.0);
+        let profile = KernelProfile::new(format!("elem{s}"), LaunchConfig::cover(n as u64, 256))
+            .flops(n as f64 * 4.0, DType::F64)
+            .bytes(n as f64 * 8.0, n as f64 * 8.0);
         match kind {
             0 => cap.elementwise(profile, move |_, chunk| {
                 for x in chunk {
@@ -158,5 +155,8 @@ fn replay_collapses_launch_charges_to_one() {
     );
     // The modeled saving is bounded by the launch latencies replay elides.
     let saved = t_eager - t_replay;
-    assert!(saved <= gpu.launch_latency * n_kernels as f64, "saving {saved} too large");
+    assert!(
+        saved <= gpu.launch_latency * n_kernels as f64,
+        "saving {saved} too large"
+    );
 }

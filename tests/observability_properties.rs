@@ -6,9 +6,8 @@
 
 use exaready::machine::SimTime;
 use exaready::telemetry::{
-    folded_stacks, parse_csv, parse_prometheus, prometheus_name, prometheus_text,
-    validate_folded, validate_hotspot_csv, validate_prometheus, Histogram, SpanCat,
-    TelemetryCollector, TrackKind,
+    folded_stacks, parse_csv, parse_prometheus, prometheus_name, prometheus_text, validate_folded,
+    validate_hotspot_csv, validate_prometheus, Histogram, SpanCat, TelemetryCollector, TrackKind,
 };
 use proptest::prelude::*;
 
@@ -16,8 +15,10 @@ use proptest::prelude::*;
 /// bucketized values (each value replaced by its bucket's upper edge) and
 /// index at rank ⌈q·count⌉.
 fn oracle_quantile(values: &[f64], q: f64) -> f64 {
-    let mut edges: Vec<f64> =
-        values.iter().map(|&v| Histogram::bucket_edge(Histogram::bucket_key(v))).collect();
+    let mut edges: Vec<f64> = values
+        .iter()
+        .map(|&v| Histogram::bucket_edge(Histogram::bucket_key(v)))
+        .collect();
     edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let rank = ((q.clamp(0.0, 1.0) * edges.len() as f64).ceil() as usize).clamp(1, edges.len());
     edges[rank - 1]

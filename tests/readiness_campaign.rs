@@ -43,8 +43,10 @@ fn frontier_always_wins() {
 /// per device or scaled-out basis) being typical" — the median sits there.
 #[test]
 fn typical_speedup_is_5x_to_7x() {
-    let mut speedups: Vec<f64> =
-        table2_applications().iter().map(|a| a.measure_speedup()).collect();
+    let mut speedups: Vec<f64> = table2_applications()
+        .iter()
+        .map(|a| a.measure_speedup())
+        .collect();
     speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = speedups[speedups.len() / 2];
     assert!((4.5..=7.5).contains(&median), "median speed-up {median}");
@@ -69,7 +71,10 @@ fn speedup_ordering_matches_table2() {
     let pele = by_name("Pele");
     let gamess = by_name("GAMESS");
     assert!(lsms > gamess && coast > gamess, "LSMS/COAST lead the table");
-    assert!(exasky < gamess && pele < gamess, "ExaSky/Pele trail the table");
+    assert!(
+        exasky < gamess && pele < gamess,
+        "ExaSky/Pele trail the table"
+    );
 }
 
 /// Campaigns across the early-access timeline are monotone: each hardware
@@ -127,7 +132,11 @@ fn readiness_reports_are_complete() {
         let text = format!("{report}");
         assert!(text.contains(app.name()));
         assert!(text.contains("Summit") && text.contains("Frontier"));
-        assert!(!report.motifs.is_empty(), "{} declares no motifs", app.name());
+        assert!(
+            !report.motifs.is_empty(),
+            "{} declares no motifs",
+            app.name()
+        );
         let json = serde_json::to_string(&report).expect("report serializes");
         assert!(json.contains("measured_speedup"));
     }

@@ -6,9 +6,7 @@ use exaready::core::{lessons, render_user_guide, IssueClass};
 use exaready::hal::offload::MapDir;
 use exaready::hal::trace::{Bound, Tracer};
 use exaready::hal::uvm::ManagedBuffer;
-use exaready::hal::{
-    hipify_source, ApiSurface, Device, Feature, Stream, TargetData,
-};
+use exaready::hal::{hipify_source, ApiSurface, Device, Feature, Stream, TargetData};
 use exaready::machine::{DType, GpuModel, KernelProfile, LaunchConfig, MachineModel, NodeModel};
 use exaready::mpi::{Comm, Network};
 
@@ -116,8 +114,9 @@ fn profiler_diagnoses_canonical_kernels() {
         .matrix_units(true)
         .bytes(1e9, 1e9)
         .compute_eff(0.85);
-    let stream_kernel =
-        KernelProfile::new("triad", big).flops(1e8, DType::F64).bytes(1e11, 5e10);
+    let stream_kernel = KernelProfile::new("triad", big)
+        .flops(1e8, DType::F64)
+        .bytes(1e11, 5e10);
     let tiny = KernelProfile::new("micro", LaunchConfig::new(2, 64)).flops(1e4, DType::F64);
     assert_eq!(tracer.classify(&gemm), Bound::Compute);
     assert_eq!(tracer.classify(&stream_kernel), Bound::Memory);
@@ -161,6 +160,10 @@ fn user_guide_generation_is_complete_and_ordered() {
     let all = lessons();
     assert!(all.iter().any(|l| l.class == IssueClass::Functionality));
     for l in &all {
-        assert!(guide.contains(l.guidance), "guide must carry the guidance for {}", l.title);
+        assert!(
+            guide.contains(l.guidance),
+            "guide must carry the guidance for {}",
+            l.title
+        );
     }
 }

@@ -16,8 +16,7 @@ use exaready::hal::{
 use exaready::machine::{GpuModel, MachineModel, SimTime};
 use exaready::mpi::{Comm, Network};
 use exaready::telemetry::{
-    parse_json, validate_chrome_trace, JsonValue, RooflinePoint, RooflineReport, SpanCat,
-    TrackKind,
+    parse_json, validate_chrome_trace, JsonValue, RooflinePoint, RooflineReport, SpanCat, TrackKind,
 };
 use proptest::prelude::*;
 
@@ -52,12 +51,9 @@ fn run_stream_op(
                 cap.begin_capture();
                 for i in 0..8 {
                     cap.launch_modeled(
-                        &KernelProfile::new(
-                            format!("g{i}"),
-                            LaunchConfig::cover(1 << 14, 256),
-                        )
-                        .flops(1.0e6, DType::F64)
-                        .bytes(1.0e5, 1.0e5),
+                        &KernelProfile::new(format!("g{i}"), LaunchConfig::cover(1 << 14, 256))
+                            .flops(1.0e6, DType::F64)
+                            .bytes(1.0e5, 1.0e5),
                     );
                 }
                 cap.end_capture()
@@ -272,7 +268,7 @@ proptest! {
             let e = want.entry(NAMES[n]).or_insert((0, 0.0));
             e.0 += 1;
             e.1 += d.secs() * 1e6;
-            cursor = cursor + d;
+            cursor += d;
         }
 
         let csv = collector.hotspot_csv();

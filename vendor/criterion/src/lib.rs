@@ -17,10 +17,12 @@ pub struct Criterion {
     _private: (),
 }
 
-
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), sample_size: MAX_SAMPLES }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: MAX_SAMPLES,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
@@ -51,11 +53,20 @@ impl BenchmarkGroup {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_bench(&format!("{}/{}", self.name, id.label), self.sample_size, |b| f(b, input));
+        run_bench(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -68,11 +79,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{name}/{param}") }
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
     }
 
     pub fn from_parameter(param: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: param.to_string() }
+        BenchmarkId {
+            label: param.to_string(),
+        }
     }
 }
 
@@ -93,7 +108,10 @@ impl Bencher {
 
 fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     // Calibrate: one iteration to estimate cost.
-    let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let iters_per_sample =
@@ -102,7 +120,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     let mut total = Duration::ZERO;
     let mut iters = 0u64;
     for _ in 0..samples.max(1) {
-        let mut b = Bencher { iterations: iters_per_sample, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iterations: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         total += b.elapsed;
         iters += b.iterations;

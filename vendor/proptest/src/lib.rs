@@ -263,10 +263,7 @@ mod tests {
         let mut b = TestRng::from_name("same");
         let strat = prop::collection::vec((0u8..8, -1.0f64..1.0), 1..20);
         for _ in 0..50 {
-            assert_eq!(
-                strat.generate(&mut a).len(),
-                strat.generate(&mut b).len()
-            );
+            assert_eq!(strat.generate(&mut a).len(), strat.generate(&mut b).len());
         }
     }
 

@@ -183,7 +183,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             body.push_str("out.push('{');\n");
             for (i, f) in fields.iter().enumerate() {
                 body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
-                body.push_str(&format!("::serde::Serialize::write_json(&self.{f}, out);\n"));
+                body.push_str(&format!(
+                    "::serde::Serialize::write_json(&self.{f}, out);\n"
+                ));
                 if i + 1 < fields.len() {
                     body.push_str("out.push(',');\n");
                 }
@@ -197,7 +199,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Tuple(n) => {
             body.push_str("out.push('[');\n");
             for i in 0..n {
-                body.push_str(&format!("::serde::Serialize::write_json(&self.{i}, out);\n"));
+                body.push_str(&format!(
+                    "::serde::Serialize::write_json(&self.{i}, out);\n"
+                ));
                 if i + 1 < n {
                     body.push_str("out.push(',');\n");
                 }
@@ -217,7 +221,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
          }}"
     );
-    out.parse().expect("serde shim derive: generated impl must parse")
+    out.parse()
+        .expect("serde shim derive: generated impl must parse")
 }
 
 #[proc_macro_derive(Deserialize)]

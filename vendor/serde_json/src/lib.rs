@@ -125,7 +125,12 @@ mod tests {
 
     #[test]
     fn pretty_json_indents_and_round_trips_structure() {
-        let row = Row { name: "x".into(), value: 2.0, counts: vec![7], missing: Some(0.5) };
+        let row = Row {
+            name: "x".into(),
+            value: 2.0,
+            counts: vec![7],
+            missing: Some(0.5),
+        };
         let p = super::to_string_pretty(&row).unwrap();
         assert!(p.contains("\"name\": \"x\""));
         assert!(p.contains("\n  \"counts\": [\n    7\n  ]"));

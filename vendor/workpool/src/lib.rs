@@ -86,7 +86,11 @@ pub trait PoolObserver: Send + Sync {
 pub fn default_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
         for var in ["EXA_THREADS", "EXA_NUM_THREADS"] {
             if let Ok(v) = std::env::var(var) {
                 if let Ok(n) = v.trim().parse::<usize>() {
@@ -173,7 +177,10 @@ impl Shared {
             let job = grabbed.pop_front().expect("stole at least one job");
             if let Some(h) = home {
                 if !grabbed.is_empty() {
-                    self.queues[h].lock().expect("workpool queue").extend(grabbed);
+                    self.queues[h]
+                        .lock()
+                        .expect("workpool queue")
+                        .extend(grabbed);
                 }
             }
             self.pending.fetch_sub(1, Ordering::Release);
@@ -298,7 +305,9 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
     }
 }
 
@@ -330,7 +339,12 @@ impl ThreadPool {
                     .expect("spawn workpool worker")
             })
             .collect();
-        ThreadPool { shared, inline: Mutex::new(VecDeque::new()), threads, workers }
+        ThreadPool {
+            shared,
+            inline: Mutex::new(VecDeque::new()),
+            threads,
+            workers,
+        }
     }
 
     /// The process-wide pool, sized by [`default_threads`].
@@ -357,7 +371,9 @@ impl ThreadPool {
     /// observer for the duration of their current hook call.
     pub fn set_observer(&self, observer: Option<Arc<dyn PoolObserver>>) {
         let mut slot = self.shared.observer.write().expect("workpool observer");
-        self.shared.observed.store(observer.is_some(), Ordering::Relaxed);
+        self.shared
+            .observed
+            .store(observer.is_some(), Ordering::Relaxed);
         *slot = observer;
     }
 
@@ -370,7 +386,11 @@ impl ThreadPool {
         F: FnOnce(&Scope<'_, 'env>) -> R,
     {
         let latch = Arc::new(Latch::new());
-        let scope = Scope { pool: self, latch: Arc::clone(&latch), env: PhantomData };
+        let scope = Scope {
+            pool: self,
+            latch: Arc::clone(&latch),
+            env: PhantomData,
+        };
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
         // Help-while-waiting: drain our own inline queue first (the only
         // queue on 1-thread pools), then steal from workers, then park
@@ -636,7 +656,11 @@ mod tests {
             pool.set_observer(None);
             assert_eq!(hits.load(Ordering::Relaxed), 64);
             assert_eq!(obs.tasks.load(Ordering::Relaxed), 64, "threads = {threads}");
-            assert_eq!(obs.injects.load(Ordering::Relaxed), 64, "threads = {threads}");
+            assert_eq!(
+                obs.injects.load(Ordering::Relaxed),
+                64,
+                "threads = {threads}"
+            );
             assert_eq!(obs.bad_interval.load(Ordering::Relaxed), 0);
         }
     }
@@ -671,7 +695,11 @@ mod tests {
         let seen = obs.tasks.load(Ordering::Relaxed);
         assert_eq!(seen, 1);
         pool.scope(|s| s.spawn(|| {}));
-        assert_eq!(obs.tasks.load(Ordering::Relaxed), seen, "no events after detach");
+        assert_eq!(
+            obs.tasks.load(Ordering::Relaxed),
+            seen,
+            "no events after detach"
+        );
     }
 
     #[test]
